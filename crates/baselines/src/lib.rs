@@ -1,0 +1,36 @@
+//! # tetriserve-baselines
+//!
+//! The comparison systems from the paper's evaluation (§6.1), implemented
+//! on the same serving loop and execution engine as TetriServe so every
+//! comparison is apples-to-apples:
+//!
+//! * [`fixed_sp`] — **xDiT SP=1/2/4/8**: constant sequence-parallel degree,
+//!   statically partitioned GPU slots, non-preemptive FIFO;
+//! * [`rssp`] — **Resolution-Specific SP**: an oracle static table mapping
+//!   each resolution to its profiled best degree, still non-preemptive and
+//!   deadline-blind;
+//! * [`edf`] — **EDF-RSSP** (this reproduction's ablation): RSSP's static
+//!   degrees with earliest-deadline-first ordering, isolating deadline
+//!   awareness from step-level parallelism adaptation.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_baselines::FixedSpPolicy;
+//! use tetriserve_core::Server;
+//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+//!
+//! let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
+//! let report = Server::new(costs, FixedSpPolicy::new(4)).run(vec![]);
+//! assert_eq!(report.policy, "xDiT SP=4");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod edf;
+pub mod fixed_sp;
+pub mod rssp;
+
+pub use edf::EdfRsspPolicy;
+pub use fixed_sp::FixedSpPolicy;
+pub use rssp::RsspPolicy;

@@ -1,0 +1,31 @@
+//! **Calibration report** — prints every paper anchor the cost model is
+//! verified against (Table 1 FLOPs, §1 single-GPU latency, §6.1 SLO
+//! geometry, Figure 2 communication shares, Insight 2 monotonicity, and
+//! the A40 placement-sensitivity checks behind Figure 12).
+
+use tetriserve_costmodel::{verify_flux_h100, verify_sd3_a40};
+use tetriserve_metrics::report::TextTable;
+
+fn print_report(title: &str, report: &tetriserve_costmodel::CalibrationReport) {
+    let mut table = TextTable::new(title, ["anchor", "measured", "expectation", "holds"]);
+    for a in &report.anchors {
+        table.row([
+            a.name.clone(),
+            format!("{:.4}", a.measured),
+            a.expectation.clone(),
+            if a.holds { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let flux = verify_flux_h100();
+    print_report("Calibration anchors: FLUX.1-dev on 8xH100", &flux);
+    let sd3 = verify_sd3_a40();
+    print_report("Calibration anchors: SD3-Medium on 4xA40", &sd3);
+    let total = flux.anchors.len() + sd3.anchors.len();
+    let failed = flux.failures().len() + sd3.failures().len();
+    println!("{}/{} anchors hold.", total - failed, total);
+    assert_eq!(failed, 0, "calibration drift detected");
+}

@@ -1,0 +1,30 @@
+//! **Figure 12** — Stable Diffusion 3 Medium on 4×A40: SAR vs SLO scale
+//! for the Uniform (a) and Skewed (b) mixes.
+//!
+//! Paper shape: trends match FLUX/H100 — TetriServe highest at every
+//! scale, with the largest margins at tight SLOs. On the A40's paired
+//! NVLink topology, SP≥4 collectives cross PCIe and even SP=2 suffers
+//! under poor placement, so fixed high degrees do relatively worse than on
+//! the H100 node.
+
+use tetriserve_bench::figures::{print_margin_summary, print_sar_vs_scale};
+use tetriserve_bench::Experiment;
+use tetriserve_workload::mix::ResolutionMix;
+
+fn main() {
+    for (name, mix) in [
+        ("Uniform", ResolutionMix::uniform()),
+        ("Skewed", ResolutionMix::skewed()),
+    ] {
+        let base = Experiment {
+            mix,
+            ..Experiment::sd3_a40()
+        };
+        let samples = print_sar_vs_scale(
+            &format!("Figure 12: SAR vs SLO scale (SD3, 4xA40, {name}, 12 req/min)"),
+            &base,
+        );
+        print_margin_summary(&samples);
+    }
+    println!("Paper reference: benefits generalise to SD3/A40; PCIe crossings hurt SP>=4.");
+}

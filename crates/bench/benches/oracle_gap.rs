@@ -1,0 +1,81 @@
+//! **Oracle gap** (not a paper artefact) — how close does online
+//! TetriServe get to a clairvoyant offline admission planner?
+//!
+//! The oracle sees every arrival in advance, books contiguous capacity for
+//! each request EDF at the cheapest deadline-feasible degree, and pays no
+//! jitter or reconfiguration cost. It is a *reference point*, not a strict
+//! upper bound (it cannot split a request across degrees, which TetriServe
+//! can), so ratios slightly above 1 are possible and meaningful.
+
+use tetriserve_bench::{Experiment, PolicyKind};
+use tetriserve_core::TetriServeConfig;
+use tetriserve_exact::oracle::{plan_oracle, OracleInstance, OracleRequest};
+use tetriserve_metrics::report::TextTable;
+use tetriserve_metrics::sar::sar;
+use tetriserve_simulator::time::SimTime;
+
+const RATES: [f64; 4] = [6.0, 12.0, 18.0, 24.0];
+
+fn oracle_sar(exp: &Experiment) -> f64 {
+    let costs = exp.cost_table();
+    let requests: Vec<OracleRequest> = exp
+        .generate_requests()
+        .iter()
+        .map(|r| {
+            let mut service = [None; 8];
+            let decode = costs
+                .model()
+                .decode_time(r.resolution, costs.cluster().gpu.effective_tflops());
+            for (i, &k) in costs.degrees().iter().enumerate() {
+                service[i] = Some(
+                    costs.step_time(r.resolution, k, 1) * u64::from(costs.model().steps) + decode,
+                );
+            }
+            OracleRequest {
+                arrival: SimTime::from_secs_f64(r.arrival_s),
+                deadline: SimTime::from_secs_f64(r.deadline_s),
+                service,
+            }
+        })
+        .collect();
+    let inst = OracleInstance {
+        n_gpus: exp.cluster.n_gpus,
+        degrees: costs.degrees().to_vec(),
+        requests,
+    };
+    let total = inst.requests.len();
+    plan_oracle(&inst).sar(total)
+}
+
+fn main() {
+    let mut table = TextTable::new(
+        "Oracle gap: TetriServe vs clairvoyant admission planner (Uniform, SLO 1.0x)",
+        ["rate", "oracle SAR", "TetriServe SAR", "ratio"],
+    );
+    for &rate in &RATES {
+        let exp = Experiment {
+            rate_per_min: rate,
+            ..Experiment::paper_default()
+        };
+        let (oracle, online) = std::thread::scope(|scope| {
+            let e1 = exp.clone();
+            let h1 = scope.spawn(move || oracle_sar(&e1));
+            let e2 = exp.clone();
+            let h2 = scope.spawn(move || {
+                sar(&e2
+                    .run(&PolicyKind::TetriServe(TetriServeConfig::default()))
+                    .outcomes)
+            });
+            (h1.join().expect("ok"), h2.join().expect("ok"))
+        });
+        table.row([
+            format!("{rate:.0}/min"),
+            format!("{oracle:.3}"),
+            format!("{online:.3}"),
+            format!("{:.2}", online / oracle.max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("A ratio near 1.0 means online TetriServe leaves little on the table");
+    println!("relative to full future knowledge (contiguous-booking reference).");
+}

@@ -1,0 +1,70 @@
+//! **Robustness check** (not a paper artefact) — the headline comparison
+//! (Uniform mix, 12 req/min, SLO 1.0×) replicated over five workload
+//! seeds: mean ± standard deviation of SAR per policy. Confirms the
+//! orderings reported in EXPERIMENTS.md are not artefacts of one seed.
+
+use tetriserve_bench::{Experiment, PolicyKind};
+use tetriserve_metrics::report::TextTable;
+use tetriserve_metrics::sar::sar;
+
+const SEEDS: [u64; 5] = [11, 223, 3343, 47712, 591823];
+
+fn main() {
+    let policies = PolicyKind::standard_set(&Experiment::paper_default().cluster);
+    let runs: Vec<Vec<(String, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = SEEDS
+            .iter()
+            .map(|&seed| {
+                let policies = policies.clone();
+                scope.spawn(move || {
+                    let exp = Experiment {
+                        seed,
+                        ..Experiment::paper_default()
+                    };
+                    exp.run_policies(&policies)
+                        .into_iter()
+                        .map(|(l, r)| (l, sar(&r.outcomes)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+    });
+
+    let mut table = TextTable::new(
+        format!("SAR over {} seeds (Uniform, 12 req/min, SLO 1.0x)", SEEDS.len()),
+        ["Policy", "mean", "std", "min", "max"],
+    );
+    let mut tetri_mean = 0.0;
+    let mut best_other_mean = 0.0f64;
+    for p in &policies {
+        let label = p.label();
+        let vals: Vec<f64> = runs
+            .iter()
+            .map(|r| r.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).unwrap())
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if label == "TetriServe" {
+            tetri_mean = mean;
+        } else {
+            best_other_mean = best_other_mean.max(mean);
+        }
+        table.row([
+            label,
+            format!("{mean:.3}"),
+            format!("{:.3}", var.sqrt()),
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "TetriServe mean {:.3} vs best baseline mean {:.3} ({:+.1} pp)",
+        tetri_mean,
+        best_other_mean,
+        (tetri_mean - best_other_mean) * 100.0
+    );
+}

@@ -1,0 +1,32 @@
+//! **Table 1** — Characteristics of representative input sizes for
+//! FLUX.1-dev: latent tokens, computational cost (TFLOPs) and execution
+//! stability (CV over 20 steps on 8×H100) per sequence-parallel degree.
+//!
+//! Paper values: tokens {256, 1024, 4096, 16384}; TFLOPs {556.48, 1388.24,
+//! 5045.92, 24964.72}; every CV below 0.7%.
+
+use tetriserve_costmodel::{measure_step_cv, ClusterSpec, DitModel, Resolution};
+use tetriserve_metrics::report::TextTable;
+
+fn main() {
+    let model = DitModel::flux_dev();
+    let cluster = ClusterSpec::h100x8();
+    let mut table = TextTable::new(
+        "Table 1: FLUX.1-dev input characteristics (CV over 20 steps, 8xH100)",
+        ["Image Size", "Tokens", "TFLOPs", "SP=1", "SP=2", "SP=4", "SP=8"],
+    );
+    for (i, res) in Resolution::PRODUCTION.into_iter().enumerate() {
+        let mut row = vec![
+            res.to_string(),
+            res.tokens().to_string(),
+            format!("{:.2}", model.flops.request_tflops_at(res)),
+        ];
+        for (j, k) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let cv = measure_step_cv(&model, &cluster, res, k, 20, (i * 4 + j) as u64);
+            row.push(format!("{:.2}%", cv * 100.0));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: all CVs <= 0.7%; TFLOPs column matches Table 1 exactly (fitted law).");
+}

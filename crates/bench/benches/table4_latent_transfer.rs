@@ -1,0 +1,51 @@
+//! **Table 4** — Latent-transfer overhead as a percentage of per-step
+//! inference latency, across resolutions and batch sizes.
+//!
+//! Paper values: every cell below 0.05% — latents are compact (compressed
+//! latent space), so the scheduler can ignore hand-off time in deadline
+//! accounting. We measure the actual engine-charged transfer (an
+//! NVSwitch-path group change) against the profiled step time.
+
+use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+use tetriserve_metrics::report::TextTable;
+use tetriserve_simulator::engine::{Engine, EngineConfig, StepDispatch};
+use tetriserve_simulator::gpuset::GpuSet;
+use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::RequestId;
+
+fn main() {
+    let model = DitModel::flux_dev();
+    let cluster = ClusterSpec::h100x8();
+    let costs = Profiler::new(model.clone(), cluster).analytic();
+    let mut table = TextTable::new(
+        "Table 4: latent transfer overhead as % of step latency (FLUX, 8xH100)",
+        ["Batch Size", "256x256", "512x512", "1024x1024", "2048x2048"],
+    );
+    for batch in [1u32, 2, 4] {
+        let mut row = vec![format!("BS = {batch}")];
+        for res in Resolution::PRODUCTION {
+            // Run two dispatches on different groups; the engine charges
+            // the latent hand-off between them.
+            let mut engine = Engine::new(cluster.topology(), EngineConfig::default());
+            let per_step = costs.step_time(res, 4, batch);
+            let mk = |start: usize| StepDispatch {
+                requests: vec![RequestId(1)],
+                gpus: GpuSet::contiguous(start, 4),
+                steps: 2,
+                per_step,
+                latent_bytes: model.latent_bytes(res) * u64::from(batch),
+                activation_bytes_per_gpu: model.activation_bytes_per_gpu(res, 4, batch),
+                decode_after: None,
+                finishing: Vec::new(),
+            };
+            let out1 = engine.submit(SimTime::ZERO, &mk(0)).expect("dispatch ok");
+            let _ = engine.submit(out1.gpus_free_at, &mk(4)).expect("dispatch ok");
+            let transfer = engine.trace().latent_transfer_total(RequestId(1));
+            let pct = 100.0 * transfer.as_secs_f64() / per_step.as_secs_f64();
+            row.push(format!("{pct:.3}%"));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: <= 0.05% in every configuration (ours includes a 5 us launch floor).");
+}

@@ -1,0 +1,101 @@
+//! **Table 6 / Appendix B** — Scheduling overhead of exhaustive search vs
+//! TetriServe's round DP.
+//!
+//! The exact baseline enumerates per-step degrees × concrete GPU subsets;
+//! the paper measures immediate combinatorial explosion (3 requests on
+//! 8 GPUs exceed a 60 s timeout) while TetriServe's plan takes < 10 ms. We
+//! cap the timeout at 3 s per cell to keep `cargo bench` fast — the
+//! explosion (and the DP's microsecond-scale planning) is unchanged.
+
+use std::time::{Duration, Instant};
+
+use tetriserve_core::allocation::min_gpu_hour_plan;
+use tetriserve_core::dp::pack_round;
+use tetriserve_core::options::build_options;
+use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+use tetriserve_exact::exhaustive::{solve_exhaustive, ExactInstance, ExactRequest};
+use tetriserve_metrics::report::TextTable;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::trace::RequestId;
+
+const TIMEOUT: Duration = Duration::from_secs(3);
+
+fn exact_instance(n_reqs: usize, n_gpus: usize) -> ExactInstance {
+    let degrees: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&k| k <= n_gpus)
+        .collect();
+    // Three-step requests shaped like the Figure 1 toy example.
+    let requests = (0..n_reqs)
+        .map(|i| ExactRequest {
+            arrival: (i as u64) * 50,
+            deadline: 100_000,
+            steps: 3,
+            step_time: degrees.iter().map(|&k| 400 / k as u64).collect(),
+        })
+        .collect();
+    ExactInstance {
+        n_gpus,
+        degrees,
+        requests,
+    }
+}
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table 6: exhaustive-search scheduling time (timeout 3 s per cell)",
+        ["# Reqs", "4 GPUs", "8 GPUs"],
+    );
+    for n_reqs in 1..=4usize {
+        let mut row = vec![n_reqs.to_string()];
+        for n_gpus in [4usize, 8] {
+            let sol = solve_exhaustive(&exact_instance(n_reqs, n_gpus), TIMEOUT);
+            row.push(if sol.complete {
+                format!("{:.2}s", sol.elapsed.as_secs_f64())
+            } else {
+                format!(">{:.0}s ({} nodes)", TIMEOUT.as_secs_f64(), sol.nodes)
+            });
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // TetriServe's control-plane latency: full per-round planning
+    // (allocation plans + option sets + DP packing) for a busy queue.
+    let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
+    let tau = costs.t_min(Resolution::R2048) * 5;
+    for queue in [4usize, 16, 64] {
+        let started = Instant::now();
+        let mut iterations = 0u32;
+        while started.elapsed() < Duration::from_millis(200) {
+            let packable: Vec<_> = (0..queue)
+                .map(|i| {
+                    let res = Resolution::PRODUCTION[i % 4];
+                    let plan =
+                        min_gpu_hour_plan(res, 50, SimDuration::from_secs_f64(5.0), &costs);
+                    build_options(
+                        RequestId(i as u64),
+                        res,
+                        SimTime::from_secs_f64(5.0),
+                        &plan,
+                        tau,
+                        SimTime::ZERO + tau,
+                        &costs,
+                        8,
+                        None,
+                        SimDuration::ZERO,
+                        true,
+                    )
+                })
+                .collect();
+            let _ = pack_round(&packable, 8);
+            iterations += 1;
+        }
+        let per_plan = started.elapsed().as_secs_f64() / f64::from(iterations);
+        println!(
+            "TetriServe round planning, queue depth {queue:>3}: {:.3} ms/plan",
+            per_plan * 1e3
+        );
+    }
+    println!("\nPaper reference: exhaustive blows past 60 s at 3-4 requests; TetriServe < 10 ms.");
+}

@@ -1,0 +1,291 @@
+//! Selective continuous batching (§5).
+//!
+//! Batching diffusion steps is only effective for identical small-resolution
+//! requests that would otherwise under-utilise their GPUs. After the packer
+//! selects assignments, this pass merges same-resolution, same-degree,
+//! small-resolution assignments into shared dispatches — but *only* when the
+//! cost model says the slower batched step flips nobody's deadline survival.
+//! Freed GPU sets flow back to the caller for the elastic scale-up pass.
+
+use std::collections::HashMap;
+
+use tetriserve_costmodel::CostTable;
+use tetriserve_simulator::gpuset::GpuSet;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::trace::RequestId;
+
+use crate::placement::Assignment;
+
+/// Per-request deadline context the batcher needs for its SLO check.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchDeadline {
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Steps remaining before this round.
+    pub remaining: u32,
+}
+
+/// Largest latent length considered "small" enough to batch (covers the
+/// 256² and 512² production resolutions).
+pub const BATCHABLE_TOKEN_LIMIT: u64 = 1024;
+
+/// Merges batchable assignments in place. Returns the GPU sets freed by
+/// merging (to be handed to elastic scale-up).
+///
+/// Requests are merged only when all of the following hold:
+///
+/// * same resolution and same degree, resolution ≤ the batchable limit;
+/// * the merged batch stays within the profiled batch envelope;
+/// * with the slower batched step time, every member still satisfies the
+///   survival bound `t_next + (remaining − q_b) · T_min ≤ D_i`.
+pub fn merge_batches(
+    assignments: &mut Vec<Assignment>,
+    deadlines: &HashMap<RequestId, BatchDeadline>,
+    costs: &CostTable,
+    tau: SimDuration,
+    t_next: SimTime,
+) -> GpuSet {
+    let mut freed = GpuSet::EMPTY;
+    // Group candidate indices by (resolution tokens, degree).
+    let mut groups: HashMap<(u64, usize), Vec<usize>> = HashMap::new();
+    for (i, a) in assignments.iter().enumerate() {
+        if a.resolution.tokens() <= BATCHABLE_TOKEN_LIMIT && a.requests.len() == 1 {
+            groups
+                .entry((a.resolution.tokens(), a.gpus.len()))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    let mut remove: Vec<usize> = Vec::new();
+    for idxs in groups.into_values() {
+        if idxs.len() < 2 {
+            continue;
+        }
+        // Greedily grow a batch from the first member.
+        let mut host = idxs[0];
+        let mut members = vec![host];
+        for &cand in &idxs[1..] {
+            let proposed = members.len() as u32 + 1;
+            if proposed > costs.max_batch() {
+                // Current batch is full; the candidate hosts a new batch.
+                commit(assignments, &mut remove, &mut freed, host, &members, costs, tau, t_next, deadlines);
+                host = cand;
+                members = vec![cand];
+                continue;
+            }
+            let mut trial = members.clone();
+            trial.push(cand);
+            if batch_survives(assignments, &trial, costs, tau, t_next, deadlines) {
+                members = trial;
+            }
+        }
+        commit(assignments, &mut remove, &mut freed, host, &members, costs, tau, t_next, deadlines);
+    }
+
+    remove.sort_unstable_by(|a, b| b.cmp(a));
+    for i in remove {
+        assignments.swap_remove(i);
+    }
+    freed
+}
+
+/// Checks the survival bound for every member of a trial batch.
+fn batch_survives(
+    assignments: &[Assignment],
+    members: &[usize],
+    costs: &CostTable,
+    tau: SimDuration,
+    t_next: SimTime,
+    deadlines: &HashMap<RequestId, BatchDeadline>,
+) -> bool {
+    let host = &assignments[members[0]];
+    let batch = members.len() as u32;
+    let Some(t_b) = costs.try_step_time(host.resolution, host.gpus.len(), batch) else {
+        return false;
+    };
+    let q_b = (tau.div_floor(t_b) as u32).min(min_remaining(assignments, members));
+    if q_b == 0 {
+        return false;
+    }
+    let t_min = costs.t_min(host.resolution);
+    members.iter().all(|&i| {
+        let a = &assignments[i];
+        let d = deadlines
+            .get(&a.requests[0])
+            .expect("batch member has deadline context");
+        let residual = t_min * u64::from(d.remaining.saturating_sub(q_b));
+        t_next + residual <= d.deadline
+    })
+}
+
+fn min_remaining(assignments: &[Assignment], members: &[usize]) -> u32 {
+    members
+        .iter()
+        .map(|&i| assignments[i].remaining_before)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Applies a grown batch: the host assignment absorbs the members, member
+/// assignments are queued for removal and their GPUs freed.
+#[allow(clippy::too_many_arguments)]
+fn commit(
+    assignments: &mut [Assignment],
+    remove: &mut Vec<usize>,
+    freed: &mut GpuSet,
+    host: usize,
+    members: &[usize],
+    costs: &CostTable,
+    tau: SimDuration,
+    t_next: SimTime,
+    deadlines: &HashMap<RequestId, BatchDeadline>,
+) {
+    if members.len() < 2 {
+        return;
+    }
+    debug_assert!(batch_survives(assignments, members, costs, tau, t_next, deadlines));
+    let batch = members.len() as u32;
+    let res = assignments[host].resolution;
+    let degree = assignments[host].gpus.len();
+    let t_b = costs.step_time(res, degree, batch);
+    let q_b = (tau.div_floor(t_b) as u32).min(min_remaining(assignments, members));
+    let mut ids = Vec::with_capacity(members.len());
+    let mut min_rem = u32::MAX;
+    for &i in members {
+        ids.extend(assignments[i].requests.iter().copied());
+        min_rem = min_rem.min(assignments[i].remaining_before);
+        if i != host {
+            *freed = freed.union(assignments[i].gpus);
+            remove.push(i);
+        }
+    }
+    let a = &mut assignments[host];
+    a.requests = ids;
+    a.steps = q_b;
+    a.remaining_before = min_rem;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+
+    fn costs() -> CostTable {
+        Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+    }
+
+    fn assignment(id: u64, res: Resolution, start: usize, width: usize, steps: u32) -> Assignment {
+        Assignment {
+            requests: vec![RequestId(id)],
+            resolution: res,
+            gpus: GpuSet::contiguous(start, width),
+            steps,
+            remaining_before: 50,
+        }
+    }
+
+    fn loose_deadlines(ids: &[u64]) -> HashMap<RequestId, BatchDeadline> {
+        ids.iter()
+            .map(|&i| {
+                (
+                    RequestId(i),
+                    BatchDeadline {
+                        deadline: SimTime::from_secs_f64(1_000.0),
+                        remaining: 50,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merges_identical_small_requests() {
+        let c = costs();
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let mut asg = vec![
+            assignment(1, Resolution::R256, 0, 1, 10),
+            assignment(2, Resolution::R256, 1, 1, 10),
+        ];
+        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2]), &c, tau, SimTime::ZERO + tau);
+        assert_eq!(asg.len(), 1);
+        assert_eq!(asg[0].requests.len(), 2);
+        assert_eq!(freed.len(), 1, "one GPU set freed");
+        assert!(asg[0].steps >= 1);
+    }
+
+    #[test]
+    fn never_merges_across_resolutions_or_degrees() {
+        let c = costs();
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let mut asg = vec![
+            assignment(1, Resolution::R256, 0, 1, 10),
+            assignment(2, Resolution::R512, 1, 1, 10),
+            assignment(3, Resolution::R256, 2, 2, 10),
+        ];
+        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2, 3]), &c, tau, SimTime::ZERO + tau);
+        assert_eq!(asg.len(), 3, "nothing mergeable");
+        assert!(freed.is_empty());
+    }
+
+    #[test]
+    fn large_resolutions_are_never_batched() {
+        let c = costs();
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let mut asg = vec![
+            assignment(1, Resolution::R2048, 0, 4, 2),
+            assignment(2, Resolution::R2048, 4, 4, 2),
+        ];
+        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2]), &c, tau, SimTime::ZERO + tau);
+        assert_eq!(asg.len(), 2);
+        assert!(freed.is_empty());
+    }
+
+    #[test]
+    fn tight_deadline_vetoes_the_merge() {
+        let c = costs();
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let t_next = SimTime::ZERO + tau;
+        let mut asg = vec![
+            assignment(1, Resolution::R512, 0, 1, 12),
+            assignment(2, Resolution::R512, 1, 1, 12),
+        ];
+        // Request 1's deadline is so tight that the batched residual bound
+        // fails (it needs every round at full solo progress).
+        let mut deadlines = loose_deadlines(&[2]);
+        let t_min = c.t_min(Resolution::R512);
+        // Batched q is smaller than solo q; craft a deadline satisfied only
+        // by the solo progress.
+        let t_solo = c.step_time(Resolution::R512, 1, 1);
+        let q_solo = (tau.div_floor(t_solo) as u32).min(50);
+        let t_b = c.step_time(Resolution::R512, 1, 2);
+        let q_b = (tau.div_floor(t_b) as u32).min(50);
+        assert!(q_b < q_solo, "batched steps are slower");
+        let mid_steps = (q_b + q_solo) / 2;
+        let deadline = t_next + t_min * u64::from(50 - mid_steps);
+        deadlines.insert(
+            RequestId(1),
+            BatchDeadline {
+                deadline,
+                remaining: 50,
+            },
+        );
+        let freed = merge_batches(&mut asg, &deadlines, &c, tau, t_next);
+        assert_eq!(asg.len(), 2, "SLO-compromising batch must be rejected");
+        assert!(freed.is_empty());
+    }
+
+    #[test]
+    fn batch_respects_profiled_envelope() {
+        let c = costs(); // max batch 4
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let mut asg: Vec<Assignment> = (0..6)
+            .map(|i| assignment(i as u64, Resolution::R256, i, 1, 10))
+            .collect();
+        let ids: Vec<u64> = (0..6).collect();
+        merge_batches(&mut asg, &loose_deadlines(&ids), &c, tau, SimTime::ZERO + tau);
+        assert!(asg.iter().all(|a| a.requests.len() <= 4));
+        let total: usize = asg.iter().map(|a| a.requests.len()).sum();
+        assert_eq!(total, 6, "no request lost");
+    }
+}

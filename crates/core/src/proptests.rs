@@ -1,0 +1,164 @@
+//! Cross-module property tests for the scheduler's building blocks.
+//!
+//! These complement the per-module unit tests with randomised invariants:
+//! the allocator never violates the deadline it claims to meet and never
+//! beats a brute-force optimum; placement never overlaps and always
+//! preserves when it can; the option builder respects Algorithm 1's
+//! definitions for arbitrary plans.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
+use tetriserve_simulator::gpuset::GpuSet;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::topology::Topology;
+use tetriserve_simulator::trace::RequestId;
+
+use crate::allocation::{min_gpu_hour_plan, useful_degrees};
+use crate::options::build_options;
+use crate::placement::{place, PlacementRequest};
+
+fn costs() -> CostTable {
+    Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+}
+
+fn resolution_strategy() -> impl Strategy<Value = Resolution> {
+    (0usize..4).prop_map(|i| Resolution::PRODUCTION[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A feasible plan's claimed runtime really fits the slack, covers all
+    /// steps, uses only profiled degrees, and its GPU-second cost is
+    /// optimal among all two-degree splits (brute force).
+    #[test]
+    fn prop_allocation_sound_and_optimal(
+        res in resolution_strategy(),
+        steps in 1u32..60,
+        slack_ms in 50u64..20_000,
+    ) {
+        let c = costs();
+        let slack = SimDuration::from_millis(slack_ms);
+        let plan = min_gpu_hour_plan(res, steps, slack, &c);
+        prop_assert_eq!(plan.total_steps(), steps);
+        let degrees = useful_degrees(res, &c);
+        for seg in &plan.segments {
+            prop_assert!(degrees.contains(&seg.degree));
+        }
+        if plan.feasible {
+            prop_assert!(plan.runtime(res, &c) <= slack);
+            // Brute-force optimum over all ordered two-degree splits.
+            let mut best = f64::INFINITY;
+            for &a in &degrees {
+                for &b in &degrees {
+                    for s_a in 0..=steps {
+                        let s_b = steps - s_a;
+                        let t = c.step_time(res, a, 1) * u64::from(s_a)
+                            + c.step_time(res, b, 1) * u64::from(s_b);
+                        if t <= slack {
+                            let cost = c.gpu_seconds(res, a) * f64::from(s_a)
+                                + c.gpu_seconds(res, b) * f64::from(s_b);
+                            best = best.min(cost);
+                        }
+                    }
+                }
+            }
+            let got = plan.gpu_seconds(res, &c);
+            prop_assert!(
+                got <= best * (1.0 + 1e-9),
+                "plan cost {got} must match brute force {best}"
+            );
+        } else {
+            // Infeasible means even the fastest degree misses.
+            let fastest = *degrees.last().unwrap();
+            let t = c.step_time(res, fastest, 1) * u64::from(steps);
+            prop_assert!(t > slack);
+        }
+    }
+
+    /// Placement never overlaps, respects widths, stays within the free
+    /// pool, and preserves a previous same-width placement when free.
+    #[test]
+    fn prop_placement_invariants(
+        widths in proptest::collection::vec(0usize..3, 1..5), // 2^w ∈ {1,2,4}
+        preserve in any::<bool>(),
+        prev_start in 0usize..7,
+    ) {
+        let topo = Topology::h100_nvlink(8);
+        let widths: Vec<usize> = widths.into_iter().map(|w| 1usize << w).collect();
+        prop_assume!(widths.iter().sum::<usize>() <= 8);
+        let prev_width = widths[0];
+        prop_assume!(prev_start + prev_width <= 8);
+        let previous = GpuSet::contiguous(prev_start, prev_width);
+        let reqs: Vec<PlacementRequest> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| PlacementRequest {
+                id: RequestId(i as u64),
+                resolution: Resolution::R512,
+                width: w,
+                steps: 5,
+                remaining_before: 50,
+                previous: if i == 0 { Some(previous) } else { None },
+            })
+            .collect();
+        let out = place(&reqs, GpuSet::first_n(8), preserve, &topo);
+        prop_assert_eq!(out.len(), reqs.len());
+        let mut used = GpuSet::EMPTY;
+        for (a, r) in out.iter().zip(&reqs) {
+            prop_assert_eq!(a.gpus.len(), r.width);
+            prop_assert!(used.is_disjoint(a.gpus), "overlap at {:?}", a.gpus);
+            used = used.union(a.gpus);
+        }
+        if preserve {
+            prop_assert_eq!(out[0].gpus, previous, "same-width previous set must be kept");
+        }
+    }
+
+    /// Algorithm 1 option construction: none is first with zero width, `q`
+    /// never exceeds remaining steps, widths come from the plan, and the
+    /// survival indicator matches its definition.
+    #[test]
+    fn prop_options_match_algorithm_one(
+        res in resolution_strategy(),
+        steps in 1u32..60,
+        slack_ms in 100u64..20_000,
+        deadline_ms in 100u64..30_000,
+        gran in 1u64..8,
+    ) {
+        let c = costs();
+        let plan = min_gpu_hour_plan(res, steps, SimDuration::from_millis(slack_ms), &c);
+        let tau = c.t_min(Resolution::R2048) * gran;
+        let t_next = SimTime::ZERO + tau;
+        let deadline = SimTime::from_millis(deadline_ms);
+        let opts = build_options(
+            RequestId(0),
+            res,
+            deadline,
+            &plan,
+            tau,
+            t_next,
+            &c,
+            8,
+            None,
+            SimDuration::ZERO,
+            true,
+        );
+        prop_assert_eq!(opts.options[0].width, 0);
+        prop_assert_eq!(opts.options[0].steps, 0);
+        let t_min = c.t_min(res);
+        for o in &opts.options {
+            prop_assert!(o.steps <= steps);
+            if o.segment.is_some() {
+                prop_assert!(plan.segments.iter().any(|s| s.degree == o.width));
+                prop_assert!(o.steps >= 1);
+            }
+            // sv_i(o) = [t_next + (remaining - q)·T_min <= D_i]
+            let lb = t_min * u64::from(steps - o.steps);
+            prop_assert_eq!(o.survives, t_next + lb <= deadline);
+        }
+    }
+}

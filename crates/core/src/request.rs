@@ -1,0 +1,142 @@
+//! Serving requests and their outcomes.
+
+use tetriserve_costmodel::Resolution;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::trace::RequestId;
+
+/// An inbound image-generation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Unique identifier.
+    pub id: RequestId,
+    /// Output resolution (determines latent length and per-step cost).
+    pub resolution: Resolution,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// SLO deadline: the request must *complete* by this time to count.
+    pub deadline: SimTime,
+    /// Denoising steps to run (the model default, minus any steps skipped
+    /// by cache-based acceleration such as Nirvana).
+    pub total_steps: u32,
+}
+
+impl RequestSpec {
+    /// The SLO budget `deadline − arrival`.
+    pub fn slo_budget(&self) -> SimDuration {
+        self.deadline.saturating_since(self.arrival)
+    }
+}
+
+/// The final record of how a request was served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// The request identifier.
+    pub id: RequestId,
+    /// Output resolution.
+    pub resolution: Resolution,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// SLO deadline.
+    pub deadline: SimTime,
+    /// End-to-end completion time (diffusion + decode); `None` if the run
+    /// ended before the request finished.
+    pub completion: Option<SimTime>,
+    /// Total GPU-seconds consumed.
+    pub gpu_seconds: f64,
+    /// Diffusion steps actually executed.
+    pub steps_executed: u32,
+    /// Sum of the sequence-parallel degree over executed steps; divide by
+    /// `steps_executed` for the mean degree (Figure 11).
+    pub sp_degree_step_sum: u64,
+}
+
+impl RequestOutcome {
+    /// Whether the request finished within its SLO.
+    pub fn met_slo(&self) -> bool {
+        matches!(self.completion, Some(c) if c <= self.deadline)
+    }
+
+    /// End-to-end latency, if the request completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completion.map(|c| c.saturating_since(self.arrival))
+    }
+
+    /// Mean sequence-parallel degree over executed steps (0 if none ran).
+    pub fn mean_sp_degree(&self) -> f64 {
+        if self.steps_executed == 0 {
+            0.0
+        } else {
+            self.sp_degree_step_sum as f64 / f64::from(self.steps_executed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            id: RequestId(1),
+            resolution: Resolution::R512,
+            arrival: SimTime::from_secs_f64(10.0),
+            deadline: SimTime::from_secs_f64(12.0),
+            total_steps: 50,
+        }
+    }
+
+    #[test]
+    fn slo_budget_is_deadline_minus_arrival() {
+        assert_eq!(spec().slo_budget(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn outcome_slo_and_latency() {
+        let s = spec();
+        let on_time = RequestOutcome {
+            id: s.id,
+            resolution: s.resolution,
+            arrival: s.arrival,
+            deadline: s.deadline,
+            completion: Some(SimTime::from_secs_f64(11.5)),
+            gpu_seconds: 1.9,
+            steps_executed: 50,
+            sp_degree_step_sum: 100,
+        };
+        assert!(on_time.met_slo());
+        assert_eq!(on_time.latency(), Some(SimDuration::from_secs_f64(1.5)));
+        assert!((on_time.mean_sp_degree() - 2.0).abs() < 1e-12);
+
+        let late = RequestOutcome {
+            completion: Some(SimTime::from_secs_f64(12.5)),
+            ..on_time
+        };
+        assert!(!late.met_slo());
+
+        let unfinished = RequestOutcome {
+            completion: None,
+            steps_executed: 0,
+            sp_degree_step_sum: 0,
+            ..on_time
+        };
+        assert!(!unfinished.met_slo());
+        assert_eq!(unfinished.latency(), None);
+        assert_eq!(unfinished.mean_sp_degree(), 0.0);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        let s = spec();
+        let exactly = RequestOutcome {
+            id: s.id,
+            resolution: s.resolution,
+            arrival: s.arrival,
+            deadline: s.deadline,
+            completion: Some(s.deadline),
+            gpu_seconds: 0.0,
+            steps_executed: 1,
+            sp_degree_step_sum: 1,
+        };
+        assert!(exactly.met_slo());
+    }
+}

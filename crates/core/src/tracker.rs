@@ -1,0 +1,296 @@
+//! The Request Tracker (§3 of the paper).
+//!
+//! Maintains metadata on every request the server has accepted: resolution,
+//! deadline, execution phase and remaining steps. Scheduling policies read
+//! pending requests from the tracker and the serving loop writes execution
+//! progress back into it.
+
+use std::collections::BTreeMap;
+
+use tetriserve_simulator::gpuset::GpuSet;
+use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::RequestId;
+
+use crate::request::{RequestOutcome, RequestSpec};
+
+/// Execution phase of a tracked request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for GPUs (either never started or paused between rounds).
+    Queued,
+    /// A dispatch is currently executing steps for this request.
+    Running,
+    /// All steps and the VAE decode finished at the given time.
+    Done(SimTime),
+}
+
+/// A request plus its live execution state.
+#[derive(Debug, Clone)]
+pub struct TrackedRequest {
+    /// The immutable request description.
+    pub spec: RequestSpec,
+    /// Diffusion steps still to execute.
+    pub remaining_steps: u32,
+    /// Current phase.
+    pub phase: Phase,
+    /// GPU set of the most recent dispatch, for placement preservation.
+    pub last_gpus: Option<GpuSet>,
+    /// GPU-seconds consumed so far.
+    pub gpu_seconds: f64,
+    /// Σ (degree × steps) over executed dispatches.
+    pub sp_degree_step_sum: u64,
+}
+
+impl TrackedRequest {
+    /// Whether the request still has steps to run and is not mid-dispatch.
+    pub fn is_schedulable(&self, now: SimTime) -> bool {
+        self.phase == Phase::Queued && self.remaining_steps > 0 && self.spec.arrival <= now
+    }
+
+    /// Whether the deadline has already passed at `now`.
+    pub fn is_past_deadline(&self, now: SimTime) -> bool {
+        now > self.spec.deadline
+    }
+}
+
+/// Tracks all requests across their lifecycle.
+#[derive(Debug, Default)]
+pub struct RequestTracker {
+    requests: BTreeMap<RequestId, TrackedRequest>,
+}
+
+impl RequestTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        RequestTracker::default()
+    }
+
+    /// Registers an accepted request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already tracked or the step count is zero.
+    pub fn admit(&mut self, spec: RequestSpec) {
+        assert!(spec.total_steps > 0, "request must have at least one step");
+        let prev = self.requests.insert(
+            spec.id,
+            TrackedRequest {
+                spec,
+                remaining_steps: spec.total_steps,
+                phase: Phase::Queued,
+                last_gpus: None,
+                gpu_seconds: 0.0,
+                sp_degree_step_sum: 0,
+            },
+        );
+        assert!(prev.is_none(), "request {} admitted twice", spec.id);
+    }
+
+    /// Immutable view of a request.
+    pub fn get(&self, id: RequestId) -> Option<&TrackedRequest> {
+        self.requests.get(&id)
+    }
+
+    /// Ids of requests schedulable at `now`, in admission (id) order.
+    pub fn schedulable_ids(&self, now: SimTime) -> Vec<RequestId> {
+        self.requests
+            .values()
+            .filter(|r| r.is_schedulable(now))
+            .map(|r| r.spec.id)
+            .collect()
+    }
+
+    /// Marks the request as running a dispatch of `steps` steps at the
+    /// given placement, recording the accounting for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown, not queued, or `steps` exceeds its
+    /// remaining work.
+    pub fn start_dispatch(&mut self, id: RequestId, gpus: GpuSet, steps: u32, gpu_seconds: f64) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Queued, "{id} must be queued to dispatch");
+        assert!(
+            steps > 0 && steps <= r.remaining_steps,
+            "{id}: dispatching {steps} of {} remaining steps",
+            r.remaining_steps
+        );
+        r.phase = Phase::Running;
+        r.last_gpus = Some(gpus);
+        r.remaining_steps -= steps;
+        r.gpu_seconds += gpu_seconds;
+        r.sp_degree_step_sum += gpus.len() as u64 * u64::from(steps);
+    }
+
+    /// Marks a dispatch finished; the request returns to the queue unless
+    /// out of steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is not running.
+    pub fn finish_dispatch(&mut self, id: RequestId) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Running, "{id} must be running");
+        r.phase = Phase::Queued;
+    }
+
+    /// Marks the request fully complete (after VAE decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown or already done.
+    pub fn complete(&mut self, id: RequestId, at: SimTime) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert!(
+            !matches!(r.phase, Phase::Done(_)),
+            "{id} completed twice"
+        );
+        assert_eq!(r.remaining_steps, 0, "{id} completed with steps remaining");
+        r.phase = Phase::Done(at);
+    }
+
+    /// Number of requests not yet done.
+    pub fn active_count(&self) -> usize {
+        self.requests
+            .values()
+            .filter(|r| !matches!(r.phase, Phase::Done(_)))
+            .count()
+    }
+
+    /// Total number of tracked requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether no requests are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Final outcomes for every tracked request.
+    pub fn outcomes(&self) -> Vec<RequestOutcome> {
+        self.requests
+            .values()
+            .map(|r| RequestOutcome {
+                id: r.spec.id,
+                resolution: r.spec.resolution,
+                arrival: r.spec.arrival,
+                deadline: r.spec.deadline,
+                completion: match r.phase {
+                    Phase::Done(t) => Some(t),
+                    _ => None,
+                },
+                gpu_seconds: r.gpu_seconds,
+                steps_executed: r.spec.total_steps - r.remaining_steps,
+                sp_degree_step_sum: r.sp_degree_step_sum,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_costmodel::Resolution;
+
+    fn spec(id: u64) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            resolution: Resolution::R256,
+            arrival: SimTime::from_secs_f64(1.0),
+            deadline: SimTime::from_secs_f64(2.5),
+            total_steps: 10,
+        }
+    }
+
+    #[test]
+    fn lifecycle_round_trip() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        assert_eq!(t.active_count(), 1);
+        // Not schedulable before arrival.
+        assert!(t.schedulable_ids(SimTime::ZERO).is_empty());
+        let now = SimTime::from_secs_f64(1.0);
+        assert_eq!(t.schedulable_ids(now), vec![RequestId(1)]);
+
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 2), 4, 0.5);
+        assert!(t.schedulable_ids(now).is_empty(), "running requests hidden");
+        t.finish_dispatch(RequestId(1));
+        assert_eq!(t.get(RequestId(1)).unwrap().remaining_steps, 6);
+        assert_eq!(t.get(RequestId(1)).unwrap().sp_degree_step_sum, 8);
+
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 4), 6, 1.0);
+        t.finish_dispatch(RequestId(1));
+        t.complete(RequestId(1), SimTime::from_secs_f64(2.0));
+        assert_eq!(t.active_count(), 0);
+
+        let out = t.outcomes();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].met_slo());
+        assert_eq!(out[0].steps_executed, 10);
+        assert!((out[0].mean_sp_degree() - 3.2).abs() < 1e-12);
+        assert!((out[0].gpu_seconds - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn past_deadline_detection() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        let r = t.get(RequestId(1)).unwrap();
+        assert!(!r.is_past_deadline(SimTime::from_secs_f64(2.5)));
+        assert!(r.is_past_deadline(SimTime::from_secs_f64(2.6)));
+    }
+
+    #[test]
+    fn schedulable_in_id_order() {
+        let mut t = RequestTracker::new();
+        for id in [3u64, 1, 2] {
+            t.admit(spec(id));
+        }
+        let ids = t.schedulable_ids(SimTime::from_secs_f64(1.0));
+        assert_eq!(ids, vec![RequestId(1), RequestId(2), RequestId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn double_admit_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.admit(spec(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "remaining steps")]
+    fn over_dispatch_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 11, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be queued")]
+    fn dispatch_while_running_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.0);
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.0);
+    }
+
+    #[test]
+    fn unfinished_requests_have_no_completion() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(7));
+        let out = t.outcomes();
+        assert_eq!(out[0].completion, None);
+        assert!(!out[0].met_slo());
+    }
+}

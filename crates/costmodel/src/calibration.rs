@@ -1,0 +1,245 @@
+//! Programmatic verification of the cost-model calibration.
+//!
+//! The simulator's credibility rests on matching every quantitative anchor
+//! the paper publishes plus the serving-feasibility geometry its narrative
+//! implies. This module encodes those anchors as checkable propositions and
+//! evaluates them against the live model, producing a structured
+//! [`CalibrationReport`] that the test suite asserts on and the
+//! `calibration_report` bench prints. If a future refactor drifts the
+//! model, the failing anchor names exactly what broke.
+
+use crate::comm::{step_comm_time, CommScheme};
+use crate::flops::{FlopsModel, FLUX_TABLE1_POINTS};
+use crate::hardware::ClusterSpec;
+use crate::model::DitModel;
+use crate::resolution::Resolution;
+use crate::steptime::step_time_canonical;
+
+/// One verified calibration anchor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anchor {
+    /// What the anchor pins (paper reference included).
+    pub name: String,
+    /// The value the model produces.
+    pub measured: f64,
+    /// Human-readable expectation.
+    pub expectation: String,
+    /// Whether the anchor holds.
+    pub holds: bool,
+}
+
+/// The full calibration check result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Every evaluated anchor.
+    pub anchors: Vec<Anchor>,
+}
+
+impl CalibrationReport {
+    /// Whether every anchor holds.
+    pub fn all_hold(&self) -> bool {
+        self.anchors.iter().all(|a| a.holds)
+    }
+
+    /// The anchors that failed.
+    pub fn failures(&self) -> Vec<&Anchor> {
+        self.anchors.iter().filter(|a| !a.holds).collect()
+    }
+}
+
+fn anchor(name: &str, measured: f64, expectation: &str, holds: bool) -> Anchor {
+    Anchor {
+        name: name.to_owned(),
+        measured,
+        expectation: expectation.to_owned(),
+        holds,
+    }
+}
+
+/// Runs every calibration check for the FLUX.1-dev / 8×H100 configuration.
+pub fn verify_flux_h100() -> CalibrationReport {
+    let model = DitModel::flux_dev();
+    let cluster = ClusterSpec::h100x8();
+    let mut anchors = Vec::new();
+
+    // ── Table 1: the FLOPs law reproduces all four published points. ────
+    let law = FlopsModel::flux_dev();
+    for &(tokens, tflops) in &FLUX_TABLE1_POINTS {
+        let measured = law.request_tflops(tokens);
+        let rel = (measured - tflops).abs() / tflops;
+        anchors.push(anchor(
+            &format!("Table 1 TFLOPs @ {tokens} tokens"),
+            measured,
+            &format!("= {tflops} ±0.1%"),
+            rel < 1e-3,
+        ));
+    }
+
+    // ── §1: 2048² on a single H100 takes tens of seconds ("up to a
+    // minute").
+    let t2048_sp1 = step_time_canonical(&model, Resolution::R2048, 1, 1, &cluster, CommScheme::Ulysses)
+        .as_secs_f64()
+        * f64::from(model.steps);
+    anchors.push(anchor(
+        "§1 single-GPU 2048² request",
+        t2048_sp1,
+        "25–60 s",
+        (25.0..60.0).contains(&t2048_sp1),
+    ));
+
+    // ── §6.1 SLO geometry: which degrees fit the base SLOs. ─────────────
+    let request_secs = |res, k| {
+        step_time_canonical(&model, res, k, 1, &cluster, CommScheme::Ulysses).as_secs_f64()
+            * f64::from(model.steps)
+    };
+    let geometry: [(&str, f64, bool); 6] = [
+        ("256² fits 1.5 s at SP=1", request_secs(Resolution::R256, 1), request_secs(Resolution::R256, 1) < 1.5),
+        ("512² fits 2.0 s at SP=1", request_secs(Resolution::R512, 1), request_secs(Resolution::R512, 1) < 2.0),
+        ("1024² misses 3.0 s at SP=2", request_secs(Resolution::R1024, 2), request_secs(Resolution::R1024, 2) > 3.0),
+        ("1024² fits 3.0 s at SP=4", request_secs(Resolution::R1024, 4), request_secs(Resolution::R1024, 4) < 3.0),
+        ("2048² misses 5.0 s at SP=4", request_secs(Resolution::R2048, 4), request_secs(Resolution::R2048, 4) > 5.0),
+        ("2048² fits 5.0 s at SP=8 with headroom", request_secs(Resolution::R2048, 8), {
+            let t = request_secs(Resolution::R2048, 8);
+            t > 4.0 && t < 4.7
+        }),
+    ];
+    for (name, measured, holds) in geometry {
+        anchors.push(anchor(name, measured, "see name", holds));
+    }
+
+    // ── Figure 2: comm share at SP=8, BS=4 — small > 30%, large < 15%. ──
+    let share = |res| {
+        let total =
+            step_time_canonical(&model, res, 8, 4, &cluster, CommScheme::Ulysses).as_secs_f64();
+        let comm = step_comm_time(&model, res, 8, 4, 400.0, CommScheme::Ulysses).as_secs_f64();
+        comm / total
+    };
+    anchors.push(anchor(
+        "Fig 2 comm share 256² @ SP=8 BS=4",
+        share(Resolution::R256),
+        "> 0.30",
+        share(Resolution::R256) > 0.30,
+    ));
+    anchors.push(anchor(
+        "Fig 2 comm share 2048² @ SP=8 BS=4",
+        share(Resolution::R2048),
+        "< 0.15",
+        share(Resolution::R2048) < 0.15,
+    ));
+
+    // ── Insight 2: T(k) decreasing, k·T(k) increasing, every resolution. ─
+    for res in Resolution::PRODUCTION {
+        let mut monotone = true;
+        let mut prev_t = f64::INFINITY;
+        let mut prev_g = 0.0;
+        for k in [1usize, 2, 4, 8] {
+            let t = step_time_canonical(&model, res, k, 1, &cluster, CommScheme::Ulysses)
+                .as_secs_f64();
+            let g = k as f64 * t;
+            monotone &= t < prev_t && g > prev_g;
+            prev_t = t;
+            prev_g = g;
+        }
+        anchors.push(anchor(
+            &format!("Insight 2 monotonicity @ {res}"),
+            0.0,
+            "T(k) falls, k·T(k) rises",
+            monotone,
+        ));
+    }
+
+    CalibrationReport { anchors }
+}
+
+/// Runs the A40/SD3 calibration checks (Figure 12's geometry).
+pub fn verify_sd3_a40() -> CalibrationReport {
+    let model = DitModel::sd3_medium();
+    let cluster = ClusterSpec::a40x4();
+    let topo = cluster.topology();
+    let mut anchors = Vec::new();
+
+    // Placement sensitivity: a pair-aligned SP=2 group beats a PCIe-crossed
+    // one (§6.4: "even at SP=2 poor placement can cross PCIe").
+    use tetriserve_simulator::gpuset::GpuSet;
+    let aligned = crate::steptime::step_time_on(
+        &model,
+        Resolution::R1024,
+        GpuSet::contiguous(0, 2),
+        1,
+        &cluster,
+        &topo,
+        CommScheme::Ulysses,
+    );
+    let crossed = crate::steptime::step_time_on(
+        &model,
+        Resolution::R1024,
+        GpuSet::from_mask(0b0101),
+        1,
+        &cluster,
+        &topo,
+        CommScheme::Ulysses,
+    );
+    anchors.push(anchor(
+        "Fig 12 A40 placement sensitivity (1024² SP=2)",
+        crossed.as_secs_f64() / aligned.as_secs_f64(),
+        "crossed/aligned > 1",
+        crossed > aligned,
+    ));
+
+    // SP=4 must cross PCIe on the 4-GPU node: its comm is PCIe-bound.
+    let bw4 = topo.group_bandwidth_gbps(GpuSet::first_n(4));
+    anchors.push(anchor(
+        "Fig 12 A40 SP=4 collectives bottleneck on PCIe",
+        bw4,
+        "= 22 GB/s",
+        (bw4 - 22.0).abs() < 1e-9,
+    ));
+
+    // The small end remains serveable: 256² fits its base SLO on one A40.
+    let t256 = step_time_canonical(&model, Resolution::R256, 1, 1, &cluster, CommScheme::Ulysses)
+        .as_secs_f64()
+        * f64::from(model.steps);
+    anchors.push(anchor(
+        "SD3 256² fits 1.5 s at SP=1 on A40",
+        t256,
+        "< 1.5 s",
+        t256 < 1.5,
+    ));
+
+    CalibrationReport { anchors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_h100_calibration_holds() {
+        let report = verify_flux_h100();
+        assert!(
+            report.all_hold(),
+            "failed anchors: {:#?}",
+            report.failures()
+        );
+        assert!(report.anchors.len() >= 15, "{} anchors", report.anchors.len());
+    }
+
+    #[test]
+    fn sd3_a40_calibration_holds() {
+        let report = verify_sd3_a40();
+        assert!(
+            report.all_hold(),
+            "failed anchors: {:#?}",
+            report.failures()
+        );
+    }
+
+    #[test]
+    fn failures_are_reported_by_name() {
+        let mut report = verify_flux_h100();
+        report.anchors[0].holds = false;
+        assert!(!report.all_hold());
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.failures()[0].name.contains("Table 1"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Sequence-parallel communication cost.
+//!
+//! Ulysses attention (§2.1 of the paper) performs all-to-all collectives to
+//! transpose tokens and heads across GPUs before local attention: per
+//! transformer block, four all-to-alls (scatter Q/K/V, gather the attention
+//! output). Per collective each GPU ships the `(k-1)/k` remote fraction of
+//! its token shard, and every collective pays a fixed launch latency for
+//! kernel dispatch and NCCL coordination.
+//!
+//! Two consequences the paper measures fall straight out of this model:
+//!
+//! * **Figure 2** — for small resolutions the launch-latency term dominates,
+//!   so the communication *share* of a step grows quickly with the degree
+//!   (exceeding 30% at SP=8 for 256²), while large resolutions stay
+//!   compute-bound;
+//! * **Figure 12 (A40)** — group bandwidth comes from the topology, so a
+//!   group crossing PCIe pays ≈ 14× the wire time of an NVSwitch group.
+//!
+//! A ring-attention variant is provided for completeness (§2.1 mentions it
+//! as the peer-to-peer alternative); it trades launch count for serialised
+//! ring hops and is slightly worse on NVSwitch nodes, matching the paper's
+//! observation that Ulysses is preferred on high-bandwidth interconnects.
+
+use crate::model::DitModel;
+use crate::resolution::Resolution;
+use tetriserve_simulator::time::SimDuration;
+
+/// Fixed per-collective launch latency (kernel dispatch + NCCL
+/// coordination), seconds.
+pub const COLLECTIVE_LAUNCH_S: f64 = 5e-6;
+
+/// All-to-all collectives per transformer block under Ulysses attention.
+pub const ULYSSES_COLLECTIVES_PER_LAYER: f64 = 4.0;
+
+/// Message size at which a collective reaches half its peak link bandwidth.
+///
+/// NCCL collectives on sub-megabyte messages achieve a small fraction of
+/// link bandwidth (pipelining cannot fill the wire); bandwidth saturates
+/// only for multi-megabyte payloads. This is the second reason small
+/// resolutions communicate so inefficiently in Figure 2.
+pub const BANDWIDTH_HALF_SATURATION_BYTES: f64 = 4.0 * 1024.0 * 1024.0;
+
+/// Effective bandwidth achieved for a message of `bytes` on a link with
+/// peak `bandwidth_gbps`.
+pub fn effective_message_bandwidth_gbps(bytes: f64, bandwidth_gbps: f64) -> f64 {
+    bandwidth_gbps * bytes / (bytes + BANDWIDTH_HALF_SATURATION_BYTES)
+}
+
+/// Communication style used by the sequence-parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CommScheme {
+    /// DeepSpeed-Ulysses all-to-all collectives (default; best on NVLink).
+    Ulysses,
+    /// Ring attention: peer-to-peer K/V rotation overlapped with compute.
+    Ring,
+}
+
+/// Per-step communication time at sequence-parallel degree `k`.
+///
+/// `group_bandwidth_gbps` is the bottleneck per-GPU collective bandwidth of
+/// the executing group (ask the topology). Degree 1 never communicates.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `group_bandwidth_gbps` is not positive.
+pub fn step_comm_time(
+    model: &DitModel,
+    res: Resolution,
+    k: usize,
+    batch: u32,
+    group_bandwidth_gbps: f64,
+    scheme: CommScheme,
+) -> SimDuration {
+    assert!(k > 0, "sequence parallel degree must be positive");
+    assert!(
+        group_bandwidth_gbps > 0.0,
+        "group bandwidth must be positive, got {group_bandwidth_gbps}"
+    );
+    if k == 1 {
+        return SimDuration::ZERO;
+    }
+    let layers = f64::from(model.layers);
+    // Activation bytes each GPU holds for its token shard.
+    let shard_bytes =
+        (res.tokens() as f64 / k as f64) * model.hidden as f64 * 2.0 * f64::from(batch);
+    let secs = match scheme {
+        CommScheme::Ulysses => {
+            let remote_bytes = shard_bytes * (k as f64 - 1.0) / k as f64;
+            let bw = effective_message_bandwidth_gbps(remote_bytes, group_bandwidth_gbps);
+            let wire = remote_bytes / (bw * 1e9);
+            layers * ULYSSES_COLLECTIVES_PER_LAYER * (COLLECTIVE_LAUNCH_S + wire)
+        }
+        CommScheme::Ring => {
+            // K and V rotate around the ring: k-1 peer hops per layer, each
+            // shipping the shard to the neighbour. Roughly half the wire
+            // time hides behind blockwise compute.
+            const OVERLAP: f64 = 0.5;
+            let hops = (k - 1) as f64;
+            let bw = effective_message_bandwidth_gbps(shard_bytes, group_bandwidth_gbps);
+            let wire = 2.0 * shard_bytes * hops / (bw * 1e9);
+            layers * (hops * COLLECTIVE_LAUNCH_S + wire * (1.0 - OVERLAP))
+        }
+    };
+    SimDuration::from_secs_f64(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NVSWITCH_BW: f64 = 400.0;
+    const PCIE_BW: f64 = 22.0;
+
+    fn flux() -> DitModel {
+        DitModel::flux_dev()
+    }
+
+    #[test]
+    fn degree_one_is_silent() {
+        let t = step_comm_time(&flux(), Resolution::R2048, 1, 4, NVSWITCH_BW, CommScheme::Ulysses);
+        assert_eq!(t, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_resolutions_are_latency_bound() {
+        // For 256² shards the fixed launch latency is a large share of each
+        // collective; for 2048² shards it is amortised away.
+        let m = flux();
+        let launch_only = f64::from(m.layers) * ULYSSES_COLLECTIVES_PER_LAYER * COLLECTIVE_LAUNCH_S;
+        let t_small = step_comm_time(&m, Resolution::R256, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let t_large = step_comm_time(&m, Resolution::R2048, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let small_launch_share = launch_only / t_small.as_secs_f64();
+        let large_launch_share = launch_only / t_large.as_secs_f64();
+        assert!(small_launch_share > 0.3, "small {small_launch_share}");
+        assert!(large_launch_share < 0.2, "large {large_launch_share}");
+    }
+
+    #[test]
+    fn message_bandwidth_saturates() {
+        let tiny = effective_message_bandwidth_gbps(64.0 * 1024.0, 300.0);
+        let big = effective_message_bandwidth_gbps(64.0 * 1024.0 * 1024.0, 300.0);
+        assert!(tiny < 0.05 * 300.0, "tiny messages waste the link: {tiny}");
+        assert!(big > 0.9 * 300.0, "big messages saturate: {big}");
+    }
+
+    #[test]
+    fn wire_time_dominates_large_resolutions() {
+        let m = flux();
+        let t8 = step_comm_time(&m, Resolution::R2048, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let launch_only = f64::from(m.layers) * ULYSSES_COLLECTIVES_PER_LAYER * COLLECTIVE_LAUNCH_S;
+        assert!(t8.as_secs_f64() > 3.0 * launch_only, "t8 {t8}");
+    }
+
+    #[test]
+    fn pcie_crossing_is_far_slower() {
+        let m = flux();
+        let nv = step_comm_time(&m, Resolution::R2048, 4, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let pcie = step_comm_time(&m, Resolution::R2048, 4, 1, PCIE_BW, CommScheme::Ulysses);
+        assert!(pcie.as_secs_f64() > 5.0 * nv.as_secs_f64());
+    }
+
+    #[test]
+    fn comm_grows_with_batch() {
+        let m = flux();
+        let b1 = step_comm_time(&m, Resolution::R1024, 4, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let b4 = step_comm_time(&m, Resolution::R1024, 4, 4, NVSWITCH_BW, CommScheme::Ulysses);
+        assert!(b4 > b1);
+    }
+
+    #[test]
+    fn ulysses_beats_ring_on_nvswitch() {
+        // The paper: "Ulysses attention is often preferred on systems with
+        // high-bandwidth interconnects like NVLink".
+        let m = flux();
+        for &res in &[Resolution::R512, Resolution::R2048] {
+            let u = step_comm_time(&m, res, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+            let r = step_comm_time(&m, res, 8, 1, NVSWITCH_BW, CommScheme::Ring);
+            assert!(u <= r, "{res}: ulysses {u} vs ring {r}");
+        }
+    }
+
+    #[test]
+    fn comm_time_monotone_in_degree_for_small_inputs() {
+        // More GPUs -> more collective launches -> more comm for tiny
+        // shards (Insight 2).
+        let m = flux();
+        let t2 = step_comm_time(&m, Resolution::R256, 2, 1, NVSWITCH_BW, CommScheme::Ring);
+        let t8 = step_comm_time(&m, Resolution::R256, 8, 1, NVSWITCH_BW, CommScheme::Ring);
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_bad_bandwidth() {
+        step_comm_time(&flux(), Resolution::R256, 2, 1, 0.0, CommScheme::Ulysses);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-request compute cost as a function of latent sequence length.
+//!
+//! Table 1 of the paper publishes the end-to-end TFLOPs of a FLUX.1-dev
+//! request at the four production resolutions. A DiT forward pass is a stack
+//! of transformer blocks, so its FLOPs decompose as
+//!
+//! ```text
+//! F(L) = c + a·L + b·L²
+//! ```
+//!
+//! where the quadratic term is attention over `L` image tokens, the linear
+//! term is the MLP/projection work per token, and the constant covers
+//! text-conditioning tokens and fixed overheads. Fitting the three free
+//! coefficients to three of Table 1's four points reproduces the fourth to
+//! within 0.1% — strong evidence the published numbers follow exactly this
+//! law (the unit tests check all four).
+
+use crate::resolution::Resolution;
+
+/// Quadratic FLOPs law `F(L) = c + a·L + b·L²`, in TFLOPs per *request*
+/// (all denoising steps of the model's default schedule).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlopsModel {
+    /// Constant term (text conditioning, fixed overheads), TFLOPs.
+    pub c: f64,
+    /// Linear per-token term (MLP, projections), TFLOPs per token.
+    pub a: f64,
+    /// Quadratic attention term, TFLOPs per token².
+    pub b: f64,
+}
+
+/// Table 1 anchor points for FLUX.1-dev: (latent tokens, request TFLOPs).
+pub const FLUX_TABLE1_POINTS: [(u64, f64); 4] = [
+    (256, 556.48),
+    (1024, 1388.24),
+    (4096, 5045.92),
+    (16384, 24964.72),
+];
+
+impl FlopsModel {
+    /// Fits the quadratic law exactly through three `(tokens, tflops)`
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three token counts are not pairwise distinct.
+    pub fn fit3(p0: (u64, f64), p1: (u64, f64), p2: (u64, f64)) -> FlopsModel {
+        let (x0, y0) = (p0.0 as f64, p0.1);
+        let (x1, y1) = (p1.0 as f64, p1.1);
+        let (x2, y2) = (p2.0 as f64, p2.1);
+        assert!(
+            x0 != x1 && x1 != x2 && x0 != x2,
+            "fit3 requires distinct token counts"
+        );
+        // Divided differences for the interpolating quadratic.
+        let d01 = (y1 - y0) / (x1 - x0);
+        let d12 = (y2 - y1) / (x2 - x1);
+        let b = (d12 - d01) / (x2 - x0);
+        let a = d01 - b * (x0 + x1);
+        let c = y0 - a * x0 - b * x0 * x0;
+        FlopsModel { c, a, b }
+    }
+
+    /// The FLUX.1-dev law fitted to Table 1 (anchored on the 1024, 4096 and
+    /// 16384-token rows; the 256-token row validates the fit).
+    pub fn flux_dev() -> FlopsModel {
+        FlopsModel::fit3(
+            FLUX_TABLE1_POINTS[1],
+            FLUX_TABLE1_POINTS[2],
+            FLUX_TABLE1_POINTS[3],
+        )
+    }
+
+    /// Scales all coefficients, e.g. to derive a smaller model's law from
+    /// FLUX by parameter ratio.
+    pub fn scaled(self, factor: f64) -> FlopsModel {
+        FlopsModel {
+            c: self.c * factor,
+            a: self.a * factor,
+            b: self.b * factor,
+        }
+    }
+
+    /// Request TFLOPs at `tokens` latent tokens.
+    pub fn request_tflops(&self, tokens: u64) -> f64 {
+        let l = tokens as f64;
+        self.c + self.a * l + self.b * l * l
+    }
+
+    /// Request TFLOPs for a resolution.
+    pub fn request_tflops_at(&self, res: Resolution) -> f64 {
+        self.request_tflops(res.tokens())
+    }
+
+    /// Per-step TFLOPs given the denoising schedule length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn per_step_tflops(&self, tokens: u64, steps: u32) -> f64 {
+        assert!(steps > 0, "denoising schedule must have at least one step");
+        self.request_tflops(tokens) / f64::from(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_fit_reproduces_all_table1_rows() {
+        let m = FlopsModel::flux_dev();
+        for &(tokens, tflops) in &FLUX_TABLE1_POINTS {
+            let predicted = m.request_tflops(tokens);
+            let rel = (predicted - tflops).abs() / tflops;
+            assert!(
+                rel < 1e-3,
+                "tokens={tokens}: predicted {predicted:.2}, table {tflops:.2} (rel {rel:.2e})"
+            );
+        }
+    }
+
+    #[test]
+    fn flux_coefficients_are_physical() {
+        let m = FlopsModel::flux_dev();
+        assert!(m.c > 0.0, "constant term {m:?}");
+        assert!(m.a > 0.0, "linear term {m:?}");
+        assert!(m.b > 0.0, "quadratic term {m:?}");
+        // The quadratic (attention) term only dominates at very long
+        // sequences; at 2048² it is still under half the total.
+        let l = 16384.0;
+        assert!(m.b * l * l < 0.5 * m.request_tflops(16384));
+    }
+
+    #[test]
+    fn fit3_is_exact_on_its_anchors() {
+        let m = FlopsModel::fit3((10, 100.0), (20, 300.0), (40, 900.0));
+        assert!((m.request_tflops(10) - 100.0).abs() < 1e-9);
+        assert!((m.request_tflops(20) - 300.0).abs() < 1e-9);
+        assert!((m.request_tflops(40) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_scales_requests_linearly() {
+        let m = FlopsModel::flux_dev();
+        let half = m.scaled(0.5);
+        assert!((half.request_tflops(4096) - m.request_tflops(4096) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_step_divides_schedule() {
+        let m = FlopsModel::flux_dev();
+        let total = m.request_tflops(4096);
+        assert!((m.per_step_tflops(4096, 50) - total / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_helper_agrees_with_tokens() {
+        let m = FlopsModel::flux_dev();
+        assert_eq!(
+            m.request_tflops_at(Resolution::R1024),
+            m.request_tflops(4096)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn fit3_rejects_duplicate_anchors() {
+        let _ = FlopsModel::fit3((10, 1.0), (10, 2.0), (20, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn per_step_rejects_zero_steps() {
+        FlopsModel::flux_dev().per_step_tflops(256, 0);
+    }
+}

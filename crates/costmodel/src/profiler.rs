@@ -1,0 +1,566 @@
+//! Offline profiling and the runtime cost lookup table.
+//!
+//! §4.2.1 of the paper: *"TetriServe profiles execution times offline. For
+//! every step type and GPU count k ∈ {1, 2, 4, …, N}, we measure the actual
+//! execution time T(k). From this, we derive the GPU hour k·T(k) and store
+//! it in a lookup table. At runtime, TetriServe simply enumerates candidate
+//! GPU assignments using these pre-profiled values."*
+//!
+//! [`Profiler::profile`] reproduces that procedure against the simulated
+//! engine — it actually executes warm-up steps and measures their (jittered)
+//! durations — and produces a [`CostTable`], the immutable lookup structure
+//! every scheduling policy consults. [`Profiler::analytic`] builds the same
+//! table directly from the closed-form model, for tests that need exact
+//! values.
+
+use std::collections::BTreeMap;
+
+use crate::comm::CommScheme;
+use crate::hardware::ClusterSpec;
+use crate::model::DitModel;
+use crate::resolution::Resolution;
+use crate::steptime::step_time_canonical;
+
+use tetriserve_simulator::engine::{Engine, EngineConfig, StepDispatch};
+use tetriserve_simulator::gpuset::GpuSet;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::trace::RequestId;
+
+/// One profiled measurement, serialisable for persistence.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostRow {
+    /// Latent token count identifying the resolution.
+    pub tokens: u64,
+    /// Sequence-parallel degree.
+    pub degree: usize,
+    /// Batch size.
+    pub batch: u32,
+    /// Measured per-step latency in microseconds.
+    pub step_micros: u64,
+}
+
+/// The profiled lookup table: per-step latency by (resolution, degree,
+/// batch), plus derived quantities the scheduler needs (fastest degree,
+/// minimal-GPU-hour degree).
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    model: DitModel,
+    cluster: ClusterSpec,
+    scheme: CommScheme,
+    resolutions: Vec<Resolution>,
+    degrees: Vec<usize>,
+    max_batch: u32,
+    entries: BTreeMap<(u64, usize, u32), SimDuration>,
+}
+
+impl CostTable {
+    /// Per-step latency for `res` at degree `k` and batch size `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not profiled; use
+    /// [`CostTable::try_step_time`] for fallible lookup.
+    pub fn step_time(&self, res: Resolution, k: usize, batch: u32) -> SimDuration {
+        self.try_step_time(res, k, batch).unwrap_or_else(|| {
+            panic!(
+                "cost table has no entry for {res} at SP={k}, batch={batch}; profiled \
+                 resolutions {:?}, degrees {:?}, batches 1..={}",
+                self.resolutions.iter().map(|r| r.label()).collect::<Vec<_>>(),
+                self.degrees,
+                self.max_batch
+            )
+        })
+    }
+
+    /// Fallible per-step latency lookup.
+    pub fn try_step_time(&self, res: Resolution, k: usize, batch: u32) -> Option<SimDuration> {
+        self.entries.get(&(res.tokens(), k, batch)).copied()
+    }
+
+    /// GPU-seconds per step at degree `k`: `k · T(k)` (batch 1).
+    pub fn gpu_seconds(&self, res: Resolution, k: usize) -> f64 {
+        k as f64 * self.step_time(res, k, 1).as_secs_f64()
+    }
+
+    /// The fastest profiled per-step time for a resolution (batch 1) — the
+    /// `T_i^min` of Algorithm 1's survival bound.
+    pub fn t_min(&self, res: Resolution) -> SimDuration {
+        self.degrees
+            .iter()
+            .map(|&k| self.step_time(res, k, 1))
+            .min()
+            .expect("cost table has at least one degree")
+    }
+
+    /// The degree achieving [`CostTable::t_min`].
+    pub fn fastest_degree(&self, res: Resolution) -> usize {
+        self.degrees
+            .iter()
+            .copied()
+            .min_by_key(|&k| self.step_time(res, k, 1))
+            .expect("cost table has at least one degree")
+    }
+
+    /// The degree minimising GPU-seconds `k · T(k)` — where a request runs
+    /// when its deadline exerts no pressure.
+    pub fn cheapest_degree(&self, res: Resolution) -> usize {
+        self.degrees
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.gpu_seconds(res, a)
+                    .partial_cmp(&self.gpu_seconds(res, b))
+                    .expect("gpu seconds are finite")
+            })
+            .expect("cost table has at least one degree")
+    }
+
+    /// Profiled sequence-parallel degrees, ascending.
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// Profiled resolutions, ascending by token count.
+    pub fn resolutions(&self) -> &[Resolution] {
+        &self.resolutions
+    }
+
+    /// Largest profiled batch size.
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+
+    /// The model this table was profiled for.
+    pub fn model(&self) -> &DitModel {
+        &self.model
+    }
+
+    /// The cluster this table was profiled on.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The communication scheme assumed by the table.
+    pub fn scheme(&self) -> CommScheme {
+        self.scheme
+    }
+
+    /// Exports the table as serialisable rows (batch-1 and batched entries).
+    pub fn to_rows(&self) -> Vec<CostRow> {
+        self.entries
+            .iter()
+            .map(|(&(tokens, degree, batch), &d)| CostRow {
+                tokens,
+                degree,
+                batch,
+                step_micros: d.as_micros(),
+            })
+            .collect()
+    }
+
+    /// Reconstructs a table from persisted rows (the inverse of
+    /// [`CostTable::to_rows`]), so expensive offline profiles can be stored
+    /// and reloaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty, reference unknown token counts for the
+    /// model's latent geometry (non-square-resolvable), or do not form a
+    /// complete (resolution × degree × batch) grid.
+    pub fn from_rows(
+        model: DitModel,
+        cluster: ClusterSpec,
+        scheme: CommScheme,
+        rows: &[CostRow],
+    ) -> CostTable {
+        assert!(!rows.is_empty(), "cost table rows must be non-empty");
+        let mut entries = BTreeMap::new();
+        let mut resolutions: Vec<Resolution> = Vec::new();
+        let mut degrees: Vec<usize> = Vec::new();
+        let mut max_batch = 1;
+        for r in rows {
+            let side = ((r.tokens as f64).sqrt() as u64) * 16;
+            let res = Resolution::new(side as u32, side as u32);
+            assert_eq!(
+                res.tokens(),
+                r.tokens,
+                "row token count {} does not describe a square resolution",
+                r.tokens
+            );
+            if !resolutions.contains(&res) {
+                resolutions.push(res);
+            }
+            if !degrees.contains(&r.degree) {
+                degrees.push(r.degree);
+            }
+            max_batch = max_batch.max(r.batch);
+            entries.insert(
+                (r.tokens, r.degree, r.batch),
+                SimDuration::from_micros(r.step_micros),
+            );
+        }
+        resolutions.sort();
+        degrees.sort_unstable();
+        let expected = resolutions.len() * degrees.len() * max_batch as usize;
+        assert_eq!(
+            entries.len(),
+            expected,
+            "rows must form a complete grid: got {} of {expected}",
+            entries.len()
+        );
+        CostTable {
+            model,
+            cluster,
+            scheme,
+            resolutions,
+            degrees,
+            max_batch,
+            entries,
+        }
+    }
+}
+
+/// Builds [`CostTable`]s, either by measuring the engine or analytically.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    model: DitModel,
+    cluster: ClusterSpec,
+    scheme: CommScheme,
+    resolutions: Vec<Resolution>,
+    max_batch: u32,
+    warmup_steps: u32,
+    measure_steps: u32,
+}
+
+impl Profiler {
+    /// Creates a profiler for the production resolutions with batch sizes
+    /// up to 4 (the paper's profiling envelope).
+    pub fn new(model: DitModel, cluster: ClusterSpec) -> Profiler {
+        Profiler {
+            model,
+            cluster,
+            scheme: CommScheme::Ulysses,
+            resolutions: Resolution::PRODUCTION.to_vec(),
+            max_batch: 4,
+            warmup_steps: 2,
+            measure_steps: 20,
+        }
+    }
+
+    /// Overrides the communication scheme.
+    pub fn scheme(&mut self, scheme: CommScheme) -> &mut Profiler {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the profiled resolutions.
+    pub fn resolutions(&mut self, res: &[Resolution]) -> &mut Profiler {
+        let mut sorted = res.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert!(!sorted.is_empty(), "profiler needs at least one resolution");
+        self.resolutions = sorted;
+        self
+    }
+
+    /// Overrides the maximum profiled batch size.
+    pub fn max_batch(&mut self, max_batch: u32) -> &mut Profiler {
+        assert!(max_batch >= 1, "max batch must be at least 1");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Builds the table by *measuring the engine*, as the paper's offline
+    /// profiling pass does: for each (resolution, degree, batch) it runs
+    /// `measure_steps` steps on a canonical placement and records the mean
+    /// observed step latency (jitter included).
+    pub fn profile(&self) -> CostTable {
+        let mut entries = BTreeMap::new();
+        let degrees = self.cluster.sp_degrees();
+        let topo = self.cluster.topology();
+        for &res in &self.resolutions {
+            for &k in &degrees {
+                for batch in 1..=self.max_batch {
+                    let gpus = GpuSet::contiguous(0, k);
+                    let expected = crate::steptime::step_time_on(
+                        &self.model,
+                        res,
+                        gpus,
+                        batch,
+                        &self.cluster,
+                        &topo,
+                        self.scheme,
+                    );
+                    let mut engine = Engine::new(
+                        self.cluster.topology(),
+                        EngineConfig {
+                            weights_bytes_per_gpu: self.model.weights_bytes(),
+                            hbm_capacity_bytes: self.cluster.gpu.hbm_bytes(),
+                            ..EngineConfig::default()
+                        },
+                    );
+                    let steps = self.warmup_steps + self.measure_steps;
+                    let dispatch = StepDispatch {
+                        requests: vec![RequestId(u64::MAX)],
+                        gpus,
+                        steps,
+                        per_step: expected,
+                        latent_bytes: self.model.latent_bytes(res),
+                        activation_bytes_per_gpu: self
+                            .model
+                            .activation_bytes_per_gpu(res, k, batch),
+                        decode_after: None,
+                        finishing: Vec::new(),
+                    };
+                    let out = engine
+                        .submit(SimTime::ZERO, &dispatch)
+                        .expect("profiling dispatch is well-formed");
+                    let first_measured = self.warmup_steps as usize;
+                    let window_start = if first_measured == 0 {
+                        out.start
+                    } else {
+                        out.step_done[first_measured - 1]
+                    };
+                    let span = out
+                        .gpus_free_at
+                        .saturating_since(window_start);
+                    let mean = span / u64::from(self.measure_steps);
+                    entries.insert((res.tokens(), k, batch), mean);
+                }
+            }
+        }
+        CostTable {
+            model: self.model.clone(),
+            cluster: self.cluster,
+            scheme: self.scheme,
+            resolutions: self.resolutions.clone(),
+            degrees,
+            max_batch: self.max_batch,
+            entries,
+        }
+    }
+
+    /// Builds the table from the closed-form model with no measurement
+    /// noise. Useful in unit tests needing exact values.
+    pub fn analytic(&self) -> CostTable {
+        let mut entries = BTreeMap::new();
+        let degrees = self.cluster.sp_degrees();
+        for &res in &self.resolutions {
+            for &k in &degrees {
+                for batch in 1..=self.max_batch {
+                    let t = step_time_canonical(&self.model, res, k, batch, &self.cluster, self.scheme);
+                    entries.insert((res.tokens(), k, batch), t);
+                }
+            }
+        }
+        CostTable {
+            model: self.model.clone(),
+            cluster: self.cluster,
+            scheme: self.scheme,
+            resolutions: self.resolutions.clone(),
+            degrees,
+            max_batch: self.max_batch,
+            entries,
+        }
+    }
+}
+
+/// Measures the coefficient of variation of per-step latency over
+/// `steps` engine-executed steps (Table 1's stability experiment).
+///
+/// # Examples
+///
+/// ```
+/// use tetriserve_costmodel::{measure_step_cv, ClusterSpec, DitModel, Resolution};
+///
+/// let cv = measure_step_cv(
+///     &DitModel::flux_dev(),
+///     &ClusterSpec::h100x8(),
+///     Resolution::R1024,
+///     4,
+///     20,
+///     0,
+/// );
+/// assert!(cv < 0.007, "Table 1: execution is stable (CV ≤ 0.7%)");
+/// ```
+pub fn measure_step_cv(
+    model: &DitModel,
+    cluster: &ClusterSpec,
+    res: Resolution,
+    k: usize,
+    steps: u32,
+    seed: u64,
+) -> f64 {
+    assert!(steps >= 2, "CV needs at least two steps");
+    let expected = step_time_canonical(model, res, k, 1, cluster, CommScheme::Ulysses);
+    let mut engine = Engine::new(
+        cluster.topology(),
+        EngineConfig {
+            seed,
+            weights_bytes_per_gpu: model.weights_bytes(),
+            hbm_capacity_bytes: cluster.gpu.hbm_bytes(),
+            ..EngineConfig::default()
+        },
+    );
+    let dispatch = StepDispatch {
+        requests: vec![RequestId(u64::MAX)],
+        gpus: GpuSet::contiguous(0, k),
+        steps,
+        per_step: expected,
+        latent_bytes: model.latent_bytes(res),
+        activation_bytes_per_gpu: model.activation_bytes_per_gpu(res, k, 1),
+        decode_after: None,
+        finishing: Vec::new(),
+    };
+    let out = engine
+        .submit(SimTime::ZERO, &dispatch)
+        .expect("CV dispatch is well-formed");
+    let mut durations = Vec::with_capacity(steps as usize);
+    let mut prev = out.start;
+    for &t in &out.step_done {
+        durations.push(t.saturating_since(prev).as_secs_f64());
+        prev = t;
+    }
+    let n = durations.len() as f64;
+    let mean = durations.iter().sum::<f64>() / n;
+    let var = durations.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CostTable {
+        Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+    }
+
+    #[test]
+    fn lookup_covers_the_profiling_envelope() {
+        let t = table();
+        for res in Resolution::PRODUCTION {
+            for &k in t.degrees() {
+                for b in 1..=4 {
+                    assert!(t.try_step_time(res, k, b).is_some(), "{res} SP={k} b={b}");
+                }
+            }
+        }
+        assert_eq!(t.degrees(), &[1, 2, 4, 8]);
+        assert!(t.try_step_time(Resolution::R256, 3, 1).is_none());
+    }
+
+    #[test]
+    fn profiled_table_tracks_analytic_within_jitter() {
+        let analytic = table();
+        let profiled = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).profile();
+        for res in Resolution::PRODUCTION {
+            for &k in analytic.degrees() {
+                let a = analytic.step_time(res, k, 1).as_secs_f64();
+                let p = profiled.step_time(res, k, 1).as_secs_f64();
+                assert!(
+                    (a - p).abs() / a < 0.01,
+                    "{res} SP={k}: analytic {a}, profiled {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_degree_is_max_parallelism_for_large_inputs() {
+        let t = table();
+        assert_eq!(t.fastest_degree(Resolution::R2048), 8);
+        assert_eq!(t.fastest_degree(Resolution::R1024), 8);
+        assert_eq!(t.t_min(Resolution::R2048), t.step_time(Resolution::R2048, 8, 1));
+    }
+
+    #[test]
+    fn cheapest_degree_is_one_for_everything() {
+        // k·T(k) is increasing in k for all production resolutions (tested
+        // in steptime), so the GPU-hour-minimal degree is 1.
+        let t = table();
+        for res in Resolution::PRODUCTION {
+            assert_eq!(t.cheapest_degree(res), 1, "{res}");
+        }
+    }
+
+    #[test]
+    fn measured_cv_is_sub_percent() {
+        // Table 1 reports CVs ≤ 0.7% across the board.
+        for (i, res) in Resolution::PRODUCTION.into_iter().enumerate() {
+            for (j, k) in [1usize, 2, 4, 8].into_iter().enumerate() {
+                let cv = measure_step_cv(
+                    &DitModel::flux_dev(),
+                    &ClusterSpec::h100x8(),
+                    res,
+                    k,
+                    20,
+                    (i * 4 + j) as u64,
+                );
+                assert!(cv < 0.007, "{res} SP={k}: CV {cv}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_reconstructs_the_table() {
+        let t = table();
+        let rows = t.to_rows();
+        let back = CostTable::from_rows(
+            t.model().clone(),
+            *t.cluster(),
+            t.scheme(),
+            &rows,
+        );
+        assert_eq!(back.degrees(), t.degrees());
+        assert_eq!(back.resolutions(), t.resolutions());
+        assert_eq!(back.max_batch(), t.max_batch());
+        for res in Resolution::PRODUCTION {
+            for &k in t.degrees() {
+                for b in 1..=t.max_batch() {
+                    assert_eq!(back.step_time(res, k, b), t.step_time(res, k, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "complete grid")]
+    fn from_rows_rejects_partial_grids() {
+        let t = table();
+        let mut rows = t.to_rows();
+        rows.pop();
+        let _ = CostTable::from_rows(t.model().clone(), *t.cluster(), t.scheme(), &rows);
+    }
+
+    #[test]
+    fn rows_round_trip_the_entries() {
+        let t = table();
+        let rows = t.to_rows();
+        assert_eq!(rows.len(), 4 * 4 * 4);
+        let r = rows
+            .iter()
+            .find(|r| r.tokens == 4096 && r.degree == 4 && r.batch == 1)
+            .unwrap();
+        assert_eq!(
+            SimDuration::from_micros(r.step_micros),
+            t.step_time(Resolution::R1024, 4, 1)
+        );
+    }
+
+    #[test]
+    fn custom_resolution_envelope() {
+        let mut p = Profiler::new(DitModel::sd3_medium(), ClusterSpec::a40x4());
+        p.resolutions(&[Resolution::R512, Resolution::R256])
+            .max_batch(2);
+        let t = p.analytic();
+        assert_eq!(t.resolutions(), &[Resolution::R256, Resolution::R512]);
+        assert_eq!(t.degrees(), &[1, 2, 4]);
+        assert_eq!(t.max_batch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry")]
+    fn missing_entry_panics_with_context() {
+        table().step_time(Resolution::square(4096), 1, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Image resolutions and their latent-token geometry.
+//!
+//! DiT serving workloads draw from a small, discrete set of output
+//! resolutions (§2.2 of the paper). A resolution maps to a latent token
+//! count via the VAE down-sampling factor and patchification:
+//! `L = (H · W) / 16²` — the formula the paper uses for its Skewed mix
+//! weights and that reproduces Table 1's token column exactly.
+
+use std::fmt;
+
+/// Spatial down-sampling from pixels to latent patches (VAE 8× followed by
+/// 2×2 patch embedding).
+pub const PIXELS_PER_TOKEN_SIDE: u32 = 16;
+
+/// An output image resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Resolution {
+    width: u32,
+    height: u32,
+}
+
+impl Resolution {
+    /// 256 × 256 — 256 latent tokens.
+    pub const R256: Resolution = Resolution::square(256);
+    /// 512 × 512 — 1 024 latent tokens.
+    pub const R512: Resolution = Resolution::square(512);
+    /// 1024 × 1024 — 4 096 latent tokens.
+    pub const R1024: Resolution = Resolution::square(1024);
+    /// 2048 × 2048 — 16 384 latent tokens.
+    pub const R2048: Resolution = Resolution::square(2048);
+
+    /// The four production resolutions the paper evaluates (Table 1).
+    pub const PRODUCTION: [Resolution; 4] = [
+        Resolution::R256,
+        Resolution::R512,
+        Resolution::R1024,
+        Resolution::R2048,
+    ];
+
+    /// A square resolution of the given side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time for const use) if the side is not a positive
+    /// multiple of [`PIXELS_PER_TOKEN_SIDE`].
+    pub const fn square(side: u32) -> Resolution {
+        assert!(
+            side > 0 && side.is_multiple_of(PIXELS_PER_TOKEN_SIDE),
+            "resolution side must be a positive multiple of 16"
+        );
+        Resolution {
+            width: side,
+            height: side,
+        }
+    }
+
+    /// A rectangular resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a positive multiple of
+    /// [`PIXELS_PER_TOKEN_SIDE`].
+    pub const fn new(width: u32, height: u32) -> Resolution {
+        assert!(
+            width > 0
+                && height > 0
+                && width.is_multiple_of(PIXELS_PER_TOKEN_SIDE)
+                && height.is_multiple_of(PIXELS_PER_TOKEN_SIDE),
+            "resolution sides must be positive multiples of 16"
+        );
+        Resolution { width, height }
+    }
+
+    /// Image width in pixels.
+    pub const fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub const fn height(self) -> u32 {
+        self.height
+    }
+
+    /// Latent token count: `(H · W) / 16²`.
+    pub const fn tokens(self) -> u64 {
+        (self.width as u64 * self.height as u64)
+            / (PIXELS_PER_TOKEN_SIDE as u64 * PIXELS_PER_TOKEN_SIDE as u64)
+    }
+
+    /// Short label used in reports ("256", "512", …) — the side length for
+    /// square images, `WxH` otherwise.
+    pub fn label(self) -> String {
+        if self.width == self.height {
+            format!("{}", self.width)
+        } else {
+            format!("{}x{}", self.width, self.height)
+        }
+    }
+}
+
+impl PartialOrd for Resolution {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Resolution {
+    /// Orders by token count (compute demand), then width for determinism.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tokens()
+            .cmp(&other.tokens())
+            .then(self.width.cmp(&other.width))
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counts_match_table_1() {
+        assert_eq!(Resolution::R256.tokens(), 256);
+        assert_eq!(Resolution::R512.tokens(), 1024);
+        assert_eq!(Resolution::R1024.tokens(), 4096);
+        assert_eq!(Resolution::R2048.tokens(), 16384);
+    }
+
+    #[test]
+    fn rectangular_tokens() {
+        let r = Resolution::new(512, 1024);
+        assert_eq!(r.tokens(), 2048);
+        assert_eq!(r.label(), "512x1024");
+        assert_eq!(r.to_string(), "512×1024");
+    }
+
+    #[test]
+    fn ordering_follows_compute_demand() {
+        let mut v = vec![Resolution::R2048, Resolution::R256, Resolution::R1024];
+        v.sort();
+        assert_eq!(v, vec![Resolution::R256, Resolution::R1024, Resolution::R2048]);
+    }
+
+    #[test]
+    fn production_set_is_sorted_and_square() {
+        let p = Resolution::PRODUCTION;
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(p.iter().all(|r| r.width() == r.height()));
+        assert_eq!(p[0].label(), "256");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 16")]
+    fn rejects_unaligned_resolution() {
+        let _ = Resolution::new(100, 256);
+    }
+}

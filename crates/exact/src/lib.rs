@@ -1,0 +1,34 @@
+//! # tetriserve-exact
+//!
+//! Exact schedulers for the complexity side of the paper:
+//!
+//! * [`exhaustive`] — the Appendix B exact baseline: full enumeration of
+//!   per-step degrees × concrete GPU subsets with a wall-clock timeout.
+//!   Used to regenerate Table 6's combinatorial-explosion measurements.
+//! * [`zilp`] — the §4.1 single-step time-indexed 0–1 ILP, a small
+//!   branch-and-bound solver, and the Appendix A reduction from
+//!   single-machine real-time scheduling feasibility (the NP-hardness
+//!   proof, executable);
+//! * [`oracle`] — a clairvoyant offline admission planner used as the
+//!   reference point in the `oracle_gap` bench.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use tetriserve_exact::zilp::rt_feasible;
+//!
+//! // Two unit-length jobs fighting for the same unit window: infeasible.
+//! let jobs = [(0, 1, 1), (0, 1, 1)];
+//! assert_eq!(rt_feasible(&jobs, Duration::from_secs(1)), Some(false));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exhaustive;
+pub mod oracle;
+pub mod zilp;
+
+pub use exhaustive::{solve_exhaustive, ExactInstance, ExactRequest, ExactSolution};
+pub use oracle::{plan_oracle, OracleInstance, OraclePlan, OracleRequest};
+pub use zilp::{rt_feasible, solve_zilp, ZilpInstance, ZilpPlacement, ZilpRequest, ZilpSolution};

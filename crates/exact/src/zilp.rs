@@ -1,0 +1,357 @@
+//! The single-step time-indexed 0–1 ILP of §4.1 and its exact solver.
+//!
+//! The paper formalises the single-step case as a Zero-one Integer Linear
+//! Program over decision variables `x_{i,t,k}` ("request *i* starts at slot
+//! *t* with *k* GPUs") with per-request at-most-once, arrival, deadline and
+//! capacity constraints — and proves (Appendix A) that deciding whether all
+//! requests can be served reduces from single-machine real-time scheduling
+//! feasibility, making DiT serving NP-hard.
+//!
+//! This module builds those instances (including the Appendix A reduction
+//! from RT-FEASIBILITY jobs) and solves them exactly with a small
+//! branch-and-bound over start slots, used both to validate the round DP on
+//! tiny instances and to demonstrate the blow-up.
+
+use std::time::{Duration, Instant};
+
+/// A request in the single-step time-indexed formulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZilpRequest {
+    /// Earliest start slot (`arrival_time(i) ≤ t`).
+    pub arrival: u32,
+    /// Deadline slot (`t + T_i(k) ≤ D_i`).
+    pub deadline: u32,
+    /// `T_i(k)` in slots, indexed like [`ZilpInstance::degrees`].
+    pub duration: Vec<u32>,
+}
+
+/// A complete single-step instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZilpInstance {
+    /// GPU capacity `N`.
+    pub n_gpus: u32,
+    /// Allowed GPU counts `K = {1, 2, 4, …}`.
+    pub degrees: Vec<u32>,
+    /// Time horizon `T_max` (slots `0..t_max`).
+    pub t_max: u32,
+    /// The requests.
+    pub requests: Vec<ZilpRequest>,
+}
+
+/// One scheduled request in a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZilpPlacement {
+    /// Chosen start slot.
+    pub start: u32,
+    /// Chosen degree (GPU count).
+    pub gpus: u32,
+}
+
+/// An exact solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZilpSolution {
+    /// Per-request placement (`None` = rejected).
+    pub placements: Vec<Option<ZilpPlacement>>,
+    /// Number of requests served on time (the ILP objective).
+    pub served: u32,
+    /// Whether the search completed within the timeout.
+    pub complete: bool,
+    /// Nodes explored.
+    pub nodes: u64,
+}
+
+impl ZilpInstance {
+    /// Appendix A reduction: an RT-FEASIBILITY instance — single machine,
+    /// jobs `(release, deadline, length)` — becomes a DiT instance with
+    /// `N = 1`, `K = {1}`, `S_i = 1`.
+    pub fn from_rt_feasibility(jobs: &[(u32, u32, u32)]) -> ZilpInstance {
+        let t_max = jobs.iter().map(|&(_, d, _)| d).max().unwrap_or(0);
+        ZilpInstance {
+            n_gpus: 1,
+            degrees: vec![1],
+            t_max,
+            requests: jobs
+                .iter()
+                .map(|&(r, d, l)| ZilpRequest {
+                    arrival: r,
+                    deadline: d,
+                    duration: vec![l],
+                })
+                .collect(),
+        }
+    }
+
+    /// Enumerates the feasible `(t, k)` pairs of request `i` — the support
+    /// of its `x_{i,t,k}` variables under constraints (2) and (3).
+    pub fn feasible_starts(&self, i: usize) -> Vec<ZilpPlacement> {
+        let r = &self.requests[i];
+        let mut out = Vec::new();
+        for (di, &k) in self.degrees.iter().enumerate() {
+            if k > self.n_gpus {
+                continue;
+            }
+            let dur = r.duration[di];
+            for t in r.arrival..=self.t_max.saturating_sub(dur).min(self.t_max) {
+                if t + dur <= r.deadline && t + dur <= self.t_max {
+                    out.push(ZilpPlacement { start: t, gpus: k });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of binary variables in the ILP (for blow-up reporting).
+    pub fn variable_count(&self) -> usize {
+        (0..self.requests.len())
+            .map(|i| self.feasible_starts(i).len())
+            .sum()
+    }
+}
+
+/// Solves the ILP exactly by branch and bound over per-request placements.
+pub fn solve_zilp(inst: &ZilpInstance, timeout: Duration) -> ZilpSolution {
+    let start = Instant::now();
+    let options: Vec<Vec<ZilpPlacement>> = (0..inst.requests.len())
+        .map(|i| inst.feasible_starts(i))
+        .collect();
+    let mut best: Vec<Option<ZilpPlacement>> = vec![None; inst.requests.len()];
+    let mut best_served = 0;
+    let mut usage = vec![0u32; inst.t_max as usize];
+    let mut current: Vec<Option<ZilpPlacement>> = vec![None; inst.requests.len()];
+    let mut nodes = 0u64;
+    let mut timed_out = false;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        inst: &ZilpInstance,
+        options: &[Vec<ZilpPlacement>],
+        i: usize,
+        served: u32,
+        usage: &mut Vec<u32>,
+        current: &mut Vec<Option<ZilpPlacement>>,
+        best: &mut Vec<Option<ZilpPlacement>>,
+        best_served: &mut u32,
+        nodes: &mut u64,
+        deadline: Instant,
+        timed_out: &mut bool,
+    ) {
+        *nodes += 1;
+        if *timed_out || (nodes.is_multiple_of(1024) && Instant::now() >= deadline) {
+            *timed_out = true;
+            return;
+        }
+        if i == inst.requests.len() {
+            if served > *best_served {
+                *best_served = served;
+                best.clone_from(current);
+            }
+            return;
+        }
+        // Bound: everything remaining could be served.
+        if served + (inst.requests.len() - i) as u32 <= *best_served {
+            return;
+        }
+        // Try each feasible placement of request i…
+        for &p in &options[i] {
+            let di = inst
+                .degrees
+                .iter()
+                .position(|&k| k == p.gpus)
+                .expect("placement degree is in the degree set");
+            let dur = inst.requests[i].duration[di];
+            let span = p.start as usize..(p.start + dur) as usize;
+            if span.clone().all(|u| usage[u] + p.gpus <= inst.n_gpus) {
+                for u in span.clone() {
+                    usage[u] += p.gpus;
+                }
+                current[i] = Some(p);
+                dfs(
+                    inst, options, i + 1, served + 1, usage, current, best, best_served, nodes,
+                    deadline, timed_out,
+                );
+                current[i] = None;
+                for u in span {
+                    usage[u] -= p.gpus;
+                }
+                if *timed_out {
+                    return;
+                }
+            }
+        }
+        // …and rejecting it.
+        dfs(
+            inst, options, i + 1, served, usage, current, best, best_served, nodes, deadline,
+            timed_out,
+        );
+    }
+
+    dfs(
+        inst,
+        &options,
+        0,
+        0,
+        &mut usage,
+        &mut current,
+        &mut best,
+        &mut best_served,
+        &mut nodes,
+        start + timeout,
+        &mut timed_out,
+    );
+
+    ZilpSolution {
+        placements: best,
+        served: best_served,
+        complete: !timed_out,
+        nodes,
+    }
+}
+
+/// Decides RT-FEASIBILITY via the reduction: all jobs schedulable iff the
+/// reduced DiT instance serves all of them (`B = n` in Appendix A).
+pub fn rt_feasible(jobs: &[(u32, u32, u32)], timeout: Duration) -> Option<bool> {
+    let inst = ZilpInstance::from_rt_feasibility(jobs);
+    let sol = solve_zilp(&inst, timeout);
+    if sol.complete {
+        Some(sol.served as usize == jobs.len())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn reduction_preserves_feasibility_yes_instance() {
+        // Jobs (release, deadline, length): sequence 0-2, 2-5, 5-6 fits.
+        let jobs = [(0, 2, 2), (1, 5, 3), (2, 6, 1)];
+        assert_eq!(rt_feasible(&jobs, secs(5)), Some(true));
+    }
+
+    #[test]
+    fn reduction_preserves_feasibility_no_instance() {
+        // Two unit jobs both must run in slot [0,1): impossible on one
+        // machine.
+        let jobs = [(0, 1, 1), (0, 1, 1)];
+        assert_eq!(rt_feasible(&jobs, secs(5)), Some(false));
+    }
+
+    #[test]
+    fn capacity_constraint_binds() {
+        // Two requests want 2 GPUs each on a 2-GPU node in the same window
+        // of exactly one duration: only one fits.
+        let inst = ZilpInstance {
+            n_gpus: 2,
+            degrees: vec![1, 2],
+            t_max: 4,
+            requests: vec![
+                ZilpRequest {
+                    arrival: 0,
+                    deadline: 2,
+                    duration: vec![4, 2],
+                },
+                ZilpRequest {
+                    arrival: 0,
+                    deadline: 2,
+                    duration: vec![4, 2],
+                },
+            ],
+        };
+        let sol = solve_zilp(&inst, secs(5));
+        assert!(sol.complete);
+        assert_eq!(sol.served, 1);
+    }
+
+    #[test]
+    fn degree_choice_trades_width_for_speed() {
+        // A 2-GPU node, two requests, deadline 4: one runs at k=1 (slow but
+        // narrow), the other at k=2 would clash — but k=1 for both in
+        // parallel works.
+        let inst = ZilpInstance {
+            n_gpus: 2,
+            degrees: vec![1, 2],
+            t_max: 4,
+            requests: vec![
+                ZilpRequest {
+                    arrival: 0,
+                    deadline: 4,
+                    duration: vec![4, 2],
+                },
+                ZilpRequest {
+                    arrival: 0,
+                    deadline: 4,
+                    duration: vec![4, 2],
+                },
+            ],
+        };
+        let sol = solve_zilp(&inst, secs(5));
+        assert_eq!(sol.served, 2);
+        let ks: Vec<u32> = sol.placements.iter().map(|p| p.unwrap().gpus).collect();
+        assert_eq!(ks, vec![1, 1], "both run narrow in parallel");
+    }
+
+    #[test]
+    fn variable_count_grows_with_horizon() {
+        let mk = |t_max| ZilpInstance {
+            n_gpus: 4,
+            degrees: vec![1, 2, 4],
+            t_max,
+            requests: vec![ZilpRequest {
+                arrival: 0,
+                deadline: t_max,
+                duration: vec![4, 2, 1],
+            }],
+        };
+        assert!(mk(32).variable_count() > 2 * mk(8).variable_count());
+    }
+
+    proptest! {
+        /// B&B never over-serves (respects capacity at every slot) and the
+        /// reported objective matches the placements.
+        #[test]
+        fn prop_solution_is_consistent(
+            jobs in proptest::collection::vec((0u32..4, 1u32..4), 1..5)
+        ) {
+            let requests: Vec<ZilpRequest> = jobs
+                .iter()
+                .map(|&(arr, len)| ZilpRequest {
+                    arrival: arr,
+                    deadline: arr + len + 3,
+                    duration: vec![len + 1, len],
+                })
+                .collect();
+            let inst = ZilpInstance {
+                n_gpus: 2,
+                degrees: vec![1, 2],
+                t_max: 16,
+                requests,
+            };
+            let sol = solve_zilp(&inst, secs(10));
+            prop_assert!(sol.complete);
+            prop_assert_eq!(
+                sol.served as usize,
+                sol.placements.iter().filter(|p| p.is_some()).count()
+            );
+            // Re-check capacity.
+            let mut usage = vec![0u32; inst.t_max as usize];
+            for (i, p) in sol.placements.iter().enumerate() {
+                if let Some(p) = p {
+                    let di = inst.degrees.iter().position(|&k| k == p.gpus).unwrap();
+                    let dur = inst.requests[i].duration[di];
+                    prop_assert!(p.start + dur <= inst.requests[i].deadline);
+                    for u in p.start..p.start + dur {
+                        usage[u as usize] += p.gpus;
+                        prop_assert!(usage[u as usize] <= inst.n_gpus);
+                    }
+                }
+            }
+        }
+    }
+}

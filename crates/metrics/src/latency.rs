@@ -1,0 +1,136 @@
+//! End-to-end latency statistics: CDFs, percentiles, means.
+//!
+//! Figure 9 plots the latency CDF *over completed requests only*; the
+//! helpers here follow the same convention.
+
+use tetriserve_core::RequestOutcome;
+
+/// Latencies (seconds) of completed requests, ascending.
+pub fn completed_latencies(outcomes: &[RequestOutcome]) -> Vec<f64> {
+    let mut v: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.latency().map(|d| d.as_secs_f64()))
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    v
+}
+
+/// Mean latency over completed requests (the Table 5 companion metric).
+/// Returns `None` when nothing completed.
+pub fn mean_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
+    let v = completed_latencies(outcomes);
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of completed latencies.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(outcomes: &[RequestOutcome], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let v = completed_latencies(outcomes);
+    if v.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
+    Some(v[rank.min(v.len() - 1)])
+}
+
+/// An empirical CDF over completed-request latencies: `(latency_s, P(X ≤
+/// latency))` pairs suitable for plotting Figure 9.
+pub fn latency_cdf(outcomes: &[RequestOutcome]) -> Vec<(f64, f64)> {
+    let v = completed_latencies(outcomes);
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Samples a CDF at fixed latency points (for tabular comparison of
+/// policies on a shared x-axis).
+pub fn cdf_at(outcomes: &[RequestOutcome], points_s: &[f64]) -> Vec<(f64, f64)> {
+    let v = completed_latencies(outcomes);
+    let n = v.len().max(1) as f64;
+    points_s
+        .iter()
+        .map(|&x| {
+            let below = v.partition_point(|&l| l <= x);
+            (x, below as f64 / n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_costmodel::Resolution;
+    use tetriserve_simulator::time::SimTime;
+    use tetriserve_simulator::trace::RequestId;
+
+    fn outcome(id: u64, latency_s: Option<f64>) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(id),
+            resolution: Resolution::R512,
+            arrival: SimTime::from_secs_f64(10.0),
+            deadline: SimTime::from_secs_f64(12.0),
+            completion: latency_s.map(|l| SimTime::from_secs_f64(10.0 + l)),
+            gpu_seconds: 1.0,
+            steps_executed: 50,
+            sp_degree_step_sum: 50,
+        }
+    }
+
+    #[test]
+    fn completed_only_and_sorted() {
+        let outcomes = vec![outcome(0, Some(3.0)), outcome(1, None), outcome(2, Some(1.0))];
+        assert_eq!(completed_latencies(&outcomes), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let outcomes: Vec<_> = (0..100).map(|i| outcome(i, Some(i as f64 + 1.0))).collect();
+        assert!((mean_latency(&outcomes).unwrap() - 50.5).abs() < 1e-9);
+        assert_eq!(percentile(&outcomes, 50.0), Some(50.0));
+        assert_eq!(percentile(&outcomes, 99.0), Some(99.0));
+        assert_eq!(percentile(&outcomes, 100.0), Some(100.0));
+        assert_eq!(percentile(&outcomes, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_to_one() {
+        let outcomes: Vec<_> = (0..10).map(|i| outcome(i, Some((i % 4) as f64))).collect();
+        let cdf = latency_cdf(&outcomes);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn cdf_at_fixed_points() {
+        let outcomes = vec![outcome(0, Some(1.0)), outcome(1, Some(2.0)), outcome(2, Some(4.0))];
+        let sampled = cdf_at(&outcomes, &[0.5, 1.0, 3.0, 10.0]);
+        let ps: Vec<f64> = sampled.iter().map(|(_, p)| *p).collect();
+        assert!((ps[0] - 0.0).abs() < 1e-12);
+        assert!((ps[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ps[2] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ps[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean_latency(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert!(latency_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_rejected() {
+        percentile(&[], 101.0);
+    }
+}

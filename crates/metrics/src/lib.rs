@@ -1,0 +1,40 @@
+//! # tetriserve-metrics
+//!
+//! Post-processing of serving runs into the paper's metrics:
+//!
+//! * [`mod@sar`] — SLO Attainment Ratio, overall and per
+//!   resolution (spider plots);
+//! * [`latency`] — completed-request latency CDFs, percentiles and means
+//!   (Figure 9, Table 5);
+//! * [`timeseries`] — windowed SAR over time (Figure 10) and mean
+//!   sequence-parallel degree over time (Figure 11);
+//! * [`utilization`] — per-GPU busy fractions and cluster-occupancy series
+//!   reconstructed from execution traces;
+//! * [`batching`] — selective-batching statistics from traces (§5);
+//! * [`report`] — plain-text tables and ASCII charts used by the benchmark
+//!   harness to print paper-style artefacts.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_metrics::sar::sar;
+//!
+//! // An empty run trivially attains every SLO.
+//! assert_eq!(sar(&[]), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batching;
+pub mod latency;
+pub mod report;
+pub mod sar;
+pub mod timeseries;
+pub mod utilization;
+
+pub use batching::{batching_stats, BatchingStats};
+pub use latency::{cdf_at, latency_cdf, mean_latency, percentile};
+pub use report::{bar_chart, fmt_sar, series, TextTable};
+pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};
+pub use timeseries::{inflight_series, mean_sp_degree_series, windowed_sar};
+pub use utilization::{busy_gpu_series, gpu_utilization, UtilizationReport};

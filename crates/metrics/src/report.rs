@@ -1,0 +1,162 @@
+//! Plain-text rendering of tables and charts for the benchmark harness.
+//!
+//! The bench targets regenerate the paper's tables and figures as text:
+//! aligned tables for Table-style artefacts and simple ASCII bar/series
+//! charts for Figure-style artefacts.
+
+use std::fmt::Write as _;
+
+/// An aligned plain-text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: impl Into<String>, header: I) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Renders a labelled horizontal ASCII bar chart for values in `[0, max]`.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], max: f64, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    for (label, value) in entries {
+        let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+        let filled = (frac * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{}{}| {value:.3}",
+            "#".repeat(filled),
+            " ".repeat(width - filled),
+        );
+    }
+    out
+}
+
+/// Renders an x/y series as aligned two-column text (gnuplot-pasteable).
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "{x_label:>12}  {y_label:>12}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:>12.4}  {y:>12.4}");
+    }
+    out
+}
+
+/// Formats a fraction as a fixed-width "0.42"-style SAR value.
+pub fn fmt_sar(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", ["policy", "SAR"]);
+        t.row(["TetriServe", "0.63"]).row(["xDiT SP=1", "0.21"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("TetriServe"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // SAR column right-aligned: both data lines end with the value.
+        assert!(lines[3].ends_with("0.63"));
+        assert!(lines[4].ends_with("0.21"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        TextTable::new("t", ["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn bars_scale_with_value() {
+        let s = bar_chart(
+            "SARs",
+            &[("a".into(), 1.0), ("b".into(), 0.5), ("c".into(), 0.0)],
+            1.0,
+            10,
+        );
+        assert!(s.contains("a |##########| 1.000"));
+        assert!(s.contains("b |#####     | 0.500"));
+        assert!(s.contains("c |          | 0.000"));
+    }
+
+    #[test]
+    fn series_prints_points() {
+        let s = series("cdf", "latency_s", "p", &[(1.0, 0.5), (2.0, 1.0)]);
+        assert!(s.contains("latency_s"));
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("2.0000"));
+    }
+
+    #[test]
+    fn sar_formatting() {
+        assert_eq!(fmt_sar(0.4211), "0.42");
+        assert_eq!(fmt_sar(1.0), "1.00");
+    }
+}

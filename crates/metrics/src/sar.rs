@@ -1,0 +1,132 @@
+//! SLO Attainment Ratio (SAR) — the paper's primary metric.
+
+use std::collections::BTreeMap;
+
+use tetriserve_core::RequestOutcome;
+use tetriserve_costmodel::Resolution;
+
+/// Fraction of requests finishing within their SLO. Empty input counts as
+/// perfect attainment.
+///
+/// # Examples
+///
+/// ```
+/// use tetriserve_metrics::sar::sar;
+/// use tetriserve_core::RequestOutcome;
+/// use tetriserve_costmodel::Resolution;
+/// use tetriserve_simulator::time::SimTime;
+/// use tetriserve_simulator::trace::RequestId;
+///
+/// let outcome = |met: bool| RequestOutcome {
+///     id: RequestId(0),
+///     resolution: Resolution::R512,
+///     arrival: SimTime::ZERO,
+///     deadline: SimTime::from_secs_f64(2.0),
+///     completion: Some(SimTime::from_secs_f64(if met { 1.0 } else { 3.0 })),
+///     gpu_seconds: 1.0,
+///     steps_executed: 50,
+///     sp_degree_step_sum: 50,
+/// };
+/// assert_eq!(sar(&[outcome(true), outcome(false)]), 0.5);
+/// ```
+pub fn sar(outcomes: &[RequestOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 1.0;
+    }
+    outcomes.iter().filter(|o| o.met_slo()).count() as f64 / outcomes.len() as f64
+}
+
+/// SAR broken down by resolution — the data behind the paper's spider
+/// plots (Figures 4b, 7b/c, 8b/c). Resolutions appear in ascending token
+/// order.
+pub fn sar_by_resolution(outcomes: &[RequestOutcome]) -> BTreeMap<Resolution, f64> {
+    let mut met: BTreeMap<Resolution, (usize, usize)> = BTreeMap::new();
+    for o in outcomes {
+        let e = met.entry(o.resolution).or_insert((0, 0));
+        e.1 += 1;
+        if o.met_slo() {
+            e.0 += 1;
+        }
+    }
+    met.into_iter()
+        .map(|(r, (m, n))| (r, m as f64 / n as f64))
+        .collect()
+}
+
+/// Mean GPU-seconds consumed per request (resource-efficiency companion to
+/// SAR).
+pub fn mean_gpu_seconds(outcomes: &[RequestOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(|o| o.gpu_seconds).sum::<f64>() / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_simulator::time::SimTime;
+    use tetriserve_simulator::trace::RequestId;
+
+    fn outcome(id: u64, res: Resolution, met: bool) -> RequestOutcome {
+        RequestOutcome {
+            id: RequestId(id),
+            resolution: res,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_secs_f64(2.0),
+            completion: Some(SimTime::from_secs_f64(if met { 1.0 } else { 3.0 })),
+            gpu_seconds: 2.0,
+            steps_executed: 50,
+            sp_degree_step_sum: 50,
+        }
+    }
+
+    #[test]
+    fn sar_counts_met_fraction() {
+        let outcomes = vec![
+            outcome(0, Resolution::R256, true),
+            outcome(1, Resolution::R256, true),
+            outcome(2, Resolution::R512, false),
+            outcome(3, Resolution::R2048, false),
+        ];
+        assert!((sar(&outcomes) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_perfect() {
+        assert_eq!(sar(&[]), 1.0);
+        assert!(sar_by_resolution(&[]).is_empty());
+        assert_eq!(mean_gpu_seconds(&[]), 0.0);
+    }
+
+    #[test]
+    fn per_resolution_breakdown() {
+        let outcomes = vec![
+            outcome(0, Resolution::R256, true),
+            outcome(1, Resolution::R256, false),
+            outcome(2, Resolution::R2048, true),
+        ];
+        let by_res = sar_by_resolution(&outcomes);
+        assert!((by_res[&Resolution::R256] - 0.5).abs() < 1e-12);
+        assert!((by_res[&Resolution::R2048] - 1.0).abs() < 1e-12);
+        // Ascending resolution order.
+        let keys: Vec<_> = by_res.keys().copied().collect();
+        assert_eq!(keys, vec![Resolution::R256, Resolution::R2048]);
+    }
+
+    #[test]
+    fn unfinished_requests_count_as_missed() {
+        let mut o = outcome(0, Resolution::R512, true);
+        o.completion = None;
+        assert_eq!(sar(&[o]), 0.0);
+    }
+
+    #[test]
+    fn gpu_seconds_average() {
+        let outcomes = vec![
+            outcome(0, Resolution::R256, true),
+            outcome(1, Resolution::R256, true),
+        ];
+        assert!((mean_gpu_seconds(&outcomes) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! GPU utilisation analysis from execution traces.
+//!
+//! The serving reports carry a single mean-utilisation number; this module
+//! reconstructs richer views from the trace: per-GPU busy fractions (to
+//! spot imbalance), and a busy-GPU-count time series (to see the packing
+//! "tetris" the scheduler plays).
+
+use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::{Trace, TraceEvent};
+
+/// Per-GPU busy time and derived statistics over `[0, horizon]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Busy fraction per GPU id.
+    pub per_gpu: Vec<f64>,
+    /// Mean busy fraction across GPUs.
+    pub mean: f64,
+    /// max − min busy fraction (imbalance indicator).
+    pub imbalance: f64,
+}
+
+/// Computes per-GPU utilisation over `[0, horizon]` for an `n_gpus` node.
+///
+/// # Panics
+///
+/// Panics if `horizon` is zero or a trace interval references a GPU id
+/// ≥ `n_gpus`.
+pub fn gpu_utilization(trace: &Trace, n_gpus: usize, horizon: SimTime) -> UtilizationReport {
+    assert!(horizon > SimTime::ZERO, "horizon must be positive");
+    let mut busy_us = vec![0u64; n_gpus];
+    let mut open: std::collections::HashMap<u64, (SimTime, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for e in trace.events() {
+        match e {
+            TraceEvent::DispatchStart {
+                time,
+                dispatch,
+                gpus,
+                ..
+            } => {
+                let ids: Vec<usize> = gpus.iter().map(|g| g.0).collect();
+                for &g in &ids {
+                    assert!(g < n_gpus, "trace references gpu{g} outside the {n_gpus}-GPU node");
+                }
+                open.insert(dispatch.0, (*time, ids));
+            }
+            TraceEvent::DispatchDone { time, dispatch } => {
+                if let Some((start, ids)) = open.remove(&dispatch.0) {
+                    let span = time.saturating_since(start).as_micros();
+                    for g in ids {
+                        busy_us[g] += span;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let horizon_us = horizon.as_micros() as f64;
+    let per_gpu: Vec<f64> = busy_us
+        .iter()
+        .map(|&b| (b as f64 / horizon_us).min(1.0))
+        .collect();
+    let mean = per_gpu.iter().sum::<f64>() / n_gpus.max(1) as f64;
+    let imbalance = per_gpu
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v))
+        - per_gpu.iter().fold(1.0f64, |m, &v| m.min(v));
+    UtilizationReport {
+        per_gpu,
+        mean,
+        imbalance,
+    }
+}
+
+/// The number of busy GPUs sampled at each dispatch boundary:
+/// `(time_s, busy_gpus)` steps, suitable for plotting cluster occupancy.
+pub fn busy_gpu_series(trace: &Trace) -> Vec<(f64, i64)> {
+    let mut deltas: Vec<(SimTime, i64)> = Vec::new();
+    let mut open: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    for e in trace.events() {
+        match e {
+            TraceEvent::DispatchStart {
+                time,
+                dispatch,
+                gpus,
+                ..
+            } => {
+                let w = gpus.len() as i64;
+                open.insert(dispatch.0, w);
+                deltas.push((*time, w));
+            }
+            TraceEvent::DispatchDone { time, dispatch } => {
+                if let Some(w) = open.remove(&dispatch.0) {
+                    deltas.push((*time, -w));
+                }
+            }
+            _ => {}
+        }
+    }
+    deltas.sort();
+    let mut level = 0;
+    deltas
+        .into_iter()
+        .map(|(t, d)| {
+            level += d;
+            (t.as_secs_f64(), level)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_simulator::gpuset::GpuSet;
+    use tetriserve_simulator::time::SimDuration;
+    use tetriserve_simulator::trace::{DispatchId, RequestId};
+
+    fn start(t: u64, d: u64, gpus: GpuSet) -> TraceEvent {
+        TraceEvent::DispatchStart {
+            time: SimTime::from_millis(t),
+            dispatch: DispatchId(d),
+            requests: vec![RequestId(0)],
+            gpus,
+            steps: 1,
+            per_step: SimDuration::from_millis(1),
+        }
+    }
+
+    fn done(t: u64, d: u64) -> TraceEvent {
+        TraceEvent::DispatchDone {
+            time: SimTime::from_millis(t),
+            dispatch: DispatchId(d),
+        }
+    }
+
+    #[test]
+    fn per_gpu_fractions() {
+        let mut trace = Trace::new();
+        // GPUs 0-1 busy for 50 of 100 ms; GPU 2 busy 100 of 100.
+        trace.record(start(0, 0, GpuSet::contiguous(0, 2)));
+        trace.record(done(50, 0));
+        trace.record(start(0, 1, GpuSet::contiguous(2, 1)));
+        trace.record(done(100, 1));
+        let r = gpu_utilization(&trace, 4, SimTime::from_millis(100));
+        assert_eq!(r.per_gpu, vec![0.5, 0.5, 1.0, 0.0]);
+        assert!((r.mean - 0.5).abs() < 1e-12);
+        assert!((r.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_series_tracks_levels() {
+        let mut trace = Trace::new();
+        trace.record(start(0, 0, GpuSet::contiguous(0, 4)));
+        trace.record(start(10, 1, GpuSet::contiguous(4, 2)));
+        trace.record(done(20, 0));
+        trace.record(done(30, 1));
+        let series = busy_gpu_series(&trace);
+        let levels: Vec<i64> = series.iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, vec![4, 6, 2, 0]);
+    }
+
+    #[test]
+    fn empty_trace_is_idle() {
+        let r = gpu_utilization(&Trace::new(), 8, SimTime::from_millis(1));
+        assert_eq!(r.mean, 0.0);
+        assert!(busy_gpu_series(&Trace::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn foreign_gpu_panics() {
+        let mut trace = Trace::new();
+        trace.record(start(0, 0, GpuSet::contiguous(6, 2)));
+        trace.record(done(10, 0));
+        gpu_utilization(&trace, 4, SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,143 @@
+//! Applying Nirvana to a request trace.
+//!
+//! The serving-relevant effect of approximate caching is a per-request
+//! reduction of the denoising schedule. [`accelerate_trace`] replays a
+//! generated workload through the cache (after an offline warm-up phase, as
+//! §6.2 warms with 10 K requests) and returns each request's effective step
+//! count — ready to be folded into `RequestSpec::total_steps`.
+
+use tetriserve_workload::gen::GeneratedRequest;
+use tetriserve_workload::prompt::PromptLibrary;
+
+use crate::cache::NirvanaCache;
+use crate::skip::SkipPolicy;
+
+/// Configuration of the Nirvana integration.
+#[derive(Debug, Clone)]
+pub struct NirvanaConfig {
+    /// Cache capacity in latent entries.
+    pub cache_capacity: usize,
+    /// Number of synthetic warm-up prompts served before the experiment
+    /// (the paper warms with the first 10 K requests; with our 40-topic
+    /// library a few hundred suffice to cover every topic).
+    pub warmup_requests: usize,
+    /// The similarity → skip tiers.
+    pub skip: SkipPolicy,
+}
+
+impl Default for NirvanaConfig {
+    fn default() -> Self {
+        NirvanaConfig {
+            cache_capacity: 512,
+            warmup_requests: 400,
+            skip: SkipPolicy::paper_default(),
+        }
+    }
+}
+
+/// Result of accelerating one trace.
+#[derive(Debug, Clone)]
+pub struct AcceleratedTrace {
+    /// Effective steps per request, aligned with the input order.
+    pub effective_steps: Vec<u32>,
+    /// Cache hit rate over the trace (post-warm-up).
+    pub hit_rate: f64,
+    /// Mean effective steps.
+    pub mean_steps: f64,
+}
+
+/// Replays `requests` through a warmed Nirvana cache, returning effective
+/// step counts for a `total_steps`-step schedule.
+///
+/// `warmup_library` must share the live traffic's topic clusters for the
+/// warm-up to be representative — build it with the *same seed* as the
+/// trace generator's prompt library.
+pub fn accelerate_trace(
+    requests: &[GeneratedRequest],
+    total_steps: u32,
+    warmup_library: &mut PromptLibrary,
+    config: &NirvanaConfig,
+) -> AcceleratedTrace {
+    let mut cache = NirvanaCache::new(config.cache_capacity);
+    for _ in 0..config.warmup_requests {
+        let p = warmup_library.next_prompt();
+        let _ = config.skip.effective_steps(&mut cache, &p.embedding, total_steps);
+    }
+    // Only the live portion counts toward the reported hit rate.
+    let mut live_cache = cache.clone();
+    let effective_steps: Vec<u32> = requests
+        .iter()
+        .map(|r| {
+            config
+                .skip
+                .effective_steps(&mut live_cache, &r.prompt.embedding, total_steps)
+        })
+        .collect();
+    let mean_steps =
+        effective_steps.iter().map(|&s| f64::from(s)).sum::<f64>() / effective_steps.len().max(1) as f64;
+    AcceleratedTrace {
+        effective_steps,
+        hit_rate: live_cache.hit_rate(),
+        mean_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_workload::arrival::PoissonProcess;
+    use tetriserve_workload::gen::TraceGen;
+    use tetriserve_workload::mix::ResolutionMix;
+    use tetriserve_workload::slo::SloPolicy;
+
+    fn trace(n: usize, seed: u64) -> Vec<GeneratedRequest> {
+        let mut g = TraceGen::new(
+            PoissonProcess::new(12.0),
+            ResolutionMix::uniform(),
+            SloPolicy::paper_targets(),
+            PromptLibrary::diffusiondb_like(seed),
+            seed,
+        );
+        g.generate(n)
+    }
+
+    #[test]
+    fn warm_cache_skips_substantially() {
+        let reqs = trace(300, 11);
+        let mut warm = PromptLibrary::diffusiondb_like(11);
+        let acc = accelerate_trace(&reqs, 50, &mut warm, &NirvanaConfig::default());
+        assert_eq!(acc.effective_steps.len(), 300);
+        assert!(acc.hit_rate > 0.5, "hit rate {}", acc.hit_rate);
+        assert!(
+            acc.mean_steps < 40.0,
+            "warmed cache should skip steps on average: {}",
+            acc.mean_steps
+        );
+        assert!(acc.effective_steps.iter().all(|&s| (25..=50).contains(&s)));
+    }
+
+    #[test]
+    fn no_warmup_still_converges_within_trace() {
+        let reqs = trace(300, 13);
+        let mut warm = PromptLibrary::diffusiondb_like(77);
+        let cfg = NirvanaConfig {
+            warmup_requests: 0,
+            ..NirvanaConfig::default()
+        };
+        let acc = accelerate_trace(&reqs, 50, &mut warm, &cfg);
+        // Early requests run cold but later same-topic ones hit.
+        let first = f64::from(acc.effective_steps[0]);
+        assert_eq!(first, 50.0);
+        assert!(acc.mean_steps < 50.0);
+    }
+
+    #[test]
+    fn deterministic_given_inputs() {
+        let reqs = trace(100, 5);
+        let run = || {
+            let mut warm = PromptLibrary::diffusiondb_like(5);
+            accelerate_trace(&reqs, 50, &mut warm, &NirvanaConfig::default()).effective_steps
+        };
+        assert_eq!(run(), run());
+    }
+}

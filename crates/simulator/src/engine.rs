@@ -1,0 +1,598 @@
+//! The distributed execution engine.
+//!
+//! This is the simulator's stand-in for the paper's pool of GPU workers
+//! (§3 "Execution Engine"). A scheduling policy hands the engine
+//! [`StepDispatch`]es — "run these requests for `steps` diffusion steps on
+//! this GPU set" — and the engine plays them out on simulated hardware:
+//!
+//! * it validates that no GPU is double-booked (a scheduler-bug tripwire);
+//! * it charges *group warm-up* for cold process groups and *remap stalls*
+//!   plus asynchronous *latent transfers* when a request's GPU set changes
+//!   between consecutive dispatches (§4.2.3, §5);
+//! * it perturbs each step with a small multiplicative jitter whose
+//!   coefficient of variation matches the sub-percent stability the paper
+//!   measures in Table 1;
+//! * it serialises VAE decodes (§5 "VAE Decoder Sequential Execution") and
+//!   accounts activation/NCCL memory.
+//!
+//! The engine itself is *passive*: it computes, at submit time, the exact
+//! timeline a dispatch will follow and returns it in a [`DispatchOutcome`].
+//! The serving loop turns those timelines into future events. This is sound
+//! because dispatches are never cancelled mid-flight — the round-based
+//! scheduler only preempts at round boundaries, i.e. between dispatches.
+
+use crate::gpuset::GpuSet;
+use crate::group::ProcessGroupCache;
+use crate::latent::transfer_time;
+use crate::memory::MemoryTracker;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{DispatchId, RequestId, StallReason, Trace, TraceEvent};
+
+use std::collections::HashMap;
+
+/// Tunable engine behaviour.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Coefficient of variation of per-step execution jitter. The paper
+    /// measures ≤ 0.7% across all resolutions and SP degrees (Table 1).
+    pub step_noise_cv: f64,
+    /// Delay charged when a request resumes on a *different* GPU set than
+    /// its previous dispatch (distributed-context re-establishment). GPU
+    /// placement preservation exists to avoid exactly this cost.
+    pub remap_stall: SimDuration,
+    /// First-collective latency on a cold process group (NCCL channel
+    /// initialisation).
+    pub group_warmup: SimDuration,
+    /// Persistent device buffer bytes pinned per member GPU per warm group.
+    pub nccl_buffer_bytes: u64,
+    /// Model weight bytes resident on every GPU.
+    pub weights_bytes_per_gpu: u64,
+    /// HBM capacity per GPU.
+    pub hbm_capacity_bytes: u64,
+    /// Seed for step jitter.
+    pub seed: u64,
+    /// Injected degradations (stragglers); empty by default.
+    pub failures: crate::failure::FailurePlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            step_noise_cv: 0.002,
+            remap_stall: SimDuration::from_millis(15),
+            group_warmup: SimDuration::from_millis(150),
+            nccl_buffer_bytes: 64 << 20,
+            weights_bytes_per_gpu: 24 << 30,
+            hbm_capacity_bytes: 80 << 30,
+            seed: 0x7e7215e7,
+            failures: crate::failure::FailurePlan::none(),
+        }
+    }
+}
+
+/// A unit of work for the engine: `steps` diffusion steps for a batch of
+/// requests on a fixed GPU set.
+#[derive(Debug, Clone)]
+pub struct StepDispatch {
+    /// Requests advancing together (batched execution; usually one).
+    pub requests: Vec<RequestId>,
+    /// The GPU set executing the dispatch (the SP degree is its size).
+    pub gpus: GpuSet,
+    /// Number of diffusion steps to run.
+    pub steps: u32,
+    /// Expected per-step latency from the cost model (pre-jitter).
+    pub per_step: SimDuration,
+    /// Latent tensor size per request, for hand-off accounting.
+    pub latent_bytes: u64,
+    /// Transient activation bytes per member GPU while running.
+    pub activation_bytes_per_gpu: u64,
+    /// VAE decode latency applied to each member of `finishing`.
+    pub decode_after: Option<SimDuration>,
+    /// The subset of `requests` that complete with this dispatch (they run
+    /// their final diffusion step here and proceed to VAE decode).
+    pub finishing: Vec<RequestId>,
+}
+
+/// The fully resolved timeline of a submitted dispatch.
+#[derive(Debug, Clone)]
+pub struct DispatchOutcome {
+    /// Engine-assigned identifier.
+    pub id: DispatchId,
+    /// When execution began (after stalls, warm-up and latent waits).
+    pub start: SimTime,
+    /// Completion time of each step, in order.
+    pub step_done: Vec<SimTime>,
+    /// When the GPUs become free (completion of the final step).
+    pub gpus_free_at: SimTime,
+    /// Per-request end-to-end completion (only when `decode_after` was set).
+    pub request_done: Vec<(RequestId, SimTime)>,
+    /// Total synchronous stall charged before the first step.
+    pub stall: SimDuration,
+    /// Longest latent transfer that gated the start.
+    pub latent_wait: SimDuration,
+}
+
+/// Errors returned by [`Engine::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The dispatch referenced GPUs outside the node.
+    UnknownGpus(GpuSet),
+    /// The GPU-set size was not a power of two (sequence parallelism
+    /// requires it).
+    NotPowerOfTwo(usize),
+    /// One of the GPUs is still executing a previous dispatch.
+    GpuBusy(GpuSet),
+    /// The dispatch had no requests or no steps.
+    EmptyDispatch,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownGpus(g) => write!(f, "gpu set {g} outside the node"),
+            SubmitError::NotPowerOfTwo(n) => {
+                write!(f, "sequence parallel degree {n} is not a power of two")
+            }
+            SubmitError::GpuBusy(g) => write!(f, "gpu set {g} is still busy"),
+            SubmitError::EmptyDispatch => write!(f, "dispatch has no requests or no steps"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The simulated GPU worker pool.
+#[derive(Debug)]
+pub struct Engine {
+    topology: Topology,
+    config: EngineConfig,
+    groups: ProcessGroupCache,
+    memory: MemoryTracker,
+    rng: SimRng,
+    busy_until: Vec<SimTime>,
+    busy_time: Vec<SimDuration>,
+    last_gpus: HashMap<RequestId, GpuSet>,
+    decode_free_at: SimTime,
+    next_dispatch: u64,
+    trace: Trace,
+}
+
+impl Engine {
+    /// Creates an engine over `topology` with the given behaviour and
+    /// pre-warms the aligned power-of-two blocks (the "compact set of
+    /// commonly used, overlapping groups" of §5).
+    pub fn new(topology: Topology, config: EngineConfig) -> Self {
+        let n = topology.n_gpus();
+        let mut groups = ProcessGroupCache::new(config.group_warmup, config.nccl_buffer_bytes);
+        let mut memory = MemoryTracker::new(
+            n,
+            config.hbm_capacity_bytes,
+            config.weights_bytes_per_gpu,
+        );
+        let mut prewarm = Vec::new();
+        let mut k = 2;
+        while k <= n {
+            prewarm.extend(topology.aligned_blocks(k));
+            k *= 2;
+        }
+        for g in &prewarm {
+            for gpu in g.iter() {
+                memory.commit_static(gpu, config.nccl_buffer_bytes);
+            }
+        }
+        groups.prewarm(prewarm);
+        let rng = SimRng::seed_from_u64(config.seed);
+        Engine {
+            topology,
+            config,
+            groups,
+            memory,
+            rng,
+            busy_until: vec![SimTime::ZERO; n],
+            busy_time: vec![SimDuration::ZERO; n],
+            last_gpus: HashMap::new(),
+            decode_free_at: SimTime::ZERO,
+            next_dispatch: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// The node topology the engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Submits a dispatch at simulated time `now` and resolves its timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubmitError`] when the dispatch is malformed or any GPU
+    /// in the set is still busy at `now` — the latter indicates a scheduler
+    /// bug, since policies must only reuse GPUs after the corresponding
+    /// dispatch-done event.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        dispatch: &StepDispatch,
+    ) -> Result<DispatchOutcome, SubmitError> {
+        self.validate(now, dispatch)?;
+        let id = DispatchId(self.next_dispatch);
+        self.next_dispatch += 1;
+
+        // Synchronous pre-delays: group warm-up and remap stall.
+        let warmup = self.groups.ensure(dispatch.gpus);
+        if !warmup.is_zero() {
+            for gpu in dispatch.gpus.iter() {
+                self.memory.commit_static(gpu, self.config.nccl_buffer_bytes);
+            }
+            self.trace.record(TraceEvent::Stall {
+                time: now,
+                dispatch: id,
+                duration: warmup,
+                reason: StallReason::GroupWarmup,
+            });
+        }
+        let mut remap = SimDuration::ZERO;
+        let mut latent_wait = SimDuration::ZERO;
+        for &req in &dispatch.requests {
+            if let Some(&prev) = self.last_gpus.get(&req) {
+                if prev != dispatch.gpus {
+                    remap = self.config.remap_stall;
+                    let path = prev.union(dispatch.gpus);
+                    let bw = self.topology.group_bandwidth_gbps(path);
+                    let t = transfer_time(dispatch.latent_bytes, bw);
+                    latent_wait = latent_wait.max(t);
+                    self.trace.record(TraceEvent::LatentTransfer {
+                        time: now,
+                        request: req,
+                        bytes: dispatch.latent_bytes,
+                        duration: t,
+                    });
+                }
+            }
+        }
+        if !remap.is_zero() {
+            self.trace.record(TraceEvent::Stall {
+                time: now,
+                dispatch: id,
+                duration: remap,
+                reason: StallReason::Remap,
+            });
+        }
+        // Latent transfers are asynchronous and overlap the stall; the step
+        // cannot start before both complete.
+        let stall = warmup + remap;
+        let start = now + stall.max(latent_wait);
+
+        // Execute steps with per-step jitter; an injected straggler in the
+        // group slows every step (the collective synchronises on it).
+        let slowdown = self.config.failures.group_slowdown(dispatch.gpus, start);
+        let mut step_done = Vec::with_capacity(dispatch.steps as usize);
+        let mut t = start;
+        for _ in 0..dispatch.steps {
+            let jitter = self.rng.jitter_factor(self.config.step_noise_cv);
+            t += dispatch.per_step.mul_f64(jitter * slowdown);
+            step_done.push(t);
+        }
+        let gpus_free_at = t;
+
+        // Occupancy bookkeeping.
+        for gpu in dispatch.gpus.iter() {
+            self.busy_until[gpu.0] = gpus_free_at;
+            self.busy_time[gpu.0] += gpus_free_at.saturating_since(now);
+        }
+        self.memory
+            .charge(dispatch.gpus, dispatch.activation_bytes_per_gpu);
+        self.memory
+            .release(dispatch.gpus, dispatch.activation_bytes_per_gpu);
+        for &req in &dispatch.requests {
+            self.last_gpus.insert(req, dispatch.gpus);
+        }
+
+        // Sequential per-request VAE decode (off the GPUs' critical path).
+        let mut request_done = Vec::new();
+        if let Some(decode) = dispatch.decode_after {
+            for &req in &dispatch.finishing {
+                let begin = self.decode_free_at.max(gpus_free_at);
+                let done = begin + decode;
+                self.decode_free_at = done;
+                request_done.push((req, done));
+                self.trace.record(TraceEvent::RequestDone { time: done, request: req });
+                self.last_gpus.remove(&req);
+            }
+        }
+
+        let actual_mean = if dispatch.steps > 0 {
+            gpus_free_at.saturating_since(start) / u64::from(dispatch.steps)
+        } else {
+            SimDuration::ZERO
+        };
+        self.trace.record(TraceEvent::DispatchStart {
+            time: start,
+            dispatch: id,
+            requests: dispatch.requests.clone(),
+            gpus: dispatch.gpus,
+            steps: dispatch.steps,
+            per_step: actual_mean,
+        });
+        self.trace.record(TraceEvent::DispatchDone {
+            time: gpus_free_at,
+            dispatch: id,
+        });
+
+        Ok(DispatchOutcome {
+            id,
+            start,
+            step_done,
+            gpus_free_at,
+            request_done,
+            stall,
+            latent_wait,
+        })
+    }
+
+    fn validate(&self, now: SimTime, dispatch: &StepDispatch) -> Result<(), SubmitError> {
+        if dispatch.requests.is_empty() || dispatch.steps == 0 {
+            return Err(SubmitError::EmptyDispatch);
+        }
+        debug_assert!(
+            dispatch
+                .finishing
+                .iter()
+                .all(|r| dispatch.requests.contains(r)),
+            "finishing requests must be dispatch members"
+        );
+        let all = self.topology.all_gpus();
+        if !all.is_superset_of(dispatch.gpus) || dispatch.gpus.is_empty() {
+            return Err(SubmitError::UnknownGpus(dispatch.gpus));
+        }
+        let k = dispatch.gpus.len();
+        if !k.is_power_of_two() {
+            return Err(SubmitError::NotPowerOfTwo(k));
+        }
+        let busy: GpuSet = dispatch
+            .gpus
+            .iter()
+            .filter(|g| self.busy_until[g.0] > now)
+            .collect();
+        if !busy.is_empty() {
+            return Err(SubmitError::GpuBusy(busy));
+        }
+        Ok(())
+    }
+
+    /// Drops engine-side affinity state for `request` (used when a policy
+    /// abandons a request). Subsequent dispatches pay no remap cost.
+    pub fn forget_request(&mut self, request: RequestId) {
+        self.last_gpus.remove(&request);
+    }
+
+    /// The GPU set a request last executed on, if it is mid-flight.
+    pub fn last_placement(&self, request: RequestId) -> Option<GpuSet> {
+        self.last_gpus.get(&request).copied()
+    }
+
+    /// GPUs idle at `now`.
+    pub fn idle_gpus(&self, now: SimTime) -> GpuSet {
+        self.topology
+            .all_gpus()
+            .iter()
+            .filter(|g| self.busy_until[g.0] <= now)
+            .collect()
+    }
+
+    /// Mean GPU utilisation over `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "utilization horizon must be positive");
+        let total: f64 = self.busy_time.iter().map(|d| d.as_secs_f64()).sum();
+        total / (horizon.as_secs_f64() * self.busy_until.len() as f64)
+    }
+
+    /// The execution trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the engine and returns its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Memory accounting.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpuset::GpuId;
+
+    fn engine() -> Engine {
+        Engine::new(Topology::h100_nvlink(8), EngineConfig::default())
+    }
+
+    fn dispatch(reqs: &[u64], gpus: GpuSet, steps: u32, per_step_ms: u64) -> StepDispatch {
+        StepDispatch {
+            requests: reqs.iter().map(|&r| RequestId(r)).collect(),
+            gpus,
+            steps,
+            per_step: SimDuration::from_millis(per_step_ms),
+            latent_bytes: 2 << 20,
+            activation_bytes_per_gpu: 1 << 30,
+            decode_after: None,
+            finishing: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn simple_dispatch_timeline() {
+        let mut e = engine();
+        let d = dispatch(&[1], GpuSet::contiguous(0, 2), 5, 100);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        assert_eq!(out.step_done.len(), 5);
+        // Jitter is ±0.2% so total is within 2% of 500 ms.
+        let total = out.gpus_free_at.as_secs_f64();
+        assert!((total - 0.5).abs() < 0.01, "total {total}");
+        assert!(out.step_done.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out.stall, SimDuration::ZERO, "aligned block is pre-warmed");
+    }
+
+    #[test]
+    fn double_booking_is_rejected() {
+        let mut e = engine();
+        let d = dispatch(&[1], GpuSet::contiguous(0, 2), 5, 100);
+        e.submit(SimTime::ZERO, &d).unwrap();
+        let d2 = dispatch(&[2], GpuSet::contiguous(1, 2), 1, 10);
+        let err = e.submit(SimTime::from_millis(10), &d2).unwrap_err();
+        assert!(matches!(err, SubmitError::GpuBusy(g) if g.contains(GpuId(1))));
+        // After the first dispatch drains, the GPUs are reusable.
+        let later = SimTime::from_secs_f64(0.6);
+        assert!(e.submit(later, &d2).is_ok());
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut e = engine();
+        let d = dispatch(&[1], GpuSet::contiguous(0, 3), 1, 10);
+        assert_eq!(
+            e.submit(SimTime::ZERO, &d).unwrap_err(),
+            SubmitError::NotPowerOfTwo(3)
+        );
+    }
+
+    #[test]
+    fn foreign_and_empty_dispatches_rejected() {
+        let mut e = Engine::new(Topology::a40_paired(4), EngineConfig::default());
+        let d = dispatch(&[1], GpuSet::contiguous(2, 4), 1, 10);
+        assert!(matches!(
+            e.submit(SimTime::ZERO, &d).unwrap_err(),
+            SubmitError::UnknownGpus(_)
+        ));
+        let d = dispatch(&[], GpuSet::contiguous(0, 1), 1, 10);
+        assert_eq!(e.submit(SimTime::ZERO, &d).unwrap_err(), SubmitError::EmptyDispatch);
+        let d = dispatch(&[1], GpuSet::contiguous(0, 1), 0, 10);
+        assert_eq!(e.submit(SimTime::ZERO, &d).unwrap_err(), SubmitError::EmptyDispatch);
+    }
+
+    #[test]
+    fn remap_charges_stall_and_latent_transfer() {
+        let mut e = engine();
+        let first = dispatch(&[1], GpuSet::contiguous(0, 2), 2, 50);
+        let out1 = e.submit(SimTime::ZERO, &first).unwrap();
+        // Same set again: placement preserved, no stall.
+        let again = dispatch(&[1], GpuSet::contiguous(0, 2), 2, 50);
+        let out2 = e.submit(out1.gpus_free_at, &again).unwrap();
+        assert_eq!(out2.stall, SimDuration::ZERO);
+        assert_eq!(out2.latent_wait, SimDuration::ZERO);
+        // Different set: remap stall + latent transfer.
+        let moved = dispatch(&[1], GpuSet::contiguous(4, 4), 2, 50);
+        let out3 = e.submit(out2.gpus_free_at, &moved).unwrap();
+        assert_eq!(out3.stall, EngineConfig::default().remap_stall);
+        assert!(!out3.latent_wait.is_zero());
+        assert!(out3.start >= out2.gpus_free_at + out3.stall);
+        assert!(!e.trace().latent_transfer_total(RequestId(1)).is_zero());
+    }
+
+    #[test]
+    fn cold_group_pays_warmup_once() {
+        let mut e = engine();
+        // Non-aligned 2-GPU group {1,2} is not pre-warmed.
+        let odd = GpuSet::from_mask(0b110);
+        let d = dispatch(&[9], odd, 1, 10);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        assert_eq!(out.stall, EngineConfig::default().group_warmup);
+        let d2 = dispatch(&[9], odd, 1, 10);
+        let out2 = e.submit(out.gpus_free_at, &d2).unwrap();
+        assert_eq!(out2.stall, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn decode_serialises_and_completes_requests() {
+        let mut e = engine();
+        let mut d = dispatch(&[1, 2], GpuSet::contiguous(0, 1), 1, 10);
+        d.decode_after = Some(SimDuration::from_millis(40));
+        d.finishing = vec![RequestId(1), RequestId(2)];
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        assert_eq!(out.request_done.len(), 2);
+        let t1 = out.request_done[0].1;
+        let t2 = out.request_done[1].1;
+        // Decodes are sequential: the second finishes a full decode later.
+        assert_eq!(t2.saturating_since(t1), SimDuration::from_millis(40));
+        // Completed requests lose engine affinity.
+        assert_eq!(e.last_placement(RequestId(1)), None);
+    }
+
+    #[test]
+    fn idle_gpus_and_utilization() {
+        let mut e = engine();
+        let d = dispatch(&[1], GpuSet::contiguous(0, 4), 10, 100);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        assert_eq!(e.idle_gpus(SimTime::ZERO), GpuSet::contiguous(4, 4));
+        assert_eq!(e.idle_gpus(out.gpus_free_at), GpuSet::first_n(8));
+        let util = e.utilization(out.gpus_free_at);
+        assert!((util - 0.5).abs() < 0.01, "util {util}");
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible() {
+        let run = || {
+            let mut e = engine();
+            let d = dispatch(&[1], GpuSet::contiguous(0, 2), 20, 33);
+            e.submit(SimTime::ZERO, &d).unwrap().gpus_free_at
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn straggler_slows_whole_group_dispatches() {
+        use crate::failure::{FailurePlan, Straggler};
+        use crate::gpuset::GpuId;
+        let config = EngineConfig {
+            step_noise_cv: 0.0,
+            failures: FailurePlan::none().with_straggler(Straggler::new(
+                GpuId(1),
+                2.0,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(10.0),
+            )),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(Topology::h100_nvlink(8), config);
+        // The group containing the straggler runs at half speed…
+        let slow = dispatch(&[1], GpuSet::contiguous(0, 2), 4, 100);
+        let out = e.submit(SimTime::ZERO, &slow).unwrap();
+        assert_eq!(out.gpus_free_at, SimTime::from_millis(800));
+        // …a disjoint group is unaffected…
+        let fine = dispatch(&[2], GpuSet::contiguous(4, 2), 4, 100);
+        let out = e.submit(SimTime::ZERO, &fine).unwrap();
+        assert_eq!(out.gpus_free_at, SimTime::from_millis(400));
+        // …and after the window ends the slow GPUs recover.
+        let later = SimTime::from_secs_f64(10.0);
+        let healed = dispatch(&[3], GpuSet::contiguous(0, 2), 4, 100);
+        let out = e.submit(later, &healed).unwrap();
+        assert_eq!(out.gpus_free_at, later + SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn memory_peaks_include_activations() {
+        let mut e = engine();
+        let d = dispatch(&[1], GpuSet::contiguous(0, 1), 1, 10);
+        e.submit(SimTime::ZERO, &d).unwrap();
+        let peak = e.memory().peak_bytes(GpuId(0));
+        assert!(peak >= (24u64 << 30) + (1 << 30));
+        assert!(!e.memory().oom_occurred());
+    }
+}

@@ -1,0 +1,149 @@
+//! Failure and degradation injection.
+//!
+//! Real clusters misbehave: a GPU thermally throttles, a link flaps, a
+//! neighbour tenant saturates the switch. The serving stack should degrade
+//! gracefully rather than collapse. This module injects *stragglers* —
+//! per-GPU multiplicative slowdowns active during a time window — which the
+//! engine folds into dispatch execution: a sequence-parallel step runs at
+//! the pace of its slowest member, so one throttled GPU drags every group
+//! it joins (exactly why placement matters).
+
+use crate::gpuset::{GpuId, GpuSet};
+use crate::time::SimTime;
+
+/// A per-GPU slowdown over a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// The degraded GPU.
+    pub gpu: GpuId,
+    /// Multiplicative step-time factor (> 1 = slower). A factor of 2.0
+    /// halves the GPU's effective throughput.
+    pub slowdown: f64,
+    /// When the degradation begins.
+    pub from: SimTime,
+    /// When the degradation ends (exclusive).
+    pub until: SimTime,
+}
+
+impl Straggler {
+    /// Creates a straggler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1.0` or the window is empty.
+    pub fn new(gpu: GpuId, slowdown: f64, from: SimTime, until: SimTime) -> Self {
+        assert!(
+            slowdown >= 1.0 && slowdown.is_finite(),
+            "slowdown must be ≥ 1.0, got {slowdown}"
+        );
+        assert!(from < until, "straggler window must be non-empty");
+        Straggler {
+            gpu,
+            slowdown,
+            from,
+            until,
+        }
+    }
+
+    /// Whether the straggler affects `gpu` at `time`.
+    pub fn affects(&self, gpu: GpuId, time: SimTime) -> bool {
+        self.gpu == gpu && time >= self.from && time < self.until
+    }
+}
+
+/// A set of injected degradations.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    stragglers: Vec<Straggler>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds a straggler.
+    pub fn with_straggler(mut self, s: Straggler) -> Self {
+        self.stragglers.push(s);
+        self
+    }
+
+    /// Whether any degradation is configured.
+    pub fn is_empty(&self) -> bool {
+        self.stragglers.is_empty()
+    }
+
+    /// The execution slowdown of a group dispatch starting at `time`:
+    /// the *maximum* member slowdown, because a sequence-parallel step
+    /// synchronises on its slowest shard.
+    pub fn group_slowdown(&self, gpus: GpuSet, time: SimTime) -> f64 {
+        let mut factor = 1.0f64;
+        for s in &self.stragglers {
+            if gpus.contains(s.gpu) && time >= s.from && time < s.until {
+                factor = factor.max(s.slowdown);
+            }
+        }
+        factor
+    }
+
+    /// The configured stragglers.
+    pub fn stragglers(&self) -> &[Straggler] {
+        &self.stragglers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(a: u64, b: u64) -> (SimTime, SimTime) {
+        (SimTime::from_millis(a), SimTime::from_millis(b))
+    }
+
+    #[test]
+    fn straggler_window_semantics() {
+        let (from, until) = window(100, 200);
+        let s = Straggler::new(GpuId(3), 2.0, from, until);
+        assert!(!s.affects(GpuId(3), SimTime::from_millis(99)));
+        assert!(s.affects(GpuId(3), SimTime::from_millis(100)));
+        assert!(s.affects(GpuId(3), SimTime::from_millis(199)));
+        assert!(!s.affects(GpuId(3), SimTime::from_millis(200)));
+        assert!(!s.affects(GpuId(2), SimTime::from_millis(150)));
+    }
+
+    #[test]
+    fn group_takes_the_slowest_member() {
+        let (from, until) = window(0, 1000);
+        let plan = FailurePlan::none()
+            .with_straggler(Straggler::new(GpuId(0), 1.5, from, until))
+            .with_straggler(Straggler::new(GpuId(1), 3.0, from, until));
+        let both = GpuSet::contiguous(0, 2);
+        assert_eq!(plan.group_slowdown(both, SimTime::from_millis(10)), 3.0);
+        let only_first = GpuSet::single(GpuId(0));
+        assert_eq!(plan.group_slowdown(only_first, SimTime::from_millis(10)), 1.5);
+        let unaffected = GpuSet::contiguous(4, 2);
+        assert_eq!(plan.group_slowdown(unaffected, SimTime::from_millis(10)), 1.0);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FailurePlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.group_slowdown(GpuSet::first_n(8), SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let t = SimTime::from_millis(5);
+        Straggler::new(GpuId(0), 2.0, t, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1.0")]
+    fn speedups_rejected() {
+        let (from, until) = window(0, 1);
+        Straggler::new(GpuId(0), 0.5, from, until);
+    }
+}

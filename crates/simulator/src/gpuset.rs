@@ -1,0 +1,331 @@
+//! Compact GPU-set representation.
+//!
+//! A [`GpuSet`] is a bitmask over up to 64 GPU slots. The scheduler, the
+//! placement logic and the execution engine all speak in GPU sets, so the
+//! type is deliberately small (`Copy`) and set algebra is branch-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_simulator::gpuset::{GpuId, GpuSet};
+//!
+//! let a: GpuSet = [GpuId(0), GpuId(1)].into_iter().collect();
+//! let b = GpuSet::contiguous(1, 2); // {1, 2}
+//! assert_eq!(a.union(b).len(), 3);
+//! assert_eq!(a.intersection(b).len(), 1);
+//! assert!(a.contains(GpuId(0)));
+//! ```
+
+use std::fmt;
+
+/// Identifier of a single GPU within a node (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub usize);
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// A set of GPUs, stored as a 64-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct GpuSet(u64);
+
+impl GpuSet {
+    /// The empty set.
+    pub const EMPTY: GpuSet = GpuSet(0);
+
+    /// Maximum number of GPUs addressable by a set.
+    pub const MAX_GPUS: usize = 64;
+
+    /// Creates a set from a raw mask.
+    pub const fn from_mask(mask: u64) -> Self {
+        GpuSet(mask)
+    }
+
+    /// The raw bitmask.
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// A set holding the single GPU `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is ≥ [`GpuSet::MAX_GPUS`].
+    pub fn single(id: GpuId) -> Self {
+        assert!(id.0 < Self::MAX_GPUS, "GPU id {} out of range", id.0);
+        GpuSet(1 << id.0)
+    }
+
+    /// The set `{start, start+1, …, start+len-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds [`GpuSet::MAX_GPUS`].
+    pub fn contiguous(start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= Self::MAX_GPUS,
+            "contiguous range {start}..{} out of range",
+            start + len
+        );
+        if len == 0 {
+            return GpuSet::EMPTY;
+        }
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << start
+        };
+        GpuSet(mask)
+    }
+
+    /// The full set of the first `n` GPUs.
+    pub fn first_n(n: usize) -> Self {
+        GpuSet::contiguous(0, n)
+    }
+
+    /// Number of GPUs in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(self, id: GpuId) -> bool {
+        id.0 < Self::MAX_GPUS && (self.0 >> id.0) & 1 == 1
+    }
+
+    /// Whether every member of `other` is also a member of `self`.
+    pub const fn is_superset_of(self, other: GpuSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the two sets share no members.
+    pub const fn is_disjoint(self, other: GpuSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Set union.
+    pub const fn union(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub const fn intersection(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 & other.0)
+    }
+
+    /// Members of `self` that are not in `other`.
+    pub const fn difference(self, other: GpuSet) -> GpuSet {
+        GpuSet(self.0 & !other.0)
+    }
+
+    /// Inserts a GPU, returning the enlarged set.
+    pub fn with(self, id: GpuId) -> GpuSet {
+        self.union(GpuSet::single(id))
+    }
+
+    /// The lowest-numbered member, if any.
+    pub fn lowest(self) -> Option<GpuId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(GpuId(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Takes the `n` lowest-numbered members.
+    ///
+    /// Returns `None` when the set has fewer than `n` members.
+    pub fn take_lowest(self, n: usize) -> Option<GpuSet> {
+        if self.len() < n {
+            return None;
+        }
+        let mut out = GpuSet::EMPTY;
+        let mut rest = self.0;
+        for _ in 0..n {
+            let bit = rest & rest.wrapping_neg();
+            out.0 |= bit;
+            rest ^= bit;
+        }
+        Some(out)
+    }
+
+    /// Iterates over members in ascending GPU-id order.
+    pub fn iter(self) -> Iter {
+        Iter { remaining: self.0 }
+    }
+}
+
+impl FromIterator<GpuId> for GpuSet {
+    fn from_iter<I: IntoIterator<Item = GpuId>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(GpuSet::EMPTY, |set, id| set.with(id))
+    }
+}
+
+impl Extend<GpuId> for GpuSet {
+    fn extend<I: IntoIterator<Item = GpuId>>(&mut self, iter: I) {
+        for id in iter {
+            *self = self.with(id);
+        }
+    }
+}
+
+impl IntoIterator for GpuSet {
+    type Item = GpuId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`GpuSet`], ascending.
+#[derive(Debug, Clone)]
+pub struct Iter {
+    remaining: u64,
+}
+
+impl Iterator for Iter {
+    type Item = GpuId;
+
+    fn next(&mut self) -> Option<GpuId> {
+        if self.remaining == 0 {
+            None
+        } else {
+            let idx = self.remaining.trailing_zeros() as usize;
+            self.remaining &= self.remaining - 1;
+            Some(GpuId(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for GpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GpuSet{{")?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for GpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contiguous_builds_expected_mask() {
+        assert_eq!(GpuSet::contiguous(0, 4).mask(), 0b1111);
+        assert_eq!(GpuSet::contiguous(2, 2).mask(), 0b1100);
+        assert_eq!(GpuSet::contiguous(0, 0), GpuSet::EMPTY);
+        assert_eq!(GpuSet::contiguous(0, 64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = GpuSet::contiguous(0, 4);
+        let b = GpuSet::contiguous(2, 4);
+        assert_eq!(a.union(b), GpuSet::contiguous(0, 6));
+        assert_eq!(a.intersection(b), GpuSet::contiguous(2, 2));
+        assert_eq!(a.difference(b), GpuSet::contiguous(0, 2));
+        assert!(a.union(b).is_superset_of(a));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn iter_is_ascending_and_exact() {
+        let s: GpuSet = [GpuId(5), GpuId(1), GpuId(3)].into_iter().collect();
+        let ids: Vec<usize> = s.iter().map(|g| g.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn take_lowest_selects_smallest_ids() {
+        let s: GpuSet = [GpuId(7), GpuId(2), GpuId(4), GpuId(0)].into_iter().collect();
+        assert_eq!(
+            s.take_lowest(2),
+            Some([GpuId(0), GpuId(2)].into_iter().collect())
+        );
+        assert_eq!(s.take_lowest(5), None);
+    }
+
+    #[test]
+    fn lowest_member() {
+        assert_eq!(GpuSet::EMPTY.lowest(), None);
+        assert_eq!(GpuSet::contiguous(3, 2).lowest(), Some(GpuId(3)));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = GpuSet::contiguous(1, 2);
+        assert_eq!(format!("{s:?}"), "GpuSet{1,2}");
+        assert_eq!(format!("{:?}", GpuSet::EMPTY), "GpuSet{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_rejects_out_of_range() {
+        let _ = GpuSet::single(GpuId(64));
+    }
+
+    proptest! {
+        /// Union/intersection/difference behave like their `u64` bit ops and
+        /// the cardinalities are consistent.
+        #[test]
+        fn prop_algebra_consistent(a in any::<u64>(), b in any::<u64>()) {
+            let (sa, sb) = (GpuSet::from_mask(a), GpuSet::from_mask(b));
+            prop_assert_eq!(
+                sa.union(sb).len() + sa.intersection(sb).len(),
+                sa.len() + sb.len()
+            );
+            prop_assert_eq!(sa.difference(sb).union(sa.intersection(sb)), sa);
+        }
+
+        /// take_lowest returns a subset of the requested size containing the
+        /// smallest ids.
+        #[test]
+        fn prop_take_lowest(mask in any::<u64>(), n in 0usize..8) {
+            let s = GpuSet::from_mask(mask);
+            match s.take_lowest(n) {
+                Some(t) => {
+                    prop_assert_eq!(t.len(), n);
+                    prop_assert!(s.is_superset_of(t));
+                    // Every member outside t is larger than every member of t.
+                    if let Some(max_t) = t.iter().map(|g| g.0).max() {
+                        for g in s.difference(t).iter() {
+                            prop_assert!(g.0 > max_t);
+                        }
+                    }
+                }
+                None => prop_assert!(s.len() < n),
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Communication process-group lifecycle.
+//!
+//! Mirrors §5 "Communication Process Groups Warmup" of the paper: creating a
+//! group is free, but the *first* collective on a group initialises NCCL
+//! channels (a latency cost) and allocates persistent device buffers on each
+//! member (a memory cost). TetriServe pre-warms a compact set of commonly
+//! used groups and defers the rest to on-demand warm-up; both behaviours are
+//! reproduced here.
+
+use std::collections::HashSet;
+
+use crate::gpuset::GpuSet;
+use crate::time::SimDuration;
+
+/// Tracks which process groups have been warmed and charges warm-up costs.
+#[derive(Debug, Clone)]
+pub struct ProcessGroupCache {
+    warmed: HashSet<u64>,
+    warmup_cost: SimDuration,
+    buffer_bytes_per_member: u64,
+}
+
+impl ProcessGroupCache {
+    /// Creates a cache with the given first-use warm-up latency and NCCL
+    /// buffer footprint per member GPU.
+    pub fn new(warmup_cost: SimDuration, buffer_bytes_per_member: u64) -> Self {
+        ProcessGroupCache {
+            warmed: HashSet::new(),
+            warmup_cost,
+            buffer_bytes_per_member,
+        }
+    }
+
+    /// Marks `groups` as pre-warmed (start-up warm-up, off the serving path).
+    ///
+    /// Returns the total NCCL buffer bytes committed across all member GPUs,
+    /// so callers can account the memory cost of eager warm-up that §5 warns
+    /// about.
+    pub fn prewarm<I: IntoIterator<Item = GpuSet>>(&mut self, groups: I) -> u64 {
+        let mut bytes = 0;
+        for g in groups {
+            if g.len() >= 2 && self.warmed.insert(g.mask()) {
+                bytes += self.buffer_bytes_per_member * g.len() as u64;
+            }
+        }
+        bytes
+    }
+
+    /// Ensures `group` is warm, returning the latency charged to the first
+    /// collective (zero when already warm or when the group has fewer than
+    /// two members, which needs no communicator).
+    pub fn ensure(&mut self, group: GpuSet) -> SimDuration {
+        if group.len() < 2 {
+            return SimDuration::ZERO;
+        }
+        if self.warmed.insert(group.mask()) {
+            self.warmup_cost
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Whether `group` is already warm.
+    pub fn is_warm(&self, group: GpuSet) -> bool {
+        group.len() < 2 || self.warmed.contains(&group.mask())
+    }
+
+    /// Number of warmed multi-GPU groups.
+    pub fn warmed_count(&self) -> usize {
+        self.warmed.len()
+    }
+
+    /// Total NCCL buffer bytes held per member across warmed groups that
+    /// include `gpu_index`.
+    pub fn buffer_bytes_on(&self, gpu_index: usize) -> u64 {
+        self.warmed
+            .iter()
+            .filter(|mask| (*mask >> gpu_index) & 1 == 1)
+            .count() as u64
+            * self.buffer_bytes_per_member
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpuset::GpuSet;
+
+    fn cache() -> ProcessGroupCache {
+        ProcessGroupCache::new(SimDuration::from_millis(150), 64 << 20)
+    }
+
+    #[test]
+    fn first_use_pays_then_free() {
+        let mut c = cache();
+        let g = GpuSet::contiguous(0, 4);
+        assert_eq!(c.ensure(g), SimDuration::from_millis(150));
+        assert_eq!(c.ensure(g), SimDuration::ZERO);
+        assert!(c.is_warm(g));
+    }
+
+    #[test]
+    fn single_gpu_groups_are_free() {
+        let mut c = cache();
+        let g = GpuSet::contiguous(3, 1);
+        assert_eq!(c.ensure(g), SimDuration::ZERO);
+        assert!(c.is_warm(g));
+        assert_eq!(c.warmed_count(), 0);
+    }
+
+    #[test]
+    fn prewarm_accounts_memory_once() {
+        let mut c = cache();
+        let g2 = GpuSet::contiguous(0, 2);
+        let g4 = GpuSet::contiguous(0, 4);
+        let bytes = c.prewarm([g2, g4, g2]);
+        assert_eq!(bytes, (64 << 20) * 6);
+        assert_eq!(c.ensure(g2), SimDuration::ZERO);
+        assert_eq!(c.warmed_count(), 2);
+    }
+
+    #[test]
+    fn buffer_bytes_counts_groups_containing_gpu() {
+        let mut c = cache();
+        c.prewarm([GpuSet::contiguous(0, 2), GpuSet::contiguous(0, 4)]);
+        assert_eq!(c.buffer_bytes_on(0), (64 << 20) * 2);
+        assert_eq!(c.buffer_bytes_on(3), 64 << 20);
+        assert_eq!(c.buffer_bytes_on(7), 0);
+    }
+
+    #[test]
+    fn distinct_groups_warm_independently() {
+        let mut c = cache();
+        assert!(!c.ensure(GpuSet::contiguous(0, 2)).is_zero());
+        assert!(!c.ensure(GpuSet::contiguous(2, 2)).is_zero());
+        assert_eq!(c.warmed_count(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Latent hand-off between GPU groups.
+//!
+//! TetriServe executes at step granularity, so when the scheduler changes a
+//! request's parallel degree (or GPU set) between rounds, the intermediate
+//! latent tensor must move to the new group. The paper models this with a
+//! *Future-like* abstraction whose transfer cost is negligible because
+//! latents live in the compressed latent space (§5 "Latent Transfer",
+//! Table 4: < 0.05% of step latency). We reproduce both the mechanism and
+//! the accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_simulator::latent::{transfer_time, LatentHandle};
+//! use tetriserve_simulator::time::SimTime;
+//!
+//! // A 2 MiB latent over a 300 GB/s NVSwitch path is ready in microseconds.
+//! let d = transfer_time(2 << 20, 300.0);
+//! let handle = LatentHandle::transferring(SimTime::ZERO, d);
+//! assert!(handle.ready_at() < SimTime::from_millis(1));
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+
+/// Transfer latency of `bytes` over a path with the given bandwidth.
+///
+/// Adds a fixed 5 µs launch latency for the copy kernel / NCCL send, which
+/// dominates for the tiny latents of small resolutions.
+///
+/// # Panics
+///
+/// Panics if `bandwidth_gbps` is not positive.
+pub fn transfer_time(bytes: u64, bandwidth_gbps: f64) -> SimDuration {
+    assert!(
+        bandwidth_gbps > 0.0,
+        "latent transfer bandwidth must be positive, got {bandwidth_gbps}"
+    );
+    if bandwidth_gbps.is_infinite() {
+        return SimDuration::from_micros(5);
+    }
+    let secs = bytes as f64 / (bandwidth_gbps * 1e9);
+    SimDuration::from_secs_f64(secs) + SimDuration::from_micros(5)
+}
+
+/// A Future-like handle to a request's latent tensor.
+///
+/// Downstream steps may be *scheduled* before the transfer completes; they
+/// simply cannot *start* before [`LatentHandle::ready_at`]. The engine uses
+/// this to overlap scheduling decisions with asynchronous latent movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatentHandle {
+    ready_at: SimTime,
+    transfer: SimDuration,
+}
+
+impl LatentHandle {
+    /// A latent that is already resident on the executing group.
+    pub fn resident(now: SimTime) -> Self {
+        LatentHandle {
+            ready_at: now,
+            transfer: SimDuration::ZERO,
+        }
+    }
+
+    /// A latent in flight: becomes ready `transfer` after `start`.
+    pub fn transferring(start: SimTime, transfer: SimDuration) -> Self {
+        LatentHandle {
+            ready_at: start + transfer,
+            transfer,
+        }
+    }
+
+    /// When the latent is available on the destination group.
+    pub fn ready_at(self) -> SimTime {
+        self.ready_at
+    }
+
+    /// The transfer cost paid (zero for resident latents).
+    pub fn transfer_cost(self) -> SimDuration {
+        self.transfer
+    }
+
+    /// Whether the latent is ready at `now`.
+    pub fn is_ready(self, now: SimTime) -> bool {
+        now >= self.ready_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let small = transfer_time(1 << 10, 300.0);
+        let large = transfer_time(64 << 20, 300.0);
+        assert!(large > small);
+        // 64 MiB at 300 GB/s ≈ 224 µs + launch.
+        assert!(large < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn transfer_time_has_launch_floor() {
+        assert!(transfer_time(0, 300.0) >= SimDuration::from_micros(5));
+        assert_eq!(transfer_time(1 << 30, f64::INFINITY), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn handle_ready_semantics() {
+        let start = SimTime::from_millis(10);
+        let h = LatentHandle::transferring(start, SimDuration::from_micros(40));
+        assert!(!h.is_ready(start));
+        assert!(h.is_ready(start + SimDuration::from_micros(40)));
+        assert_eq!(h.transfer_cost(), SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn resident_handle_is_free_and_ready() {
+        let now = SimTime::from_millis(3);
+        let h = LatentHandle::resident(now);
+        assert!(h.is_ready(now));
+        assert_eq!(h.transfer_cost(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn transfer_rejects_zero_bandwidth() {
+        transfer_time(1, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-GPU memory accounting.
+//!
+//! §5 of the paper motivates two memory-aware designs: sequential VAE
+//! decoding (to bound peak activation memory) and selective process-group
+//! warm-up (because every warmed NCCL group pins persistent device
+//! buffers). [`MemoryTracker`] gives the engine enough bookkeeping to report
+//! peak HBM usage per GPU and to flag would-be OOM conditions under mixed
+//! workloads.
+
+use crate::gpuset::{GpuId, GpuSet};
+
+/// Tracks resident and peak memory per GPU.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity_bytes: u64,
+    static_bytes: Vec<u64>,
+    current_dynamic: Vec<u64>,
+    peak_total: Vec<u64>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for `n_gpus` devices with `capacity_bytes` HBM each
+    /// and `weights_bytes` of model state resident on every device.
+    pub fn new(n_gpus: usize, capacity_bytes: u64, weights_bytes: u64) -> Self {
+        MemoryTracker {
+            capacity_bytes,
+            static_bytes: vec![weights_bytes; n_gpus],
+            current_dynamic: vec![0; n_gpus],
+            peak_total: vec![weights_bytes; n_gpus],
+        }
+    }
+
+    /// Permanently commits `bytes` on `gpu` (e.g. NCCL buffers on warm-up).
+    pub fn commit_static(&mut self, gpu: GpuId, bytes: u64) {
+        self.static_bytes[gpu.0] += bytes;
+        self.refresh_peak(gpu.0);
+    }
+
+    /// Charges transient `bytes_per_gpu` across `gpus` (activation memory of
+    /// a running dispatch). Pair with [`MemoryTracker::release`].
+    pub fn charge(&mut self, gpus: GpuSet, bytes_per_gpu: u64) {
+        for g in gpus.iter() {
+            self.current_dynamic[g.0] += bytes_per_gpu;
+            self.refresh_peak(g.0);
+        }
+    }
+
+    /// Releases transient memory previously charged with
+    /// [`MemoryTracker::charge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than is currently charged (an engine
+    /// accounting bug).
+    pub fn release(&mut self, gpus: GpuSet, bytes_per_gpu: u64) {
+        for g in gpus.iter() {
+            self.current_dynamic[g.0] = self.current_dynamic[g.0]
+                .checked_sub(bytes_per_gpu)
+                .expect("memory release exceeds charged amount");
+        }
+    }
+
+    fn refresh_peak(&mut self, idx: usize) {
+        let total = self.static_bytes[idx] + self.current_dynamic[idx];
+        if total > self.peak_total[idx] {
+            self.peak_total[idx] = total;
+        }
+    }
+
+    /// Current total residency on `gpu`.
+    pub fn resident_bytes(&self, gpu: GpuId) -> u64 {
+        self.static_bytes[gpu.0] + self.current_dynamic[gpu.0]
+    }
+
+    /// Peak total residency observed on `gpu`.
+    pub fn peak_bytes(&self, gpu: GpuId) -> u64 {
+        self.peak_total[gpu.0]
+    }
+
+    /// The largest peak across all GPUs.
+    pub fn peak_bytes_max(&self) -> u64 {
+        self.peak_total.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether any GPU's peak exceeded its HBM capacity.
+    pub fn oom_occurred(&self) -> bool {
+        self.peak_total.iter().any(|&p| p > self.capacity_bytes)
+    }
+
+    /// Device HBM capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn tracker() -> MemoryTracker {
+        MemoryTracker::new(4, 80 * GIB, 24 * GIB)
+    }
+
+    #[test]
+    fn weights_are_resident_from_start() {
+        let t = tracker();
+        assert_eq!(t.resident_bytes(GpuId(0)), 24 * GIB);
+        assert_eq!(t.peak_bytes_max(), 24 * GIB);
+        assert!(!t.oom_occurred());
+    }
+
+    #[test]
+    fn charge_release_round_trip() {
+        let mut t = tracker();
+        let gpus = GpuSet::contiguous(0, 2);
+        t.charge(gpus, 10 * GIB);
+        assert_eq!(t.resident_bytes(GpuId(0)), 34 * GIB);
+        assert_eq!(t.resident_bytes(GpuId(2)), 24 * GIB);
+        t.release(gpus, 10 * GIB);
+        assert_eq!(t.resident_bytes(GpuId(1)), 24 * GIB);
+        // Peak persists after release.
+        assert_eq!(t.peak_bytes(GpuId(0)), 34 * GIB);
+    }
+
+    #[test]
+    fn static_commits_accumulate() {
+        let mut t = tracker();
+        t.commit_static(GpuId(1), GIB);
+        t.commit_static(GpuId(1), GIB);
+        assert_eq!(t.resident_bytes(GpuId(1)), 26 * GIB);
+    }
+
+    #[test]
+    fn oom_detection() {
+        let mut t = tracker();
+        t.charge(GpuSet::single(GpuId(3)), 60 * GIB);
+        assert!(t.oom_occurred());
+        t.release(GpuSet::single(GpuId(3)), 60 * GIB);
+        // OOM is sticky: the peak already exceeded capacity.
+        assert!(t.oom_occurred());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds charged")]
+    fn over_release_panics() {
+        let mut t = tracker();
+        t.release(GpuSet::single(GpuId(0)), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded randomness helpers.
+//!
+//! All stochastic behaviour in the simulator (step-time jitter, workload
+//! sampling) flows through [`SimRng`], a thin deterministic wrapper around a
+//! seeded [`rand::rngs::SmallRng`]. Gaussian variates are produced with the
+//! Box–Muller transform so the crate needs no distribution dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_simulator::rng::SimRng;
+//!
+//! let mut a = SimRng::seed_from_u64(7);
+//! let mut b = SimRng::seed_from_u64(7);
+//! assert_eq!(a.uniform(), b.uniform());
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic random-number source for the simulator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SimRng::below requires n > 0");
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal sample (mean 0, variance 1) via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = self.uniform();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Multiplicative jitter factor `max(ε, N(1, cv))`.
+    ///
+    /// Used to perturb step execution times with a target coefficient of
+    /// variation; the floor keeps a pathological draw from producing a
+    /// non-positive duration.
+    pub fn jitter_factor(&mut self, cv: f64) -> f64 {
+        if cv <= 0.0 {
+            return 1.0;
+        }
+        self.normal(1.0, cv).max(0.05)
+    }
+
+    /// Exponential sample with the given mean (inverse rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Splits off an independent child RNG; deterministic given the parent
+    /// state.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.inner.random::<u64>();
+        SimRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4, "streams should diverge, {same}/32 equal");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_factor_hits_target_cv() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.jitter_factor(0.005)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.005).abs() < 0.0005, "cv {cv}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn jitter_factor_disabled_for_zero_cv() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert_eq!(rng.jitter_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seed_from_u64(1234);
+        let mut b = SimRng::seed_from_u64(1234);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.uniform().to_bits(), fb.uniform().to_bits());
+    }
+}

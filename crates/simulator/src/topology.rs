@@ -1,0 +1,262 @@
+//! GPU interconnect topology.
+//!
+//! The two testbeds evaluated in the paper are modelled explicitly:
+//!
+//! * **8×H100 (NVLink 4.0)** — every GPU pair is connected through the
+//!   NVSwitch fabric at full bandwidth (900 GB/s aggregate per GPU).
+//! * **4×A40 (paired NVLink + PCIe 4.0)** — GPUs are NVLink-bridged in pairs
+//!   `(0,1)` and `(2,3)`; any traffic crossing pairs goes over PCIe 4.0
+//!   (≈32 GB/s per direction).
+//!
+//! Collective cost models ask a topology for the *bottleneck per-GPU
+//! bandwidth* of a group: the slowest link any member of the group must use
+//! to reach another member. On the A40 box this is what makes a poorly
+//! placed SP=2 group (one GPU from each pair) dramatically slower than an
+//! aligned one — the effect §6.4 of the paper attributes to PCIe crossings.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_simulator::gpuset::GpuSet;
+//! use tetriserve_simulator::topology::Topology;
+//!
+//! let a40 = Topology::a40_paired(4);
+//! let aligned = GpuSet::contiguous(0, 2);   // {0,1}: NVLink pair
+//! let crossed = GpuSet::from_mask(0b0101);  // {0,2}: crosses PCIe
+//! assert!(a40.group_bandwidth_gbps(aligned) > a40.group_bandwidth_gbps(crossed));
+//! ```
+
+use crate::gpuset::{GpuId, GpuSet};
+
+/// Kind of link between two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// NVLink through an NVSwitch fabric (H100-class, all-to-all).
+    NvSwitch,
+    /// A direct NVLink bridge between two GPUs (A40-class pairs).
+    NvLinkBridge,
+    /// Host PCIe path between GPUs without a direct NVLink.
+    Pcie,
+    /// The GPU itself (no transfer needed).
+    Local,
+}
+
+impl LinkKind {
+    /// Effective per-direction bandwidth usable by a collective, in GB/s.
+    ///
+    /// These are *achievable* collective bandwidths, not marketing peaks:
+    /// NVSwitch H100 collectives (with NVLS/SHARP offload) sustain a bit
+    /// under half the 900 GB/s aggregate per GPU; a two-GPU NVLink bridge
+    /// on A40 sustains ≈ 50 GB/s; PCIe 4.0 x16 ≈ 22 GB/s after protocol
+    /// overhead.
+    pub fn effective_bandwidth_gbps(self) -> f64 {
+        match self {
+            LinkKind::NvSwitch => 400.0,
+            LinkKind::NvLinkBridge => 50.0,
+            LinkKind::Pcie => 22.0,
+            LinkKind::Local => f64::INFINITY,
+        }
+    }
+}
+
+/// Interconnect layout of a single multi-GPU node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n_gpus: usize,
+    layout: Layout,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Layout {
+    /// All pairs connected through a switch fabric.
+    Switched,
+    /// GPUs `2i` and `2i+1` share an NVLink bridge; other pairs use PCIe.
+    Paired,
+}
+
+impl Topology {
+    /// An H100-style node: `n` GPUs, full NVSwitch connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`GpuSet::MAX_GPUS`].
+    pub fn h100_nvlink(n: usize) -> Self {
+        Self::new(n, Layout::Switched)
+    }
+
+    /// An A40-style node: `n` GPUs NVLink-bridged in adjacent pairs,
+    /// PCIe 4.0 between pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`GpuSet::MAX_GPUS`].
+    pub fn a40_paired(n: usize) -> Self {
+        Self::new(n, Layout::Paired)
+    }
+
+    fn new(n: usize, layout: Layout) -> Self {
+        assert!(
+            n > 0 && n <= GpuSet::MAX_GPUS,
+            "topology size {n} out of range 1..={}",
+            GpuSet::MAX_GPUS
+        );
+        Topology { n_gpus: n, layout }
+    }
+
+    /// Number of GPUs in the node.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// The set of all GPUs in the node.
+    pub fn all_gpus(&self) -> GpuSet {
+        GpuSet::first_n(self.n_gpus)
+    }
+
+    /// The link kind between two GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the node.
+    pub fn link(&self, a: GpuId, b: GpuId) -> LinkKind {
+        assert!(
+            a.0 < self.n_gpus && b.0 < self.n_gpus,
+            "gpu id out of range for {}-GPU node",
+            self.n_gpus
+        );
+        if a == b {
+            return LinkKind::Local;
+        }
+        match self.layout {
+            Layout::Switched => LinkKind::NvSwitch,
+            Layout::Paired => {
+                if a.0 / 2 == b.0 / 2 {
+                    LinkKind::NvLinkBridge
+                } else {
+                    LinkKind::Pcie
+                }
+            }
+        }
+    }
+
+    /// Bottleneck per-GPU collective bandwidth over `group`, in GB/s.
+    ///
+    /// Defined as the minimum effective bandwidth over every pair of group
+    /// members: an all-to-all over the group can progress no faster than its
+    /// slowest required link. Single-GPU (or empty) groups report infinite
+    /// bandwidth since no transfer occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group contains GPUs outside the node.
+    pub fn group_bandwidth_gbps(&self, group: GpuSet) -> f64 {
+        let members: Vec<GpuId> = group.iter().collect();
+        if let Some(max) = members.last() {
+            assert!(
+                max.0 < self.n_gpus,
+                "group {group:?} contains GPUs outside the {}-GPU node",
+                self.n_gpus
+            );
+        }
+        if members.len() < 2 {
+            return f64::INFINITY;
+        }
+        let mut min_bw = f64::INFINITY;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                min_bw = min_bw.min(self.link(a, b).effective_bandwidth_gbps());
+            }
+        }
+        min_bw
+    }
+
+    /// Whether a group avoids every PCIe crossing (A40 "good placement").
+    pub fn group_is_nvlink_only(&self, group: GpuSet) -> bool {
+        let members: Vec<GpuId> = group.iter().collect();
+        members.iter().enumerate().all(|(i, &a)| {
+            members[i + 1..]
+                .iter()
+                .all(|&b| self.link(a, b) != LinkKind::Pcie)
+        })
+    }
+
+    /// Enumerates the *aligned* candidate placements of size `k` (a power of
+    /// two): blocks `{0..k}`, `{k..2k}`, …
+    ///
+    /// On the paired layout these blocks are exactly the placements that
+    /// maximise NVLink usage for their size; on a switched layout alignment
+    /// is irrelevant but harmless.
+    pub fn aligned_blocks(&self, k: usize) -> Vec<GpuSet> {
+        assert!(k > 0 && k.is_power_of_two(), "block size {k} must be a power of two");
+        (0..self.n_gpus / k)
+            .map(|i| GpuSet::contiguous(i * k, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_is_uniform() {
+        let t = Topology::h100_nvlink(8);
+        assert_eq!(t.link(GpuId(0), GpuId(7)), LinkKind::NvSwitch);
+        assert_eq!(t.link(GpuId(3), GpuId(3)), LinkKind::Local);
+        let any_group = GpuSet::from_mask(0b1010_0101);
+        assert_eq!(t.group_bandwidth_gbps(any_group), 400.0);
+        assert!(t.group_is_nvlink_only(any_group));
+    }
+
+    #[test]
+    fn a40_pairs_are_nvlink_crossings_are_pcie() {
+        let t = Topology::a40_paired(4);
+        assert_eq!(t.link(GpuId(0), GpuId(1)), LinkKind::NvLinkBridge);
+        assert_eq!(t.link(GpuId(2), GpuId(3)), LinkKind::NvLinkBridge);
+        assert_eq!(t.link(GpuId(1), GpuId(2)), LinkKind::Pcie);
+        assert_eq!(t.link(GpuId(0), GpuId(3)), LinkKind::Pcie);
+    }
+
+    #[test]
+    fn a40_group_bandwidth_depends_on_placement() {
+        let t = Topology::a40_paired(4);
+        let aligned = GpuSet::contiguous(0, 2);
+        let crossed = GpuSet::from_mask(0b0101);
+        assert_eq!(t.group_bandwidth_gbps(aligned), 50.0);
+        assert_eq!(t.group_bandwidth_gbps(crossed), 22.0);
+        // Any 4-GPU group on a 4-GPU paired node must cross PCIe.
+        assert_eq!(t.group_bandwidth_gbps(t.all_gpus()), 22.0);
+        assert!(!t.group_is_nvlink_only(t.all_gpus()));
+    }
+
+    #[test]
+    fn single_gpu_group_needs_no_bandwidth() {
+        let t = Topology::a40_paired(4);
+        assert!(t.group_bandwidth_gbps(GpuSet::single(GpuId(2))).is_infinite());
+        assert!(t.group_bandwidth_gbps(GpuSet::EMPTY).is_infinite());
+    }
+
+    #[test]
+    fn aligned_blocks_tile_the_node() {
+        let t = Topology::h100_nvlink(8);
+        let blocks = t.aligned_blocks(2);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0], GpuSet::contiguous(0, 2));
+        assert_eq!(blocks[3], GpuSet::contiguous(6, 2));
+        let union = blocks.iter().fold(GpuSet::EMPTY, |acc, b| acc.union(*b));
+        assert_eq!(union, t.all_gpus());
+        assert_eq!(t.aligned_blocks(8).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn aligned_blocks_rejects_non_power_of_two() {
+        Topology::h100_nvlink(8).aligned_blocks(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn link_rejects_foreign_gpu() {
+        Topology::a40_paired(4).link(GpuId(0), GpuId(4));
+    }
+}

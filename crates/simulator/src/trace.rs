@@ -1,0 +1,224 @@
+//! Execution trace.
+//!
+//! The engine records everything that happens on the simulated cluster. The
+//! metrics crate post-processes traces into the paper's figures: dispatch
+//! records carry the sequence-parallel degree per executed step (Figure 11),
+//! latent-transfer records carry the per-hand-off overhead (Table 4), and
+//! stall records quantify what GPU placement preservation saves (Table 5).
+
+use crate::gpuset::GpuSet;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a serving request, assigned by the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Identifier of one engine dispatch (a contiguous run of steps on a fixed
+/// GPU set, possibly batched over several requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DispatchId(pub u64);
+
+/// One recorded cluster event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A dispatch began executing.
+    DispatchStart {
+        /// When execution (after stalls/warm-up) began.
+        time: SimTime,
+        /// The dispatch identifier.
+        dispatch: DispatchId,
+        /// Batched requests advancing together.
+        requests: Vec<RequestId>,
+        /// GPUs executing the dispatch.
+        gpus: GpuSet,
+        /// Number of diffusion steps executed.
+        steps: u32,
+        /// Actual (jittered) mean per-step latency.
+        per_step: SimDuration,
+    },
+    /// A dispatch ran all its steps.
+    DispatchDone {
+        /// Completion time of the last step.
+        time: SimTime,
+        /// The dispatch identifier.
+        dispatch: DispatchId,
+    },
+    /// A request finished every diffusion step and its VAE decode.
+    RequestDone {
+        /// End-to-end completion time.
+        time: SimTime,
+        /// The finished request.
+        request: RequestId,
+    },
+    /// A latent moved between GPU groups because the placement changed.
+    LatentTransfer {
+        /// When the transfer started.
+        time: SimTime,
+        /// The request whose latent moved.
+        request: RequestId,
+        /// Latent size.
+        bytes: u64,
+        /// Time the transfer took.
+        duration: SimDuration,
+    },
+    /// A dispatch was delayed before starting (remap stall or group warm-up).
+    Stall {
+        /// When the stall began.
+        time: SimTime,
+        /// The affected dispatch.
+        dispatch: DispatchId,
+        /// Stall length.
+        duration: SimDuration,
+        /// Why the dispatch stalled.
+        reason: StallReason,
+    },
+}
+
+/// Why a dispatch could not start immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The request moved to a different GPU set and had to re-establish its
+    /// distributed context.
+    Remap,
+    /// First collective on a cold process group (NCCL channel init).
+    GroupWarmup,
+}
+
+/// An append-only log of [`TraceEvent`]s in non-decreasing time order per
+/// producer.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over dispatch-start records.
+    pub fn dispatch_starts(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DispatchStart { .. }))
+    }
+
+    /// Total latent-transfer time charged to `request`.
+    pub fn latent_transfer_total(&self, request: RequestId) -> SimDuration {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::LatentTransfer {
+                    request: r,
+                    duration,
+                    ..
+                } if *r == request => Some(*duration),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total stall time across all dispatches, broken down by reason.
+    pub fn stall_totals(&self) -> (SimDuration, SimDuration) {
+        let mut remap = SimDuration::ZERO;
+        let mut warmup = SimDuration::ZERO;
+        for e in &self.events {
+            if let TraceEvent::Stall {
+                duration, reason, ..
+            } = e
+            {
+                match reason {
+                    StallReason::Remap => remap += *duration,
+                    StallReason::GroupWarmup => warmup += *duration,
+                }
+            }
+        }
+        (remap, warmup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries_events() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::DispatchStart {
+            time: SimTime::ZERO,
+            dispatch: DispatchId(0),
+            requests: vec![RequestId(1)],
+            gpus: GpuSet::contiguous(0, 2),
+            steps: 5,
+            per_step: SimDuration::from_millis(10),
+        });
+        t.record(TraceEvent::LatentTransfer {
+            time: SimTime::from_millis(1),
+            request: RequestId(1),
+            bytes: 1024,
+            duration: SimDuration::from_micros(30),
+        });
+        t.record(TraceEvent::LatentTransfer {
+            time: SimTime::from_millis(2),
+            request: RequestId(2),
+            bytes: 1024,
+            duration: SimDuration::from_micros(99),
+        });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dispatch_starts().count(), 1);
+        assert_eq!(
+            t.latent_transfer_total(RequestId(1)),
+            SimDuration::from_micros(30)
+        );
+    }
+
+    #[test]
+    fn stall_totals_split_by_reason() {
+        let mut t = Trace::new();
+        for (d, reason) in [(5u64, StallReason::Remap), (7, StallReason::GroupWarmup), (3, StallReason::Remap)] {
+            t.record(TraceEvent::Stall {
+                time: SimTime::ZERO,
+                dispatch: DispatchId(0),
+                duration: SimDuration::from_millis(d),
+                reason,
+            });
+        }
+        let (remap, warm) = t.stall_totals();
+        assert_eq!(remap, SimDuration::from_millis(8));
+        assert_eq!(warm, SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn empty_trace_queries() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.latent_transfer_total(RequestId(0)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,169 @@
+//! Curated workload scenarios.
+//!
+//! Named, documented request-stream constructors for common evaluation
+//! situations — the paper's defaults plus stress shapes this reproduction
+//! adds. Each returns plain [`GeneratedRequest`]s so any harness can serve
+//! them.
+
+use tetriserve_costmodel::Resolution;
+
+use crate::arrival::{BurstyProcess, PoissonProcess};
+use crate::gen::{GeneratedRequest, TraceGen};
+use crate::mix::ResolutionMix;
+use crate::prompt::PromptLibrary;
+use crate::slo::SloPolicy;
+
+/// The §6.1 default: Uniform mix, Poisson 12 req/min, paper SLOs.
+pub fn paper_uniform(n: usize, slo_scale: f64, seed: u64) -> Vec<GeneratedRequest> {
+    TraceGen::new(
+        PoissonProcess::new(12.0),
+        ResolutionMix::uniform(),
+        SloPolicy::paper_targets().scaled(slo_scale),
+        PromptLibrary::diffusiondb_like(seed),
+        seed,
+    )
+    .generate(n)
+}
+
+/// The §6.1 Skewed mix at the default rate.
+pub fn paper_skewed(n: usize, slo_scale: f64, seed: u64) -> Vec<GeneratedRequest> {
+    TraceGen::new(
+        PoissonProcess::new(12.0),
+        ResolutionMix::skewed(),
+        SloPolicy::paper_targets().scaled(slo_scale),
+        PromptLibrary::diffusiondb_like(seed),
+        seed,
+    )
+    .generate(n)
+}
+
+/// A flash crowd: strong MMPP bursts (6× for 10% of the time) over the
+/// Uniform mix — harsher than §6.3's default burstiness.
+pub fn flash_crowd(n: usize, mean_rate_per_min: f64, seed: u64) -> Vec<GeneratedRequest> {
+    TraceGen::new(
+        BurstyProcess::new(mean_rate_per_min, 6.0, 0.1, 10.0),
+        ResolutionMix::uniform(),
+        SloPolicy::paper_targets().scaled(1.5),
+        PromptLibrary::diffusiondb_like(seed),
+        seed,
+    )
+    .generate(n)
+}
+
+/// A deadline cliff: `n` requests of one resolution arriving in a tight
+/// window, all due at (nearly) the same absolute time — the pure packing
+/// stress where the group-knapsack structure matters most.
+///
+/// # Panics
+///
+/// Panics if `window_s` or `common_slo_s` is not positive.
+pub fn deadline_cliff(
+    n: usize,
+    res: Resolution,
+    window_s: f64,
+    common_slo_s: f64,
+    seed: u64,
+) -> Vec<GeneratedRequest> {
+    assert!(window_s > 0.0 && common_slo_s > 0.0, "positive window and SLO required");
+    let mut prompts = PromptLibrary::diffusiondb_like(seed);
+    let mut rng = tetriserve_simulator::rng::SimRng::seed_from_u64(seed);
+    let deadline = window_s + common_slo_s;
+    (0..n as u64)
+        .map(|id| {
+            let arrival_s = rng.uniform() * window_s;
+            GeneratedRequest {
+                id,
+                arrival_s,
+                resolution: res,
+                deadline_s: deadline,
+                prompt: prompts.next_prompt(),
+            }
+        })
+        .collect()
+}
+
+/// Alternating elephants and mice: 2048² requests interleaved with bursts
+/// of 256² ones — the head-of-line-blocking shape from Figure 1.
+pub fn elephants_and_mice(pairs: usize, seed: u64) -> Vec<GeneratedRequest> {
+    let mut prompts = PromptLibrary::diffusiondb_like(seed);
+    let slo = SloPolicy::paper_targets();
+    let mut out = Vec::with_capacity(pairs * 4);
+    let mut id = 0u64;
+    for p in 0..pairs {
+        let base = p as f64 * 20.0;
+        let mut push = |arrival_s: f64, res: Resolution| {
+            out.push(GeneratedRequest {
+                id,
+                arrival_s,
+                resolution: res,
+                deadline_s: arrival_s + slo.budget(res).as_secs_f64(),
+                prompt: prompts.next_prompt(),
+            });
+            id += 1;
+        };
+        push(base, Resolution::R2048);
+        push(base + 0.5, Resolution::R256);
+        push(base + 1.0, Resolution::R256);
+        push(base + 1.5, Resolution::R256);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios_match_their_parameters() {
+        let uni = paper_uniform(100, 1.2, 1);
+        assert_eq!(uni.len(), 100);
+        for r in &uni {
+            let budget = r.deadline_s - r.arrival_s;
+            let base = SloPolicy::paper_targets().budget(r.resolution).as_secs_f64();
+            assert!((budget - base * 1.2).abs() < 1e-9);
+        }
+        let skew = paper_skewed(400, 1.0, 2);
+        let large = skew
+            .iter()
+            .filter(|r| r.resolution == Resolution::R2048)
+            .count();
+        assert!(large > 100, "skewed mix is large-biased: {large}/400");
+    }
+
+    #[test]
+    fn deadline_cliff_shares_one_deadline() {
+        let cliff = deadline_cliff(12, Resolution::R512, 2.0, 3.0, 7);
+        assert_eq!(cliff.len(), 12);
+        let d0 = cliff[0].deadline_s;
+        assert!(cliff.iter().all(|r| (r.deadline_s - d0).abs() < 1e-9));
+        assert!(cliff.iter().all(|r| r.arrival_s <= 2.0));
+        assert!(cliff.iter().all(|r| r.resolution == Resolution::R512));
+    }
+
+    #[test]
+    fn elephants_and_mice_interleave() {
+        let w = elephants_and_mice(5, 3);
+        assert_eq!(w.len(), 20);
+        let elephants = w.iter().filter(|r| r.resolution == Resolution::R2048).count();
+        assert_eq!(elephants, 5);
+        // Each mouse trails its elephant within two seconds.
+        for chunk in w.chunks(4) {
+            assert_eq!(chunk[0].resolution, Resolution::R2048);
+            assert!(chunk[3].arrival_s - chunk[0].arrival_s < 2.0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_is_rate_preserving() {
+        let w = flash_crowd(600, 12.0, 9);
+        let span_min = w.last().unwrap().arrival_s / 60.0;
+        let rate = w.len() as f64 / span_min;
+        assert!((rate - 12.0).abs() < 2.0, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cliff_rejects_bad_window() {
+        deadline_cliff(1, Resolution::R256, 0.0, 1.0, 0);
+    }
+}

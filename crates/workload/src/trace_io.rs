@@ -1,0 +1,202 @@
+//! Plain-text persistence of workload traces.
+//!
+//! Experiments become portable when the exact request stream can be saved
+//! and replayed. [`TraceRecord`]s round-trip through a simple CSV dialect
+//! (header + one line per request) that needs no extra dependencies and
+//! diffs cleanly under version control.
+
+use tetriserve_costmodel::Resolution;
+
+use crate::gen::TraceRecord;
+
+/// The CSV header line.
+pub const HEADER: &str = "id,arrival_s,tokens,deadline_s,prompt_cluster";
+
+/// Errors from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The header line was missing or different.
+    BadHeader {
+        /// What the first line actually contained.
+        found: String,
+    },
+    /// A data line had the wrong number of fields or an unparsable value.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A token count that does not correspond to a square multiple-of-16
+    /// resolution.
+    BadTokens {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending token count.
+        tokens: u64,
+    },
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::BadHeader { found } => {
+                write!(f, "expected header {HEADER:?}, found {found:?}")
+            }
+            ParseTraceError::BadLine { line, content } => {
+                write!(f, "malformed trace line {line}: {content:?}")
+            }
+            ParseTraceError::BadTokens { line, tokens } => {
+                write!(f, "line {line}: token count {tokens} is not a square resolution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serialises records to the CSV dialect.
+pub fn to_csv(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 40 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{:.6},{},{:.6},{}\n",
+            r.id, r.arrival_s, r.tokens, r.deadline_s, r.prompt_cluster
+        ));
+    }
+    out
+}
+
+/// Parses the CSV dialect back into records.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] describing the first malformed line.
+pub fn from_csv(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(ParseTraceError::BadHeader {
+                found: other.map(|(_, h)| h.to_owned()).unwrap_or_default(),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let bad = || ParseTraceError::BadLine {
+            line: i + 1,
+            content: line.to_owned(),
+        };
+        if fields.len() != 5 {
+            return Err(bad());
+        }
+        let record = TraceRecord {
+            id: fields[0].parse().map_err(|_| bad())?,
+            arrival_s: fields[1].parse().map_err(|_| bad())?,
+            tokens: fields[2].parse().map_err(|_| bad())?,
+            deadline_s: fields[3].parse().map_err(|_| bad())?,
+            prompt_cluster: fields[4].parse().map_err(|_| bad())?,
+        };
+        resolution_for_tokens(record.tokens).ok_or(ParseTraceError::BadTokens {
+            line: i + 1,
+            tokens: record.tokens,
+        })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Maps a latent token count back to its square resolution, if any.
+pub fn resolution_for_tokens(tokens: u64) -> Option<Resolution> {
+    let side_tokens = (tokens as f64).sqrt() as u64;
+    if side_tokens * side_tokens != tokens || side_tokens == 0 {
+        return None;
+    }
+    let side = side_tokens * 16;
+    u32::try_from(side).ok().map(|s| Resolution::new(s, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::PoissonProcess;
+    use crate::gen::TraceGen;
+    use crate::mix::ResolutionMix;
+    use crate::prompt::PromptLibrary;
+    use crate::slo::SloPolicy;
+
+    fn records(n: usize) -> Vec<TraceRecord> {
+        let mut g = TraceGen::new(
+            PoissonProcess::new(12.0),
+            ResolutionMix::uniform(),
+            SloPolicy::paper_targets(),
+            PromptLibrary::diffusiondb_like(3),
+            3,
+        );
+        g.generate(n).iter().map(|r| r.to_record()).collect()
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let recs = records(40);
+        let text = to_csv(&recs);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.len(), recs.len());
+        for (a, b) in recs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.prompt_cluster, b.prompt_cluster);
+            assert!((a.arrival_s - b.arrival_s).abs() < 1e-6);
+            assert!((a.deadline_s - b.deadline_s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn header_is_enforced() {
+        let err = from_csv("nope\n1,2,3,4,5\n").unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadHeader { .. }));
+        assert!(from_csv("").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = format!("{HEADER}\n0,0.0,256,1.5,0\nbroken line\n");
+        match from_csv(&text).unwrap_err() {
+            ParseTraceError::BadLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_token_counts_are_rejected() {
+        let text = format!("{HEADER}\n0,0.0,300,1.5,0\n");
+        assert!(matches!(
+            from_csv(&text).unwrap_err(),
+            ParseTraceError::BadTokens { tokens: 300, .. }
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n\n0,0.5,1024,2.5,3\n\n");
+        let recs = from_csv(&text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].tokens, 1024);
+    }
+
+    #[test]
+    fn tokens_map_back_to_resolutions() {
+        assert_eq!(resolution_for_tokens(256), Some(Resolution::R256));
+        assert_eq!(resolution_for_tokens(16384), Some(Resolution::R2048));
+        assert_eq!(resolution_for_tokens(300), None);
+        assert_eq!(resolution_for_tokens(0), None);
+    }
+}

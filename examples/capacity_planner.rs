@@ -1,0 +1,76 @@
+//! Capacity planning: a downstream-user scenario the simulator makes
+//! cheap. Given a node, a model and an SLO target, find the highest
+//! arrival rate each scheduling policy can sustain at ≥ 90% SLO
+//! attainment — i.e. how much traffic one box is worth under each
+//! serving stack.
+//!
+//! Run with: `cargo run --release --example capacity_planner`
+
+use tetriserve_bench::{Experiment, PolicyKind};
+use tetriserve_core::TetriServeConfig;
+use tetriserve_metrics::sar::sar;
+
+const TARGET_SAR: f64 = 0.9;
+
+/// Highest rate (req/min) sustaining the target SAR, via binary search on
+/// a 200-request probe per point.
+fn sustainable_rate(policy: &PolicyKind, slo_scale: f64) -> f64 {
+    let attain = |rate: f64| {
+        let exp = Experiment {
+            rate_per_min: rate,
+            slo_scale,
+            n_requests: 200,
+            ..Experiment::paper_default()
+        };
+        sar(&exp.run(policy).outcomes)
+    };
+    let (mut lo, mut hi) = (0.5f64, 60.0f64);
+    if attain(lo) < TARGET_SAR {
+        return 0.0;
+    }
+    if attain(hi) >= TARGET_SAR {
+        return hi;
+    }
+    for _ in 0..10 {
+        let mid = 0.5 * (lo + hi);
+        if attain(mid) >= TARGET_SAR {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    println!("max rate (req/min) at >= {TARGET_SAR:.0}% SLO attainment, FLUX on 8xH100\n");
+    println!("{:<12} {:>14} {:>14}", "policy", "SLO 1.0x", "SLO 1.5x");
+    let policies = [
+        PolicyKind::FixedSp(4),
+        PolicyKind::FixedSp(8),
+        PolicyKind::Rssp,
+        PolicyKind::EdfRssp,
+        PolicyKind::TetriServe(TetriServeConfig::default()),
+    ];
+    let rows: Vec<(String, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = policies
+            .iter()
+            .map(|p| {
+                let p = p.clone();
+                scope.spawn(move || {
+                    (
+                        p.label(),
+                        sustainable_rate(&p, 1.0),
+                        sustainable_rate(&p, 1.5),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+    });
+    for (label, tight, loose) in rows {
+        println!("{label:<12} {tight:>11.1}    {loose:>11.1}");
+    }
+    println!("\nThe spread is the economic argument: the same hardware serves more traffic");
+    println!("under deadline-aware step-level scheduling than under any static configuration.");
+}

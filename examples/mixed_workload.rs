@@ -1,0 +1,38 @@
+//! Mixed-workload comparison: serve the paper's default workload
+//! (Uniform mix, Poisson 12 req/min, 300 requests) under TetriServe and
+//! every baseline, printing overall and per-resolution SLO attainment.
+//!
+//! Run with: `cargo run --example mixed_workload [--release]`
+
+use tetriserve_bench::{Experiment, PolicyKind};
+use tetriserve_costmodel::Resolution;
+use tetriserve_metrics::latency::{mean_latency, percentile};
+use tetriserve_metrics::sar::{sar, sar_by_resolution};
+
+fn main() {
+    let exp = Experiment::paper_default();
+    println!(
+        "serving {} requests, Uniform mix, Poisson {} req/min, SLO scale {:.1}x\n",
+        exp.n_requests, exp.rate_per_min, exp.slo_scale
+    );
+
+    println!(
+        "{:<12} {:>6} {:>9} {:>8}   per-resolution SAR",
+        "policy", "SAR", "mean lat", "p99 lat"
+    );
+    for (label, report) in exp.run_policies(&PolicyKind::standard_set(&exp.cluster)) {
+        let by = sar_by_resolution(&report.outcomes);
+        let spider: Vec<String> = Resolution::PRODUCTION
+            .iter()
+            .map(|r| format!("{}: {:.2}", r.label(), by.get(r).copied().unwrap_or(0.0)))
+            .collect();
+        println!(
+            "{label:<12} {:>6.3} {:>8.2}s {:>7.2}s   [{}]",
+            sar(&report.outcomes),
+            mean_latency(&report.outcomes).unwrap_or(f64::NAN),
+            percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN),
+            spider.join("  ")
+        );
+    }
+    println!("\nFixed degrees excel only at the resolutions they match; TetriServe covers all.");
+}

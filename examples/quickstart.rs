@@ -1,0 +1,61 @@
+//! Quickstart: serve a handful of mixed-resolution requests with
+//! TetriServe on a simulated 8×H100 node and print per-request outcomes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tetriserve_core::{RequestSpec, Server, TetriServePolicy};
+use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::RequestId;
+
+fn main() {
+    // 1. Profile the cost model offline (§4.2.1 of the paper): per-step
+    //    latency for every (resolution, SP degree, batch) on this node.
+    let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).profile();
+    println!(
+        "profiled {} on {}: T(2048², SP=8) = {}",
+        costs.model().name,
+        costs.cluster(),
+        costs.step_time(Resolution::R2048, 8, 1),
+    );
+
+    // 2. Build the scheduler and server.
+    let policy = TetriServePolicy::with_defaults(&costs);
+    println!("round length τ = {}", policy.tau());
+    let server = Server::new(costs, policy);
+
+    // 3. Submit the Figure-1-style workload: three sizes, three deadlines
+    //    (base SLOs at a 1.3x scale — tight enough that only step-level
+    //    degree adaptation meets all three).
+    let scale = 1.3;
+    let request = |id: u64, res: Resolution, arrival: f64, slo: f64| RequestSpec {
+        id: RequestId(id),
+        resolution: res,
+        arrival: SimTime::from_secs_f64(arrival),
+        deadline: SimTime::from_secs_f64(arrival + slo * scale),
+        total_steps: 50,
+    };
+    let report = server.run(vec![
+        request(0, Resolution::R512, 0.0, 2.0),
+        request(1, Resolution::R1024, 0.0, 3.0),
+        request(2, Resolution::R2048, 1.0, 5.0),
+    ]);
+
+    // 4. Inspect the outcomes.
+    for o in &report.outcomes {
+        println!(
+            "request {:>2} {:>9}: latency {:>8} (deadline {:>5}) mean SP degree {:.1} -> {}",
+            o.id.0,
+            o.resolution.to_string(),
+            o.latency().map(|l| l.to_string()).unwrap_or_default(),
+            o.deadline.saturating_since(o.arrival),
+            o.mean_sp_degree(),
+            if o.met_slo() { "SLO met" } else { "SLO missed" },
+        );
+    }
+    println!(
+        "SAR = {:.2}, cluster utilisation {:.0}%",
+        report.sar(),
+        report.utilization * 100.0
+    );
+}

@@ -1,0 +1,44 @@
+//! # TetriServe (reproduction)
+//!
+//! A Rust reproduction of **"TetriServe: Efficiently Serving Mixed DiT
+//! Workloads"** (ASPLOS 2026): deadline-aware, round-based, step-level
+//! sequence-parallel scheduling for diffusion-transformer serving, built on
+//! a calibrated discrete-event GPU-cluster simulator.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`simulator`] — the discrete-event GPU cluster substrate;
+//! * [`costmodel`] — DiT models, hardware and the profiled `T(k)` tables;
+//! * [`core`] — the TetriServe scheduler and the serving framework;
+//! * [`baselines`] — xDiT fixed-SP and RSSP comparison policies;
+//! * [`workload`] — arrivals, mixes, SLOs and prompts;
+//! * [`metrics`] — SAR, latency CDFs and time series;
+//! * [`nirvana`] — approximate-caching acceleration;
+//! * [`exact`] — exhaustive / ILP exact schedulers (complexity results);
+//! * `bench` — the experiment harness regenerating the paper's artefacts.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve::bench::{Experiment, PolicyKind};
+//! use tetriserve::core::TetriServeConfig;
+//!
+//! let exp = Experiment {
+//!     n_requests: 10,
+//!     ..Experiment::paper_default()
+//! };
+//! let report = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+//! assert_eq!(report.outcomes.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tetriserve_baselines as baselines;
+pub use tetriserve_bench as bench;
+pub use tetriserve_core as core;
+pub use tetriserve_costmodel as costmodel;
+pub use tetriserve_exact as exact;
+pub use tetriserve_metrics as metrics;
+pub use tetriserve_nirvana as nirvana;
+pub use tetriserve_simulator as simulator;
+pub use tetriserve_workload as workload;

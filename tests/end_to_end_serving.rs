@@ -1,0 +1,195 @@
+//! Cross-crate end-to-end properties of the serving stack: conservation,
+//! determinism, work accounting and comparative behaviour on realistic
+//! workloads.
+
+use tetriserve::bench::{ArrivalKind, Experiment, PolicyKind};
+use tetriserve::core::TetriServeConfig;
+use tetriserve::costmodel::Resolution;
+use tetriserve::metrics::sar::{mean_gpu_seconds, sar, sar_by_resolution};
+use tetriserve::simulator::trace::TraceEvent;
+
+fn experiment(n: usize) -> Experiment {
+    Experiment {
+        n_requests: n,
+        ..Experiment::paper_default()
+    }
+}
+
+#[test]
+fn every_request_runs_exactly_its_steps() {
+    let exp = experiment(80);
+    for policy in PolicyKind::standard_set(&exp.cluster) {
+        let report = exp.run(&policy);
+        for o in &report.outcomes {
+            assert_eq!(o.steps_executed, 50, "{}: {o:?}", report.policy);
+            assert!(o.completion.is_some());
+            assert!(o.gpu_seconds > 0.0);
+            assert!(o.mean_sp_degree() >= 1.0 && o.mean_sp_degree() <= 8.0);
+        }
+    }
+}
+
+#[test]
+fn trace_dispatch_steps_sum_to_work_done() {
+    let exp = experiment(50);
+    let report = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+    let mut dispatched_steps: u64 = 0;
+    for e in report.trace.events() {
+        if let TraceEvent::DispatchStart {
+            steps, requests, ..
+        } = e
+        {
+            dispatched_steps += u64::from(*steps) * requests.len() as u64;
+        }
+    }
+    let executed: u64 = report.outcomes.iter().map(|o| u64::from(o.steps_executed)).sum();
+    assert_eq!(dispatched_steps, executed, "no step lost or double-counted");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let exp = experiment(60);
+    for policy in [
+        PolicyKind::TetriServe(TetriServeConfig::default()),
+        PolicyKind::FixedSp(4),
+        PolicyKind::Rssp,
+    ] {
+        let a = exp.run(&policy);
+        let b = exp.run(&policy);
+        let ca: Vec<_> = a.outcomes.iter().map(|o| o.completion).collect();
+        let cb: Vec<_> = b.outcomes.iter().map(|o| o.completion).collect();
+        assert_eq!(ca, cb, "{}", policy.label());
+    }
+}
+
+#[test]
+fn tetriserve_is_resolution_balanced() {
+    // Fixed SP=1 collapses on the large end; fixed SP=8 pays on the small
+    // end; TetriServe must not have a zero column at a loose scale.
+    let exp = Experiment {
+        slo_scale: 1.5,
+        n_requests: 120,
+        ..Experiment::paper_default()
+    };
+    let report = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+    let by = sar_by_resolution(&report.outcomes);
+    for res in Resolution::PRODUCTION {
+        assert!(
+            by.get(&res).copied().unwrap_or(0.0) > 0.5,
+            "{res}: {by:?}"
+        );
+    }
+}
+
+#[test]
+fn tetriserve_spends_fewer_gpu_seconds_than_fixed_sp8() {
+    // Deadline-aware minimal-GPU-hour allocation runs relaxed requests
+    // narrow; fixed SP=8 burns the full node on everything.
+    let exp = Experiment {
+        slo_scale: 1.5,
+        n_requests: 100,
+        ..Experiment::paper_default()
+    };
+    let tetri = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+    let sp8 = exp.run(&PolicyKind::FixedSp(8));
+    assert!(
+        mean_gpu_seconds(&tetri.outcomes) < mean_gpu_seconds(&sp8.outcomes),
+        "tetri {} vs sp8 {}",
+        mean_gpu_seconds(&tetri.outcomes),
+        mean_gpu_seconds(&sp8.outcomes)
+    );
+    assert!(sar(&tetri.outcomes) >= sar(&sp8.outcomes));
+}
+
+#[test]
+fn bursty_arrivals_are_served_stably() {
+    let exp = Experiment {
+        arrival: ArrivalKind::Bursty,
+        slo_scale: 1.5,
+        n_requests: 120,
+        ..Experiment::paper_default()
+    };
+    let tetri = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+    let sp2 = exp.run(&PolicyKind::FixedSp(2));
+    assert!(sar(&tetri.outcomes) > sar(&sp2.outcomes));
+    assert!(sar(&tetri.outcomes) > 0.7, "{}", sar(&tetri.outcomes));
+}
+
+#[test]
+fn sd3_on_a40_serves_cleanly() {
+    let exp = Experiment {
+        n_requests: 60,
+        slo_scale: 1.5,
+        ..Experiment::sd3_a40()
+    };
+    for policy in PolicyKind::standard_set(&exp.cluster) {
+        let report = exp.run(&policy);
+        assert_eq!(report.outcomes.len(), 60, "{}", policy.label());
+        assert!(
+            report.outcomes.iter().all(|o| o.completion.is_some()),
+            "{}",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn slo_scale_monotonically_helps() {
+    let policy = PolicyKind::TetriServe(TetriServeConfig::default());
+    let mut prev = 0.0;
+    for scale in [1.0, 1.25, 1.5] {
+        let exp = Experiment {
+            slo_scale: scale,
+            n_requests: 100,
+            ..Experiment::paper_default()
+        };
+        let s = sar(&exp.run(&policy).outcomes);
+        assert!(
+            s + 0.05 >= prev,
+            "SAR should not collapse as SLOs loosen: {prev} -> {s} at {scale}"
+        );
+        prev = s;
+    }
+}
+
+#[test]
+fn selective_batching_fires_on_small_heavy_workloads() {
+    use tetriserve::metrics::batching::batching_stats;
+    use tetriserve::workload::ResolutionMix;
+    // A 256²-heavy mix with relaxed SLOs gives the batcher plenty of
+    // identical small requests to merge.
+    let exp = Experiment {
+        mix: ResolutionMix::weighted(
+            "small-heavy",
+            [
+                (tetriserve::costmodel::Resolution::R256, 8.0),
+                (tetriserve::costmodel::Resolution::R512, 2.0),
+            ],
+        ),
+        rate_per_min: 40.0,
+        slo_scale: 1.5,
+        n_requests: 120,
+        ..Experiment::paper_default()
+    };
+    let with = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
+    let stats = batching_stats(&with.trace);
+    assert!(
+        stats.batched_dispatches > 0,
+        "expected batched dispatches: {stats:?}"
+    );
+    assert!(stats.max_batch >= 2 && stats.max_batch <= 4);
+
+    // And batching must not cost attainment relative to disabling it.
+    let cfg = TetriServeConfig {
+        selective_batching: false,
+        ..TetriServeConfig::default()
+    };
+    let without = exp.run(&PolicyKind::TetriServe(cfg));
+    assert!(
+        sar(&with.outcomes) + 0.05 >= sar(&without.outcomes),
+        "batching hurt: {} vs {}",
+        sar(&with.outcomes),
+        sar(&without.outcomes)
+    );
+    assert_eq!(batching_stats(&without.trace).batched_dispatches, 0);
+}

@@ -1,0 +1,92 @@
+//! The paper's Figure 1 motivating example, cross-policy: three requests
+//! with different sizes and deadlines arrive over time. Static parallelism
+//! cannot meet all three SLOs; TetriServe's step-level adaptation can.
+
+use tetriserve::baselines::{FixedSpPolicy, RsspPolicy};
+use tetriserve::core::{Policy, RequestSpec, ServeReport, Server, TetriServePolicy};
+use tetriserve::costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
+use tetriserve::simulator::time::SimTime;
+use tetriserve::simulator::trace::RequestId;
+use tetriserve::workload::SloPolicy;
+
+fn costs() -> CostTable {
+    Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+}
+
+/// The Figure-1 toy workload at SLO scale 1.3×.
+fn workload() -> Vec<RequestSpec> {
+    let mk = |id: u64, res: Resolution, arrival: f64, slo: f64| RequestSpec {
+        id: RequestId(id),
+        resolution: res,
+        arrival: SimTime::from_secs_f64(arrival),
+        deadline: SimTime::from_secs_f64(arrival + slo * 1.3),
+        total_steps: 50,
+    };
+    vec![
+        mk(0, Resolution::R512, 0.0, 2.0),
+        mk(1, Resolution::R1024, 0.0, 3.0),
+        mk(2, Resolution::R2048, 1.0, 5.0),
+    ]
+}
+
+fn serve<P: Policy>(policy: P) -> ServeReport {
+    Server::new(costs(), policy).run(workload())
+}
+
+#[test]
+fn tetriserve_meets_all_three_deadlines() {
+    let c = costs();
+    let report = serve(TetriServePolicy::with_defaults(&c));
+    assert_eq!(report.sar(), 1.0, "{:#?}", report.outcomes);
+}
+
+#[test]
+fn fixed_sp1_misses_the_large_requests() {
+    let report = serve(FixedSpPolicy::new(1));
+    let met: Vec<bool> = report.outcomes.iter().map(|o| o.met_slo()).collect();
+    assert!(met[0], "512² fits on one GPU");
+    assert!(!met[2], "2048² on one GPU takes ~30 s");
+    assert!(report.sar() < 1.0);
+}
+
+#[test]
+fn fixed_sp4_cannot_save_everything() {
+    // SP=4: 2048² at SP=4 takes ~8.8 s — over even the scaled SLO.
+    let report = serve(FixedSpPolicy::new(4));
+    assert!(report.sar() < 1.0, "{:#?}", report.outcomes);
+    assert!(
+        !report.outcomes[2].met_slo(),
+        "2048² cannot meet its deadline at fixed SP=4"
+    );
+}
+
+#[test]
+fn rssp_is_better_than_naive_but_below_tetriserve() {
+    let c = costs();
+    let rssp = RsspPolicy::from_profile(&c, &SloPolicy::paper_targets().base_targets());
+    let rssp_sar = serve(rssp).sar();
+    let sp1_sar = serve(FixedSpPolicy::new(1)).sar();
+    let tetri_sar = serve(TetriServePolicy::with_defaults(&c)).sar();
+    assert!(rssp_sar >= sp1_sar);
+    assert!(tetri_sar >= rssp_sar);
+}
+
+#[test]
+fn every_policy_completes_every_request() {
+    let c = costs();
+    for report in [
+        serve(FixedSpPolicy::new(1)),
+        serve(FixedSpPolicy::new(8)),
+        serve(TetriServePolicy::with_defaults(&c)),
+    ] {
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .all(|o| o.completion.is_some() && o.steps_executed == 50),
+            "{}: {:#?}",
+            report.policy,
+            report.outcomes
+        );
+    }
+}

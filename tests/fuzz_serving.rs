@@ -1,0 +1,103 @@
+//! Randomised serving fuzz: generate arbitrary (but valid) workloads,
+//! serve them under every policy, and audit the resulting traces against
+//! the scheduling invariants. Catches cross-component bugs no unit test
+//! targets: double-booked GPUs, lost steps, requests served concurrently
+//! with themselves.
+
+use proptest::prelude::*;
+
+use tetriserve::baselines::{EdfRsspPolicy, FixedSpPolicy, RsspPolicy};
+use tetriserve::core::audit::audit;
+use tetriserve::core::{Policy, RequestSpec, ServeReport, Server, TetriServePolicy};
+use tetriserve::costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
+use tetriserve::simulator::time::SimTime;
+use tetriserve::simulator::trace::RequestId;
+use tetriserve::workload::SloPolicy;
+
+fn costs() -> CostTable {
+    Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+}
+
+/// Strategy: up to 14 requests with arbitrary arrivals within a minute,
+/// arbitrary resolutions, budgets from hopeless to generous, step counts
+/// from a cache-truncated 25 to the full 50.
+fn workload_strategy() -> impl Strategy<Value = Vec<RequestSpec>> {
+    proptest::collection::vec(
+        (0u64..60_000, 0usize..4, 200u64..20_000, 25u32..=50),
+        1..14,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (arrival_ms, res_idx, budget_ms, steps))| RequestSpec {
+                id: RequestId(i as u64),
+                resolution: Resolution::PRODUCTION[res_idx],
+                arrival: SimTime::from_millis(arrival_ms),
+                deadline: SimTime::from_millis(arrival_ms + budget_ms),
+                total_steps: steps,
+            })
+            .collect()
+    })
+}
+
+fn check_report(report: &ServeReport, specs: &[RequestSpec]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(report.outcomes.len(), specs.len());
+    for (o, s) in report.outcomes.iter().zip(specs) {
+        prop_assert_eq!(o.id, s.id);
+        prop_assert!(o.completion.is_some(), "{} left {} unserved", report.policy, s.id);
+        prop_assert_eq!(o.steps_executed, s.total_steps);
+        prop_assert!(o.completion.unwrap() >= s.arrival);
+        prop_assert!(o.gpu_seconds > 0.0);
+    }
+    let violations = audit(&report.trace, &report.outcomes);
+    prop_assert!(
+        violations.is_empty(),
+        "{}: audit violations {:?}",
+        report.policy,
+        violations
+    );
+    Ok(())
+}
+
+fn serve<P: Policy>(policy: P, specs: Vec<RequestSpec>) -> ServeReport {
+    Server::new(costs(), policy).run(specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tetriserve_survives_arbitrary_workloads(specs in workload_strategy()) {
+        let c = costs();
+        let report = serve(TetriServePolicy::with_defaults(&c), specs.clone());
+        check_report(&report, &specs)?;
+    }
+
+    #[test]
+    fn baselines_survive_arbitrary_workloads(specs in workload_strategy()) {
+        let c = costs();
+        for report in [
+            serve(FixedSpPolicy::new(1), specs.clone()),
+            serve(FixedSpPolicy::new(8), specs.clone()),
+            serve(RsspPolicy::from_profile(&c, &SloPolicy::paper_targets().base_targets()), specs.clone()),
+            serve(EdfRsspPolicy::from_profile(&c, &SloPolicy::paper_targets().base_targets()), specs.clone()),
+        ] {
+            check_report(&report, &specs)?;
+        }
+    }
+
+    #[test]
+    fn ablated_tetriserve_variants_survive(specs in workload_strategy()) {
+        use tetriserve::core::TetriServeConfig;
+        let c = costs();
+        for cfg in [
+            TetriServeConfig::schedule_only(),
+            TetriServeConfig::with_placement(),
+            TetriServeConfig::default().granularity(1),
+            TetriServeConfig::default().granularity(10),
+        ] {
+            let report = serve(TetriServePolicy::new(cfg, &c), specs.clone());
+            check_report(&report, &specs)?;
+        }
+    }
+}
