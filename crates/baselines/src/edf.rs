@@ -26,7 +26,10 @@ pub struct EdfRsspPolicy {
 impl EdfRsspPolicy {
     /// Derives the per-resolution degree table exactly like
     /// [`RsspPolicy::from_profile`].
-    pub fn from_profile(costs: &CostTable, slo_targets: &BTreeMap<Resolution, SimDuration>) -> Self {
+    pub fn from_profile(
+        costs: &CostTable,
+        slo_targets: &BTreeMap<Resolution, SimDuration>,
+    ) -> Self {
         EdfRsspPolicy {
             inner: RsspPolicy::from_profile(costs, slo_targets),
         }
@@ -135,13 +138,18 @@ mod tests {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::single(tetriserve_simulator::gpuset::GpuId(0)),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
         };
         let plans = p.schedule(&ctx);
         assert_eq!(plans.len(), 1, "only one free GPU");
-        assert_eq!(plans[0].requests, vec![RequestId(1)], "tighter deadline first");
+        assert_eq!(
+            plans[0].requests,
+            vec![RequestId(1)],
+            "tighter deadline first"
+        );
     }
 
     #[test]
@@ -156,12 +164,17 @@ mod tests {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
         };
         let plans = p.schedule(&ctx);
-        assert_eq!(plans[0].requests, vec![RequestId(1)], "savable first despite later deadline");
+        assert_eq!(
+            plans[0].requests,
+            vec![RequestId(1)],
+            "savable first despite later deadline"
+        );
     }
 
     #[test]
@@ -175,9 +188,13 @@ mod tests {
         ];
         let edf = Server::new(c.clone(), EdfRsspPolicy::from_profile(&c, &slo_targets()))
             .run(specs.clone());
-        let fifo =
-            Server::new(c.clone(), RsspPolicy::from_profile(&c, &slo_targets())).run(specs);
-        assert!(edf.sar() >= fifo.sar(), "edf {} fifo {}", edf.sar(), fifo.sar());
+        let fifo = Server::new(c.clone(), RsspPolicy::from_profile(&c, &slo_targets())).run(specs);
+        assert!(
+            edf.sar() >= fifo.sar(),
+            "edf {} fifo {}",
+            edf.sar(),
+            fifo.sar()
+        );
         assert!(
             edf.outcomes[1].met_slo(),
             "EDF must prioritise the tight follower: {:?}",
@@ -192,8 +209,8 @@ mod tests {
         let c = costs();
         let report = Server::new(c.clone(), EdfRsspPolicy::from_profile(&c, &slo_targets()))
             .run(vec![spec(0, Resolution::R1024, 0.0, 3.0)]);
-        let expect = EdfRsspPolicy::from_profile(&c, &slo_targets())
-            .degree_for(Resolution::R1024) as f64;
+        let expect =
+            EdfRsspPolicy::from_profile(&c, &slo_targets()).degree_for(Resolution::R1024) as f64;
         assert!((report.outcomes[0].mean_sp_degree() - expect).abs() < 1e-9);
     }
 }

@@ -121,12 +121,8 @@ mod tests {
     #[test]
     fn whole_request_runs_on_one_slot() {
         let c = costs();
-        let report = Server::new(c, FixedSpPolicy::new(4)).run(vec![spec(
-            0,
-            Resolution::R1024,
-            0.0,
-            3.0,
-        )]);
+        let report =
+            Server::new(c, FixedSpPolicy::new(4)).run(vec![spec(0, Resolution::R1024, 0.0, 3.0)]);
         let o = &report.outcomes[0];
         assert!(o.met_slo(), "{o:?}");
         assert_eq!(o.steps_executed, 50);
@@ -200,6 +196,7 @@ mod tests {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,

@@ -31,7 +31,10 @@ impl RsspPolicy {
     /// # Panics
     ///
     /// Panics if `slo_targets` misses a profiled resolution.
-    pub fn from_profile(costs: &CostTable, slo_targets: &BTreeMap<Resolution, SimDuration>) -> Self {
+    pub fn from_profile(
+        costs: &CostTable,
+        slo_targets: &BTreeMap<Resolution, SimDuration>,
+    ) -> Self {
         let steps = costs.model().steps;
         let mut degree_by_tokens = BTreeMap::new();
         for &res in costs.resolutions() {
@@ -159,10 +162,7 @@ mod tests {
 
     #[test]
     fn explicit_table_round_trips() {
-        let p = RsspPolicy::with_table([
-            (Resolution::R256, 1),
-            (Resolution::R2048, 8),
-        ]);
+        let p = RsspPolicy::with_table([(Resolution::R256, 1), (Resolution::R2048, 8)]);
         assert_eq!(p.degree_for(Resolution::R256), 1);
         assert_eq!(p.degree_for(Resolution::R2048), 8);
     }

@@ -56,8 +56,14 @@ fn main() {
         let vals: Vec<f64> = s.iter().map(|(_, v)| *v).collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len().max(1) as f64;
-        summary.row([label.clone(), format!("{mean:.2}"), format!("{:.2}", var.sqrt())]);
+        summary.row([
+            label.clone(),
+            format!("{mean:.2}"),
+            format!("{:.2}", var.sqrt()),
+        ]);
     }
     println!("{}", summary.render());
-    println!("Paper reference: TetriServe high and stable; fixed variants show periodic SAR drops.");
+    println!(
+        "Paper reference: TetriServe high and stable; fixed variants show periodic SAR drops."
+    );
 }

@@ -33,10 +33,7 @@ fn main() {
         ["Resolution", "mean degree", "time windows (first 6 shown)"],
     );
     for res in Resolution::PRODUCTION {
-        let mean = overall
-            .get(&res)
-            .map(|(s, n)| s / *n as f64)
-            .unwrap_or(0.0);
+        let mean = overall.get(&res).map(|(s, n)| s / *n as f64).unwrap_or(0.0);
         let windows = series
             .get(&res)
             .map(|pts| {
@@ -50,5 +47,7 @@ fn main() {
         table.row([res.to_string(), format!("{mean:.2}"), windows]);
     }
     println!("{}", table.render());
-    println!("Paper reference: intensive requests get long bars (high degree); small ones stay near 1.");
+    println!(
+        "Paper reference: intensive requests get long bars (high degree); small ones stay near 1."
+    );
 }

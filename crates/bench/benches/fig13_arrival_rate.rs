@@ -33,20 +33,24 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     let mut header = vec!["Policy".to_owned()];
     header.extend(RATES.iter().map(|r| format!("{r:.0}/min")));
-    let mut table = TextTable::new(
-        "Figure 13: SAR vs arrival rate (Uniform, SLO 1.0x)",
-        header,
-    );
+    let mut table = TextTable::new("Figure 13: SAR vs arrival rate (Uniform, SLO 1.0x)", header);
     for p in &policies {
         let label = p.label();
         let mut cells = vec![label.clone()];
         for (_, sars) in &rows {
-            let v = sars.iter().find(|(l, _)| *l == label).map(|(_, s)| *s).unwrap();
+            let v = sars
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, s)| *s)
+                .unwrap();
             cells.push(format!("{v:.2}"));
         }
         table.row(cells);

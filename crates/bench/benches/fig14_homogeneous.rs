@@ -37,14 +37,21 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     for p in &policies {
         let label = p.label();
         let mut cells = vec![label.clone()];
         for col in &columns {
-            let v = col.iter().find(|(l, _)| *l == label).map(|(_, s)| *s).unwrap();
+            let v = col
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, s)| *s)
+                .unwrap();
             cells.push(format!("{v:.2}"));
         }
         table.row(cells);

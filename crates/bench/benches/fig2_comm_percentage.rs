@@ -56,7 +56,5 @@ fn main() {
         ring.row(row);
     }
     println!("{}", ring.render());
-    println!(
-        "Paper reference: 256/512 exceed 30% at high degrees; 1024/2048 stay compute-bound."
-    );
+    println!("Paper reference: 256/512 exceed 30% at high degrees; 1024/2048 stay compute-bound.");
 }

@@ -31,5 +31,7 @@ fn main() {
         }
         println!("{}", table.render());
     }
-    println!("Paper reference: sublinear everywhere; 2048² scales well to SP=8, 256² barely at all.");
+    println!(
+        "Paper reference: sublinear everywhere; 2048² scales well to SP=8, 256² barely at all."
+    );
 }

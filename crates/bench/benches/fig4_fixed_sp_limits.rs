@@ -13,7 +13,10 @@ use tetriserve_metrics::sar::{sar, sar_by_resolution};
 
 fn main() {
     let exp = Experiment::paper_default();
-    let fixed: Vec<PolicyKind> = [1usize, 2, 4, 8].into_iter().map(PolicyKind::FixedSp).collect();
+    let fixed: Vec<PolicyKind> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(PolicyKind::FixedSp)
+        .collect();
     let reports = exp.run_policies(&fixed);
 
     let bars: Vec<(String, f64)> = reports
@@ -43,5 +46,7 @@ fn main() {
         spider.row(row);
     }
     println!("{}", spider.render());
-    println!("Paper reference: SP=1/2 fail completely on 2048²; SP=4/8 weaker on small resolutions.");
+    println!(
+        "Paper reference: SP=1/2 fail completely on 2048²; SP=4/8 weaker on small resolutions."
+    );
 }

@@ -28,11 +28,17 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     let mut table = TextTable::new(
-        format!("SAR over {} seeds (Uniform, 12 req/min, SLO 1.0x)", SEEDS.len()),
+        format!(
+            "SAR over {} seeds (Uniform, 12 req/min, SLO 1.0x)",
+            SEEDS.len()
+        ),
         ["Policy", "mean", "std", "min", "max"],
     );
     let mut tetri_mean = 0.0;
@@ -41,7 +47,12 @@ fn main() {
         let label = p.label();
         let vals: Vec<f64> = runs
             .iter()
-            .map(|r| r.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).unwrap())
+            .map(|r| {
+                r.iter()
+                    .find(|(l, _)| *l == label)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            })
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;

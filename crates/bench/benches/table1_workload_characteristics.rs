@@ -13,7 +13,15 @@ fn main() {
     let cluster = ClusterSpec::h100x8();
     let mut table = TextTable::new(
         "Table 1: FLUX.1-dev input characteristics (CV over 20 steps, 8xH100)",
-        ["Image Size", "Tokens", "TFLOPs", "SP=1", "SP=2", "SP=4", "SP=8"],
+        [
+            "Image Size",
+            "Tokens",
+            "TFLOPs",
+            "SP=1",
+            "SP=2",
+            "SP=4",
+            "SP=8",
+        ],
     );
     for (i, res) in Resolution::PRODUCTION.into_iter().enumerate() {
         let mut row = vec![
@@ -28,5 +36,7 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
-    println!("Paper reference: all CVs <= 0.7%; TFLOPs column matches Table 1 exactly (fitted law).");
+    println!(
+        "Paper reference: all CVs <= 0.7%; TFLOPs column matches Table 1 exactly (fitted law)."
+    );
 }

@@ -15,7 +15,13 @@ use tetriserve_workload::mix::ResolutionMix;
 fn main() {
     let mut table = TextTable::new(
         "Table 3: SAR with Nirvana integration (12 req/min, SLO 1.0x)",
-        ["Workload", "RSSP", "TetriServe", "RSSP+Nirvana", "TetriServe+Nirvana"],
+        [
+            "Workload",
+            "RSSP",
+            "TetriServe",
+            "RSSP+Nirvana",
+            "TetriServe+Nirvana",
+        ],
     );
     for (name, mix) in [
         ("Uniform", ResolutionMix::uniform()),
@@ -37,7 +43,9 @@ fn main() {
                 scope.spawn(|| run(&cached, PolicyKind::Rssp)),
                 scope.spawn(|| run(&cached, PolicyKind::TetriServe(TetriServeConfig::default()))),
             ];
-            jobs.into_iter().map(|j| j.join().expect("worker ok")).collect()
+            jobs.into_iter()
+                .map(|j| j.join().expect("worker ok"))
+                .collect()
         });
         let mut row = vec![name.to_owned()];
         row.extend(cells.iter().map(|v| format!("{v:.2}")));
@@ -45,5 +53,7 @@ fn main() {
     }
     println!("{}", table.render());
     println!("Paper reference (Table 3): 0.32/0.42/0.77/0.88 uniform; 0.04/0.19/0.53/0.75 skewed.");
-    println!("Shape to match: Nirvana lifts both systems; TetriServe+Nirvana is best on both mixes.");
+    println!(
+        "Shape to match: Nirvana lifts both systems; TetriServe+Nirvana is best on both mixes."
+    );
 }

@@ -39,7 +39,9 @@ fn main() {
                 finishing: Vec::new(),
             };
             let out1 = engine.submit(SimTime::ZERO, &mk(0)).expect("dispatch ok");
-            let _ = engine.submit(out1.gpus_free_at, &mk(4)).expect("dispatch ok");
+            let _ = engine
+                .submit(out1.gpus_free_at, &mk(4))
+                .expect("dispatch ok");
             let transfer = engine.trace().latent_transfer_total(RequestId(1));
             let pct = 100.0 * transfer.as_secs_f64() / per_step.as_secs_f64();
             row.push(format!("{pct:.3}%"));
@@ -47,5 +49,7 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
-    println!("Paper reference: <= 0.05% in every configuration (ours includes a 5 us launch floor).");
+    println!(
+        "Paper reference: <= 0.05% in every configuration (ours includes a 5 us launch floor)."
+    );
 }

@@ -45,5 +45,7 @@ fn main() {
         }
         println!("{}", table.render());
     }
-    println!("Paper reference (Table 5): full system best, e.g. uniform 1.0x: 0.54 -> 0.56 -> 0.63.");
+    println!(
+        "Paper reference (Table 5): full system best, e.g. uniform 1.0x: 0.54 -> 0.56 -> 0.63."
+    );
 }

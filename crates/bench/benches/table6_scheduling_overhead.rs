@@ -71,8 +71,7 @@ fn main() {
             let packable: Vec<_> = (0..queue)
                 .map(|i| {
                     let res = Resolution::PRODUCTION[i % 4];
-                    let plan =
-                        min_gpu_hour_plan(res, 50, SimDuration::from_secs_f64(5.0), &costs);
+                    let plan = min_gpu_hour_plan(res, 50, SimDuration::from_secs_f64(5.0), &costs);
                     build_options(
                         RequestId(i as u64),
                         res,

@@ -10,9 +10,7 @@
 use std::collections::BTreeMap;
 
 use tetriserve_baselines::{EdfRsspPolicy, FixedSpPolicy, RsspPolicy};
-use tetriserve_core::{
-    RequestSpec, ServeReport, Server, TetriServeConfig, TetriServePolicy,
-};
+use tetriserve_core::{RequestSpec, ServeReport, Server, TetriServeConfig, TetriServePolicy};
 use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
 use tetriserve_nirvana::{accelerate_trace, NirvanaConfig};
 use tetriserve_simulator::time::SimTime;
@@ -210,7 +208,10 @@ impl Experiment {
                     scope.spawn(move || (p.label(), exp.run(&p)))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .collect()
         })
     }
 
@@ -249,14 +250,13 @@ impl Experiment {
             }
             PolicyKind::FixedSp(k) => Server::new(costs, FixedSpPolicy::new(*k)).run(specs),
             PolicyKind::Rssp => {
-                let p = RsspPolicy::from_profile(&costs, &SloPolicy::paper_targets().base_targets());
+                let p =
+                    RsspPolicy::from_profile(&costs, &SloPolicy::paper_targets().base_targets());
                 Server::new(costs, p).run(specs)
             }
             PolicyKind::EdfRssp => {
-                let p = EdfRsspPolicy::from_profile(
-                    &costs,
-                    &SloPolicy::paper_targets().base_targets(),
-                );
+                let p =
+                    EdfRsspPolicy::from_profile(&costs, &SloPolicy::paper_targets().base_targets());
                 Server::new(costs, p).run(specs)
             }
         }
@@ -294,7 +294,14 @@ mod tests {
         let labels: Vec<String> = set.iter().map(|p| p.label()).collect();
         assert_eq!(
             labels,
-            vec!["xDiT SP=1", "xDiT SP=2", "xDiT SP=4", "xDiT SP=8", "RSSP", "TetriServe"]
+            vec![
+                "xDiT SP=1",
+                "xDiT SP=2",
+                "xDiT SP=4",
+                "xDiT SP=8",
+                "RSSP",
+                "TetriServe"
+            ]
         );
         // A40 node clips the degree set.
         assert_eq!(PolicyKind::standard_set(&ClusterSpec::a40x4()).len(), 5);

@@ -35,7 +35,10 @@ pub fn print_sar_vs_scale(title: &str, base: &Experiment) -> Vec<(String, f64, f
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     let mut header = vec!["Policy".to_owned()];

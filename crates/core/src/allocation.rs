@@ -127,9 +127,35 @@ pub fn min_gpu_hour_plan_with_headroom(
     costs: &CostTable,
     headroom: f64,
 ) -> AllocationPlan {
+    min_gpu_hour_plan_capped(res, remaining_steps, slack, costs, headroom, usize::MAX)
+}
+
+/// Like [`min_gpu_hour_plan_with_headroom`], but considers no degree wider
+/// than `max_degree` — the scheduler passes the healthy GPU count here so
+/// plans never rely on parallelism that hard-faulted GPUs cannot provide.
+/// A plan that was feasible at full width may become infeasible under the
+/// cap; it then falls back to best effort at the widest healthy degree.
+///
+/// # Panics
+///
+/// Panics if `remaining_steps` is zero, `headroom < 1.0`, or `max_degree`
+/// is below the narrowest profiled degree.
+pub fn min_gpu_hour_plan_capped(
+    res: Resolution,
+    remaining_steps: u32,
+    slack: SimDuration,
+    costs: &CostTable,
+    headroom: f64,
+    max_degree: usize,
+) -> AllocationPlan {
     assert!(remaining_steps > 0, "allocation needs at least one step");
     assert!(headroom >= 1.0, "headroom must be ≥ 1.0, got {headroom}");
-    let degrees = useful_degrees(res, costs);
+    let mut degrees = useful_degrees(res, costs);
+    degrees.retain(|&k| k <= max_degree);
+    assert!(
+        !degrees.is_empty(),
+        "degree cap {max_degree} excludes every profiled degree"
+    );
     let steps = u64::from(remaining_steps);
     let slack_us = slack.as_micros();
     let inflate = |t: SimDuration| (t.as_micros() as f64 * headroom).ceil() as u64;
@@ -338,5 +364,43 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn zero_steps_rejected() {
         min_gpu_hour_plan(Resolution::R256, 0, SimDuration::from_secs(1), &costs());
+    }
+
+    #[test]
+    fn degree_cap_excludes_unhealthy_widths() {
+        let c = costs();
+        // 2048² in 5 s needs SP=8 — but with only 4 healthy GPUs the plan
+        // must cap at SP=4 and report infeasibility honestly.
+        let plan =
+            min_gpu_hour_plan_capped(Resolution::R2048, 50, SimDuration::from_secs(5), &c, 1.0, 4);
+        assert!(plan.segments.iter().all(|s| s.degree <= 4), "{plan:?}");
+        assert!(!plan.feasible, "SP=4 cannot make a 5 s 2048² deadline");
+        // A relaxed deadline stays feasible under the same cap.
+        let plan = min_gpu_hour_plan_capped(
+            Resolution::R2048,
+            50,
+            SimDuration::from_secs(60),
+            &c,
+            1.0,
+            4,
+        );
+        assert!(plan.feasible);
+        assert!(plan.segments.iter().all(|s| s.degree <= 4));
+        // An uncapped call is unchanged.
+        let full = min_gpu_hour_plan(Resolution::R2048, 50, SimDuration::from_secs(5), &c);
+        assert!(full.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "excludes every profiled degree")]
+    fn cap_below_narrowest_degree_rejected() {
+        min_gpu_hour_plan_capped(
+            Resolution::R256,
+            10,
+            SimDuration::from_secs(1),
+            &costs(),
+            1.0,
+            0,
+        );
     }
 }

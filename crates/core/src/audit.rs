@@ -110,7 +110,11 @@ pub fn audit(trace: &Trace, outcomes: &[RequestOutcome]) -> Vec<AuditViolation> 
                     },
                 );
             }
-            TraceEvent::DispatchDone { time, dispatch } => match open.remove(dispatch) {
+            // An abort closes its interval just like a completion: the
+            // matching DispatchStart already records only the checkpointed
+            // steps, so step conservation holds across faults too.
+            TraceEvent::DispatchDone { time, dispatch }
+            | TraceEvent::DispatchAborted { time, dispatch, .. } => match open.remove(dispatch) {
                 Some(mut iv) => {
                     iv.end = *time;
                     closed.push(iv);
@@ -215,9 +219,10 @@ mod tests {
         trace.record(done(60, 1));
         let v = audit(&trace, &[]);
         assert!(
-            v.iter()
-                .any(|x| matches!(x, AuditViolation::GpuOversubscribed { overlap, .. }
-                    if *overlap == GpuSet::contiguous(2, 2))),
+            v.iter().any(
+                |x| matches!(x, AuditViolation::GpuOversubscribed { overlap, .. }
+                    if *overlap == GpuSet::contiguous(2, 2))
+            ),
             "{v:?}"
         );
     }
@@ -229,7 +234,10 @@ mod tests {
         trace.record(done(50, 0));
         trace.record(start(50, 1, 2, GpuSet::contiguous(0, 2), 5));
         trace.record(done(100, 1));
-        assert!(audit(&trace, &[]).is_empty(), "touching intervals do not overlap");
+        assert!(
+            audit(&trace, &[]).is_empty(),
+            "touching intervals do not overlap"
+        );
     }
 
     #[test]
@@ -241,9 +249,10 @@ mod tests {
         trace.record(done(60, 1));
         let v = audit(&trace, &[]);
         assert!(
-            v.iter()
-                .any(|x| matches!(x, AuditViolation::ConcurrentSteps { request, .. }
-                    if *request == RequestId(7))),
+            v.iter().any(
+                |x| matches!(x, AuditViolation::ConcurrentSteps { request, .. }
+                    if *request == RequestId(7))
+            ),
             "{v:?}"
         );
     }
@@ -262,13 +271,56 @@ mod tests {
             gpu_seconds: 0.1,
             steps_executed: 7, // trace says 5
             sp_degree_step_sum: 7,
+            retries: 0,
+            shed: false,
         };
         let v = audit(&trace, &[outcome]);
         assert!(
             v.iter().any(|x| matches!(
                 x,
-                AuditViolation::StepMismatch { traced: 5, reported: 7, .. }
+                AuditViolation::StepMismatch {
+                    traced: 5,
+                    reported: 7,
+                    ..
+                }
             )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn aborted_dispatch_closes_its_interval() {
+        let mut trace = Trace::new();
+        // Dispatch 0 is killed by a fault at t = 30 after 2 checkpointed
+        // steps (its start event already reports steps = 2); dispatch 1
+        // retries on other GPUs.
+        trace.record(start(0, 0, 1, GpuSet::contiguous(0, 2), 2));
+        trace.record(TraceEvent::DispatchAborted {
+            time: SimTime::from_millis(30),
+            dispatch: DispatchId(0),
+            down: GpuSet::contiguous(0, 1),
+            completed_steps: 2,
+            wasted_gpu_seconds: 0.02,
+        });
+        trace.record(start(30, 1, 1, GpuSet::contiguous(4, 2), 3));
+        trace.record(done(80, 1));
+        assert!(audit(&trace, &[]).is_empty(), "{:?}", audit(&trace, &[]));
+        // And the aborted interval still participates in overlap checks.
+        let mut bad = Trace::new();
+        bad.record(start(0, 0, 1, GpuSet::contiguous(0, 2), 2));
+        bad.record(start(10, 1, 2, GpuSet::contiguous(1, 2), 2));
+        bad.record(TraceEvent::DispatchAborted {
+            time: SimTime::from_millis(30),
+            dispatch: DispatchId(0),
+            down: GpuSet::contiguous(0, 1),
+            completed_steps: 2,
+            wasted_gpu_seconds: 0.0,
+        });
+        bad.record(done(40, 1));
+        let v = audit(&bad, &[]);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, AuditViolation::GpuOversubscribed { .. })),
             "{v:?}"
         );
     }
@@ -279,12 +331,14 @@ mod tests {
         trace.record(start(0, 0, 1, GpuSet::contiguous(0, 3), 5)); // width 3!
         trace.record(done(10, 9)); // never started
         let v = audit(&trace, &[]);
-        assert!(v.iter().any(|x| matches!(x, AuditViolation::IllegalDegree { width: 3, .. })));
         assert!(v
             .iter()
-            .any(|x| matches!(x, AuditViolation::UnbalancedDispatch { dispatch } if dispatch.0 == 9)));
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, AuditViolation::UnbalancedDispatch { dispatch } if dispatch.0 == 0)));
+            .any(|x| matches!(x, AuditViolation::IllegalDegree { width: 3, .. })));
+        assert!(v.iter().any(
+            |x| matches!(x, AuditViolation::UnbalancedDispatch { dispatch } if dispatch.0 == 9)
+        ));
+        assert!(v.iter().any(
+            |x| matches!(x, AuditViolation::UnbalancedDispatch { dispatch } if dispatch.0 == 0)
+        ));
     }
 }

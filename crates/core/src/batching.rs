@@ -69,7 +69,17 @@ pub fn merge_batches(
             let proposed = members.len() as u32 + 1;
             if proposed > costs.max_batch() {
                 // Current batch is full; the candidate hosts a new batch.
-                commit(assignments, &mut remove, &mut freed, host, &members, costs, tau, t_next, deadlines);
+                commit(
+                    assignments,
+                    &mut remove,
+                    &mut freed,
+                    host,
+                    &members,
+                    costs,
+                    tau,
+                    t_next,
+                    deadlines,
+                );
                 host = cand;
                 members = vec![cand];
                 continue;
@@ -80,7 +90,17 @@ pub fn merge_batches(
                 members = trial;
             }
         }
-        commit(assignments, &mut remove, &mut freed, host, &members, costs, tau, t_next, deadlines);
+        commit(
+            assignments,
+            &mut remove,
+            &mut freed,
+            host,
+            &members,
+            costs,
+            tau,
+            t_next,
+            deadlines,
+        );
     }
 
     remove.sort_unstable_by(|a, b| b.cmp(a));
@@ -144,7 +164,14 @@ fn commit(
     if members.len() < 2 {
         return;
     }
-    debug_assert!(batch_survives(assignments, members, costs, tau, t_next, deadlines));
+    debug_assert!(batch_survives(
+        assignments,
+        members,
+        costs,
+        tau,
+        t_next,
+        deadlines
+    ));
     let batch = members.len() as u32;
     let res = assignments[host].resolution;
     let degree = assignments[host].gpus.len();
@@ -207,7 +234,13 @@ mod tests {
             assignment(1, Resolution::R256, 0, 1, 10),
             assignment(2, Resolution::R256, 1, 1, 10),
         ];
-        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2]), &c, tau, SimTime::ZERO + tau);
+        let freed = merge_batches(
+            &mut asg,
+            &loose_deadlines(&[1, 2]),
+            &c,
+            tau,
+            SimTime::ZERO + tau,
+        );
         assert_eq!(asg.len(), 1);
         assert_eq!(asg[0].requests.len(), 2);
         assert_eq!(freed.len(), 1, "one GPU set freed");
@@ -223,7 +256,13 @@ mod tests {
             assignment(2, Resolution::R512, 1, 1, 10),
             assignment(3, Resolution::R256, 2, 2, 10),
         ];
-        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2, 3]), &c, tau, SimTime::ZERO + tau);
+        let freed = merge_batches(
+            &mut asg,
+            &loose_deadlines(&[1, 2, 3]),
+            &c,
+            tau,
+            SimTime::ZERO + tau,
+        );
         assert_eq!(asg.len(), 3, "nothing mergeable");
         assert!(freed.is_empty());
     }
@@ -236,7 +275,13 @@ mod tests {
             assignment(1, Resolution::R2048, 0, 4, 2),
             assignment(2, Resolution::R2048, 4, 4, 2),
         ];
-        let freed = merge_batches(&mut asg, &loose_deadlines(&[1, 2]), &c, tau, SimTime::ZERO + tau);
+        let freed = merge_batches(
+            &mut asg,
+            &loose_deadlines(&[1, 2]),
+            &c,
+            tau,
+            SimTime::ZERO + tau,
+        );
         assert_eq!(asg.len(), 2);
         assert!(freed.is_empty());
     }
@@ -283,7 +328,13 @@ mod tests {
             .map(|i| assignment(i as u64, Resolution::R256, i, 1, 10))
             .collect();
         let ids: Vec<u64> = (0..6).collect();
-        merge_batches(&mut asg, &loose_deadlines(&ids), &c, tau, SimTime::ZERO + tau);
+        merge_batches(
+            &mut asg,
+            &loose_deadlines(&ids),
+            &c,
+            tau,
+            SimTime::ZERO + tau,
+        );
         assert!(asg.iter().all(|a| a.requests.len() <= 4));
         let total: usize = asg.iter().map(|a| a.requests.len()).sum();
         assert_eq!(total, 6, "no request lost");

@@ -97,6 +97,25 @@ impl TetriServeConfig {
 /// jittered steps (CV ≤ 0.7%, Table 1) completes before the next boundary.
 pub const ROUND_HEADROOM: f64 = 1.02;
 
+/// How the server admits work when the backlog exceeds what the *healthy*
+/// GPUs can finish in time.
+///
+/// Under hard GPU faults the node's deadline capacity shrinks; serving an
+/// infeasible backlog best-effort drags every deadline down with it.
+/// `ShedInfeasible` instead drops the least salvageable not-yet-started
+/// requests so the remainder still meet their SLOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every request and serve best-effort, even when the backlog is
+    /// provably infeasible (today's default behaviour).
+    #[default]
+    AdmitAll,
+    /// When the EDF feasibility check fails against healthy capacity, shed
+    /// queued requests with the least salvageable deadlines until the rest
+    /// of the backlog fits.
+    ShedInfeasible,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,8 +141,12 @@ mod tests {
     #[test]
     fn round_length_scales_with_granularity() {
         let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
-        let tau1 = TetriServeConfig::default().granularity(1).round_length(&costs);
-        let tau5 = TetriServeConfig::default().granularity(5).round_length(&costs);
+        let tau1 = TetriServeConfig::default()
+            .granularity(1)
+            .round_length(&costs);
+        let tau5 = TetriServeConfig::default()
+            .granularity(5)
+            .round_length(&costs);
         let ratio = tau5.as_secs_f64() / tau1.as_secs_f64();
         assert!((ratio - 5.0).abs() < 1e-3, "ratio {ratio}");
         // τ(1) is one max-parallelism step of the slowest resolution, plus

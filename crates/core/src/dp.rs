@@ -275,7 +275,10 @@ mod tests {
 
     #[test]
     fn zero_capacity_selects_all_none() {
-        let requests = vec![req(1, true, &[(1, 5, true)]), req(2, false, &[(1, 5, true)])];
+        let requests = vec![
+            req(1, true, &[(1, 5, true)]),
+            req(2, false, &[(1, 5, true)]),
+        ];
         let p = pack_round(&requests, 0);
         assert!(p.choices.iter().all(|c| c.option_index == 0));
         assert_eq!(p.survivors, 1);

@@ -81,9 +81,7 @@ pub fn elastic_scale_up(
         // set; otherwise take the lowest free ids.
         let extras = pick_extras(a.gpus, k, *free, topology);
         let t_new = costs.step_time(a.resolution, 2 * k, a.requests.len() as u32);
-        let q_new = (tau.div_floor(t_new) as u32)
-            .min(a.remaining_before)
-            .max(1);
+        let q_new = (tau.div_floor(t_new) as u32).min(a.remaining_before).max(1);
         *free = free.difference(extras);
         applied.push(ScaleUp {
             assignment: idx,
@@ -98,12 +96,7 @@ pub fn elastic_scale_up(
 
 /// Chooses `extra_count` GPUs from `free` to widen `current`, preferring
 /// the aligned block of the doubled size that contains `current`.
-fn pick_extras(
-    current: GpuSet,
-    extra_count: usize,
-    free: GpuSet,
-    topology: &Topology,
-) -> GpuSet {
+fn pick_extras(current: GpuSet, extra_count: usize, free: GpuSet, topology: &Topology) -> GpuSet {
     let k2 = current.len() + extra_count;
     if k2.is_power_of_two() {
         for block in topology.aligned_blocks(k2) {
@@ -129,7 +122,13 @@ mod tests {
         (costs, Topology::h100_nvlink(8), tau)
     }
 
-    fn assignment(id: u64, res: Resolution, gpus: GpuSet, steps: u32, remaining: u32) -> Assignment {
+    fn assignment(
+        id: u64,
+        res: Resolution,
+        gpus: GpuSet,
+        steps: u32,
+        remaining: u32,
+    ) -> Assignment {
         Assignment {
             requests: vec![RequestId(id)],
             resolution: res,
@@ -158,7 +157,14 @@ mod tests {
             tau,
             SimDuration::from_millis(30),
         );
-        assert_eq!(ups, vec![ScaleUp { assignment: 0, from: 4, to: 8 }]);
+        assert_eq!(
+            ups,
+            vec![ScaleUp {
+                assignment: 0,
+                from: 4,
+                to: 8
+            }]
+        );
         assert_eq!(assignments[0].gpus, GpuSet::first_n(8));
         assert!(free.is_empty());
         // Faster steps => at least as many steps fit in the round.
@@ -242,13 +248,7 @@ mod tests {
     #[test]
     fn respects_node_capacity() {
         let (costs, topo, tau) = fixture();
-        let mut assignments = vec![assignment(
-            1,
-            Resolution::R2048,
-            GpuSet::first_n(8),
-            5,
-            50,
-        )];
+        let mut assignments = vec![assignment(1, Resolution::R2048, GpuSet::first_n(8), 5, 50)];
         let mut free = GpuSet::EMPTY;
         let ups = elastic_scale_up(
             &mut assignments,

@@ -47,8 +47,8 @@ pub mod dp;
 pub mod elastic;
 pub mod options;
 pub mod placement;
-mod proptests;
 pub mod policy;
+mod proptests;
 pub mod request;
 pub mod scheduler;
 pub mod server;

@@ -247,7 +247,8 @@ mod tests {
         // Deadline between LB(run) and LB(none).
         let lb_none = t_min * u64::from(remaining);
         let lb_run = t_min * u64::from(remaining - q);
-        let deadline = t_next + SimDuration::from_micros((lb_none.as_micros() + lb_run.as_micros()) / 2);
+        let deadline =
+            t_next + SimDuration::from_micros((lb_none.as_micros() + lb_run.as_micros()) / 2);
         let opts = build_options(
             RequestId(2),
             res,

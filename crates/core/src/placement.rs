@@ -84,7 +84,9 @@ pub fn place(
 
     // Pass 2: everyone else, widest first so big aligned blocks are still
     // available for wide requests.
-    let mut order: Vec<usize> = (0..requests.len()).filter(|&i| placed[i].is_none()).collect();
+    let mut order: Vec<usize> = (0..requests.len())
+        .filter(|&i| placed[i].is_none())
+        .collect();
     order.sort_by_key(|&i| std::cmp::Reverse(requests[i].width));
     for i in order {
         let r = &requests[i];
@@ -114,12 +116,7 @@ pub fn place(
 /// Picks a `width`-GPU set from `free`: an aligned block when one is fully
 /// free (preferring the block overlapping `previous`), otherwise the set
 /// maximising overlap with `previous`, padded with the lowest free ids.
-fn choose_set(
-    width: usize,
-    previous: Option<GpuSet>,
-    free: GpuSet,
-    topology: &Topology,
-) -> GpuSet {
+fn choose_set(width: usize, previous: Option<GpuSet>, free: GpuSet, topology: &Topology) -> GpuSet {
     let prev = previous.unwrap_or(GpuSet::EMPTY);
     let mut best_block: Option<GpuSet> = None;
     let mut best_overlap = usize::MAX; // sentinel: unset
@@ -182,17 +179,22 @@ mod tests {
     #[test]
     fn without_preservation_requests_move() {
         let prev = GpuSet::contiguous(2, 2);
-        let out = place(&[preq(1, 2, Some(prev))], GpuSet::first_n(8), false, &h100());
-        assert_eq!(out[0].gpus, GpuSet::contiguous(0, 2), "naive fill moves the request");
+        let out = place(
+            &[preq(1, 2, Some(prev))],
+            GpuSet::first_n(8),
+            false,
+            &h100(),
+        );
+        assert_eq!(
+            out[0].gpus,
+            GpuSet::contiguous(0, 2),
+            "naive fill moves the request"
+        );
     }
 
     #[test]
     fn no_overlap_between_assignments() {
-        let reqs = vec![
-            preq(1, 4, None),
-            preq(2, 2, None),
-            preq(3, 2, None),
-        ];
+        let reqs = vec![preq(1, 4, None), preq(2, 2, None), preq(3, 2, None)];
         let out = place(&reqs, GpuSet::first_n(8), true, &h100());
         let mut union = GpuSet::EMPTY;
         for a in &out {

@@ -55,9 +55,14 @@ impl DispatchPlan {
 pub struct SchedContext<'a> {
     /// Current simulation time.
     pub now: SimTime,
-    /// GPUs idle right now.
+    /// GPUs idle right now. Always a subset of `healthy`: the serving loop
+    /// removes a GPU from the free pool the moment it goes down.
     pub free: GpuSet,
-    /// Total GPUs in the node.
+    /// GPUs not hard-faulted right now — the health view. Policies must
+    /// not plan around more capacity than this (e.g. when sizing degrees),
+    /// and must never place work outside it.
+    pub healthy: GpuSet,
+    /// Total GPUs in the node (including any currently down).
     pub n_gpus: usize,
     /// Live request state.
     pub tracker: &'a RequestTracker,
@@ -99,8 +104,17 @@ pub fn validate_plans(plans: &[DispatchPlan], ctx: &SchedContext<'_>) -> Result<
         if !plan.degree().is_power_of_two() {
             return Err(format!("degree {} is not a power of two", plan.degree()));
         }
+        if !ctx.healthy.is_superset_of(plan.gpus) {
+            return Err(format!(
+                "plan uses down gpus {}",
+                plan.gpus.difference(ctx.healthy)
+            ));
+        }
         if !ctx.free.is_superset_of(plan.gpus) {
-            return Err(format!("plan uses busy gpus {}", plan.gpus.difference(ctx.free)));
+            return Err(format!(
+                "plan uses busy gpus {}",
+                plan.gpus.difference(ctx.free)
+            ));
         }
         if !used.is_disjoint(plan.gpus) {
             return Err(format!("plans overlap on {}", used.intersection(plan.gpus)));
@@ -140,7 +154,11 @@ mod tests {
 
     fn ctx_fixture() -> (RequestTracker, CostTable) {
         let mut tracker = RequestTracker::new();
-        for (id, res) in [(1u64, Resolution::R256), (2, Resolution::R256), (3, Resolution::R512)] {
+        for (id, res) in [
+            (1u64, Resolution::R256),
+            (2, Resolution::R256),
+            (3, Resolution::R512),
+        ] {
             tracker.admit(RequestSpec {
                 id: RequestId(id),
                 resolution: res,
@@ -167,6 +185,7 @@ mod tests {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &costs,
@@ -186,10 +205,15 @@ mod tests {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(4),
+            healthy: GpuSet::first_n(8)
+                .difference(GpuSet::single(tetriserve_simulator::gpuset::GpuId(7))),
             n_gpus: 8,
             tracker: &tracker,
             costs: &costs,
         };
+        // Down GPUs (outside the health view).
+        let e = validate_plans(&[plan(&[1], GpuSet::contiguous(7, 1), 1)], &ctx).unwrap_err();
+        assert!(e.contains("down"), "{e}");
         // Busy GPUs.
         let e = validate_plans(&[plan(&[1], GpuSet::contiguous(4, 2), 1)], &ctx).unwrap_err();
         assert!(e.contains("busy"), "{e}");

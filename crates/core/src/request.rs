@@ -48,6 +48,11 @@ pub struct RequestOutcome {
     /// Sum of the sequence-parallel degree over executed steps; divide by
     /// `steps_executed` for the mean degree (Figure 11).
     pub sp_degree_step_sum: u64,
+    /// Times a dispatch for this request was aborted by a GPU fault and
+    /// re-scheduled.
+    pub retries: u32,
+    /// Whether admission control shed the request (it never completes).
+    pub shed: bool,
 }
 
 impl RequestOutcome {
@@ -102,6 +107,8 @@ mod tests {
             gpu_seconds: 1.9,
             steps_executed: 50,
             sp_degree_step_sum: 100,
+            retries: 0,
+            shed: false,
         };
         assert!(on_time.met_slo());
         assert_eq!(on_time.latency(), Some(SimDuration::from_secs_f64(1.5)));
@@ -117,6 +124,8 @@ mod tests {
             completion: None,
             steps_executed: 0,
             sp_degree_step_sum: 0,
+            retries: 0,
+            shed: false,
             ..on_time
         };
         assert!(!unfinished.met_slo());
@@ -136,6 +145,8 @@ mod tests {
             gpu_seconds: 0.0,
             steps_executed: 1,
             sp_degree_step_sum: 1,
+            retries: 0,
+            shed: false,
         };
         assert!(exactly.met_slo());
     }

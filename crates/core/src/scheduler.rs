@@ -23,7 +23,7 @@ use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::trace::RequestId;
 
-use crate::allocation::min_gpu_hour_plan_with_headroom;
+use crate::allocation::min_gpu_hour_plan_capped;
 use crate::batching::{merge_batches, BatchDeadline};
 use crate::config::TetriServeConfig;
 use crate::dp::pack_round;
@@ -101,6 +101,13 @@ impl Policy for TetriServePolicy {
         let costs = ctx.costs;
         let topology = costs.cluster().topology();
 
+        // Health view: never plan around parallelism that down GPUs cannot
+        // provide. With everything down there is nothing to schedule.
+        if ctx.healthy.is_empty() {
+            return Vec::new();
+        }
+        let healthy_cap = ctx.healthy.len().min(ctx.n_gpus);
+
         // ── 1+2: allocation plans and option sets. ──────────────────────
         let mut packable: Vec<RequestOptions> = Vec::new();
         let mut best_effort: Vec<RequestId> = Vec::new();
@@ -117,29 +124,27 @@ impl Policy for TetriServePolicy {
             let decode = costs
                 .model()
                 .decode_time(r.spec.resolution, costs.cluster().gpu.effective_tflops());
-            let slack = r
-                .spec
-                .deadline
-                .saturating_since(now)
-                .saturating_sub(decode);
-            let mut plan = min_gpu_hour_plan_with_headroom(
+            let slack = r.spec.deadline.saturating_since(now).saturating_sub(decode);
+            let mut plan = min_gpu_hour_plan_capped(
                 r.spec.resolution,
                 r.remaining_steps,
                 slack,
                 costs,
                 crate::config::ROUND_HEADROOM,
+                healthy_cap,
             );
             if !plan.feasible {
                 // Infeasible with quantisation margin — retry at the knife
                 // edge before writing the request off. Only a request that
                 // misses even the un-inflated bound is definitely late
                 // (§4.2.2: at most one GPU, best effort).
-                plan = min_gpu_hour_plan_with_headroom(
+                plan = min_gpu_hour_plan_capped(
                     r.spec.resolution,
                     r.remaining_steps,
                     slack,
                     costs,
                     1.0,
+                    healthy_cap,
                 );
                 if !plan.feasible {
                     best_effort.push(id);
@@ -154,13 +159,13 @@ impl Policy for TetriServePolicy {
                 window,
                 t_next,
                 costs,
-                ctx.n_gpus,
+                healthy_cap,
                 r.last_gpus.map(|g| g.len()),
                 self.config.reconfig_allowance,
                 at_boundary,
             );
-            opts.progress = f64::from(r.spec.total_steps - r.remaining_steps)
-                / f64::from(r.spec.total_steps);
+            opts.progress =
+                f64::from(r.spec.total_steps - r.remaining_steps) / f64::from(r.spec.total_steps);
             packable.push(opts);
         }
 
@@ -215,7 +220,9 @@ impl Policy for TetriServePolicy {
             usize::MAX
         };
         for id in best_effort.into_iter().take(late_cap) {
-            let Some(gpu_lowest) = free.lowest() else { break };
+            let Some(gpu_lowest) = free.lowest() else {
+                break;
+            };
             let r = ctx.tracker.get(id).expect("tracked");
             // Prefer the previously used GPU when it is free and single.
             let gpu = match r.last_gpus {
@@ -315,6 +322,7 @@ mod tests {
         let ctx = SchedContext {
             now,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker,
             costs,
@@ -350,7 +358,11 @@ mod tests {
         tracker.admit(spec(1, Resolution::R256, 0.0, 10.0));
         let plans = run_round(&mut policy, &tracker, &c, SimTime::ZERO);
         assert_eq!(plans.len(), 1);
-        assert_eq!(plans[0].degree(), 1, "no deadline pressure -> min GPU-hours");
+        assert_eq!(
+            plans[0].degree(),
+            1,
+            "no deadline pressure -> min GPU-hours"
+        );
     }
 
     #[test]
@@ -366,7 +378,10 @@ mod tests {
         tracker.admit(spec(3, Resolution::R256, 0.0, 1.5));
         tracker.admit(spec(4, Resolution::R512, 0.0, 2.0));
         let plans = run_round(&mut policy, &tracker, &c, SimTime::ZERO);
-        let used: usize = plans.iter().map(|p| p.degree() * p.requests.len().min(1)).sum();
+        let used: usize = plans
+            .iter()
+            .map(|p| p.degree() * p.requests.len().min(1))
+            .sum();
         assert!(used <= 8);
         let p1 = plans
             .iter()
@@ -514,6 +529,7 @@ mod tests {
         let ctx = SchedContext {
             now: mid,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
@@ -552,6 +568,7 @@ mod tests {
         let ctx = SchedContext {
             now: sliver,
             free: GpuSet::first_n(8),
+            healthy: GpuSet::first_n(8),
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,

@@ -16,14 +16,15 @@ use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::SimTime;
 use tetriserve_simulator::trace::{RequestId, Trace};
 
+use crate::config::{AdmissionPolicy, ROUND_HEADROOM};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
 use crate::request::{RequestOutcome, RequestSpec};
-use crate::tracker::RequestTracker;
+use crate::tracker::{Phase, RequestTracker};
 
 /// Server behaviour knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Engine behaviour (noise, stalls, warm-up, memory).
+    /// Engine behaviour (noise, stalls, warm-up, memory, injected faults).
     pub engine: EngineConfig,
     /// Validate every plan batch against the context (cheap; catches policy
     /// bugs at the source).
@@ -31,6 +32,11 @@ pub struct ServerConfig {
     /// Hard cap on processed events, guarding against non-terminating
     /// policies.
     pub max_events: u64,
+    /// What to do when the backlog is infeasible under healthy capacity.
+    pub admission: AdmissionPolicy,
+    /// Fault-abort retries allowed per request before it is terminally
+    /// failed (bounds the work a flapping GPU can burn on one request).
+    pub max_retries: u32,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +45,8 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             validate_plans: true,
             max_events: 50_000_000,
+            admission: AdmissionPolicy::AdmitAll,
+            max_retries: 3,
         }
     }
 }
@@ -62,15 +70,37 @@ pub struct ServeReport {
     /// control-plane cost the paper bounds at < 10 ms per decision
     /// (Table 6 / Appendix B).
     pub sched_wall: std::time::Duration,
+    /// Dispatches killed mid-flight by hard GPU faults.
+    pub aborted_dispatches: usize,
+    /// GPU-seconds burned by aborted dispatches without producing a
+    /// completed (checkpointed) step.
+    pub wasted_gpu_seconds: f64,
+    /// Requests dropped by admission control ([`AdmissionPolicy`]).
+    pub shed_requests: usize,
 }
 
 impl ServeReport {
     /// Fraction of requests that met their SLO (the paper's SAR metric).
+    /// Shed and failed requests never complete, so they count against SAR.
     pub fn sar(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 1.0;
         }
         self.outcomes.iter().filter(|o| o.met_slo()).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Goodput under faults: SLO-met requests delivered per second of
+    /// serving makespan. Unlike SAR this rewards finishing *more* work in
+    /// the same wall-clock, so shedding hopeless requests to save others
+    /// shows up as a gain rather than a wash.
+    pub fn goodput(&self) -> f64 {
+        let met = self.outcomes.iter().filter(|o| o.met_slo()).count();
+        met as f64 / self.makespan.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Total fault-induced dispatch retries across all requests.
+    pub fn total_retries(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.retries)).sum()
     }
 
     /// Mean host wall-clock per scheduling pass.
@@ -83,6 +113,12 @@ impl ServeReport {
     }
 }
 
+/// Fraction of raw healthy GPU-seconds the admission test counts as
+/// deliverable. A real round-based schedule never converts 100% of the EDF
+/// capacity bound into diffusion steps: round-boundary quantization,
+/// placement fragmentation and VAE decodes all eat into it.
+const ADMISSION_UTILIZATION: f64 = 0.8;
+
 #[derive(Debug)]
 enum Event {
     Arrival(RequestSpec),
@@ -90,8 +126,15 @@ enum Event {
         gpus: GpuSet,
         requests: Vec<RequestId>,
     },
+    DispatchAborted {
+        gpus: GpuSet,
+        requests: Vec<RequestId>,
+        lost_steps: u32,
+    },
     Complete(RequestId),
     Tick,
+    GpuDown,
+    GpuUp,
 }
 
 /// The serving loop.
@@ -142,8 +185,18 @@ impl<P: Policy> Server<P> {
         let mut tracker = RequestTracker::new();
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut free = GpuSet::first_n(n_gpus);
+        let mut down = GpuSet::EMPTY;
         let mut arrivals_pending: u64 = 0;
 
+        // Health transitions come from the statically known failure plan.
+        // They are queued before arrivals so that, on timestamp ties, the
+        // health view updates before any scheduling pass runs.
+        for fault in self.config.engine.failures.faults() {
+            events.push(fault.down_from, Event::GpuDown);
+            if let Some(up) = fault.up_at {
+                events.push(up, Event::GpuUp);
+            }
+        }
         for spec in specs {
             events.push(spec.arrival, Event::Arrival(spec));
             arrivals_pending += 1;
@@ -164,19 +217,71 @@ impl<P: Policy> Server<P> {
                 processed <= self.config.max_events,
                 "event cap exceeded: the policy appears not to terminate"
             );
-            last_time = last_time.max(now);
+            // Health transitions on an idle server must not inflate the
+            // makespan (a recovery scheduled long after the last request
+            // finished is not serving time).
+            let is_health = matches!(event, Event::GpuDown | Event::GpuUp);
+            if !is_health || arrivals_pending > 0 || tracker.active_count() > 0 {
+                last_time = last_time.max(now);
+            }
 
             let trigger = match event {
                 Event::Arrival(spec) => {
                     tracker.admit(spec);
                     arrivals_pending -= 1;
+                    if self.config.admission == AdmissionPolicy::ShedInfeasible {
+                        let healthy = GpuSet::first_n(n_gpus).difference(down).len();
+                        Self::shed_infeasible(&mut tracker, now, healthy, &self.costs);
+                    }
                     Some(PolicyEvent::Arrival)
                 }
                 Event::DispatchDone { gpus, requests } => {
-                    free = free.union(gpus);
+                    // A fault opening exactly as the dispatch ends keeps the
+                    // GPU out of the pool (windows are half-open, so the
+                    // dispatch itself still completes).
+                    free = free.union(gpus).difference(down);
                     for id in requests {
                         tracker.finish_dispatch(id);
                     }
+                    Some(PolicyEvent::DispatchDone)
+                }
+                Event::DispatchAborted {
+                    gpus,
+                    requests,
+                    lost_steps,
+                } => {
+                    free = free.union(gpus).difference(down);
+                    for id in requests {
+                        tracker.abort_dispatch(id, gpus, lost_steps);
+                        let retries = tracker.get(id).expect("tracked").retries;
+                        if retries > self.config.max_retries {
+                            tracker.fail(id);
+                        }
+                    }
+                    Some(PolicyEvent::DispatchDone)
+                }
+                Event::GpuDown => {
+                    // Recompute from the plan rather than toggling one GPU:
+                    // overlapping fault windows on the same GPU stay down
+                    // until the *last* window closes.
+                    down = self.config.engine.failures.down_gpus(now);
+                    free = free.difference(down);
+                    if self.config.admission == AdmissionPolicy::ShedInfeasible {
+                        let healthy = GpuSet::first_n(n_gpus).difference(down).len();
+                        Self::shed_infeasible(&mut tracker, now, healthy, &self.costs);
+                    }
+                    // Wake event-driven policies so queued work re-plans
+                    // around the shrunk capacity at once; round-driven
+                    // policies pick it up at the next tick.
+                    Some(PolicyEvent::DispatchDone)
+                }
+                Event::GpuUp => {
+                    let was = down;
+                    down = self.config.engine.failures.down_gpus(now);
+                    // A GPU can only return idle: while down it is excluded
+                    // from every plan, so no dispatch holds it at `up_at`.
+                    let newly_up = was.difference(down);
+                    free = free.union(newly_up).difference(down);
                     Some(PolicyEvent::DispatchDone)
                 }
                 Event::Complete(id) => {
@@ -203,6 +308,7 @@ impl<P: Policy> Server<P> {
                 let ctx = SchedContext {
                     now,
                     free,
+                    healthy: GpuSet::first_n(n_gpus).difference(down),
                     n_gpus,
                     tracker: &tracker,
                     costs: &self.costs,
@@ -241,9 +347,7 @@ impl<P: Policy> Server<P> {
                     .requests
                     .iter()
                     .copied()
-                    .filter(|&id| {
-                        tracker.get(id).expect("tracked").remaining_steps == plan.steps
-                    })
+                    .filter(|&id| tracker.get(id).expect("tracked").remaining_steps == plan.steps)
                     .collect();
                 let decode_after = if finishing.is_empty() {
                     None
@@ -275,13 +379,24 @@ impl<P: Policy> Server<P> {
                     tracker.start_dispatch(id, plan.gpus, plan.steps, gpu_seconds);
                 }
                 free = free.difference(plan.gpus);
-                events.push(
-                    outcome.gpus_free_at,
-                    Event::DispatchDone {
-                        gpus: plan.gpus,
-                        requests: plan.requests.clone(),
-                    },
-                );
+                if let Some(abort) = outcome.aborted {
+                    events.push(
+                        abort.time,
+                        Event::DispatchAborted {
+                            gpus: plan.gpus,
+                            requests: plan.requests.clone(),
+                            lost_steps: plan.steps - abort.completed_steps,
+                        },
+                    );
+                } else {
+                    events.push(
+                        outcome.gpus_free_at,
+                        Event::DispatchDone {
+                            gpus: plan.gpus,
+                            requests: plan.requests.clone(),
+                        },
+                    );
+                }
                 for (id, done) in outcome.request_done {
                     events.push(done, Event::Complete(id));
                 }
@@ -292,14 +407,126 @@ impl<P: Policy> Server<P> {
         let utilization = engine.utilization(makespan);
         let mut outcomes = tracker.outcomes();
         outcomes.sort_by_key(|o| o.id);
+        let trace = engine.into_trace();
+        let aborted_dispatches = trace.aborted_count();
+        let wasted_gpu_seconds = trace.wasted_gpu_seconds();
+        let shed_requests = outcomes.iter().filter(|o| o.shed).count();
         ServeReport {
             outcomes,
-            trace: engine.into_trace(),
+            trace,
             utilization,
             makespan,
             policy: self.policy.name(),
             sched_calls,
             sched_wall,
+            aborted_dispatches,
+            wasted_gpu_seconds,
+            shed_requests,
+        }
+    }
+
+    /// Deadline-aware admission control (EDF cumulative-demand test).
+    ///
+    /// Scans live requests in deadline order, accumulating each one's
+    /// cheapest deadline-respecting GPU-second demand; whenever the running
+    /// total exceeds what `healthy` GPUs can deliver by that deadline, the
+    /// least salvageable *not-yet-started* request in the prefix is shed
+    /// and the test restarts. Requests that already hold checkpointed steps
+    /// are never shed — dropping them would waste finished work.
+    fn shed_infeasible(
+        tracker: &mut RequestTracker,
+        now: SimTime,
+        healthy: usize,
+        costs: &CostTable,
+    ) {
+        struct Cand {
+            id: RequestId,
+            deadline: SimTime,
+            demand: f64,
+            slack: f64,
+            fresh: bool,
+        }
+        loop {
+            let mut live: Vec<Cand> = tracker
+                .iter()
+                .filter(|r| {
+                    matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0
+                })
+                .map(|r| {
+                    let res = r.spec.resolution;
+                    let horizon = r.spec.deadline.saturating_since(now).as_secs_f64();
+                    let remaining = f64::from(r.remaining_steps);
+                    let decode = costs
+                        .model()
+                        .decode_time(res, costs.cluster().gpu.effective_tflops())
+                        .as_secs_f64();
+                    // A tight deadline forces a wide (less GPU-efficient)
+                    // degree, so demand is the cheapest gpu-seconds among
+                    // degrees that can still make the deadline — diffusion
+                    // steps with jitter headroom plus the VAE decode — not
+                    // the global optimum. A request no degree can save
+                    // falls back to the fastest degree; its negative slack
+                    // makes it the first victim regardless.
+                    let per_step = costs
+                        .degrees()
+                        .iter()
+                        .filter(|&&k| {
+                            remaining * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM
+                                + decode
+                                <= horizon
+                        })
+                        .map(|&k| costs.gpu_seconds(res, k))
+                        .fold(f64::INFINITY, f64::min);
+                    let per_step = if per_step.is_finite() {
+                        per_step
+                    } else {
+                        let fastest = costs
+                            .degrees()
+                            .iter()
+                            .copied()
+                            .min_by_key(|&k| costs.step_time(res, k, 1))
+                            .expect("cost table has at least one degree");
+                        costs.gpu_seconds(res, fastest)
+                    };
+                    Cand {
+                        id: r.spec.id,
+                        deadline: r.spec.deadline,
+                        demand: f64::from(r.remaining_steps) * per_step,
+                        slack: horizon
+                            - f64::from(r.remaining_steps) * costs.t_min(res).as_secs_f64(),
+                        fresh: r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps,
+                    }
+                })
+                .collect();
+            live.sort_by(|a, b| a.deadline.cmp(&b.deadline).then(a.id.cmp(&b.id)));
+
+            let mut demand = 0.0;
+            let mut shed = None;
+            for (i, c) in live.iter().enumerate() {
+                demand += c.demand;
+                let capacity = healthy as f64
+                    * c.deadline.saturating_since(now).as_secs_f64()
+                    * ADMISSION_UTILIZATION;
+                if demand > capacity {
+                    // Least slack first; on ties the newest admission goes
+                    // (reject the incoming request rather than break an
+                    // older commitment). Started requests are immune, so an
+                    // all-started prefix leaves this violation standing and
+                    // the scan moves on to ones it can still relieve.
+                    shed = live[..=i]
+                        .iter()
+                        .filter(|c| c.fresh)
+                        .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
+                        .map(|c| c.id);
+                    if shed.is_some() {
+                        break;
+                    }
+                }
+            }
+            match shed {
+                Some(id) => tracker.shed(id),
+                None => break,
+            }
         }
     }
 }
@@ -360,7 +587,11 @@ mod tests {
         let o = &report.outcomes[0];
         assert!(o.met_slo(), "latency {:?}", o.latency());
         // It must have run wide to make it.
-        assert!(o.mean_sp_degree() > 6.0, "mean degree {}", o.mean_sp_degree());
+        assert!(
+            o.mean_sp_degree() > 6.0,
+            "mean degree {}",
+            o.mean_sp_degree()
+        );
     }
 
     #[test]
@@ -426,6 +657,185 @@ mod tests {
     fn empty_workload_returns_empty_report() {
         let report = serve(vec![]);
         assert!(report.outcomes.is_empty());
+        assert_eq!(report.sar(), 1.0);
+    }
+
+    fn serve_with(specs: Vec<RequestSpec>, tweak: impl FnOnce(&mut ServerConfig)) -> ServeReport {
+        let c = costs();
+        let policy = TetriServePolicy::with_defaults(&c);
+        let mut server = Server::new(c, policy);
+        tweak(server.config_mut());
+        server.run(specs)
+    }
+
+    #[test]
+    fn transient_fault_mid_run_is_survived() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        // GPU 3 dies at 0.5 s — mid-flight for this workload — and returns
+        // at 5 s. Every request must still finish all 50 steps.
+        let report = serve_with(
+            vec![
+                spec(0, Resolution::R512, 0.0, 30.0),
+                spec(1, Resolution::R1024, 0.1, 30.0),
+                spec(2, Resolution::R2048, 0.2, 40.0),
+            ],
+            |cfg| {
+                cfg.engine.failures = cfg.engine.failures.clone().with_fault(GpuFault::transient(
+                    GpuId(3),
+                    SimTime::from_secs_f64(0.5),
+                    SimTime::from_secs_f64(5.0),
+                ));
+            },
+        );
+        assert!(
+            report.aborted_dispatches > 0,
+            "the fault must land mid-dispatch for this test to bite"
+        );
+        assert!(report.wasted_gpu_seconds > 0.0);
+        assert!(report.total_retries() > 0);
+        assert_eq!(report.shed_requests, 0, "AdmitAll never sheds");
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .all(|o| o.completion.is_some() && o.steps_executed == 50),
+            "{:#?}",
+            report.outcomes
+        );
+    }
+
+    #[test]
+    fn permanent_fault_excludes_the_gpu_from_all_placements() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        use tetriserve_simulator::trace::TraceEvent;
+        let report = serve_with(
+            vec![
+                spec(0, Resolution::R1024, 0.0, 30.0),
+                spec(1, Resolution::R2048, 0.1, 40.0),
+            ],
+            |cfg| {
+                cfg.engine.failures = cfg
+                    .engine
+                    .failures
+                    .clone()
+                    .with_fault(GpuFault::permanent(GpuId(7), SimTime::ZERO));
+            },
+        );
+        assert!(report.outcomes.iter().all(|o| o.completion.is_some()));
+        let dead = GpuSet::single(GpuId(7));
+        for e in report.trace.events() {
+            if let TraceEvent::DispatchStart { gpus, .. } = e {
+                assert!(
+                    gpus.is_disjoint(dead),
+                    "dispatch placed on a permanently dead GPU"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_bit_for_bit_deterministic() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        let specs = vec![
+            spec(0, Resolution::R512, 0.0, 30.0),
+            spec(1, Resolution::R1024, 0.2, 30.0),
+            spec(2, Resolution::R2048, 0.4, 40.0),
+        ];
+        let fault = |cfg: &mut ServerConfig| {
+            cfg.engine.failures = cfg.engine.failures.clone().with_fault(GpuFault::transient(
+                GpuId(2),
+                SimTime::from_secs_f64(0.6),
+                SimTime::from_secs_f64(4.0),
+            ));
+        };
+        let a = serve_with(specs.clone(), fault);
+        let b = serve_with(specs, fault);
+        let ca: Vec<_> = a
+            .outcomes
+            .iter()
+            .map(|o| (o.completion, o.retries))
+            .collect();
+        let cb: Vec<_> = b
+            .outcomes
+            .iter()
+            .map(|o| (o.completion, o.retries))
+            .collect();
+        assert_eq!(ca, cb);
+        assert_eq!(a.aborted_dispatches, b.aborted_dispatches);
+        assert_eq!(
+            a.wasted_gpu_seconds.to_bits(),
+            b.wasted_gpu_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_request() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        // Every GPU flaps in lock-step, killing each attempt; with a zero
+        // retry budget the request terminally fails instead of looping.
+        let report = serve_with(vec![spec(0, Resolution::R2048, 0.0, 60.0)], |cfg| {
+            cfg.max_retries = 0;
+            let mut failures = cfg.engine.failures.clone();
+            for g in 0..8 {
+                failures = failures.with_fault(GpuFault::transient(
+                    GpuId(g),
+                    SimTime::from_secs_f64(0.2),
+                    SimTime::from_secs_f64(0.3),
+                ));
+            }
+            cfg.engine.failures = failures;
+        });
+        let o = &report.outcomes[0];
+        assert!(o.completion.is_none(), "{o:?}");
+        assert!(!o.shed);
+        assert_eq!(o.retries, 1, "one abort, then the budget is gone");
+        assert_eq!(report.sar(), 0.0);
+    }
+
+    #[test]
+    fn shed_infeasible_beats_admit_all_under_overload() {
+        // A 3× overload burst of big requests with tight deadlines: serving
+        // everyone best-effort makes everyone late, shedding the hopeless
+        // tail saves the head.
+        let burst: Vec<RequestSpec> = (0..12)
+            .map(|i| spec(i, Resolution::R2048, 0.0, 10.0))
+            .collect();
+        let admit_all = serve_with(burst.clone(), |_| ());
+        let shedding = serve_with(burst, |cfg| {
+            cfg.admission = AdmissionPolicy::ShedInfeasible;
+        });
+        assert_eq!(admit_all.shed_requests, 0);
+        assert!(shedding.shed_requests > 0, "overload must trigger shedding");
+        assert!(
+            shedding.sar() > admit_all.sar(),
+            "shed {} vs admit-all {}",
+            shedding.sar(),
+            admit_all.sar()
+        );
+        // Shed requests never executed a step (no work wasted on them).
+        assert!(shedding
+            .outcomes
+            .iter()
+            .filter(|o| o.shed)
+            .all(|o| o.steps_executed == 0));
+    }
+
+    #[test]
+    fn feasible_load_is_never_shed() {
+        let report = serve_with(
+            vec![
+                spec(0, Resolution::R256, 0.0, 60.0),
+                spec(1, Resolution::R1024, 0.5, 60.0),
+            ],
+            |cfg| {
+                cfg.admission = AdmissionPolicy::ShedInfeasible;
+            },
+        );
+        assert_eq!(report.shed_requests, 0);
         assert_eq!(report.sar(), 1.0);
     }
 

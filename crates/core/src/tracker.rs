@@ -22,6 +22,12 @@ pub enum Phase {
     Running,
     /// All steps and the VAE decode finished at the given time.
     Done(SimTime),
+    /// Terminal: dispatches for this request were aborted by GPU faults
+    /// more times than the retry budget allows.
+    Failed,
+    /// Terminal: admission control shed the request as infeasible under
+    /// the current healthy capacity.
+    Shed,
 }
 
 /// A request plus its live execution state.
@@ -39,6 +45,8 @@ pub struct TrackedRequest {
     pub gpu_seconds: f64,
     /// Σ (degree × steps) over executed dispatches.
     pub sp_degree_step_sum: u64,
+    /// Fault-induced dispatch aborts survived so far.
+    pub retries: u32,
 }
 
 impl TrackedRequest {
@@ -81,6 +89,7 @@ impl RequestTracker {
                 last_gpus: None,
                 gpu_seconds: 0.0,
                 sp_degree_step_sum: 0,
+                retries: 0,
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", spec.id);
@@ -140,6 +149,71 @@ impl RequestTracker {
         r.phase = Phase::Queued;
     }
 
+    /// Records a fault-aborted dispatch: the `lost_steps` that never ran
+    /// are restored (steps completed before the fault stay checkpointed),
+    /// the placement affinity is dropped (the group is gone), the retry
+    /// counter is bumped, and the request re-enters the queue with its
+    /// original deadline so the next round can re-plan it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is not running or `lost_steps` exceeds the
+    /// steps deducted at dispatch start.
+    pub fn abort_dispatch(&mut self, id: RequestId, gpus: GpuSet, lost_steps: u32) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Running, "{id} must be running to abort");
+        assert!(
+            u64::from(r.remaining_steps) + u64::from(lost_steps) <= u64::from(r.spec.total_steps),
+            "{id}: restoring {lost_steps} lost steps exceeds the schedule"
+        );
+        r.remaining_steps += lost_steps;
+        r.sp_degree_step_sum = r
+            .sp_degree_step_sum
+            .saturating_sub(gpus.len() as u64 * u64::from(lost_steps));
+        r.last_gpus = None;
+        r.retries += 1;
+        r.phase = Phase::Queued;
+    }
+
+    /// Terminally fails a request whose retry budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown or already done.
+    pub fn fail(&mut self, id: RequestId) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert!(
+            !matches!(r.phase, Phase::Done(_)),
+            "{id} cannot fail after completing"
+        );
+        r.phase = Phase::Failed;
+    }
+
+    /// Sheds a queued request (admission control). Only requests that have
+    /// not started executing may be shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown, not queued, or already started.
+    pub fn shed(&mut self, id: RequestId) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Queued, "{id} must be queued to shed");
+        assert_eq!(
+            r.remaining_steps, r.spec.total_steps,
+            "{id} already made progress; shedding it would waste work"
+        );
+        r.phase = Phase::Shed;
+    }
+
     /// Marks the request fully complete (after VAE decode).
     ///
     /// # Panics
@@ -150,20 +224,31 @@ impl RequestTracker {
             .requests
             .get_mut(&id)
             .unwrap_or_else(|| panic!("unknown request {id}"));
-        assert!(
-            !matches!(r.phase, Phase::Done(_)),
-            "{id} completed twice"
-        );
+        assert!(!matches!(r.phase, Phase::Done(_)), "{id} completed twice");
         assert_eq!(r.remaining_steps, 0, "{id} completed with steps remaining");
         r.phase = Phase::Done(at);
     }
 
-    /// Number of requests not yet done.
+    /// Number of requests still in flight (terminal phases — done, failed,
+    /// shed — do not count; the serving loop stops ticking without them).
     pub fn active_count(&self) -> usize {
         self.requests
             .values()
-            .filter(|r| !matches!(r.phase, Phase::Done(_)))
+            .filter(|r| !matches!(r.phase, Phase::Done(_) | Phase::Failed | Phase::Shed))
             .count()
+    }
+
+    /// Number of requests shed by admission control.
+    pub fn shed_count(&self) -> usize {
+        self.requests
+            .values()
+            .filter(|r| r.phase == Phase::Shed)
+            .count()
+    }
+
+    /// Iterates over all tracked requests in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TrackedRequest> {
+        self.requests.values()
     }
 
     /// Total number of tracked requests.
@@ -192,6 +277,8 @@ impl RequestTracker {
                 gpu_seconds: r.gpu_seconds,
                 steps_executed: r.spec.total_steps - r.remaining_steps,
                 sp_degree_step_sum: r.sp_degree_step_sum,
+                retries: r.retries,
+                shed: r.phase == Phase::Shed,
             })
             .collect()
     }
@@ -283,6 +370,59 @@ mod tests {
         t.admit(spec(1));
         t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.0);
         t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.0);
+    }
+
+    #[test]
+    fn abort_restores_lost_steps_and_bumps_retries() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        let gpus = GpuSet::contiguous(0, 2);
+        // Dispatch 6 steps; the fault lands after 2 complete → 4 lost.
+        t.start_dispatch(RequestId(1), gpus, 6, 0.8);
+        t.abort_dispatch(RequestId(1), gpus, 4);
+        let r = t.get(RequestId(1)).unwrap();
+        assert_eq!(r.remaining_steps, 8, "10 − 6 + 4 restored");
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.phase, Phase::Queued, "re-enters the schedulable set");
+        assert_eq!(r.last_gpus, None, "placement affinity dropped");
+        // Only the 2 checkpointed steps count toward the degree sum.
+        assert_eq!(r.sp_degree_step_sum, 4);
+        // GPU-seconds burned before the fault stay charged.
+        assert!((r.gpu_seconds - 0.8).abs() < 1e-12);
+        let now = SimTime::from_secs_f64(1.0);
+        assert_eq!(t.schedulable_ids(now), vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn failed_and_shed_are_terminal() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.admit(spec(2));
+        t.shed(RequestId(1));
+        t.start_dispatch(RequestId(2), GpuSet::contiguous(0, 1), 2, 0.1);
+        t.abort_dispatch(RequestId(2), GpuSet::contiguous(0, 1), 2);
+        t.fail(RequestId(2));
+        assert_eq!(t.active_count(), 0, "terminal phases are not active");
+        assert_eq!(t.shed_count(), 1);
+        let now = SimTime::from_secs_f64(1.0);
+        assert!(t.schedulable_ids(now).is_empty());
+        let out = t.outcomes();
+        let shed = out.iter().find(|o| o.id == RequestId(1)).unwrap();
+        assert!(shed.shed && shed.completion.is_none());
+        assert_eq!(shed.steps_executed, 0);
+        let failed = out.iter().find(|o| o.id == RequestId(2)).unwrap();
+        assert!(!failed.shed && failed.completion.is_none());
+        assert_eq!(failed.retries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already made progress")]
+    fn shedding_started_requests_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.1);
+        t.finish_dispatch(RequestId(1));
+        t.shed(RequestId(1));
     }
 
     #[test]

@@ -77,8 +77,15 @@ pub fn verify_flux_h100() -> CalibrationReport {
 
     // ── §1: 2048² on a single H100 takes tens of seconds ("up to a
     // minute").
-    let t2048_sp1 = step_time_canonical(&model, Resolution::R2048, 1, 1, &cluster, CommScheme::Ulysses)
-        .as_secs_f64()
+    let t2048_sp1 = step_time_canonical(
+        &model,
+        Resolution::R2048,
+        1,
+        1,
+        &cluster,
+        CommScheme::Ulysses,
+    )
+    .as_secs_f64()
         * f64::from(model.steps);
     anchors.push(anchor(
         "§1 single-GPU 2048² request",
@@ -93,15 +100,39 @@ pub fn verify_flux_h100() -> CalibrationReport {
             * f64::from(model.steps)
     };
     let geometry: [(&str, f64, bool); 6] = [
-        ("256² fits 1.5 s at SP=1", request_secs(Resolution::R256, 1), request_secs(Resolution::R256, 1) < 1.5),
-        ("512² fits 2.0 s at SP=1", request_secs(Resolution::R512, 1), request_secs(Resolution::R512, 1) < 2.0),
-        ("1024² misses 3.0 s at SP=2", request_secs(Resolution::R1024, 2), request_secs(Resolution::R1024, 2) > 3.0),
-        ("1024² fits 3.0 s at SP=4", request_secs(Resolution::R1024, 4), request_secs(Resolution::R1024, 4) < 3.0),
-        ("2048² misses 5.0 s at SP=4", request_secs(Resolution::R2048, 4), request_secs(Resolution::R2048, 4) > 5.0),
-        ("2048² fits 5.0 s at SP=8 with headroom", request_secs(Resolution::R2048, 8), {
-            let t = request_secs(Resolution::R2048, 8);
-            t > 4.0 && t < 4.7
-        }),
+        (
+            "256² fits 1.5 s at SP=1",
+            request_secs(Resolution::R256, 1),
+            request_secs(Resolution::R256, 1) < 1.5,
+        ),
+        (
+            "512² fits 2.0 s at SP=1",
+            request_secs(Resolution::R512, 1),
+            request_secs(Resolution::R512, 1) < 2.0,
+        ),
+        (
+            "1024² misses 3.0 s at SP=2",
+            request_secs(Resolution::R1024, 2),
+            request_secs(Resolution::R1024, 2) > 3.0,
+        ),
+        (
+            "1024² fits 3.0 s at SP=4",
+            request_secs(Resolution::R1024, 4),
+            request_secs(Resolution::R1024, 4) < 3.0,
+        ),
+        (
+            "2048² misses 5.0 s at SP=4",
+            request_secs(Resolution::R2048, 4),
+            request_secs(Resolution::R2048, 4) > 5.0,
+        ),
+        (
+            "2048² fits 5.0 s at SP=8 with headroom",
+            request_secs(Resolution::R2048, 8),
+            {
+                let t = request_secs(Resolution::R2048, 8);
+                t > 4.0 && t < 4.7
+            },
+        ),
     ];
     for (name, measured, holds) in geometry {
         anchors.push(anchor(name, measured, "see name", holds));
@@ -133,8 +164,8 @@ pub fn verify_flux_h100() -> CalibrationReport {
         let mut prev_t = f64::INFINITY;
         let mut prev_g = 0.0;
         for k in [1usize, 2, 4, 8] {
-            let t = step_time_canonical(&model, res, k, 1, &cluster, CommScheme::Ulysses)
-                .as_secs_f64();
+            let t =
+                step_time_canonical(&model, res, k, 1, &cluster, CommScheme::Ulysses).as_secs_f64();
             let g = k as f64 * t;
             monotone &= t < prev_t && g > prev_g;
             prev_t = t;
@@ -196,8 +227,15 @@ pub fn verify_sd3_a40() -> CalibrationReport {
     ));
 
     // The small end remains serveable: 256² fits its base SLO on one A40.
-    let t256 = step_time_canonical(&model, Resolution::R256, 1, 1, &cluster, CommScheme::Ulysses)
-        .as_secs_f64()
+    let t256 = step_time_canonical(
+        &model,
+        Resolution::R256,
+        1,
+        1,
+        &cluster,
+        CommScheme::Ulysses,
+    )
+    .as_secs_f64()
         * f64::from(model.steps);
     anchors.push(anchor(
         "SD3 256² fits 1.5 s at SP=1 on A40",
@@ -221,7 +259,11 @@ mod tests {
             "failed anchors: {:#?}",
             report.failures()
         );
-        assert!(report.anchors.len() >= 15, "{} anchors", report.anchors.len());
+        assert!(
+            report.anchors.len() >= 15,
+            "{} anchors",
+            report.anchors.len()
+        );
     }
 
     #[test]

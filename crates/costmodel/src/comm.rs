@@ -117,7 +117,14 @@ mod tests {
 
     #[test]
     fn degree_one_is_silent() {
-        let t = step_comm_time(&flux(), Resolution::R2048, 1, 4, NVSWITCH_BW, CommScheme::Ulysses);
+        let t = step_comm_time(
+            &flux(),
+            Resolution::R2048,
+            1,
+            4,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
         assert_eq!(t, SimDuration::ZERO);
     }
 
@@ -128,7 +135,14 @@ mod tests {
         let m = flux();
         let launch_only = f64::from(m.layers) * ULYSSES_COLLECTIVES_PER_LAYER * COLLECTIVE_LAUNCH_S;
         let t_small = step_comm_time(&m, Resolution::R256, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
-        let t_large = step_comm_time(&m, Resolution::R2048, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let t_large = step_comm_time(
+            &m,
+            Resolution::R2048,
+            8,
+            1,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
         let small_launch_share = launch_only / t_small.as_secs_f64();
         let large_launch_share = launch_only / t_large.as_secs_f64();
         assert!(small_launch_share > 0.3, "small {small_launch_share}");
@@ -146,7 +160,14 @@ mod tests {
     #[test]
     fn wire_time_dominates_large_resolutions() {
         let m = flux();
-        let t8 = step_comm_time(&m, Resolution::R2048, 8, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let t8 = step_comm_time(
+            &m,
+            Resolution::R2048,
+            8,
+            1,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
         let launch_only = f64::from(m.layers) * ULYSSES_COLLECTIVES_PER_LAYER * COLLECTIVE_LAUNCH_S;
         assert!(t8.as_secs_f64() > 3.0 * launch_only, "t8 {t8}");
     }
@@ -154,7 +175,14 @@ mod tests {
     #[test]
     fn pcie_crossing_is_far_slower() {
         let m = flux();
-        let nv = step_comm_time(&m, Resolution::R2048, 4, 1, NVSWITCH_BW, CommScheme::Ulysses);
+        let nv = step_comm_time(
+            &m,
+            Resolution::R2048,
+            4,
+            1,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
         let pcie = step_comm_time(&m, Resolution::R2048, 4, 1, PCIE_BW, CommScheme::Ulysses);
         assert!(pcie.as_secs_f64() > 5.0 * nv.as_secs_f64());
     }
@@ -162,8 +190,22 @@ mod tests {
     #[test]
     fn comm_grows_with_batch() {
         let m = flux();
-        let b1 = step_comm_time(&m, Resolution::R1024, 4, 1, NVSWITCH_BW, CommScheme::Ulysses);
-        let b4 = step_comm_time(&m, Resolution::R1024, 4, 4, NVSWITCH_BW, CommScheme::Ulysses);
+        let b1 = step_comm_time(
+            &m,
+            Resolution::R1024,
+            4,
+            1,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
+        let b4 = step_comm_time(
+            &m,
+            Resolution::R1024,
+            4,
+            4,
+            NVSWITCH_BW,
+            CommScheme::Ulysses,
+        );
         assert!(b4 > b1);
     }
 

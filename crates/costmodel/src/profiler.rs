@@ -65,7 +65,10 @@ impl CostTable {
             panic!(
                 "cost table has no entry for {res} at SP={k}, batch={batch}; profiled \
                  resolutions {:?}, degrees {:?}, batches 1..={}",
-                self.resolutions.iter().map(|r| r.label()).collect::<Vec<_>>(),
+                self.resolutions
+                    .iter()
+                    .map(|r| r.label())
+                    .collect::<Vec<_>>(),
                 self.degrees,
                 self.max_batch
             )
@@ -321,9 +324,7 @@ impl Profiler {
                     } else {
                         out.step_done[first_measured - 1]
                     };
-                    let span = out
-                        .gpus_free_at
-                        .saturating_since(window_start);
+                    let span = out.gpus_free_at.saturating_since(window_start);
                     let mean = span / u64::from(self.measure_steps);
                     entries.insert((res.tokens(), k, batch), mean);
                 }
@@ -348,7 +349,8 @@ impl Profiler {
         for &res in &self.resolutions {
             for &k in &degrees {
                 for batch in 1..=self.max_batch {
-                    let t = step_time_canonical(&self.model, res, k, batch, &self.cluster, self.scheme);
+                    let t =
+                        step_time_canonical(&self.model, res, k, batch, &self.cluster, self.scheme);
                     entries.insert((res.tokens(), k, batch), t);
                 }
             }
@@ -470,7 +472,10 @@ mod tests {
         let t = table();
         assert_eq!(t.fastest_degree(Resolution::R2048), 8);
         assert_eq!(t.fastest_degree(Resolution::R1024), 8);
-        assert_eq!(t.t_min(Resolution::R2048), t.step_time(Resolution::R2048, 8, 1));
+        assert_eq!(
+            t.t_min(Resolution::R2048),
+            t.step_time(Resolution::R2048, 8, 1)
+        );
     }
 
     #[test]
@@ -505,12 +510,7 @@ mod tests {
     fn from_rows_reconstructs_the_table() {
         let t = table();
         let rows = t.to_rows();
-        let back = CostTable::from_rows(
-            t.model().clone(),
-            *t.cluster(),
-            t.scheme(),
-            &rows,
-        );
+        let back = CostTable::from_rows(t.model().clone(), *t.cluster(), t.scheme(), &rows);
         assert_eq!(back.degrees(), t.degrees());
         assert_eq!(back.resolutions(), t.resolutions());
         assert_eq!(back.max_batch(), t.max_batch());

@@ -143,7 +143,10 @@ mod tests {
     fn ordering_follows_compute_demand() {
         let mut v = vec![Resolution::R2048, Resolution::R256, Resolution::R1024];
         v.sort();
-        assert_eq!(v, vec![Resolution::R256, Resolution::R1024, Resolution::R2048]);
+        assert_eq!(
+            v,
+            vec![Resolution::R256, Resolution::R1024, Resolution::R2048]
+        );
     }
 
     #[test]

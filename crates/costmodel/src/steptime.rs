@@ -200,8 +200,16 @@ mod tests {
             let comm = step_comm_time(&m, res, 8, 4, 400.0, CommScheme::Ulysses).as_secs_f64();
             comm / total
         };
-        assert!(share(Resolution::R256) > 0.30, "256: {}", share(Resolution::R256));
-        assert!(share(Resolution::R2048) < 0.15, "2048: {}", share(Resolution::R2048));
+        assert!(
+            share(Resolution::R256) > 0.30,
+            "256: {}",
+            share(Resolution::R256)
+        );
+        assert!(
+            share(Resolution::R2048) < 0.15,
+            "2048: {}",
+            share(Resolution::R2048)
+        );
     }
 
     #[test]
@@ -211,9 +219,28 @@ mod tests {
         let topo = c.topology();
         let aligned = GpuSet::contiguous(0, 2);
         let crossed = GpuSet::from_mask(0b0101);
-        let t_good = step_time_on(&m, Resolution::R1024, aligned, 1, &c, &topo, CommScheme::Ulysses);
-        let t_bad = step_time_on(&m, Resolution::R1024, crossed, 1, &c, &topo, CommScheme::Ulysses);
-        assert!(t_bad > t_good, "PCIe crossing must cost: {t_good} vs {t_bad}");
+        let t_good = step_time_on(
+            &m,
+            Resolution::R1024,
+            aligned,
+            1,
+            &c,
+            &topo,
+            CommScheme::Ulysses,
+        );
+        let t_bad = step_time_on(
+            &m,
+            Resolution::R1024,
+            crossed,
+            1,
+            &c,
+            &topo,
+            CommScheme::Ulysses,
+        );
+        assert!(
+            t_bad > t_good,
+            "PCIe crossing must cost: {t_good} vs {t_bad}"
+        );
     }
 
     #[test]

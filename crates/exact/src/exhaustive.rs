@@ -307,7 +307,11 @@ mod tests {
             simple_request(5, 1000, 4),
         ]);
         let sol = solve_exhaustive(&inst, Duration::from_millis(50));
-        assert!(!sol.complete, "expected a timeout, explored {} nodes", sol.nodes);
+        assert!(
+            !sol.complete,
+            "expected a timeout, explored {} nodes",
+            sol.nodes
+        );
         assert!(sol.elapsed < Duration::from_millis(500));
     }
 

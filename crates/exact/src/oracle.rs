@@ -187,10 +187,7 @@ impl CapacityProfile {
 /// assert_eq!(plan.bookings[0].unwrap().degree, 2, "only SP=2 meets 500 ms");
 /// ```
 pub fn plan_oracle(inst: &OracleInstance) -> OraclePlan {
-    assert!(
-        inst.degrees.len() <= 8,
-        "oracle supports at most 8 degrees"
-    );
+    assert!(inst.degrees.len() <= 8, "oracle supports at most 8 degrees");
     let mut order: Vec<usize> = (0..inst.requests.len()).collect();
     order.sort_by_key(|&i| (inst.requests[i].deadline, inst.requests[i].arrival));
 
@@ -279,11 +276,7 @@ mod tests {
         // rounding makes wider degrees spuriously cheaper.)
         let plan = plan_oracle(&instance((0..8).map(|_| req(0, 10_000, 800)).collect()));
         assert_eq!(plan.served, 8);
-        let starts: Vec<SimTime> = plan
-            .bookings
-            .iter()
-            .map(|b| b.unwrap().start)
-            .collect();
+        let starts: Vec<SimTime> = plan.bookings.iter().map(|b| b.unwrap().start).collect();
         assert!(starts.iter().all(|&s| s == SimTime::ZERO), "{starts:?}");
     }
 

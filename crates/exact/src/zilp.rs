@@ -166,8 +166,17 @@ pub fn solve_zilp(inst: &ZilpInstance, timeout: Duration) -> ZilpSolution {
                 }
                 current[i] = Some(p);
                 dfs(
-                    inst, options, i + 1, served + 1, usage, current, best, best_served, nodes,
-                    deadline, timed_out,
+                    inst,
+                    options,
+                    i + 1,
+                    served + 1,
+                    usage,
+                    current,
+                    best,
+                    best_served,
+                    nodes,
+                    deadline,
+                    timed_out,
                 );
                 current[i] = None;
                 for u in span {
@@ -180,7 +189,16 @@ pub fn solve_zilp(inst: &ZilpInstance, timeout: Duration) -> ZilpSolution {
         }
         // …and rejecting it.
         dfs(
-            inst, options, i + 1, served, usage, current, best, best_served, nodes, deadline,
+            inst,
+            options,
+            i + 1,
+            served,
+            usage,
+            current,
+            best,
+            best_served,
+            nodes,
+            deadline,
             timed_out,
         );
     }

@@ -83,12 +83,18 @@ mod tests {
             gpu_seconds: 1.0,
             steps_executed: 50,
             sp_degree_step_sum: 50,
+            retries: 0,
+            shed: false,
         }
     }
 
     #[test]
     fn completed_only_and_sorted() {
-        let outcomes = vec![outcome(0, Some(3.0)), outcome(1, None), outcome(2, Some(1.0))];
+        let outcomes = vec![
+            outcome(0, Some(3.0)),
+            outcome(1, None),
+            outcome(2, Some(1.0)),
+        ];
         assert_eq!(completed_latencies(&outcomes), vec![1.0, 3.0]);
     }
 
@@ -112,7 +118,11 @@ mod tests {
 
     #[test]
     fn cdf_at_fixed_points() {
-        let outcomes = vec![outcome(0, Some(1.0)), outcome(1, Some(2.0)), outcome(2, Some(4.0))];
+        let outcomes = vec![
+            outcome(0, Some(1.0)),
+            outcome(1, Some(2.0)),
+            outcome(2, Some(4.0)),
+        ];
         let sampled = cdf_at(&outcomes, &[0.5, 1.0, 3.0, 10.0]);
         let ps: Vec<f64> = sampled.iter().map(|(_, p)| *p).collect();
         assert!((ps[0] - 0.0).abs() < 1e-12);

@@ -16,7 +16,10 @@ pub struct TextTable {
 
 impl TextTable {
     /// Creates a table with the given title and column headers.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: impl Into<String>, header: I) -> Self {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(
+        title: impl Into<String>,
+        header: I,
+    ) -> Self {
         TextTable {
             title: title.into(),
             header: header.into_iter().map(Into::into).collect(),
@@ -80,7 +83,11 @@ pub fn bar_chart(title: &str, entries: &[(String, f64)], max: f64, width: usize)
         .max()
         .unwrap_or(0);
     for (label, value) in entries {
-        let frac = if max > 0.0 { (value / max).clamp(0.0, 1.0) } else { 0.0 };
+        let frac = if max > 0.0 {
+            (value / max).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let filled = (frac * width as f64).round() as usize;
         let _ = writeln!(
             out,

@@ -26,6 +26,8 @@ use tetriserve_costmodel::Resolution;
 ///     gpu_seconds: 1.0,
 ///     steps_executed: 50,
 ///     sp_degree_step_sum: 50,
+///     retries: 0,
+///     shed: false,
 /// };
 /// assert_eq!(sar(&[outcome(true), outcome(false)]), 0.5);
 /// ```
@@ -78,6 +80,8 @@ mod tests {
             gpu_seconds: 2.0,
             steps_executed: 50,
             sp_degree_step_sum: 50,
+            retries: 0,
+            shed: false,
         }
     }
 

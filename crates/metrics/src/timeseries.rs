@@ -120,10 +120,14 @@ mod tests {
             resolution: Resolution::R512,
             arrival: SimTime::from_secs_f64(arrival_s),
             deadline: SimTime::from_secs_f64(arrival_s + 2.0),
-            completion: Some(SimTime::from_secs_f64(arrival_s + if met { 1.0 } else { 3.0 })),
+            completion: Some(SimTime::from_secs_f64(
+                arrival_s + if met { 1.0 } else { 3.0 },
+            )),
             gpu_seconds: 1.0,
             steps_executed: 50,
             sp_degree_step_sum: 100,
+            retries: 0,
+            shed: false,
         }
     }
 

@@ -40,7 +40,10 @@ pub fn gpu_utilization(trace: &Trace, n_gpus: usize, horizon: SimTime) -> Utiliz
             } => {
                 let ids: Vec<usize> = gpus.iter().map(|g| g.0).collect();
                 for &g in &ids {
-                    assert!(g < n_gpus, "trace references gpu{g} outside the {n_gpus}-GPU node");
+                    assert!(
+                        g < n_gpus,
+                        "trace references gpu{g} outside the {n_gpus}-GPU node"
+                    );
                 }
                 open.insert(dispatch.0, (*time, ids));
             }
@@ -61,9 +64,7 @@ pub fn gpu_utilization(trace: &Trace, n_gpus: usize, horizon: SimTime) -> Utiliz
         .map(|&b| (b as f64 / horizon_us).min(1.0))
         .collect();
     let mean = per_gpu.iter().sum::<f64>() / n_gpus.max(1) as f64;
-    let imbalance = per_gpu
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(v))
+    let imbalance = per_gpu.iter().fold(0.0f64, |m, &v| m.max(v))
         - per_gpu.iter().fold(1.0f64, |m, &v| m.min(v));
     UtilizationReport {
         per_gpu,

@@ -61,7 +61,9 @@ pub fn accelerate_trace(
     let mut cache = NirvanaCache::new(config.cache_capacity);
     for _ in 0..config.warmup_requests {
         let p = warmup_library.next_prompt();
-        let _ = config.skip.effective_steps(&mut cache, &p.embedding, total_steps);
+        let _ = config
+            .skip
+            .effective_steps(&mut cache, &p.embedding, total_steps);
     }
     // Only the live portion counts toward the reported hit rate.
     let mut live_cache = cache.clone();
@@ -73,8 +75,8 @@ pub fn accelerate_trace(
                 .effective_steps(&mut live_cache, &r.prompt.embedding, total_steps)
         })
         .collect();
-    let mean_steps =
-        effective_steps.iter().map(|&s| f64::from(s)).sum::<f64>() / effective_steps.len().max(1) as f64;
+    let mean_steps = effective_steps.iter().map(|&s| f64::from(s)).sum::<f64>()
+        / effective_steps.len().max(1) as f64;
     AcceleratedTrace {
         effective_steps,
         hit_rate: live_cache.hit_rate(),

@@ -126,7 +126,10 @@ mod tests {
         c.insert(emb(0.0, 1.0));
         c.insert(emb(-1.0, 0.0)); // evicts (1,0)
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(&emb(1.0, 0.0), 0.9).is_none(), "oldest was evicted");
+        assert!(
+            c.lookup(&emb(1.0, 0.0), 0.9).is_none(),
+            "oldest was evicted"
+        );
         assert!(c.lookup(&emb(0.0, 1.0), 0.9).is_some());
     }
 

@@ -18,8 +18,14 @@
 //! The engine itself is *passive*: it computes, at submit time, the exact
 //! timeline a dispatch will follow and returns it in a [`DispatchOutcome`].
 //! The serving loop turns those timelines into future events. This is sound
-//! because dispatches are never cancelled mid-flight — the round-based
-//! scheduler only preempts at round boundaries, i.e. between dispatches.
+//! because dispatches are never cancelled mid-flight by the *scheduler* —
+//! the round-based scheduler only preempts at round boundaries, i.e.
+//! between dispatches — and because hard GPU faults come from the
+//! statically known [`crate::failure::FailurePlan`], so a fault-induced
+//! abort's exact instant is computable at submit time too: the outcome then
+//! carries [`DispatchOutcome::aborted`], only the steps completed before
+//! the fault count (step-level checkpointing), and the burned-but-useless
+//! tail is charged as wasted GPU-seconds.
 
 use crate::gpuset::GpuSet;
 use crate::group::ProcessGroupCache;
@@ -30,7 +36,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{DispatchId, RequestId, StallReason, Trace, TraceEvent};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Tunable engine behaviour.
 #[derive(Debug, Clone)]
@@ -53,8 +59,12 @@ pub struct EngineConfig {
     pub hbm_capacity_bytes: u64,
     /// Seed for step jitter.
     pub seed: u64,
-    /// Injected degradations (stragglers); empty by default.
+    /// Injected degradations (stragglers and hard GPU faults); empty by
+    /// default.
     pub failures: crate::failure::FailurePlan,
+    /// Bandwidth for re-materialising a latent from host checkpoint after
+    /// its GPU group died (PCIe-class, much slower than NVLink paths).
+    pub host_recovery_gbps: f64,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +78,7 @@ impl Default for EngineConfig {
             hbm_capacity_bytes: 80 << 30,
             seed: 0x7e7215e7,
             failures: crate::failure::FailurePlan::none(),
+            host_recovery_gbps: 25.0,
         }
     }
 }
@@ -112,6 +123,24 @@ pub struct DispatchOutcome {
     pub stall: SimDuration,
     /// Longest latent transfer that gated the start.
     pub latent_wait: SimDuration,
+    /// Set when a member GPU went down mid-flight and killed the dispatch.
+    /// `step_done` then holds only the checkpointed steps and
+    /// `gpus_free_at` is the fault instant.
+    pub aborted: Option<AbortInfo>,
+}
+
+/// How a dispatch died when a member GPU went down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbortInfo {
+    /// The fault instant.
+    pub time: SimTime,
+    /// The member GPUs down at the fault instant.
+    pub down: GpuSet,
+    /// Diffusion steps checkpointed before the fault.
+    pub completed_steps: u32,
+    /// GPU-seconds burned without producing a completed step, summed over
+    /// all member GPUs.
+    pub wasted_gpu_seconds: f64,
 }
 
 /// Errors returned by [`Engine::submit`].
@@ -124,6 +153,9 @@ pub enum SubmitError {
     NotPowerOfTwo(usize),
     /// One of the GPUs is still executing a previous dispatch.
     GpuBusy(GpuSet),
+    /// One of the GPUs is down (hard fault) at submit time; schedulers
+    /// should consult the health view and never target down GPUs.
+    GpuDown(GpuSet),
     /// The dispatch had no requests or no steps.
     EmptyDispatch,
 }
@@ -136,6 +168,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "sequence parallel degree {n} is not a power of two")
             }
             SubmitError::GpuBusy(g) => write!(f, "gpu set {g} is still busy"),
+            SubmitError::GpuDown(g) => write!(f, "gpu set {g} is down (hard fault)"),
             SubmitError::EmptyDispatch => write!(f, "dispatch has no requests or no steps"),
         }
     }
@@ -154,6 +187,7 @@ pub struct Engine {
     busy_until: Vec<SimTime>,
     busy_time: Vec<SimDuration>,
     last_gpus: HashMap<RequestId, GpuSet>,
+    needs_recovery: HashSet<RequestId>,
     decode_free_at: SimTime,
     next_dispatch: u64,
     trace: Trace,
@@ -166,11 +200,8 @@ impl Engine {
     pub fn new(topology: Topology, config: EngineConfig) -> Self {
         let n = topology.n_gpus();
         let mut groups = ProcessGroupCache::new(config.group_warmup, config.nccl_buffer_bytes);
-        let mut memory = MemoryTracker::new(
-            n,
-            config.hbm_capacity_bytes,
-            config.weights_bytes_per_gpu,
-        );
+        let mut memory =
+            MemoryTracker::new(n, config.hbm_capacity_bytes, config.weights_bytes_per_gpu);
         let mut prewarm = Vec::new();
         let mut k = 2;
         while k <= n {
@@ -193,6 +224,7 @@ impl Engine {
             busy_until: vec![SimTime::ZERO; n],
             busy_time: vec![SimDuration::ZERO; n],
             last_gpus: HashMap::new(),
+            needs_recovery: HashSet::new(),
             decode_free_at: SimTime::ZERO,
             next_dispatch: 0,
             trace: Trace::new(),
@@ -230,7 +262,8 @@ impl Engine {
         let warmup = self.groups.ensure(dispatch.gpus);
         if !warmup.is_zero() {
             for gpu in dispatch.gpus.iter() {
-                self.memory.commit_static(gpu, self.config.nccl_buffer_bytes);
+                self.memory
+                    .commit_static(gpu, self.config.nccl_buffer_bytes);
             }
             self.trace.record(TraceEvent::Stall {
                 time: now,
@@ -266,24 +299,64 @@ impl Engine {
                 reason: StallReason::Remap,
             });
         }
+        // A request whose previous group died has no resident latent
+        // anywhere on the cluster: re-materialise it from the host-side
+        // step checkpoint over the (slow) recovery path.
+        for &req in &dispatch.requests {
+            if self.needs_recovery.remove(&req) {
+                let t = transfer_time(dispatch.latent_bytes, self.config.host_recovery_gbps);
+                latent_wait = latent_wait.max(t);
+                self.trace.record(TraceEvent::LatentTransfer {
+                    time: now,
+                    request: req,
+                    bytes: dispatch.latent_bytes,
+                    duration: t,
+                });
+            }
+        }
         // Latent transfers are asynchronous and overlap the stall; the step
         // cannot start before both complete.
         let stall = warmup + remap;
         let start = now + stall.max(latent_wait);
 
-        // Execute steps with per-step jitter; an injected straggler in the
-        // group slows every step (the collective synchronises on it).
-        let slowdown = self.config.failures.group_slowdown(dispatch.gpus, start);
+        // A fault landing during the pre-start stall kills the dispatch
+        // before its first step.
+        let mut abort_at = if start > now {
+            self.config
+                .failures
+                .first_down_within(dispatch.gpus, now, start)
+        } else {
+            None
+        };
+
+        // Execute steps with per-step jitter. Stragglers are re-evaluated
+        // at each step's start time, so a degradation window opening
+        // mid-dispatch slows only the tail steps; a hard fault inside a
+        // step's execution window aborts at the fault instant and the step
+        // does not complete.
         let mut step_done = Vec::with_capacity(dispatch.steps as usize);
         let mut t = start;
-        for _ in 0..dispatch.steps {
-            let jitter = self.rng.jitter_factor(self.config.step_noise_cv);
-            t += dispatch.per_step.mul_f64(jitter * slowdown);
-            step_done.push(t);
+        if abort_at.is_none() {
+            for _ in 0..dispatch.steps {
+                let slowdown = self.config.failures.group_slowdown(dispatch.gpus, t);
+                let jitter = self.rng.jitter_factor(self.config.step_noise_cv);
+                let end = t + dispatch.per_step.mul_f64(jitter * slowdown);
+                if let Some(fault) = self
+                    .config
+                    .failures
+                    .first_down_within(dispatch.gpus, t, end)
+                {
+                    abort_at = Some(fault);
+                    break;
+                }
+                t = end;
+                step_done.push(t);
+            }
         }
-        let gpus_free_at = t;
+        let gpus_free_at = abort_at.unwrap_or(t);
 
-        // Occupancy bookkeeping.
+        // Occupancy bookkeeping: aborted dispatches still burned the GPUs
+        // up to the fault instant.
         for gpu in dispatch.gpus.iter() {
             self.busy_until[gpu.0] = gpus_free_at;
             self.busy_time[gpu.0] += gpus_free_at.saturating_since(now);
@@ -293,39 +366,83 @@ impl Engine {
         self.memory
             .release(dispatch.gpus, dispatch.activation_bytes_per_gpu);
         for &req in &dispatch.requests {
-            self.last_gpus.insert(req, dispatch.gpus);
-        }
-
-        // Sequential per-request VAE decode (off the GPUs' critical path).
-        let mut request_done = Vec::new();
-        if let Some(decode) = dispatch.decode_after {
-            for &req in &dispatch.finishing {
-                let begin = self.decode_free_at.max(gpus_free_at);
-                let done = begin + decode;
-                self.decode_free_at = done;
-                request_done.push((req, done));
-                self.trace.record(TraceEvent::RequestDone { time: done, request: req });
+            if abort_at.is_some() {
+                // The group is gone; the latent survives only as a host
+                // checkpoint of the last completed step.
                 self.last_gpus.remove(&req);
+                self.needs_recovery.insert(req);
+            } else {
+                self.last_gpus.insert(req, dispatch.gpus);
             }
         }
 
-        let actual_mean = if dispatch.steps > 0 {
-            gpus_free_at.saturating_since(start) / u64::from(dispatch.steps)
-        } else {
-            SimDuration::ZERO
+        // Sequential per-request VAE decode (off the GPUs' critical path).
+        // Aborted dispatches never reach the decoder.
+        let mut request_done = Vec::new();
+        if let Some(decode) = dispatch.decode_after {
+            if abort_at.is_none() {
+                for &req in &dispatch.finishing {
+                    let begin = self.decode_free_at.max(gpus_free_at);
+                    let done = begin + decode;
+                    self.decode_free_at = done;
+                    request_done.push((req, done));
+                    self.trace.record(TraceEvent::RequestDone {
+                        time: done,
+                        request: req,
+                    });
+                    self.last_gpus.remove(&req);
+                }
+            }
+        }
+
+        let completed = u32::try_from(step_done.len()).expect("steps fit in u32");
+        let useful_end = step_done.last().copied();
+        let actual_mean = match useful_end {
+            Some(end) if completed > 0 => end.saturating_since(start) / u64::from(completed),
+            _ => SimDuration::ZERO,
         };
+        // For a pre-start abort the planned start never happened; the
+        // traced interval opens at the fault instant so audit intervals
+        // stay well-formed (start ≤ end).
+        let traced_start = abort_at.map_or(start, |a| start.min(a));
         self.trace.record(TraceEvent::DispatchStart {
-            time: start,
+            time: traced_start,
             dispatch: id,
             requests: dispatch.requests.clone(),
             gpus: dispatch.gpus,
-            steps: dispatch.steps,
+            steps: completed,
             per_step: actual_mean,
         });
-        self.trace.record(TraceEvent::DispatchDone {
-            time: gpus_free_at,
-            dispatch: id,
-        });
+        let aborted = if let Some(abort) = abort_at {
+            // Everything after the last checkpointed step — including any
+            // pre-start stall when no step completed — bought nothing.
+            let wasted_per_gpu = abort.saturating_since(useful_end.unwrap_or(now));
+            let wasted_gpu_seconds = wasted_per_gpu.as_secs_f64() * dispatch.gpus.len() as f64;
+            let down = self
+                .config
+                .failures
+                .down_gpus(abort)
+                .intersection(dispatch.gpus);
+            self.trace.record(TraceEvent::DispatchAborted {
+                time: abort,
+                dispatch: id,
+                down,
+                completed_steps: completed,
+                wasted_gpu_seconds,
+            });
+            Some(AbortInfo {
+                time: abort,
+                down,
+                completed_steps: completed,
+                wasted_gpu_seconds,
+            })
+        } else {
+            self.trace.record(TraceEvent::DispatchDone {
+                time: gpus_free_at,
+                dispatch: id,
+            });
+            None
+        };
 
         Ok(DispatchOutcome {
             id,
@@ -335,6 +452,7 @@ impl Engine {
             request_done,
             stall,
             latent_wait,
+            aborted,
         })
     }
 
@@ -356,6 +474,14 @@ impl Engine {
         let k = dispatch.gpus.len();
         if !k.is_power_of_two() {
             return Err(SubmitError::NotPowerOfTwo(k));
+        }
+        let down = self
+            .config
+            .failures
+            .down_gpus(now)
+            .intersection(dispatch.gpus);
+        if !down.is_empty() {
+            return Err(SubmitError::GpuDown(down));
         }
         let busy: GpuSet = dispatch
             .gpus
@@ -388,13 +514,24 @@ impl Engine {
             .collect()
     }
 
+    /// GPUs healthy (not hard-faulted) at `now` — the scheduler's health
+    /// view for allocation and placement.
+    pub fn healthy_gpus(&self, now: SimTime) -> GpuSet {
+        self.topology
+            .all_gpus()
+            .difference(self.config.failures.down_gpus(now))
+    }
+
     /// Mean GPU utilisation over `[0, horizon]`.
     ///
     /// # Panics
     ///
     /// Panics if `horizon` is zero.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
-        assert!(horizon > SimTime::ZERO, "utilization horizon must be positive");
+        assert!(
+            horizon > SimTime::ZERO,
+            "utilization horizon must be positive"
+        );
         let total: f64 = self.busy_time.iter().map(|d| d.as_secs_f64()).sum();
         total / (horizon.as_secs_f64() * self.busy_until.len() as f64)
     }
@@ -482,9 +619,15 @@ mod tests {
             SubmitError::UnknownGpus(_)
         ));
         let d = dispatch(&[], GpuSet::contiguous(0, 1), 1, 10);
-        assert_eq!(e.submit(SimTime::ZERO, &d).unwrap_err(), SubmitError::EmptyDispatch);
+        assert_eq!(
+            e.submit(SimTime::ZERO, &d).unwrap_err(),
+            SubmitError::EmptyDispatch
+        );
         let d = dispatch(&[1], GpuSet::contiguous(0, 1), 0, 10);
-        assert_eq!(e.submit(SimTime::ZERO, &d).unwrap_err(), SubmitError::EmptyDispatch);
+        assert_eq!(
+            e.submit(SimTime::ZERO, &d).unwrap_err(),
+            SubmitError::EmptyDispatch
+        );
     }
 
     #[test]
@@ -584,6 +727,144 @@ mod tests {
         let healed = dispatch(&[3], GpuSet::contiguous(0, 2), 4, 100);
         let out = e.submit(later, &healed).unwrap();
         assert_eq!(out.gpus_free_at, later + SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn straggler_opening_mid_dispatch_slows_only_tail_steps() {
+        use crate::failure::{FailurePlan, Straggler};
+        use crate::gpuset::GpuId;
+        // Window opens at 200 ms, halfway through a 4×100 ms dispatch: the
+        // first two steps run at full speed, the last two at half.
+        let config = EngineConfig {
+            step_noise_cv: 0.0,
+            failures: FailurePlan::none().with_straggler(Straggler::new(
+                GpuId(0),
+                2.0,
+                SimTime::from_millis(200),
+                SimTime::from_secs_f64(10.0),
+            )),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(Topology::h100_nvlink(8), config);
+        let d = dispatch(&[1], GpuSet::contiguous(0, 2), 4, 100);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        let expect: Vec<SimTime> = [100u64, 200, 400, 600]
+            .iter()
+            .map(|&m| SimTime::from_millis(m))
+            .collect();
+        assert_eq!(out.step_done, expect);
+    }
+
+    fn faulty_engine(failures: crate::failure::FailurePlan) -> Engine {
+        let config = EngineConfig {
+            step_noise_cv: 0.0,
+            failures,
+            ..EngineConfig::default()
+        };
+        Engine::new(Topology::h100_nvlink(8), config)
+    }
+
+    #[test]
+    fn fault_mid_dispatch_aborts_and_checkpoints_completed_steps() {
+        use crate::failure::{FailurePlan, GpuFault};
+        use crate::gpuset::GpuId;
+        // GPU 1 dies at 250 ms, mid-way through step 3 of a 5×100 ms run.
+        let plan = FailurePlan::none()
+            .with_fault(GpuFault::permanent(GpuId(1), SimTime::from_millis(250)));
+        let mut e = faulty_engine(plan);
+        let d = dispatch(&[7], GpuSet::contiguous(0, 2), 5, 100);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        let abort = out.aborted.expect("dispatch must abort");
+        assert_eq!(abort.time, SimTime::from_millis(250));
+        assert_eq!(abort.completed_steps, 2);
+        assert_eq!(abort.down, GpuSet::single(GpuId(1)));
+        assert_eq!(out.step_done.len(), 2);
+        assert_eq!(out.gpus_free_at, SimTime::from_millis(250));
+        assert!(out.request_done.is_empty());
+        // 50 ms of partial step burned on each of 2 GPUs.
+        assert!((abort.wasted_gpu_seconds - 0.1).abs() < 1e-9);
+        assert_eq!(e.trace().aborted_count(), 1);
+        // The request lost its group affinity and must re-materialise its
+        // latent from the host checkpoint on its next dispatch.
+        assert_eq!(e.last_placement(RequestId(7)), None);
+        let retry = dispatch(&[7], GpuSet::contiguous(4, 2), 3, 100);
+        let out2 = e.submit(SimTime::from_millis(300), &retry).unwrap();
+        assert!(out2.aborted.is_none());
+        assert!(
+            out2.latent_wait >= crate::latent::transfer_time(retry.latent_bytes, 25.0),
+            "recovery must pay the host re-materialisation transfer"
+        );
+    }
+
+    #[test]
+    fn submit_onto_down_gpu_is_rejected_until_recovery() {
+        use crate::failure::{FailurePlan, GpuFault};
+        use crate::gpuset::GpuId;
+        let plan = FailurePlan::none().with_fault(GpuFault::transient(
+            GpuId(0),
+            SimTime::from_millis(100),
+            SimTime::from_millis(500),
+        ));
+        let mut e = faulty_engine(plan);
+        let d = dispatch(&[1], GpuSet::contiguous(0, 2), 1, 10);
+        let err = e.submit(SimTime::from_millis(200), &d).unwrap_err();
+        assert_eq!(err, SubmitError::GpuDown(GpuSet::single(GpuId(0))));
+        // After the transient outage clears, the GPU serves again.
+        assert!(e.submit(SimTime::from_millis(500), &d).is_ok());
+        assert_eq!(
+            e.healthy_gpus(SimTime::from_millis(200)),
+            GpuSet::first_n(8).difference(GpuSet::single(GpuId(0)))
+        );
+        assert_eq!(
+            e.healthy_gpus(SimTime::from_millis(500)),
+            GpuSet::first_n(8)
+        );
+    }
+
+    #[test]
+    fn fault_during_prestart_stall_wastes_everything() {
+        use crate::failure::{FailurePlan, GpuFault};
+        use crate::gpuset::GpuId;
+        // Cold (non-aligned) group pays 150 ms warm-up; GPU 2 dies 50 ms in.
+        let plan =
+            FailurePlan::none().with_fault(GpuFault::permanent(GpuId(2), SimTime::from_millis(50)));
+        let mut e = faulty_engine(plan);
+        let odd = GpuSet::from_mask(0b110);
+        let d = dispatch(&[3], odd, 4, 100);
+        let out = e.submit(SimTime::ZERO, &d).unwrap();
+        let abort = out.aborted.expect("fault in warm-up must abort");
+        assert_eq!(abort.completed_steps, 0);
+        assert_eq!(abort.time, SimTime::from_millis(50));
+        assert!(out.step_done.is_empty());
+        // 50 ms × 2 GPUs, all wasted.
+        assert!((abort.wasted_gpu_seconds - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_runs_are_bit_reproducible() {
+        use crate::failure::{FailurePlan, GpuFault};
+        use crate::gpuset::GpuId;
+        let run = || {
+            let plan = FailurePlan::none().with_fault(GpuFault::transient(
+                GpuId(1),
+                SimTime::from_millis(120),
+                SimTime::from_millis(300),
+            ));
+            let config = EngineConfig {
+                failures: plan,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(Topology::h100_nvlink(8), config);
+            let d = dispatch(&[1], GpuSet::contiguous(0, 2), 5, 100);
+            let out = e.submit(SimTime::ZERO, &d).unwrap();
+            let retry = dispatch(&[1], GpuSet::contiguous(4, 2), 3, 100);
+            let out2 = e.submit(SimTime::from_millis(400), &retry).unwrap();
+            (
+                out.aborted.map(|a| (a.time, a.completed_steps)),
+                out2.gpus_free_at,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

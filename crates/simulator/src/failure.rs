@@ -1,15 +1,29 @@
 //! Failure and degradation injection.
 //!
 //! Real clusters misbehave: a GPU thermally throttles, a link flaps, a
-//! neighbour tenant saturates the switch. The serving stack should degrade
-//! gracefully rather than collapse. This module injects *stragglers* —
-//! per-GPU multiplicative slowdowns active during a time window — which the
-//! engine folds into dispatch execution: a sequence-parallel step runs at
-//! the pace of its slowest member, so one throttled GPU drags every group
-//! it joins (exactly why placement matters).
+//! neighbour tenant saturates the switch — and sometimes a GPU falls off
+//! the bus entirely. The serving stack should degrade gracefully rather
+//! than collapse. This module injects two failure classes:
+//!
+//! * **Stragglers** — per-GPU multiplicative slowdowns active during a time
+//!   window — which the engine folds into dispatch execution: a
+//!   sequence-parallel step runs at the pace of its slowest member, so one
+//!   throttled GPU drags every group it joins (exactly why placement
+//!   matters).
+//! * **Hard faults** ([`GpuFault`]) — a GPU goes *down* at a point in time,
+//!   either transiently (XID reset, driver restart: it recovers at
+//!   `up_at`) or permanently (`up_at = None`). A dispatch whose group
+//!   contains a down GPU aborts at the fault instant; the scheduler must
+//!   re-plan around the hole.
 
 use crate::gpuset::{GpuId, GpuSet};
 use crate::time::SimTime;
+
+/// Whether a `[from, until)` window covers `time` (half-open semantics
+/// shared by stragglers and fault outages).
+pub fn is_active_at(from: SimTime, until: Option<SimTime>, time: SimTime) -> bool {
+    time >= from && until.is_none_or(|u| time < u)
+}
 
 /// A per-GPU slowdown over a time window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,14 +61,60 @@ impl Straggler {
 
     /// Whether the straggler affects `gpu` at `time`.
     pub fn affects(&self, gpu: GpuId, time: SimTime) -> bool {
-        self.gpu == gpu && time >= self.from && time < self.until
+        self.gpu == gpu && is_active_at(self.from, Some(self.until), time)
     }
 }
 
-/// A set of injected degradations.
+/// A hard GPU outage: the GPU is unusable from `down_from` until `up_at`
+/// (exclusive), or forever when `up_at` is `None` (permanent loss).
+///
+/// Any dispatch whose group contains the GPU at the moment it goes down is
+/// aborted by the engine; submitting onto a down GPU is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuFault {
+    /// The failed GPU.
+    pub gpu: GpuId,
+    /// When the GPU goes down.
+    pub down_from: SimTime,
+    /// When the GPU comes back (exclusive), or `None` for permanent loss.
+    pub up_at: Option<SimTime>,
+}
+
+impl GpuFault {
+    /// A transient outage over `[down_from, up_at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn transient(gpu: GpuId, down_from: SimTime, up_at: SimTime) -> Self {
+        assert!(down_from < up_at, "fault window must be non-empty");
+        GpuFault {
+            gpu,
+            down_from,
+            up_at: Some(up_at),
+        }
+    }
+
+    /// A permanent loss starting at `down_from`.
+    pub fn permanent(gpu: GpuId, down_from: SimTime) -> Self {
+        GpuFault {
+            gpu,
+            down_from,
+            up_at: None,
+        }
+    }
+
+    /// Whether the GPU is down at `time`.
+    pub fn is_down_at(&self, time: SimTime) -> bool {
+        is_active_at(self.down_from, self.up_at, time)
+    }
+}
+
+/// A set of injected degradations and outages.
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
     stragglers: Vec<Straggler>,
+    faults: Vec<GpuFault>,
 }
 
 impl FailurePlan {
@@ -69,33 +129,90 @@ impl FailurePlan {
         self
     }
 
-    /// Whether any degradation is configured.
-    pub fn is_empty(&self) -> bool {
-        self.stragglers.is_empty()
+    /// Adds a hard fault.
+    pub fn with_fault(mut self, f: GpuFault) -> Self {
+        self.faults.push(f);
+        self
     }
 
-    /// The execution slowdown of a group dispatch starting at `time`:
+    /// Whether any degradation or outage is configured.
+    pub fn is_empty(&self) -> bool {
+        self.stragglers.is_empty() && self.faults.is_empty()
+    }
+
+    /// The execution slowdown of a group dispatch running at `time`:
     /// the *maximum* member slowdown, because a sequence-parallel step
     /// synchronises on its slowest shard.
     pub fn group_slowdown(&self, gpus: GpuSet, time: SimTime) -> f64 {
         let mut factor = 1.0f64;
         for s in &self.stragglers {
-            if gpus.contains(s.gpu) && time >= s.from && time < s.until {
+            if gpus.iter().any(|g| s.affects(g, time)) {
                 factor = factor.max(s.slowdown);
             }
         }
         factor
     }
 
+    /// Whether `gpu` is down at `time`.
+    pub fn is_down(&self, gpu: GpuId, time: SimTime) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.gpu == gpu && f.is_down_at(time))
+    }
+
+    /// The set of GPUs down at `time`.
+    pub fn down_gpus(&self, time: SimTime) -> GpuSet {
+        self.faults
+            .iter()
+            .filter(|f| f.is_down_at(time))
+            .map(|f| f.gpu)
+            .collect()
+    }
+
+    /// The earliest instant in `[from, until)` at which any member of
+    /// `gpus` is down, if any. A fault already active at `from` yields
+    /// `from` itself; a fault opening inside the window yields its
+    /// `down_from`.
+    pub fn first_down_within(
+        &self,
+        gpus: GpuSet,
+        from: SimTime,
+        until: SimTime,
+    ) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for f in &self.faults {
+            if !gpus.contains(f.gpu) {
+                continue;
+            }
+            let hit = if f.is_down_at(from) {
+                Some(from)
+            } else if f.down_from > from && f.down_from < until {
+                Some(f.down_from)
+            } else {
+                None
+            };
+            if let Some(t) = hit {
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
+            }
+        }
+        earliest
+    }
+
     /// The configured stragglers.
     pub fn stragglers(&self) -> &[Straggler] {
         &self.stragglers
+    }
+
+    /// The configured hard faults.
+    pub fn faults(&self) -> &[GpuFault] {
+        &self.faults
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn window(a: u64, b: u64) -> (SimTime, SimTime) {
         (SimTime::from_millis(a), SimTime::from_millis(b))
@@ -121,9 +238,15 @@ mod tests {
         let both = GpuSet::contiguous(0, 2);
         assert_eq!(plan.group_slowdown(both, SimTime::from_millis(10)), 3.0);
         let only_first = GpuSet::single(GpuId(0));
-        assert_eq!(plan.group_slowdown(only_first, SimTime::from_millis(10)), 1.5);
+        assert_eq!(
+            plan.group_slowdown(only_first, SimTime::from_millis(10)),
+            1.5
+        );
         let unaffected = GpuSet::contiguous(4, 2);
-        assert_eq!(plan.group_slowdown(unaffected, SimTime::from_millis(10)), 1.0);
+        assert_eq!(
+            plan.group_slowdown(unaffected, SimTime::from_millis(10)),
+            1.0
+        );
     }
 
     #[test]
@@ -131,6 +254,11 @@ mod tests {
         let plan = FailurePlan::none();
         assert!(plan.is_empty());
         assert_eq!(plan.group_slowdown(GpuSet::first_n(8), SimTime::ZERO), 1.0);
+        assert!(plan.down_gpus(SimTime::ZERO).is_empty());
+        assert_eq!(
+            plan.first_down_within(GpuSet::first_n(8), SimTime::ZERO, SimTime::MAX),
+            None
+        );
     }
 
     #[test]
@@ -145,5 +273,189 @@ mod tests {
     fn speedups_rejected() {
         let (from, until) = window(0, 1);
         Straggler::new(GpuId(0), 0.5, from, until);
+    }
+
+    #[test]
+    fn transient_fault_window_semantics() {
+        let (from, until) = window(100, 200);
+        let f = GpuFault::transient(GpuId(2), from, until);
+        assert!(!f.is_down_at(SimTime::from_millis(99)));
+        assert!(f.is_down_at(SimTime::from_millis(100)));
+        assert!(f.is_down_at(SimTime::from_millis(199)));
+        assert!(!f.is_down_at(SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn permanent_fault_never_recovers() {
+        let f = GpuFault::permanent(GpuId(7), SimTime::from_millis(50));
+        assert!(!f.is_down_at(SimTime::from_millis(49)));
+        assert!(f.is_down_at(SimTime::from_millis(50)));
+        assert!(f.is_down_at(SimTime::from_secs_f64(1e6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_fault_window_rejected() {
+        let t = SimTime::from_millis(5);
+        GpuFault::transient(GpuId(0), t, t);
+    }
+
+    #[test]
+    fn down_gpus_tracks_windows() {
+        let (from, until) = window(100, 200);
+        let plan = FailurePlan::none()
+            .with_fault(GpuFault::transient(GpuId(1), from, until))
+            .with_fault(GpuFault::permanent(GpuId(4), SimTime::from_millis(150)));
+        assert!(plan.down_gpus(SimTime::from_millis(50)).is_empty());
+        assert_eq!(
+            plan.down_gpus(SimTime::from_millis(150)),
+            GpuSet::single(GpuId(1)).with(GpuId(4))
+        );
+        assert_eq!(
+            plan.down_gpus(SimTime::from_millis(300)),
+            GpuSet::single(GpuId(4))
+        );
+    }
+
+    #[test]
+    fn first_down_within_finds_earliest_hit() {
+        let plan = FailurePlan::none()
+            .with_fault(GpuFault::transient(
+                GpuId(1),
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+            ))
+            .with_fault(GpuFault::permanent(GpuId(2), SimTime::from_millis(80)));
+        let group = GpuSet::contiguous(0, 4);
+        // Both faults open inside the window: earliest wins.
+        assert_eq!(
+            plan.first_down_within(group, SimTime::from_millis(0), SimTime::from_millis(500)),
+            Some(SimTime::from_millis(80))
+        );
+        // A fault already active at `from` yields `from`.
+        assert_eq!(
+            plan.first_down_within(group, SimTime::from_millis(90), SimTime::from_millis(95)),
+            Some(SimTime::from_millis(90))
+        );
+        // Disjoint group is unaffected.
+        assert_eq!(
+            plan.first_down_within(
+                GpuSet::contiguous(4, 2),
+                SimTime::ZERO,
+                SimTime::from_secs_f64(10.0)
+            ),
+            None
+        );
+        // Window entirely before any outage.
+        assert_eq!(
+            plan.first_down_within(group, SimTime::ZERO, SimTime::from_millis(80)),
+            None
+        );
+    }
+
+    proptest! {
+        /// Overlapping stragglers on one GPU compose by *max* over the
+        /// windows active at the query instant — never by sum or product.
+        #[test]
+        fn prop_overlapping_stragglers_take_max(
+            s1 in 1u64..400, f1 in 0u64..1000, w1 in 1u64..1000,
+            s2 in 1u64..400, f2 in 0u64..1000, w2 in 1u64..1000,
+            t in 0u64..2200,
+        ) {
+            let sl1 = 1.0 + s1 as f64 / 100.0;
+            let sl2 = 1.0 + s2 as f64 / 100.0;
+            let (a1, b1) = (SimTime::from_millis(f1), SimTime::from_millis(f1 + w1));
+            let (a2, b2) = (SimTime::from_millis(f2), SimTime::from_millis(f2 + w2));
+            let plan = FailurePlan::none()
+                .with_straggler(Straggler::new(GpuId(0), sl1, a1, b1))
+                .with_straggler(Straggler::new(GpuId(0), sl2, a2, b2));
+            let time = SimTime::from_millis(t);
+            let mut expect = 1.0f64;
+            if is_active_at(a1, Some(b1), time) {
+                expect = expect.max(sl1);
+            }
+            if is_active_at(a2, Some(b2), time) {
+                expect = expect.max(sl2);
+            }
+            prop_assert_eq!(plan.group_slowdown(GpuSet::single(GpuId(0)), time), expect);
+        }
+
+        /// A fault and a straggler on the same GPU stay independent views:
+        /// `is_down` tracks the outage window exactly, and whenever the
+        /// GPU is down any execution window starting then reports an
+        /// immediate hit (the engine aborts rather than running slowly).
+        #[test]
+        fn prop_fault_and_straggler_on_same_gpu(
+            sd in 1u64..400, sf in 0u64..1000, sw in 1u64..1000,
+            ff in 0u64..1000, fw in 1u64..1000, t in 0u64..2200,
+        ) {
+            let plan = FailurePlan::none()
+                .with_straggler(Straggler::new(
+                    GpuId(3),
+                    1.0 + sd as f64 / 100.0,
+                    SimTime::from_millis(sf),
+                    SimTime::from_millis(sf + sw),
+                ))
+                .with_fault(GpuFault::transient(
+                    GpuId(3),
+                    SimTime::from_millis(ff),
+                    SimTime::from_millis(ff + fw),
+                ));
+            let time = SimTime::from_millis(t);
+            let g = GpuSet::single(GpuId(3));
+            let down = is_active_at(
+                SimTime::from_millis(ff),
+                Some(SimTime::from_millis(ff + fw)),
+                time,
+            );
+            prop_assert_eq!(plan.is_down(GpuId(3), time), down);
+            if down {
+                prop_assert_eq!(plan.first_down_within(g, time, SimTime::MAX), Some(time));
+            }
+            prop_assert!(plan.group_slowdown(g, time) >= 1.0);
+        }
+
+        /// A group whose members are all down can never begin a dispatch:
+        /// any window starting inside the outage reports an immediate
+        /// abort, and the group is usable again exactly at `up_at`.
+        #[test]
+        fn prop_fully_down_group_never_dispatches(
+            mask in 1u64..256, ff in 0u64..1000, fw in 1u64..1000, dt in 0u64..1000,
+        ) {
+            let group = GpuSet::from_mask(mask);
+            let from = SimTime::from_millis(ff);
+            let until = SimTime::from_millis(ff + fw);
+            let mut plan = FailurePlan::none();
+            for g in group.iter() {
+                plan = plan.with_fault(GpuFault::transient(g, from, until));
+            }
+            let t = SimTime::from_millis(ff + dt % fw);
+            prop_assert!(plan.down_gpus(t).is_superset_of(group));
+            prop_assert_eq!(plan.first_down_within(group, t, SimTime::MAX), Some(t));
+            prop_assert!(plan.down_gpus(until).intersection(group).is_empty());
+            prop_assert_eq!(
+                plan.first_down_within(group, until, SimTime::MAX.min(until)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn fault_and_straggler_compose_on_the_same_gpu() {
+        let (from, until) = window(0, 1000);
+        let plan = FailurePlan::none()
+            .with_straggler(Straggler::new(GpuId(0), 2.0, from, until))
+            .with_fault(GpuFault::transient(
+                GpuId(0),
+                SimTime::from_millis(500),
+                SimTime::from_millis(600),
+            ));
+        let g = GpuSet::single(GpuId(0));
+        // Before the outage: straggling but up.
+        assert_eq!(plan.group_slowdown(g, SimTime::from_millis(100)), 2.0);
+        assert!(!plan.is_down(GpuId(0), SimTime::from_millis(100)));
+        // During the outage: down (slowdown is irrelevant; the engine
+        // aborts instead of executing).
+        assert!(plan.is_down(GpuId(0), SimTime::from_millis(550)));
     }
 }

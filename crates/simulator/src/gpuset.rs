@@ -165,8 +165,7 @@ impl GpuSet {
 
 impl FromIterator<GpuId> for GpuSet {
     fn from_iter<I: IntoIterator<Item = GpuId>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(GpuSet::EMPTY, |set, id| set.with(id))
+        iter.into_iter().fold(GpuSet::EMPTY, |set, id| set.with(id))
     }
 }
 
@@ -268,7 +267,9 @@ mod tests {
 
     #[test]
     fn take_lowest_selects_smallest_ids() {
-        let s: GpuSet = [GpuId(7), GpuId(2), GpuId(4), GpuId(0)].into_iter().collect();
+        let s: GpuSet = [GpuId(7), GpuId(2), GpuId(4), GpuId(0)]
+            .into_iter()
+            .collect();
         assert_eq!(
             s.take_lowest(2),
             Some([GpuId(0), GpuId(2)].into_iter().collect())

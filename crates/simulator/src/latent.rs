@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn transfer_time_has_launch_floor() {
         assert!(transfer_time(0, 300.0) >= SimDuration::from_micros(5));
-        assert_eq!(transfer_time(1 << 30, f64::INFINITY), SimDuration::from_micros(5));
+        assert_eq!(
+            transfer_time(1 << 30, f64::INFINITY),
+            SimDuration::from_micros(5)
+        );
     }
 
     #[test]

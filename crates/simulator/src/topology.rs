@@ -187,7 +187,10 @@ impl Topology {
     /// maximise NVLink usage for their size; on a switched layout alignment
     /// is irrelevant but harmless.
     pub fn aligned_blocks(&self, k: usize) -> Vec<GpuSet> {
-        assert!(k > 0 && k.is_power_of_two(), "block size {k} must be a power of two");
+        assert!(
+            k > 0 && k.is_power_of_two(),
+            "block size {k} must be a power of two"
+        );
         (0..self.n_gpus / k)
             .map(|i| GpuSet::contiguous(i * k, k))
             .collect()
@@ -232,7 +235,9 @@ mod tests {
     #[test]
     fn single_gpu_group_needs_no_bandwidth() {
         let t = Topology::a40_paired(4);
-        assert!(t.group_bandwidth_gbps(GpuSet::single(GpuId(2))).is_infinite());
+        assert!(t
+            .group_bandwidth_gbps(GpuSet::single(GpuId(2)))
+            .is_infinite());
         assert!(t.group_bandwidth_gbps(GpuSet::EMPTY).is_infinite());
     }
 

@@ -49,6 +49,23 @@ pub enum TraceEvent {
         /// The dispatch identifier.
         dispatch: DispatchId,
     },
+    /// A dispatch was killed mid-flight because a member GPU went down.
+    /// Steps completed before the fault are checkpointed (the trace's
+    /// paired `DispatchStart` records only those); everything else —
+    /// pre-start stalls and the partially executed step — is wasted.
+    DispatchAborted {
+        /// The fault instant (the GPUs stop here).
+        time: SimTime,
+        /// The aborted dispatch.
+        dispatch: DispatchId,
+        /// The member GPUs that were down at the fault instant.
+        down: GpuSet,
+        /// Diffusion steps that completed before the fault.
+        completed_steps: u32,
+        /// GPU-seconds burned without producing a completed step
+        /// (summed over all member GPUs).
+        wasted_gpu_seconds: f64,
+    },
     /// A request finished every diffusion step and its VAE decode.
     RequestDone {
         /// End-to-end completion time.
@@ -145,6 +162,29 @@ impl Trace {
             .sum()
     }
 
+    /// Number of dispatches killed by GPU faults.
+    pub fn aborted_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DispatchAborted { .. }))
+            .count()
+    }
+
+    /// Total GPU-seconds wasted across all aborted dispatches.
+    pub fn wasted_gpu_seconds(&self) -> f64 {
+        // fold, not sum: `Sum for f64` seeds with -0.0, which would make a
+        // clean trace report "-0.000" wasted seconds.
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DispatchAborted {
+                    wasted_gpu_seconds, ..
+                } => Some(*wasted_gpu_seconds),
+                _ => None,
+            })
+            .fold(0.0, |acc, w| acc + w)
+    }
+
     /// Total stall time across all dispatches, broken down by reason.
     pub fn stall_totals(&self) -> (SimDuration, SimDuration) {
         let mut remap = SimDuration::ZERO;
@@ -202,7 +242,11 @@ mod tests {
     #[test]
     fn stall_totals_split_by_reason() {
         let mut t = Trace::new();
-        for (d, reason) in [(5u64, StallReason::Remap), (7, StallReason::GroupWarmup), (3, StallReason::Remap)] {
+        for (d, reason) in [
+            (5u64, StallReason::Remap),
+            (7, StallReason::GroupWarmup),
+            (3, StallReason::Remap),
+        ] {
             t.record(TraceEvent::Stall {
                 time: SimTime::ZERO,
                 dispatch: DispatchId(0),
@@ -220,5 +264,25 @@ mod tests {
         let t = Trace::new();
         assert!(t.is_empty());
         assert_eq!(t.latent_transfer_total(RequestId(0)), SimDuration::ZERO);
+        assert_eq!(t.aborted_count(), 0);
+        assert_eq!(t.wasted_gpu_seconds(), 0.0);
+        // Positive zero specifically: -0.0 would render as "-0.000".
+        assert!(t.wasted_gpu_seconds().is_sign_positive());
+    }
+
+    #[test]
+    fn abort_totals_accumulate() {
+        let mut t = Trace::new();
+        for (d, wasted) in [(0u64, 0.25), (1, 1.5)] {
+            t.record(TraceEvent::DispatchAborted {
+                time: SimTime::from_millis(100),
+                dispatch: DispatchId(d),
+                down: GpuSet::single(crate::gpuset::GpuId(3)),
+                completed_steps: 4,
+                wasted_gpu_seconds: wasted,
+            });
+        }
+        assert_eq!(t.aborted_count(), 2);
+        assert!((t.wasted_gpu_seconds() - 1.75).abs() < 1e-12);
     }
 }

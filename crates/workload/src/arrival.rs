@@ -293,7 +293,9 @@ mod tests {
         // Coefficient of variation of gaps: Poisson = 1, MMPP > 1.
         let gaps = |p: &mut dyn ArrivalProcess, seed| {
             let mut rng = SimRng::seed_from_u64(seed);
-            (0..50_000).map(|_| p.next_gap(&mut rng)).collect::<Vec<_>>()
+            (0..50_000)
+                .map(|_| p.next_gap(&mut rng))
+                .collect::<Vec<_>>()
         };
         let cv = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
@@ -360,7 +362,11 @@ mod tests {
             }
             let n = counts.len() as f64;
             let mean = counts.iter().sum::<u64>() as f64 / n;
-            let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n;
             var / mean
         };
         let mut poisson = PoissonProcess::new(12.0);

@@ -56,7 +56,13 @@ pub struct TraceGen<A: ArrivalProcess> {
 impl<A: ArrivalProcess> TraceGen<A> {
     /// Creates a generator; `seed` controls arrivals and mix sampling
     /// (prompt randomness is owned by the library).
-    pub fn new(arrivals: A, mix: ResolutionMix, slo: SloPolicy, prompts: PromptLibrary, seed: u64) -> Self {
+    pub fn new(
+        arrivals: A,
+        mix: ResolutionMix,
+        slo: SloPolicy,
+        prompts: PromptLibrary,
+        seed: u64,
+    ) -> Self {
         TraceGen {
             arrivals,
             mix,

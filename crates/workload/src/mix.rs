@@ -30,10 +30,7 @@ pub struct ResolutionMix {
 impl ResolutionMix {
     /// Equal weight across the four production resolutions.
     pub fn uniform() -> Self {
-        ResolutionMix::weighted(
-            "Uniform",
-            Resolution::PRODUCTION.iter().map(|&r| (r, 1.0)),
-        )
+        ResolutionMix::weighted("Uniform", Resolution::PRODUCTION.iter().map(|&r| (r, 1.0)))
     }
 
     /// The paper's Skewed mix: `p_i ∝ exp(α·L_i/L_max)`, α = 1.0.
@@ -85,10 +82,7 @@ impl ResolutionMix {
         assert!(total > 0.0, "mix must have positive total weight");
         ResolutionMix {
             name: name.into(),
-            entries: entries
-                .into_iter()
-                .map(|(r, w)| (r, w / total))
-                .collect(),
+            entries: entries.into_iter().map(|(r, w)| (r, w / total)).collect(),
         }
     }
 
@@ -151,11 +145,7 @@ mod tests {
             .collect();
         let total: f64 = weights.iter().sum();
         for ((res, p), w) in mix.probabilities().iter().zip(&weights) {
-            assert!(
-                (p - w / total).abs() < 1e-12,
-                "{res}: {p} vs {}",
-                w / total
-            );
+            assert!((p - w / total).abs() < 1e-12, "{res}: {p} vs {}", w / total);
         }
         // Larger resolutions are strictly more likely.
         let ps: Vec<f64> = mix.probabilities().iter().map(|(_, p)| *p).collect();
@@ -174,10 +164,8 @@ mod tests {
 
     #[test]
     fn weighted_normalises() {
-        let mix = ResolutionMix::weighted(
-            "custom",
-            [(Resolution::R256, 3.0), (Resolution::R512, 1.0)],
-        );
+        let mix =
+            ResolutionMix::weighted("custom", [(Resolution::R256, 3.0), (Resolution::R512, 1.0)]);
         let ps = mix.probabilities();
         assert!((ps[0].1 - 0.75).abs() < 1e-12);
         assert!((ps[1].1 - 0.25).abs() < 1e-12);

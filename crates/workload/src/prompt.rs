@@ -86,8 +86,14 @@ impl PromptLibrary {
     ///
     /// Panics if `n_clusters` or `dim` is zero, or `spread` is negative.
     pub fn new(n_clusters: usize, dim: usize, spread: f64, seed: u64) -> Self {
-        assert!(n_clusters > 0 && dim > 0, "need at least one cluster and dimension");
-        assert!(spread >= 0.0 && spread.is_finite(), "spread must be non-negative");
+        assert!(
+            n_clusters > 0 && dim > 0,
+            "need at least one cluster and dimension"
+        );
+        assert!(
+            spread >= 0.0 && spread.is_finite(),
+            "spread must be non-negative"
+        );
         let mut rng = SimRng::seed_from_u64(seed);
         let centroids = (0..n_clusters)
             .map(|_| {
@@ -127,7 +133,10 @@ impl PromptLibrary {
     ///
     /// Panics if the cluster index is out of range.
     pub fn next_prompt_in(&mut self, cluster: usize) -> Prompt {
-        assert!(cluster < self.centroids.len(), "cluster {cluster} out of range");
+        assert!(
+            cluster < self.centroids.len(),
+            "cluster {cluster} out of range"
+        );
         let centroid = &self.centroids[cluster];
         let v: Vec<f32> = centroid
             .iter()
@@ -180,7 +189,11 @@ mod tests {
             mean(&same),
             mean(&cross)
         );
-        assert!(mean(&same) > 0.95, "within-topic prompts are close: {}", mean(&same));
+        assert!(
+            mean(&same) > 0.95,
+            "within-topic prompts are close: {}",
+            mean(&same)
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn deadline_cliff(
     common_slo_s: f64,
     seed: u64,
 ) -> Vec<GeneratedRequest> {
-    assert!(window_s > 0.0 && common_slo_s > 0.0, "positive window and SLO required");
+    assert!(
+        window_s > 0.0 && common_slo_s > 0.0,
+        "positive window and SLO required"
+    );
     let mut prompts = PromptLibrary::diffusiondb_like(seed);
     let mut rng = tetriserve_simulator::rng::SimRng::seed_from_u64(seed);
     let deadline = window_s + common_slo_s;
@@ -119,7 +122,9 @@ mod tests {
         assert_eq!(uni.len(), 100);
         for r in &uni {
             let budget = r.deadline_s - r.arrival_s;
-            let base = SloPolicy::paper_targets().budget(r.resolution).as_secs_f64();
+            let base = SloPolicy::paper_targets()
+                .budget(r.resolution)
+                .as_secs_f64();
             assert!((budget - base * 1.2).abs() < 1e-9);
         }
         let skew = paper_skewed(400, 1.0, 2);
@@ -144,7 +149,10 @@ mod tests {
     fn elephants_and_mice_interleave() {
         let w = elephants_and_mice(5, 3);
         assert_eq!(w.len(), 20);
-        let elephants = w.iter().filter(|r| r.resolution == Resolution::R2048).count();
+        let elephants = w
+            .iter()
+            .filter(|r| r.resolution == Resolution::R2048)
+            .count();
         assert_eq!(elephants, 5);
         // Each mouse trails its elephant within two seconds.
         for chunk in w.chunks(4) {

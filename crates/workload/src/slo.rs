@@ -48,7 +48,10 @@ impl SloPolicy {
         let base: BTreeMap<u64, f64> = targets
             .into_iter()
             .map(|(r, s)| {
-                assert!(s.is_finite() && s > 0.0, "SLO target for {r} must be positive");
+                assert!(
+                    s.is_finite() && s > 0.0,
+                    "SLO target for {r} must be positive"
+                );
                 (r.tokens(), s)
             })
             .collect();
@@ -105,17 +108,32 @@ mod tests {
     #[test]
     fn paper_targets_match_section_6_1() {
         let slo = SloPolicy::paper_targets();
-        assert_eq!(slo.budget(Resolution::R256), SimDuration::from_secs_f64(1.5));
-        assert_eq!(slo.budget(Resolution::R512), SimDuration::from_secs_f64(2.0));
-        assert_eq!(slo.budget(Resolution::R1024), SimDuration::from_secs_f64(3.0));
-        assert_eq!(slo.budget(Resolution::R2048), SimDuration::from_secs_f64(5.0));
+        assert_eq!(
+            slo.budget(Resolution::R256),
+            SimDuration::from_secs_f64(1.5)
+        );
+        assert_eq!(
+            slo.budget(Resolution::R512),
+            SimDuration::from_secs_f64(2.0)
+        );
+        assert_eq!(
+            slo.budget(Resolution::R1024),
+            SimDuration::from_secs_f64(3.0)
+        );
+        assert_eq!(
+            slo.budget(Resolution::R2048),
+            SimDuration::from_secs_f64(5.0)
+        );
         assert_eq!(slo.scale(), 1.0);
     }
 
     #[test]
     fn scaling_multiplies_budgets() {
         let slo = SloPolicy::paper_targets().scaled(1.2);
-        assert_eq!(slo.budget(Resolution::R1024), SimDuration::from_secs_f64(3.6));
+        assert_eq!(
+            slo.budget(Resolution::R1024),
+            SimDuration::from_secs_f64(3.6)
+        );
         // Scaling is non-destructive.
         assert_eq!(
             SloPolicy::paper_targets().budget(Resolution::R1024),

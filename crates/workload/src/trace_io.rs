@@ -47,7 +47,10 @@ impl std::fmt::Display for ParseTraceError {
                 write!(f, "malformed trace line {line}: {content:?}")
             }
             ParseTraceError::BadTokens { line, tokens } => {
-                write!(f, "line {line}: token count {tokens} is not a square resolution")
+                write!(
+                    f,
+                    "line {line}: token count {tokens} is not a square resolution"
+                )
             }
         }
     }

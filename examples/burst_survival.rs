@@ -41,8 +41,8 @@ fn main() {
             .collect();
         let vals: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
-        let std =
-            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len().max(1) as f64).sqrt();
+        let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len().max(1) as f64)
+            .sqrt();
         println!(
             "{label:<12} overall SAR {:.2}  windowed mean {mean:.2} ± {std:.2}  [{spark}]",
             sar(&report.outcomes),

@@ -21,7 +21,12 @@ fn main() {
     // What does the cache do to the schedule lengths?
     let requests = base.generate_requests();
     let mut warm = PromptLibrary::diffusiondb_like(base.seed);
-    let acc = accelerate_trace(&requests, base.model.steps, &mut warm, &NirvanaConfig::default());
+    let acc = accelerate_trace(
+        &requests,
+        base.model.steps,
+        &mut warm,
+        &NirvanaConfig::default(),
+    );
     println!(
         "Nirvana cache: hit rate {:.0}%, mean effective steps {:.1} of {}\n",
         acc.hit_rate * 100.0,
@@ -37,7 +42,11 @@ fn main() {
     println!("{:<22} {:>8}", "configuration", "SAR");
     for (name, exp, policy) in [
         ("RSSP", &base, PolicyKind::Rssp),
-        ("TetriServe", &base, PolicyKind::TetriServe(TetriServeConfig::default())),
+        (
+            "TetriServe",
+            &base,
+            PolicyKind::TetriServe(TetriServeConfig::default()),
+        ),
         ("RSSP + Nirvana", &cached, PolicyKind::Rssp),
         (
             "TetriServe + Nirvana",

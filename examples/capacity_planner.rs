@@ -66,7 +66,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
     for (label, tight, loose) in rows {
         println!("{label:<12} {tight:>11.1}    {loose:>11.1}");

@@ -1,0 +1,145 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the minimal subset of the criterion API the benches use: `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize` and the `criterion_group!`
+//! / `criterion_main!` macros. Timings are simple mean-of-N wall-clock
+//! measurements printed to stdout — enough to eyeball regressions, with no
+//! statistical analysis.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim sizes every batch individually).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 20 }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+            measured: 0,
+        };
+        f(&mut b);
+        let mean = if b.measured > 0 {
+            b.elapsed / u32::try_from(b.measured).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {id:<48} mean {mean:?} over {} iters", b.measured);
+        self
+    }
+}
+
+/// Measures closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = f();
+            self.elapsed += start.elapsed();
+            self.measured += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            self.measured += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Re-export matching criterion's `black_box` location in older releases.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Groups benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion { iters: 3 };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion { iters: 4 };
+        let mut produced = Vec::new();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |x| produced.push(x), BatchSize::SmallInput)
+        });
+        assert_eq!(produced, vec![7, 7, 7, 7]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the minimal subset of the `rand` API it actually uses: a deterministic
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64, the same
+//! algorithm real `rand` uses for `SmallRng` on 64-bit targets), the
+//! [`SeedableRng`] constructor and the [`RngExt`] sampling methods.
+//!
+//! Only determinism and a reasonable distribution matter for the
+//! simulator; this is not a cryptographic or statistically audited RNG.
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed. Equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling extension methods, mirroring the `rand 0.9+` `Rng`/`RngExt`
+/// surface the workspace uses (`random::<T>()`, `random_range(a..b)`).
+pub trait RngExt {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a supported type (`f64` in `[0, 1)`, full-range
+    /// integers, `bool`).
+    fn random<T: sample::Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: sample::SampleRange>(&mut self, range: R) -> R::Item
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    /// A small, fast, deterministic RNG (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors (and used by rand itself).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl crate::RngExt for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod sample {
+    //! Type-driven sampling used by [`crate::RngExt`].
+
+    use crate::RngExt;
+
+    /// Types samplable via `rng.random::<T>()`.
+    pub trait Sample {
+        /// Draws one value from `rng`.
+        fn sample<R: RngExt>(rng: &mut R) -> Self;
+    }
+
+    impl Sample for u64 {
+        fn sample<R: RngExt>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Sample for u32 {
+        fn sample<R: RngExt>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Sample for bool {
+        fn sample<R: RngExt>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Sample for f64 {
+        fn sample<R: RngExt>(rng: &mut R) -> Self {
+            // 53 uniform mantissa bits in [0, 1), rand's standard mapping.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Ranges samplable via `rng.random_range(range)`.
+    pub trait SampleRange {
+        /// The element type of the range.
+        type Item;
+        /// Draws one value uniformly from the range.
+        fn sample_from<R: RngExt>(self, rng: &mut R) -> Self::Item;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Item = $t;
+                fn sample_from<R: RngExt>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    // Multiply-shift bounded sampling (Lemire); the slight
+                    // bias for astronomically large spans is irrelevant for
+                    // simulation workloads.
+                    let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                    self.start + hi as $t
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Item = $t;
+                fn sample_from<R: RngExt>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end - start) as u64 + 1;
+                    let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                    start + hi as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u32, u64, usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5u32..=9);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The build container has no crates.io access. The workspace only uses
+//! serde as derive decoration (`#[derive(serde::Serialize,
+//! serde::Deserialize)]`) on cost-model and workload structs — nothing
+//! actually serialises through serde traits (trace/workload I/O is
+//! hand-rolled text). This proc-macro crate provides no-op derives with
+//! the same paths so those annotations compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -93,9 +93,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     "rssp" => PolicyKind::Rssp,
                     "edf" => PolicyKind::EdfRssp,
                     s if s.starts_with("sp") => {
-                        let k: usize = s[2..]
-                            .parse()
-                            .map_err(|_| format!("bad policy {s}"))?;
+                        let k: usize = s[2..].parse().map_err(|_| format!("bad policy {s}"))?;
                         PolicyKind::FixedSp(k)
                     }
                     s => return Err(format!("unknown policy {s}")),
@@ -113,14 +111,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--rate" => {
-                experiment.rate_per_min = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --rate: {e}"))?
+                experiment.rate_per_min =
+                    value()?.parse().map_err(|e| format!("bad --rate: {e}"))?
             }
             "--scale" => {
-                experiment.slo_scale = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?
+                experiment.slo_scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?
             }
             "--requests" => {
                 experiment.n_requests = value()?
@@ -173,7 +168,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
 fn cmd_profile(exp: &Experiment) {
     let costs = exp.cost_table();
     let mut table = TextTable::new(
-        format!("profiled step times (ms): {} on {}", costs.model().name, costs.cluster()),
+        format!(
+            "profiled step times (ms): {} on {}",
+            costs.model().name,
+            costs.cluster()
+        ),
         {
             let mut h = vec!["resolution".to_owned()];
             h.extend(costs.degrees().iter().map(|k| format!("SP={k}")));
@@ -201,7 +200,11 @@ fn cmd_gen(exp: &Experiment) {
     print!("{}", tetriserve::workload::to_csv(&records));
 }
 
-fn cmd_serve(exp: &Experiment, policy: &PolicyKind, trace_file: Option<&str>) -> Result<(), String> {
+fn cmd_serve(
+    exp: &Experiment,
+    policy: &PolicyKind,
+    trace_file: Option<&str>,
+) -> Result<(), String> {
     let report = match trace_file {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -252,7 +255,10 @@ fn cmd_compare(exp: &Experiment) {
             label,
             format!("{:.3}", sar(&report.outcomes)),
             format!("{:.2}", mean_latency(&report.outcomes).unwrap_or(f64::NAN)),
-            format!("{:.2}", percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN)),
+            format!(
+                "{:.2}",
+                percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN)
+            ),
         ]);
     }
     println!("{}", table.render());
@@ -302,7 +308,11 @@ fn cmd_sweep(exp: &Experiment, over: SweepKind) {
         let label = p.label();
         let mut row = vec![label.clone()];
         for col in &columns {
-            let v = col.iter().find(|(l, _)| *l == label).map(|(_, s)| *s).unwrap();
+            let v = col
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, s)| *s)
+                .unwrap();
             row.push(format!("{v:.2}"));
         }
         table.row(row);
@@ -346,7 +356,10 @@ mod tests {
     fn parses_defaults() {
         let cli = parse(&argv("serve")).unwrap();
         assert_eq!(cli.command, Command::Serve);
-        assert_eq!(cli.policy, PolicyKind::TetriServe(TetriServeConfig::default()));
+        assert_eq!(
+            cli.policy,
+            PolicyKind::TetriServe(TetriServeConfig::default())
+        );
         assert_eq!(cli.experiment.n_requests, 300);
         assert_eq!(cli.experiment.cluster, ClusterSpec::h100x8());
     }

@@ -20,14 +20,12 @@ fn full_system_tops_the_ablation() {
     // Table 5's ordering on the contended Skewed mix: the full system
     // (placement + elastic) must beat the bare round scheduler.
     let exp = skewed(150);
-    let bare = sar(
-        &exp.run(&PolicyKind::TetriServe(TetriServeConfig::schedule_only()))
-            .outcomes,
-    );
-    let full = sar(
-        &exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()))
-            .outcomes,
-    );
+    let bare = sar(&exp
+        .run(&PolicyKind::TetriServe(TetriServeConfig::schedule_only()))
+        .outcomes);
+    let full = sar(&exp
+        .run(&PolicyKind::TetriServe(TetriServeConfig::default()))
+        .outcomes);
     assert!(
         full > bare,
         "full system {full} must beat schedule-only {bare}"
@@ -67,7 +65,10 @@ fn nirvana_composition_matches_table3_ordering() {
 
     assert!(tetri_plain > rssp_plain, "{tetri_plain} vs {rssp_plain}");
     assert!(rssp_cached > rssp_plain, "{rssp_cached} vs {rssp_plain}");
-    assert!(tetri_cached >= tetri_plain, "{tetri_cached} vs {tetri_plain}");
+    assert!(
+        tetri_cached >= tetri_plain,
+        "{tetri_cached} vs {tetri_plain}"
+    );
     let all = [rssp_plain, tetri_plain, rssp_cached, tetri_cached];
     assert!(
         tetri_cached >= all.into_iter().fold(0.0, f64::max),

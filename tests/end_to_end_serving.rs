@@ -42,7 +42,11 @@ fn trace_dispatch_steps_sum_to_work_done() {
             dispatched_steps += u64::from(*steps) * requests.len() as u64;
         }
     }
-    let executed: u64 = report.outcomes.iter().map(|o| u64::from(o.steps_executed)).sum();
+    let executed: u64 = report
+        .outcomes
+        .iter()
+        .map(|o| u64::from(o.steps_executed))
+        .sum();
     assert_eq!(dispatched_steps, executed, "no step lost or double-counted");
 }
 
@@ -74,10 +78,7 @@ fn tetriserve_is_resolution_balanced() {
     let report = exp.run(&PolicyKind::TetriServe(TetriServeConfig::default()));
     let by = sar_by_resolution(&report.outcomes);
     for res in Resolution::PRODUCTION {
-        assert!(
-            by.get(&res).copied().unwrap_or(0.0) > 0.5,
-            "{res}: {by:?}"
-        );
+        assert!(by.get(&res).copied().unwrap_or(0.0) > 0.5, "{res}: {by:?}");
     }
 }
 

@@ -68,10 +68,7 @@ fn solvers_agree_on_single_step_instances() {
 #[test]
 fn np_hardness_reduction_round_trips() {
     // Feasible single-machine instance: jobs fit back-to-back.
-    assert_eq!(
-        rt_feasible(&[(0, 3, 3), (3, 6, 3)], secs(5)),
-        Some(true)
-    );
+    assert_eq!(rt_feasible(&[(0, 3, 3), (3, 6, 3)], secs(5)), Some(true));
     // Overloaded window: three unit jobs, two slots.
     assert_eq!(
         rt_feasible(&[(0, 2, 1), (0, 2, 1), (0, 2, 1)], secs(5)),

@@ -22,29 +22,31 @@ fn costs() -> CostTable {
 /// arbitrary resolutions, budgets from hopeless to generous, step counts
 /// from a cache-truncated 25 to the full 50.
 fn workload_strategy() -> impl Strategy<Value = Vec<RequestSpec>> {
-    proptest::collection::vec(
-        (0u64..60_000, 0usize..4, 200u64..20_000, 25u32..=50),
-        1..14,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (arrival_ms, res_idx, budget_ms, steps))| RequestSpec {
-                id: RequestId(i as u64),
-                resolution: Resolution::PRODUCTION[res_idx],
-                arrival: SimTime::from_millis(arrival_ms),
-                deadline: SimTime::from_millis(arrival_ms + budget_ms),
-                total_steps: steps,
-            })
-            .collect()
-    })
+    proptest::collection::vec((0u64..60_000, 0usize..4, 200u64..20_000, 25u32..=50), 1..14)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (arrival_ms, res_idx, budget_ms, steps))| RequestSpec {
+                    id: RequestId(i as u64),
+                    resolution: Resolution::PRODUCTION[res_idx],
+                    arrival: SimTime::from_millis(arrival_ms),
+                    deadline: SimTime::from_millis(arrival_ms + budget_ms),
+                    total_steps: steps,
+                })
+                .collect()
+        })
 }
 
 fn check_report(report: &ServeReport, specs: &[RequestSpec]) -> Result<(), TestCaseError> {
     prop_assert_eq!(report.outcomes.len(), specs.len());
     for (o, s) in report.outcomes.iter().zip(specs) {
         prop_assert_eq!(o.id, s.id);
-        prop_assert!(o.completion.is_some(), "{} left {} unserved", report.policy, s.id);
+        prop_assert!(
+            o.completion.is_some(),
+            "{} left {} unserved",
+            report.policy,
+            s.id
+        );
         prop_assert_eq!(o.steps_executed, s.total_steps);
         prop_assert!(o.completion.unwrap() >= s.arrival);
         prop_assert!(o.gpu_seconds > 0.0);

@@ -54,10 +54,8 @@ fn elephants_and_mice_all_survive_under_tetriserve() {
     // The Figure 1 head-of-line shape, repeated: big requests must not
     // starve the mice and vice versa.
     let w = scenarios::elephants_and_mice(6, 11);
-    let specs = Experiment::specs_from_records(
-        &w.iter().map(|r| r.to_record()).collect::<Vec<_>>(),
-        50,
-    );
+    let specs =
+        Experiment::specs_from_records(&w.iter().map(|r| r.to_record()).collect::<Vec<_>>(), 50);
     let c = costs();
     let report = Server::new(c.clone(), TetriServePolicy::with_defaults(&c)).run(specs.clone());
     let mice_met = report
@@ -79,10 +77,8 @@ fn elephants_and_mice_all_survive_under_tetriserve() {
 #[test]
 fn flash_crowd_completes_everything() {
     let w = scenarios::flash_crowd(120, 12.0, 17);
-    let specs = Experiment::specs_from_records(
-        &w.iter().map(|r| r.to_record()).collect::<Vec<_>>(),
-        50,
-    );
+    let specs =
+        Experiment::specs_from_records(&w.iter().map(|r| r.to_record()).collect::<Vec<_>>(), 50);
     let c = costs();
     let report = Server::new(c.clone(), TetriServePolicy::with_defaults(&c)).run(specs);
     assert!(report.outcomes.iter().all(|o| o.completion.is_some()));
