@@ -7,7 +7,7 @@
 //! latency; SP=1 has a far heavier tail (beyond the 17 s x-axis cut).
 
 use tetriserve_bench::{Experiment, PolicyKind};
-use tetriserve_metrics::latency::{cdf_at, percentile};
+use tetriserve_metrics::latency::LatencySummary;
 use tetriserve_metrics::report::TextTable;
 use tetriserve_workload::mix::ResolutionMix;
 
@@ -31,11 +31,16 @@ fn main() {
             header,
         );
         for (label, report) in &reports {
-            let cdf = cdf_at(&report.outcomes, &POINTS_S);
+            // One sort serves the CDF samples and the p99 column.
+            let summary = LatencySummary::from_outcomes(&report.outcomes);
             let mut row = vec![label.clone()];
-            row.extend(cdf.iter().map(|(_, p)| format!("{p:.2}")));
+            match summary.cdf_at(&POINTS_S) {
+                Some(cdf) => row.extend(cdf.iter().map(|(_, p)| format!("{p:.2}"))),
+                None => row.extend(POINTS_S.iter().map(|_| "-".to_owned())),
+            }
             row.push(
-                percentile(&report.outcomes, 99.0)
+                summary
+                    .percentile(99.0)
                     .map(|v| format!("{v:.1}"))
                     .unwrap_or_else(|| "-".to_owned()),
             );

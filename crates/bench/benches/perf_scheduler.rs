@@ -1,0 +1,70 @@
+//! Scheduler perf-regression harness — produces `BENCH_scheduler.json`
+//! at the repository root (schema in DESIGN.md) so PRs have a wall-clock
+//! and decision-digest trajectory to compare against.
+//!
+//! Run modes:
+//!
+//! * `cargo bench --bench perf_scheduler` — full run (Table 6 depths,
+//!   200 rounds each);
+//! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run.
+//!
+//! The process exits non-zero if the hot-path invariant is violated
+//! (scratch growth during timed rounds — i.e. `pack_round` allocated in
+//! steady state).
+
+use std::path::PathBuf;
+
+use tetriserve_bench::perf::{run_perf, PerfConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PERF_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (config, mode) = if smoke {
+        (PerfConfig::smoke(), "smoke")
+    } else {
+        (PerfConfig::full(), "full")
+    };
+
+    let report = run_perf(&config, mode);
+
+    println!("scheduler perf harness ({mode}, seed {:#x})", report.seed);
+    println!(
+        "{:>11} {:>8} {:>14} {:>13} {:>12} {:>12} {:>10}  digest",
+        "queue depth", "rounds", "mean round", "max round", "early exits", "allocs saved", "grows"
+    );
+    for r in &report.round_loop {
+        println!(
+            "{:>11} {:>8} {:>11.1} us {:>10.1} us {:>12} {:>12} {:>10}  {:#018x}",
+            r.queue_depth,
+            r.rounds,
+            r.mean_round_us,
+            r.max_round_us,
+            r.early_exits,
+            r.allocations_avoided,
+            r.grow_events_steady,
+            r.decision_digest,
+        );
+    }
+    println!(
+        "serve: {}/{} completed, {} scheduler passes, {:.1} us total in-schedule, digest {:#018x}",
+        report.serve.completed,
+        report.serve.requests,
+        report.serve.sched_passes,
+        report.serve.sched_wall_us,
+        report.serve.outcome_digest,
+    );
+
+    // Repo root: crates/bench/ -> crates/ -> root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scheduler.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_scheduler.json");
+    println!("wrote {}", out.display());
+
+    if !report.steady_state_allocation_free() {
+        eprintln!("FAIL: pack_round scratch grew during timed rounds (hot-path allocation)");
+        std::process::exit(1);
+    }
+}

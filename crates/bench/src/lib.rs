@@ -14,5 +14,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod perf;
 
 pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
+pub use perf::{run_perf, PerfConfig, PerfReport};

@@ -45,7 +45,7 @@ pub struct Choice {
 }
 
 /// Result of packing one round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Packing {
     /// Chosen option per request, in input order.
     pub choices: Vec<Choice>,
@@ -53,6 +53,91 @@ pub struct Packing {
     pub survivors: u32,
     /// Total GPUs consumed.
     pub gpus_used: usize,
+}
+
+/// Reusable working memory for [`pack_round_into`].
+///
+/// The round loop calls the packer every boundary and backfill pass; with a
+/// warm scratch the packer performs **zero heap allocations** per call. The
+/// scratch also counts its own behaviour so the perf harness can assert the
+/// steady-state invariant and report how much allocation churn the reuse
+/// avoids.
+#[derive(Debug, Clone, Default)]
+pub struct PackScratch {
+    /// `dp[c]`: best prefix score at exactly `c` GPUs.
+    dp: Vec<i64>,
+    /// Double buffer for the DP sweep.
+    next: Vec<i64>,
+    /// Flat choice matrix: `choice[i * (capacity + 1) + c]`.
+    choice: Vec<u32>,
+    /// Packer invocations through this scratch.
+    calls: u64,
+    /// Calls resolved by the unconstrained early exit (no DP sweep).
+    early_exits: u64,
+    /// Calls in which some buffer had to grow (0 once warm).
+    grow_events: u64,
+    /// Heap allocations avoided relative to the pre-scratch implementation
+    /// (which allocated `2·R + 3` vectors per call: `dp`, the outer choice
+    /// vector, one inner choice row and one `next` buffer per request, and
+    /// the output choices).
+    allocations_avoided: u64,
+}
+
+impl PackScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> PackScratch {
+        PackScratch::default()
+    }
+
+    /// Packer invocations through this scratch.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Calls resolved without a DP sweep (total demand fit capacity).
+    pub fn early_exits(&self) -> u64 {
+        self.early_exits
+    }
+
+    /// Calls in which a scratch buffer had to grow. Zero in steady state:
+    /// once the buffers have seen the high-water queue size, packing
+    /// allocates nothing.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Heap allocations avoided versus the scratch-free implementation.
+    pub fn allocations_avoided(&self) -> u64 {
+        self.allocations_avoided
+    }
+
+    /// Pre-sizes every buffer for instances up to `max_requests` requests
+    /// and `capacity` GPUs, so that no subsequent call grows the scratch —
+    /// even the first call to take the DP path. Without this, a run whose
+    /// early calls all take the early exit would pay its one-time DP-buffer
+    /// growth on the first *contended* round instead of at startup. The
+    /// pre-sizing is not counted as a grow event.
+    pub fn warm_up(&mut self, max_requests: usize, capacity: usize) {
+        let mut _grew = false;
+        Self::reserve_exact_len(&mut self.dp, capacity + 1, 0, &mut _grew);
+        Self::reserve_exact_len(&mut self.next, capacity + 1, 0, &mut _grew);
+        Self::reserve_exact_len(
+            &mut self.choice,
+            max_requests * (capacity + 1),
+            NO_CHOICE,
+            &mut _grew,
+        );
+    }
+
+    /// Clears `buf` and resizes it to `n`, noting whether backing storage
+    /// had to grow.
+    fn reserve_exact_len<T: Copy>(buf: &mut Vec<T>, n: usize, fill: T, grew: &mut bool) {
+        if buf.capacity() < n {
+            *grew = true;
+        }
+        buf.clear();
+        buf.resize(n, fill);
+    }
 }
 
 fn option_value(survives: bool, runs: bool, none_survives: bool, steps: u32, progress: f64) -> i64 {
@@ -73,33 +158,148 @@ fn option_value(survives: bool, runs: bool, none_survives: bool, steps: u32, pro
 /// Packs the round: selects at most one option per request such that total
 /// width ≤ `capacity`, maximising survivors (then work done).
 ///
+/// Convenience wrapper over [`pack_round_into`] that allocates fresh
+/// working memory. Hot callers (the round loop) should hold a
+/// [`PackScratch`] and a reusable [`Packing`] instead.
+///
 /// # Panics
 ///
 /// Panics if any request has an empty option list (the *none* option must
 /// always be present).
 pub fn pack_round(requests: &[RequestOptions], capacity: usize) -> Packing {
+    let mut scratch = PackScratch::new();
+    let mut out = Packing::default();
+    pack_round_into(requests, capacity, &mut scratch, &mut out);
+    out
+}
+
+/// Sentinel for "no option reaches this DP state".
+const NO_CHOICE: u32 = u32::MAX;
+
+/// Packs the round into caller-provided scratch and output buffers.
+///
+/// Identical semantics to [`pack_round`], but with a warm scratch the call
+/// performs no heap allocation: the DP rows, the flat choice matrix and the
+/// output choice vector are all reused across rounds.
+///
+/// Two structural shortcuts keep the common case cheap:
+///
+/// * **Early exit** — when every request's individually best (value-maximal,
+///   then narrowest) feasible option fits `capacity` *jointly*, the GPU
+///   constraint is slack and that per-request selection is globally optimal;
+///   no DP sweep runs. This is the usual case away from saturation.
+/// * **Flat choice matrix** — the DP's reconstruction table is one
+///   contiguous `requests × (capacity + 1)` buffer instead of a `Vec` of
+///   `Vec`s, so the sweep walks linear memory.
+///
+/// # Panics
+///
+/// Panics if any request has an empty option list.
+pub fn pack_round_into(
+    requests: &[RequestOptions],
+    capacity: usize,
+    scratch: &mut PackScratch,
+    out: &mut Packing,
+) {
     let n = capacity;
     let neg = i64::MIN / 4;
-    // dp[c]: best score using exactly ≤ c GPUs after the processed prefix.
-    let mut dp = vec![neg; n + 1];
-    dp[0] = 0;
-    // choice[i][c]: option index picked for request i at capacity c.
-    let mut choice = vec![vec![usize::MAX; n + 1]; requests.len()];
+    scratch.calls += 1;
+    let mut grew = false;
+    PackScratch::reserve_exact_len(
+        &mut out.choices,
+        requests.len(),
+        Choice {
+            id: RequestId(0),
+            option_index: 0,
+        },
+        &mut grew,
+    );
+    out.survivors = 0;
+    out.gpus_used = 0;
 
+    // ── Early exit: is the capacity constraint slack? ───────────────────
+    // Each request's unconstrained best is its value-maximal feasible
+    // option (ties: narrowest, then first — matching the DP's preference
+    // for fewer GPUs on equal score). The per-request maxima bound the
+    // total, so if they jointly fit, they are the optimum.
+    let mut fits = true;
+    let mut width_sum = 0usize;
     for (i, req) in requests.iter().enumerate() {
         assert!(
             !req.options.is_empty(),
             "request {} has an empty option set",
             req.id
         );
+        debug_assert_eq!(
+            req.options[0].width, 0,
+            "request {}: the none option must have width 0 (the packer scores \
+             width-0 prefixes as idle)",
+            req.id
+        );
         let none_survives = req.options[0].survives;
-        let mut next = vec![neg; n + 1];
-        for c in 0..=n {
+        let mut best_oi = 0usize;
+        let mut best_v = i64::MIN;
+        let mut best_w = usize::MAX;
+        for (oi, opt) in req.options.iter().enumerate() {
+            if opt.width > n {
+                continue;
+            }
+            let v = option_value(
+                opt.survives,
+                opt.segment.is_some(),
+                none_survives,
+                opt.steps,
+                req.progress,
+            );
+            if v > best_v || (v == best_v && opt.width < best_w) {
+                best_v = v;
+                best_w = opt.width;
+                best_oi = oi;
+            }
+        }
+        width_sum += best_w;
+        if width_sum > n {
+            fits = false;
+            break;
+        }
+        out.choices[i] = Choice {
+            id: req.id,
+            option_index: best_oi,
+        };
+    }
+    if fits {
+        scratch.early_exits += 1;
+        finalise(requests, out);
+        scratch.note_call(requests.len(), grew);
+        return;
+    }
+
+    // ── Full group-knapsack DP. ─────────────────────────────────────────
+    PackScratch::reserve_exact_len(&mut scratch.dp, n + 1, neg, &mut grew);
+    PackScratch::reserve_exact_len(&mut scratch.next, n + 1, neg, &mut grew);
+    PackScratch::reserve_exact_len(
+        &mut scratch.choice,
+        requests.len() * (n + 1),
+        NO_CHOICE,
+        &mut grew,
+    );
+    // dp[c]: best score over the processed prefix among selections whose
+    // widths sum to *exactly* c GPUs; unreachable sums stay at `neg`. The
+    // final scan over all c (preferring smaller c on ties) yields the
+    // ≤-capacity optimum.
+    scratch.dp[0] = 0;
+
+    for (i, req) in requests.iter().enumerate() {
+        let none_survives = req.options[0].survives;
+        let row = &mut scratch.choice[i * (n + 1)..(i + 1) * (n + 1)];
+        for (c, slot) in row.iter_mut().enumerate() {
+            let mut best = neg;
+            let mut best_oi = NO_CHOICE;
             for (oi, opt) in req.options.iter().enumerate() {
                 if opt.width > c {
                     continue;
                 }
-                let base = dp[c - opt.width];
+                let base = scratch.dp[c - opt.width];
                 if base == neg {
                     continue;
                 }
@@ -111,37 +311,33 @@ pub fn pack_round(requests: &[RequestOptions], capacity: usize) -> Packing {
                         opt.steps,
                         req.progress,
                     );
-                if v > next[c] {
-                    next[c] = v;
-                    choice[i][c] = oi;
+                if v > best {
+                    best = v;
+                    best_oi = oi as u32;
                 }
             }
+            scratch.next[c] = best;
+            *slot = best_oi;
         }
-        dp = next;
+        std::mem::swap(&mut scratch.dp, &mut scratch.next);
     }
 
     // Best capacity; ties prefer fewer GPUs (cheaper, frees room for the
     // elastic pass).
     let mut best_c = 0;
     for c in 0..=n {
-        if dp[c] > dp[best_c] {
+        if scratch.dp[c] > scratch.dp[best_c] {
             best_c = c;
         }
     }
 
     // Reconstruct back-to-front.
-    let mut choices = vec![
-        Choice {
-            id: RequestId(0),
-            option_index: 0
-        };
-        requests.len()
-    ];
     let mut c = best_c;
     for (i, req) in requests.iter().enumerate().rev() {
-        let oi = choice[i][c];
-        assert_ne!(oi, usize::MAX, "unreachable DP state during reconstruction");
-        choices[i] = Choice {
+        let oi = scratch.choice[i * (n + 1) + c];
+        assert_ne!(oi, NO_CHOICE, "unreachable DP state during reconstruction");
+        let oi = oi as usize;
+        out.choices[i] = Choice {
             id: req.id,
             option_index: oi,
         };
@@ -149,21 +345,33 @@ pub fn pack_round(requests: &[RequestOptions], capacity: usize) -> Packing {
     }
     debug_assert_eq!(c, 0, "reconstruction must consume exactly best_c GPUs");
 
-    let survivors = requests
+    finalise(requests, out);
+    scratch.note_call(requests.len(), grew);
+}
+
+/// Fills the derived `survivors` / `gpus_used` fields from the choices.
+fn finalise(requests: &[RequestOptions], out: &mut Packing) {
+    out.survivors = requests
         .iter()
-        .zip(&choices)
+        .zip(&out.choices)
         .filter(|(r, ch)| r.options[ch.option_index].survives)
         .count() as u32;
-    let gpus_used = requests
+    out.gpus_used = requests
         .iter()
-        .zip(&choices)
+        .zip(&out.choices)
         .map(|(r, ch)| r.options[ch.option_index].width)
         .sum();
+}
 
-    Packing {
-        choices,
-        survivors,
-        gpus_used,
+impl PackScratch {
+    /// Books one call's accounting: the scratch-free implementation paid
+    /// `2·R + 3` heap allocations per call; a warm scratch pays none.
+    fn note_call(&mut self, n_requests: usize, grew: bool) {
+        if grew {
+            self.grow_events += 1;
+        } else {
+            self.allocations_avoided += 2 * n_requests as u64 + 3;
+        }
     }
 }
 
@@ -284,6 +492,108 @@ mod tests {
         assert_eq!(p.survivors, 1);
     }
 
+    #[test]
+    fn early_exit_fires_when_capacity_is_slack_and_matches_dp() {
+        // Plenty of GPUs: every request's best option fits jointly, so the
+        // early exit must fire and still produce the DP's answer.
+        let requests = vec![
+            req(1, false, &[(2, 5, true)]),
+            req(2, false, &[(1, 5, true), (2, 6, true)]),
+            req(3, true, &[(1, 10, true)]),
+        ];
+        let mut scratch = PackScratch::new();
+        let mut out = Packing::default();
+        pack_round_into(&requests, 16, &mut scratch, &mut out);
+        assert_eq!(scratch.calls(), 1);
+        assert_eq!(scratch.early_exits(), 1, "slack capacity must early-exit");
+        let reference = pack_round(&requests, 16);
+        assert_eq!(out.survivors, reference.survivors);
+        assert_eq!(out.gpus_used, reference.gpus_used);
+        let picks: Vec<usize> = out.choices.iter().map(|c| c.option_index).collect();
+        let ref_picks: Vec<usize> = reference.choices.iter().map(|c| c.option_index).collect();
+        assert_eq!(picks, ref_picks);
+    }
+
+    #[test]
+    fn warm_scratch_performs_no_further_allocation() {
+        let requests: Vec<_> = (0..10).map(|i| req(i, false, &[(2, 5, true)])).collect();
+        let mut scratch = PackScratch::new();
+        let mut out = Packing::default();
+        pack_round_into(&requests, 8, &mut scratch, &mut out);
+        let after_warmup = scratch.grow_events();
+        assert!(after_warmup >= 1, "cold scratch must grow at least once");
+        for _ in 0..50 {
+            pack_round_into(&requests, 8, &mut scratch, &mut out);
+        }
+        assert_eq!(
+            scratch.grow_events(),
+            after_warmup,
+            "steady-state rounds must not grow any scratch buffer"
+        );
+        assert_eq!(scratch.calls(), 51);
+        assert!(
+            scratch.allocations_avoided() >= 50 * (2 * 10 + 3),
+            "each warm call avoids the 2R+3 allocations the old path paid"
+        );
+    }
+
+    #[test]
+    fn warm_up_pre_sizes_for_the_dp_path() {
+        // An early-exit call does not touch the DP buffers, so without
+        // warm-up the first *contended* call would grow them mid-run.
+        let mut scratch = PackScratch::new();
+        let mut out = Packing::default();
+        scratch.warm_up(10, 8);
+        out.choices.reserve(10);
+        // Slack round (early exit), then a contended round (DP path).
+        let slack: Vec<_> = (0..3).map(|i| req(i, false, &[(2, 5, true)])).collect();
+        pack_round_into(&slack, 8, &mut scratch, &mut out);
+        assert_eq!(scratch.early_exits(), 1);
+        let contended: Vec<_> = (0..10).map(|i| req(i, false, &[(2, 5, true)])).collect();
+        pack_round_into(&contended, 8, &mut scratch, &mut out);
+        assert_eq!(
+            scratch.grow_events(),
+            0,
+            "a warmed scratch never grows, even on its first DP-path call"
+        );
+    }
+
+    #[test]
+    fn smaller_warm_rounds_reuse_the_scratch() {
+        // Shrinking the instance must not count as growth: buffers are
+        // resized down within existing capacity.
+        let big: Vec<_> = (0..12).map(|i| req(i, false, &[(2, 5, true)])).collect();
+        let small: Vec<_> = (0..3).map(|i| req(i, false, &[(2, 5, true)])).collect();
+        let mut scratch = PackScratch::new();
+        let mut out = Packing::default();
+        pack_round_into(&big, 8, &mut scratch, &mut out);
+        let grown = scratch.grow_events();
+        pack_round_into(&small, 4, &mut scratch, &mut out);
+        assert_eq!(scratch.grow_events(), grown);
+        assert_eq!(out.choices.len(), small.len());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "none option must have width 0")]
+    fn nonzero_width_none_option_is_rejected_in_debug() {
+        let bad = RequestOptions {
+            id: RequestId(7),
+            resolution: Resolution::R256,
+            options: vec![RoundOption {
+                segment: None,
+                width: 1, // violates the none-option invariant
+                steps: 0,
+                survives: true,
+            }],
+            t_min: SimDuration::from_millis(10),
+            remaining_steps: 50,
+            progress: 0.0,
+            deadline: SimTime::from_secs_f64(5.0),
+        };
+        let _ = pack_round(&[bad], 4);
+    }
+
     proptest! {
         /// The DP never exceeds capacity, never returns an invalid option
         /// index, and matches a brute-force enumeration of survivors on
@@ -328,6 +638,83 @@ mod tests {
             }
             let (head, tail) = (p.survivors, brute(&requests, capacity));
             prop_assert_eq!(head, tail, "DP survivors must be optimal");
+        }
+
+        /// The early-exit and DP paths agree: the selected options always
+        /// reach the brute-force-optimal *total score*, and among
+        /// score-optimal selections use the fewest GPUs. Generous capacities
+        /// exercise the early exit, tight ones the DP sweep.
+        #[test]
+        fn prop_early_exit_and_dp_are_score_and_width_optimal(
+            capacity in 0usize..33,
+            specs in proptest::collection::vec(
+                (
+                    proptest::collection::vec((1usize..9, 1u32..20, any::<bool>()), 0..3),
+                    any::<bool>(),
+                ),
+                0..6,
+            )
+        ) {
+            let requests: Vec<RequestOptions> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, (opts, none_sv))| req(i as u64, *none_sv, opts))
+                .collect();
+
+            let mut scratch = PackScratch::new();
+            let mut out = Packing::default();
+            pack_round_into(&requests, capacity, &mut scratch, &mut out);
+
+            let score_of = |reqs: &[RequestOptions], picks: &[Choice]| -> i64 {
+                reqs.iter()
+                    .zip(picks)
+                    .map(|(r, c)| {
+                        let o = &r.options[c.option_index];
+                        option_value(
+                            o.survives,
+                            o.segment.is_some(),
+                            r.options[0].survives,
+                            o.steps,
+                            r.progress,
+                        )
+                    })
+                    .sum()
+            };
+            let got = score_of(&requests, &out.choices);
+
+            // Brute force: (max total score, min total width at that score).
+            fn brute(reqs: &[RequestOptions], cap: usize) -> (i64, usize) {
+                if reqs.is_empty() {
+                    return (0, 0);
+                }
+                let (head, tail) = reqs.split_first().unwrap();
+                let mut best = (i64::MIN, usize::MAX);
+                for opt in &head.options {
+                    if opt.width > cap {
+                        continue;
+                    }
+                    let (rest_v, rest_w) = brute(tail, cap - opt.width);
+                    let v = rest_v
+                        + option_value(
+                            opt.survives,
+                            opt.segment.is_some(),
+                            head.options[0].survives,
+                            opt.steps,
+                            head.progress,
+                        );
+                    let w = rest_w + opt.width;
+                    if v > best.0 || (v == best.0 && w < best.1) {
+                        best = (v, w);
+                    }
+                }
+                best
+            }
+            let (best_v, best_w) = brute(&requests, capacity);
+            prop_assert_eq!(got, best_v, "selection must reach the optimal total score");
+            prop_assert_eq!(
+                out.gpus_used, best_w,
+                "ties must resolve to the fewest GPUs"
+            );
         }
     }
 }

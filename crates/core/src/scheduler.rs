@@ -26,7 +26,7 @@ use tetriserve_simulator::trace::RequestId;
 use crate::allocation::min_gpu_hour_plan_capped;
 use crate::batching::{merge_batches, BatchDeadline};
 use crate::config::TetriServeConfig;
-use crate::dp::pack_round;
+use crate::dp::{pack_round_into, PackScratch, Packing};
 use crate::elastic::elastic_scale_up;
 use crate::options::{build_options, RequestOptions};
 use crate::placement::{place, Assignment, PlacementRequest};
@@ -37,6 +37,10 @@ use crate::policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub struct TetriServePolicy {
     config: TetriServeConfig,
     tau: SimDuration,
+    /// Reusable knapsack working memory: after the first round the packing
+    /// step performs no heap allocation (see [`PackScratch`]).
+    scratch: PackScratch,
+    packing: Packing,
 }
 
 impl TetriServePolicy {
@@ -45,6 +49,8 @@ impl TetriServePolicy {
         TetriServePolicy {
             config,
             tau: config.round_length(costs),
+            scratch: PackScratch::new(),
+            packing: Packing::default(),
         }
     }
 
@@ -61,6 +67,18 @@ impl TetriServePolicy {
     /// The active configuration.
     pub fn config(&self) -> &TetriServeConfig {
         &self.config
+    }
+
+    /// Packing-step counters accumulated since construction: `(calls,
+    /// early_exits, grow_events, allocations_avoided)`. The perf harness
+    /// asserts `grow_events` stops increasing once the scratch is warm.
+    pub fn pack_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.scratch.calls(),
+            self.scratch.early_exits(),
+            self.scratch.grow_events(),
+            self.scratch.allocations_avoided(),
+        )
     }
 }
 
@@ -170,7 +188,13 @@ impl Policy for TetriServePolicy {
         }
 
         // ── 3: group-knapsack packing over the free capacity. ───────────
-        let packing = pack_round(&packable, ctx.free.len());
+        pack_round_into(
+            &packable,
+            ctx.free.len(),
+            &mut self.scratch,
+            &mut self.packing,
+        );
+        let packing = &self.packing;
 
         // ── 4: placement with preservation. ─────────────────────────────
         let mut placement_reqs: Vec<PlacementRequest> = Vec::new();

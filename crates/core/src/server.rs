@@ -14,7 +14,7 @@ use tetriserve_simulator::engine::{Engine, EngineConfig, StepDispatch};
 use tetriserve_simulator::event::EventQueue;
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::SimTime;
-use tetriserve_simulator::trace::{RequestId, Trace};
+use tetriserve_simulator::trace::{RequestId, Trace, TraceEvent};
 
 use crate::config::{AdmissionPolicy, ROUND_HEADROOM};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
@@ -315,8 +315,15 @@ impl<P: Policy> Server<P> {
                 };
                 let started = std::time::Instant::now();
                 let plans = self.policy.schedule(&ctx);
-                sched_wall += started.elapsed();
+                let elapsed = started.elapsed();
+                sched_wall += elapsed;
                 sched_calls += 1;
+                engine.record(TraceEvent::SchedPass {
+                    time: now,
+                    queue_depth: tracker.active_count(),
+                    plans: plans.len(),
+                    wall: elapsed,
+                });
                 if self.config.validate_plans {
                     if let Err(e) = validate_plans(&plans, &ctx) {
                         panic!("policy {} emitted invalid plans: {e}", self.policy.name());
@@ -651,6 +658,14 @@ mod tests {
             "{:?}",
             report.mean_sched_latency()
         );
+        // Every schedule call leaves a SchedPass record in the trace, and
+        // the per-pass walls sum to the aggregate counter.
+        assert_eq!(
+            report.trace.sched_pass_count() as u64,
+            report.sched_calls,
+            "one trace record per scheduler pass"
+        );
+        assert_eq!(report.trace.sched_wall_total(), report.sched_wall);
     }
 
     #[test]

@@ -42,24 +42,143 @@ pub struct CostRow {
 /// The profiled lookup table: per-step latency by (resolution, degree,
 /// batch), plus derived quantities the scheduler needs (fastest degree,
 /// minimal-GPU-hour degree).
+///
+/// Storage is a *dense* `(resolution × degree × batch)` grid so the round
+/// loop's lookups are flat array reads, and every per-resolution derived
+/// value (`T^min`, fastest degree, cheapest degree, `k·T(k)`) is computed
+/// once at construction. The hot path — `step_time`, `t_min`,
+/// `gpu_seconds` called per request per round — therefore never re-walks
+/// the degree list or re-runs the float pipeline behind
+/// [`step_time_canonical`].
 #[derive(Debug, Clone)]
 pub struct CostTable {
     model: DitModel,
     cluster: ClusterSpec,
     scheme: CommScheme,
     resolutions: Vec<Resolution>,
+    /// Token counts parallel to `resolutions` (the lookup key material).
+    tokens: Vec<u64>,
     degrees: Vec<usize>,
+    /// Direct-index map `degree -> index in degrees` (`NO_DEGREE` when the
+    /// degree was not profiled).
+    degree_index: Vec<u8>,
     max_batch: u32,
-    entries: BTreeMap<(u64, usize, u32), SimDuration>,
+    /// Dense grid: `grid[(ri * degrees.len() + di) * max_batch + (batch-1)]`.
+    grid: Vec<SimDuration>,
+    /// Per-resolution `k · T(k, batch 1)`, laid out `[ri * degrees.len() + di]`.
+    gpu_secs: Vec<f64>,
+    /// Per-resolution fastest batch-1 step time (Algorithm 1's `T_i^min`).
+    t_min: Vec<SimDuration>,
+    /// Per-resolution degree achieving `t_min`.
+    fastest: Vec<usize>,
+    /// Per-resolution degree minimising `k · T(k)`.
+    cheapest: Vec<usize>,
 }
 
+const NO_DEGREE: u8 = u8::MAX;
+
 impl CostTable {
+    /// Builds the dense table and its derived values from a complete
+    /// `(tokens, degree, batch) -> step time` map. Shared by the profiler,
+    /// the analytic constructor and [`CostTable::from_rows`].
+    fn from_entries(
+        model: DitModel,
+        cluster: ClusterSpec,
+        scheme: CommScheme,
+        resolutions: Vec<Resolution>,
+        degrees: Vec<usize>,
+        max_batch: u32,
+        entries: &BTreeMap<(u64, usize, u32), SimDuration>,
+    ) -> CostTable {
+        assert!(!resolutions.is_empty(), "cost table needs a resolution");
+        assert!(!degrees.is_empty(), "cost table needs a degree");
+        let tokens: Vec<u64> = resolutions.iter().map(|r| r.tokens()).collect();
+        let max_degree = *degrees.iter().max().expect("non-empty degrees");
+        let mut degree_index = vec![NO_DEGREE; max_degree + 1];
+        for (di, &k) in degrees.iter().enumerate() {
+            degree_index[k] = u8::try_from(di).expect("degree count fits u8");
+        }
+        let nd = degrees.len();
+        let nb = max_batch as usize;
+        let mut grid = Vec::with_capacity(resolutions.len() * nd * nb);
+        for &toks in &tokens {
+            for &k in &degrees {
+                for batch in 1..=max_batch {
+                    let t = *entries.get(&(toks, k, batch)).unwrap_or_else(|| {
+                        panic!("cost grid is missing tokens={toks} SP={k} batch={batch}")
+                    });
+                    grid.push(t);
+                }
+            }
+        }
+        // Derived per-resolution values. Ties resolve exactly as the former
+        // on-demand scans did: `Iterator::min`/`min_by` keep the *first*
+        // minimum, i.e. the smallest degree (degrees are ascending).
+        let mut gpu_secs = Vec::with_capacity(resolutions.len() * nd);
+        let mut t_min = Vec::with_capacity(resolutions.len());
+        let mut fastest = Vec::with_capacity(resolutions.len());
+        let mut cheapest = Vec::with_capacity(resolutions.len());
+        for ri in 0..resolutions.len() {
+            let step1 = |di: usize| grid[(ri * nd + di) * nb];
+            for (di, &k) in degrees.iter().enumerate() {
+                gpu_secs.push(k as f64 * step1(di).as_secs_f64());
+            }
+            let (best_di, best_t) = (0..nd)
+                .map(|di| (di, step1(di)))
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one degree");
+            t_min.push(best_t);
+            fastest.push(degrees[best_di]);
+            let cheap_di = (0..nd)
+                .min_by(|&a, &b| {
+                    gpu_secs[ri * nd + a]
+                        .partial_cmp(&gpu_secs[ri * nd + b])
+                        .expect("gpu seconds are finite")
+                })
+                .expect("at least one degree");
+            cheapest.push(degrees[cheap_di]);
+        }
+        CostTable {
+            model,
+            cluster,
+            scheme,
+            resolutions,
+            tokens,
+            degrees,
+            degree_index,
+            max_batch,
+            grid,
+            gpu_secs,
+            t_min,
+            fastest,
+            cheapest,
+        }
+    }
+
+    /// Index of `res` in the profiled resolution list. Linear scan over a
+    /// handful of token counts — faster than hashing at this size.
+    #[inline]
+    fn res_index(&self, res: Resolution) -> Option<usize> {
+        let toks = res.tokens();
+        self.tokens.iter().position(|&t| t == toks)
+    }
+
+    /// Index of degree `k` in the profiled degree list.
+    #[inline]
+    fn deg_index(&self, k: usize) -> Option<usize> {
+        match self.degree_index.get(k) {
+            Some(&di) if di != NO_DEGREE => Some(di as usize),
+            _ => None,
+        }
+    }
+
     /// Per-step latency for `res` at degree `k` and batch size `batch`.
     ///
     /// # Panics
     ///
     /// Panics if the combination was not profiled; use
     /// [`CostTable::try_step_time`] for fallible lookup.
+    #[inline]
     pub fn step_time(&self, res: Resolution, k: usize, batch: u32) -> SimDuration {
         self.try_step_time(res, k, batch).unwrap_or_else(|| {
             panic!(
@@ -75,47 +194,80 @@ impl CostTable {
         })
     }
 
-    /// Fallible per-step latency lookup.
+    /// Fallible per-step latency lookup: a flat dense-grid read.
+    #[inline]
     pub fn try_step_time(&self, res: Resolution, k: usize, batch: u32) -> Option<SimDuration> {
-        self.entries.get(&(res.tokens(), k, batch)).copied()
+        if batch == 0 || batch > self.max_batch {
+            return None;
+        }
+        let ri = self.res_index(res)?;
+        let di = self.deg_index(k)?;
+        let idx = (ri * self.degrees.len() + di) * self.max_batch as usize + (batch as usize - 1);
+        Some(self.grid[idx])
     }
 
-    /// GPU-seconds per step at degree `k`: `k · T(k)` (batch 1).
+    /// GPU-seconds per step at degree `k`: `k · T(k)` (batch 1),
+    /// precomputed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not profiled.
+    #[inline]
     pub fn gpu_seconds(&self, res: Resolution, k: usize) -> f64 {
-        k as f64 * self.step_time(res, k, 1).as_secs_f64()
+        match (self.res_index(res), self.deg_index(k)) {
+            (Some(ri), Some(di)) => self.gpu_secs[ri * self.degrees.len() + di],
+            _ => {
+                // Defer to step_time for the diagnostic panic message.
+                k as f64 * self.step_time(res, k, 1).as_secs_f64()
+            }
+        }
     }
 
     /// The fastest profiled per-step time for a resolution (batch 1) — the
-    /// `T_i^min` of Algorithm 1's survival bound.
+    /// `T_i^min` of Algorithm 1's survival bound. Precomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res` was not profiled.
+    #[inline]
     pub fn t_min(&self, res: Resolution) -> SimDuration {
-        self.degrees
-            .iter()
-            .map(|&k| self.step_time(res, k, 1))
-            .min()
-            .expect("cost table has at least one degree")
+        match self.res_index(res) {
+            Some(ri) => self.t_min[ri],
+            None => self.step_time(res, self.degrees[0], 1), // diagnostic panic
+        }
     }
 
-    /// The degree achieving [`CostTable::t_min`].
+    /// The degree achieving [`CostTable::t_min`]. Precomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res` was not profiled.
+    #[inline]
     pub fn fastest_degree(&self, res: Resolution) -> usize {
-        self.degrees
-            .iter()
-            .copied()
-            .min_by_key(|&k| self.step_time(res, k, 1))
-            .expect("cost table has at least one degree")
+        match self.res_index(res) {
+            Some(ri) => self.fastest[ri],
+            None => {
+                let _ = self.step_time(res, self.degrees[0], 1); // diagnostic panic
+                unreachable!()
+            }
+        }
     }
 
     /// The degree minimising GPU-seconds `k · T(k)` — where a request runs
-    /// when its deadline exerts no pressure.
+    /// when its deadline exerts no pressure. Precomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res` was not profiled.
+    #[inline]
     pub fn cheapest_degree(&self, res: Resolution) -> usize {
-        self.degrees
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.gpu_seconds(res, a)
-                    .partial_cmp(&self.gpu_seconds(res, b))
-                    .expect("gpu seconds are finite")
-            })
-            .expect("cost table has at least one degree")
+        match self.res_index(res) {
+            Some(ri) => self.cheapest[ri],
+            None => {
+                let _ = self.step_time(res, self.degrees[0], 1); // diagnostic panic
+                unreachable!()
+            }
+        }
     }
 
     /// Profiled sequence-parallel degrees, ascending.
@@ -148,17 +300,27 @@ impl CostTable {
         self.scheme
     }
 
-    /// Exports the table as serialisable rows (batch-1 and batched entries).
+    /// Exports the table as serialisable rows (batch-1 and batched entries),
+    /// sorted by `(tokens, degree, batch)` as the former map iteration was.
     pub fn to_rows(&self) -> Vec<CostRow> {
-        self.entries
-            .iter()
-            .map(|(&(tokens, degree, batch), &d)| CostRow {
-                tokens,
-                degree,
-                batch,
-                step_micros: d.as_micros(),
-            })
-            .collect()
+        let nd = self.degrees.len();
+        let nb = self.max_batch as usize;
+        let mut rows = Vec::with_capacity(self.grid.len());
+        for (ri, &tokens) in self.tokens.iter().enumerate() {
+            for (di, &degree) in self.degrees.iter().enumerate() {
+                for batch in 1..=self.max_batch {
+                    let d = self.grid[(ri * nd + di) * nb + (batch as usize - 1)];
+                    rows.push(CostRow {
+                        tokens,
+                        degree,
+                        batch,
+                        step_micros: d.as_micros(),
+                    });
+                }
+            }
+        }
+        rows.sort_by_key(|r| (r.tokens, r.degree, r.batch));
+        rows
     }
 
     /// Reconstructs a table from persisted rows (the inverse of
@@ -211,15 +373,15 @@ impl CostTable {
             "rows must form a complete grid: got {} of {expected}",
             entries.len()
         );
-        CostTable {
+        CostTable::from_entries(
             model,
             cluster,
             scheme,
             resolutions,
             degrees,
             max_batch,
-            entries,
-        }
+            &entries,
+        )
     }
 }
 
@@ -330,15 +492,15 @@ impl Profiler {
                 }
             }
         }
-        CostTable {
-            model: self.model.clone(),
-            cluster: self.cluster,
-            scheme: self.scheme,
-            resolutions: self.resolutions.clone(),
+        CostTable::from_entries(
+            self.model.clone(),
+            self.cluster,
+            self.scheme,
+            self.resolutions.clone(),
             degrees,
-            max_batch: self.max_batch,
-            entries,
-        }
+            self.max_batch,
+            &entries,
+        )
     }
 
     /// Builds the table from the closed-form model with no measurement
@@ -355,15 +517,15 @@ impl Profiler {
                 }
             }
         }
-        CostTable {
-            model: self.model.clone(),
-            cluster: self.cluster,
-            scheme: self.scheme,
-            resolutions: self.resolutions.clone(),
+        CostTable::from_entries(
+            self.model.clone(),
+            self.cluster,
+            self.scheme,
+            self.resolutions.clone(),
             degrees,
-            max_batch: self.max_batch,
-            entries,
-        }
+            self.max_batch,
+            &entries,
+        )
     }
 }
 
@@ -562,5 +724,109 @@ mod tests {
     #[should_panic(expected = "no entry")]
     fn missing_entry_panics_with_context() {
         table().step_time(Resolution::square(4096), 1, 1);
+    }
+
+    #[test]
+    fn memoised_grid_is_bit_identical_to_the_cost_model() {
+        // The dense table is a pure memo: every lookup must equal the
+        // un-memoised closed-form pipeline exactly (SimDuration is integer
+        // microseconds, so equality here is bit-identity), for both testbeds
+        // and both communication schemes.
+        for (model, cluster) in [
+            (DitModel::flux_dev(), ClusterSpec::h100x8()),
+            (DitModel::sd3_medium(), ClusterSpec::a40x4()),
+        ] {
+            for scheme in [CommScheme::Ulysses, CommScheme::Ring] {
+                let mut p = Profiler::new(model.clone(), cluster);
+                p.scheme(scheme);
+                let t = p.analytic();
+                for &res in t.resolutions() {
+                    for &k in t.degrees() {
+                        for b in 1..=t.max_batch() {
+                            let direct = step_time_canonical(&model, res, k, b, &cluster, scheme);
+                            assert_eq!(
+                                t.step_time(res, k, b),
+                                direct,
+                                "{res} SP={k} b={b} under {scheme:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoised_derived_values_match_on_demand_scans() {
+        // t_min / fastest / cheapest / gpu_seconds are precomputed at
+        // construction; they must agree with a fresh scan over the grid,
+        // including the first-minimum (smallest degree) tie-break.
+        let t = table();
+        for &res in t.resolutions() {
+            let scan_t_min = t
+                .degrees()
+                .iter()
+                .map(|&k| t.step_time(res, k, 1))
+                .min()
+                .unwrap();
+            assert_eq!(t.t_min(res), scan_t_min, "{res}");
+            let scan_fastest = t
+                .degrees()
+                .iter()
+                .copied()
+                .min_by_key(|&k| t.step_time(res, k, 1))
+                .unwrap();
+            assert_eq!(t.fastest_degree(res), scan_fastest, "{res}");
+            let scan_cheapest = t
+                .degrees()
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    (a as f64 * t.step_time(res, a, 1).as_secs_f64())
+                        .total_cmp(&(b as f64 * t.step_time(res, b, 1).as_secs_f64()))
+                })
+                .unwrap();
+            assert_eq!(t.cheapest_degree(res), scan_cheapest, "{res}");
+            for &k in t.degrees() {
+                let direct = k as f64 * t.step_time(res, k, 1).as_secs_f64();
+                assert_eq!(t.gpu_seconds(res, k).to_bits(), direct.to_bits(), "{res}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_envelope_batches_and_degrees_are_none() {
+        let t = table();
+        assert!(t.try_step_time(Resolution::R256, 1, 0).is_none());
+        assert!(t
+            .try_step_time(Resolution::R256, 1, t.max_batch() + 1)
+            .is_none());
+        assert!(t.try_step_time(Resolution::R256, 16, 1).is_none());
+        assert!(t.try_step_time(Resolution::square(4096), 1, 1).is_none());
+    }
+
+    proptest::proptest! {
+        /// Memoisation property over randomised custom models: the table's
+        /// lookup agrees exactly with the un-memoised cost-model path at
+        /// every grid point a random probe lands on.
+        #[test]
+        fn prop_memoised_agrees_with_direct(
+            hidden_kb in 1u64..8,
+            layers in 4u32..64,
+            ri in 0usize..4,
+            di in 0usize..4,
+            batch in 1u32..5,
+        ) {
+            let model = DitModel::builder("probe")
+                .hidden(hidden_kb * 512)
+                .layers(layers)
+                .build();
+            let cluster = ClusterSpec::h100x8();
+            let t = Profiler::new(model.clone(), cluster).analytic();
+            let res = Resolution::PRODUCTION[ri];
+            let k = t.degrees()[di];
+            let direct = step_time_canonical(&model, res, k, batch, &cluster, CommScheme::Ulysses);
+            proptest::prop_assert_eq!(t.step_time(res, k, batch), direct);
+        }
     }
 }

@@ -2,28 +2,134 @@
 //!
 //! Figure 9 plots the latency CDF *over completed requests only*; the
 //! helpers here follow the same convention.
+//!
+//! The free functions each re-filter and re-sort the outcome slice — fine
+//! for one-off queries, wasteful when a report asks for a mean, three
+//! percentiles and a CDF over the same run. [`LatencySummary`] does the
+//! filter+sort once and serves every statistic from the shared sorted
+//! vector.
 
 use tetriserve_core::RequestOutcome;
 
+/// Pre-sorted completed-request latencies: build once, query many times.
+///
+/// All statistics are answered from one ascending `Vec<f64>` produced at
+/// construction; `percentile` is an index computation, `cdf_at` a binary
+/// search per sample point, `mean` a cached value.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Completed latencies in seconds, ascending.
+    sorted: Vec<f64>,
+    /// Cached sum of `sorted` (mean = sum / len).
+    sum: f64,
+}
+
+impl LatencySummary {
+    /// Filters completed requests out of `outcomes` and sorts their
+    /// latencies once.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Self {
+        LatencySummary::from_latencies(
+            outcomes
+                .iter()
+                .filter_map(|o| o.latency().map(|d| d.as_secs_f64()))
+                .collect(),
+        )
+    }
+
+    /// Builds a summary from raw latency samples (seconds, any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is NaN.
+    pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let sum = latencies.iter().sum();
+        LatencySummary {
+            sorted: latencies,
+            sum,
+        }
+    }
+
+    /// Number of completed requests in the summary.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether no request completed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted latencies (seconds, ascending).
+    pub fn latencies(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Mean latency; `None` when nothing completed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.sorted.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank); `None` when nothing
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil().max(1.0) as usize - 1;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+
+    /// The empirical CDF as `(latency_s, P(X ≤ latency))` pairs (Figure 9).
+    /// Empty when nothing completed.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Samples the CDF at fixed latency points (shared x-axis across
+    /// policies). Returns `None` when nothing completed, so callers can
+    /// tell "no completions" apart from "every request was slower than the
+    /// sample point" (both would otherwise read 0.0).
+    pub fn cdf_at(&self, points_s: &[f64]) -> Option<Vec<(f64, f64)>> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len() as f64;
+        Some(
+            points_s
+                .iter()
+                .map(|&x| {
+                    let below = self.sorted.partition_point(|&l| l <= x);
+                    (x, below as f64 / n)
+                })
+                .collect(),
+        )
+    }
+}
+
 /// Latencies (seconds) of completed requests, ascending.
 pub fn completed_latencies(outcomes: &[RequestOutcome]) -> Vec<f64> {
-    let mut v: Vec<f64> = outcomes
-        .iter()
-        .filter_map(|o| o.latency().map(|d| d.as_secs_f64()))
-        .collect();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    v
+    LatencySummary::from_outcomes(outcomes).sorted
 }
 
 /// Mean latency over completed requests (the Table 5 companion metric).
 /// Returns `None` when nothing completed.
 pub fn mean_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
-    let v = completed_latencies(outcomes);
-    if v.is_empty() {
-        None
-    } else {
-        Some(v.iter().sum::<f64>() / v.len() as f64)
-    }
+    LatencySummary::from_outcomes(outcomes).mean()
 }
 
 /// The `p`-th percentile (0–100, nearest-rank) of completed latencies.
@@ -32,43 +138,28 @@ pub fn mean_latency(outcomes: &[RequestOutcome]) -> Option<f64> {
 ///
 /// Panics if `p` is outside `[0, 100]`.
 pub fn percentile(outcomes: &[RequestOutcome], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-    let v = completed_latencies(outcomes);
-    if v.is_empty() {
-        return None;
-    }
-    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
-    Some(v[rank.min(v.len() - 1)])
+    LatencySummary::from_outcomes(outcomes).percentile(p)
 }
 
 /// An empirical CDF over completed-request latencies: `(latency_s, P(X ≤
-/// latency))` pairs suitable for plotting Figure 9.
+/// latency))` pairs suitable for plotting Figure 9. Empty when nothing
+/// completed (an empty plot, not a flat-zero one).
 pub fn latency_cdf(outcomes: &[RequestOutcome]) -> Vec<(f64, f64)> {
-    let v = completed_latencies(outcomes);
-    let n = v.len() as f64;
-    v.into_iter()
-        .enumerate()
-        .map(|(i, x)| (x, (i + 1) as f64 / n))
-        .collect()
+    LatencySummary::from_outcomes(outcomes).cdf()
 }
 
 /// Samples a CDF at fixed latency points (for tabular comparison of
-/// policies on a shared x-axis).
-pub fn cdf_at(outcomes: &[RequestOutcome], points_s: &[f64]) -> Vec<(f64, f64)> {
-    let v = completed_latencies(outcomes);
-    let n = v.len().max(1) as f64;
-    points_s
-        .iter()
-        .map(|&x| {
-            let below = v.partition_point(|&l| l <= x);
-            (x, below as f64 / n)
-        })
-        .collect()
+/// policies on a shared x-axis). Returns `None` when nothing completed —
+/// previously this silently reported probability 0.0 at every point, which
+/// is indistinguishable from "all requests slower than every sample".
+pub fn cdf_at(outcomes: &[RequestOutcome], points_s: &[f64]) -> Option<Vec<(f64, f64)>> {
+    LatencySummary::from_outcomes(outcomes).cdf_at(points_s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use tetriserve_costmodel::Resolution;
     use tetriserve_simulator::time::SimTime;
     use tetriserve_simulator::trace::RequestId;
@@ -123,7 +214,7 @@ mod tests {
             outcome(1, Some(2.0)),
             outcome(2, Some(4.0)),
         ];
-        let sampled = cdf_at(&outcomes, &[0.5, 1.0, 3.0, 10.0]);
+        let sampled = cdf_at(&outcomes, &[0.5, 1.0, 3.0, 10.0]).expect("completions exist");
         let ps: Vec<f64> = sampled.iter().map(|(_, p)| *p).collect();
         assert!((ps[0] - 0.0).abs() < 1e-12);
         assert!((ps[1] - 1.0 / 3.0).abs() < 1e-12);
@@ -136,11 +227,92 @@ mod tests {
         assert_eq!(mean_latency(&[]), None);
         assert_eq!(percentile(&[], 50.0), None);
         assert!(latency_cdf(&[]).is_empty());
+        // The old behaviour silently reported P = 0.0 at every sample
+        // point; an empty completion set must be distinguishable.
+        assert_eq!(cdf_at(&[], &[1.0, 2.0]), None);
+        // Uncompleted-only input masks the same way.
+        assert_eq!(cdf_at(&[outcome(0, None)], &[1.0]), None);
+    }
+
+    #[test]
+    fn summary_matches_free_functions() {
+        let outcomes: Vec<_> = (0..25)
+            .map(|i| outcome(i, (i % 3 != 0).then(|| (i % 7) as f64 + 0.5)))
+            .collect();
+        let s = LatencySummary::from_outcomes(&outcomes);
+        assert_eq!(s.latencies(), completed_latencies(&outcomes).as_slice());
+        assert_eq!(s.mean(), mean_latency(&outcomes));
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), percentile(&outcomes, p));
+        }
+        assert_eq!(s.cdf(), latency_cdf(&outcomes));
+        let pts = [0.0, 1.0, 3.5, 100.0];
+        assert_eq!(s.cdf_at(&pts), cdf_at(&outcomes, &pts));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = LatencySummary::from_outcomes(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert!(s.cdf().is_empty());
+        assert_eq!(s.cdf_at(&[1.0]), None);
     }
 
     #[test]
     #[should_panic(expected = "percentile")]
     fn bad_percentile_rejected() {
         percentile(&[], 101.0);
+    }
+
+    proptest! {
+        /// Percentile edge cases: p=0 is the minimum, p=100 the maximum,
+        /// every percentile is an actual sample (nearest-rank), and the
+        /// result is monotone in p. Duplicates and single elements are
+        /// covered by the generator ranges.
+        #[test]
+        fn prop_percentile_edges(
+            lats in proptest::collection::vec(0u32..8, 1..40),
+            p in 0u32..101,
+        ) {
+            let samples: Vec<f64> = lats.iter().map(|&l| f64::from(l)).collect();
+            let s = LatencySummary::from_latencies(samples.clone());
+            let p = f64::from(p);
+
+            let lo = s.percentile(0.0).unwrap();
+            let hi = s.percentile(100.0).unwrap();
+            prop_assert_eq!(lo, s.latencies()[0], "p=0 is the minimum");
+            prop_assert_eq!(hi, *s.latencies().last().unwrap(), "p=100 is the maximum");
+
+            let v = s.percentile(p).unwrap();
+            prop_assert!(samples.contains(&v), "nearest-rank returns a sample");
+            prop_assert!(v >= lo && v <= hi);
+            // Monotone in p.
+            if p >= 1.0 {
+                prop_assert!(s.percentile(p - 1.0).unwrap() <= v);
+            }
+        }
+
+        /// A single-element summary answers every query with that element.
+        #[test]
+        fn prop_single_element(x in 0u32..1000, p in 0u32..101) {
+            let s = LatencySummary::from_latencies(vec![f64::from(x)]);
+            prop_assert_eq!(s.percentile(f64::from(p)), Some(f64::from(x)));
+            prop_assert_eq!(s.mean(), Some(f64::from(x)));
+            let cdf = s.cdf();
+            prop_assert_eq!(cdf, vec![(f64::from(x), 1.0)]);
+        }
+
+        /// All-duplicate inputs: every percentile is the duplicated value
+        /// and the CDF jumps straight to 1 at it.
+        #[test]
+        fn prop_duplicates(x in 0u32..100, n in 1usize..20, p in 0u32..101) {
+            let s = LatencySummary::from_latencies(vec![f64::from(x); n]);
+            prop_assert_eq!(s.percentile(f64::from(p)), Some(f64::from(x)));
+            let at = s.cdf_at(&[f64::from(x)]).unwrap();
+            prop_assert_eq!(at[0].1, 1.0);
+        }
     }
 }

@@ -33,7 +33,7 @@ pub mod timeseries;
 pub mod utilization;
 
 pub use batching::{batching_stats, BatchingStats};
-pub use latency::{cdf_at, latency_cdf, mean_latency, percentile};
+pub use latency::{cdf_at, latency_cdf, mean_latency, percentile, LatencySummary};
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};
 pub use timeseries::{inflight_series, mean_sp_degree_series, windowed_sar};

@@ -541,6 +541,12 @@ impl Engine {
         &self.trace
     }
 
+    /// Appends an externally produced event (e.g. the server's scheduler
+    /// pass records) to the engine's trace, keeping one merged timeline.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.trace.record(event);
+    }
+
     /// Consumes the engine and returns its trace.
     pub fn into_trace(self) -> Trace {
         self.trace

@@ -84,6 +84,20 @@ pub enum TraceEvent {
         /// Time the transfer took.
         duration: SimDuration,
     },
+    /// One scheduler pass ran (round boundary, arrival, or completion
+    /// backfill). The perf harness aggregates these into per-round
+    /// wall-clock figures (Table 6); `wall` is *host* time — the only
+    /// field in the trace measured off the simulated clock.
+    SchedPass {
+        /// Simulated time of the pass.
+        time: SimTime,
+        /// Requests the scheduler could see (active, not finished).
+        queue_depth: usize,
+        /// Dispatch plans the pass emitted.
+        plans: usize,
+        /// Host wall-clock time spent inside `Policy::schedule`.
+        wall: std::time::Duration,
+    },
     /// A dispatch was delayed before starting (remap stall or group warm-up).
     Stall {
         /// When the stall began.
@@ -185,6 +199,26 @@ impl Trace {
             .fold(0.0, |acc, w| acc + w)
     }
 
+    /// Number of scheduler passes recorded.
+    pub fn sched_pass_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SchedPass { .. }))
+            .count()
+    }
+
+    /// Total host wall-clock time spent inside the scheduler across all
+    /// recorded passes.
+    pub fn sched_wall_total(&self) -> std::time::Duration {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SchedPass { wall, .. } => Some(*wall),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Total stall time across all dispatches, broken down by reason.
     pub fn stall_totals(&self) -> (SimDuration, SimDuration) {
         let mut remap = SimDuration::ZERO;
@@ -257,6 +291,23 @@ mod tests {
         let (remap, warm) = t.stall_totals();
         assert_eq!(remap, SimDuration::from_millis(8));
         assert_eq!(warm, SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn sched_pass_totals() {
+        let mut t = Trace::new();
+        for (ms, depth, plans) in [(0u64, 4usize, 2usize), (100, 7, 3)] {
+            t.record(TraceEvent::SchedPass {
+                time: SimTime::from_millis(ms),
+                queue_depth: depth,
+                plans,
+                wall: std::time::Duration::from_micros(50),
+            });
+        }
+        assert_eq!(t.sched_pass_count(), 2);
+        assert_eq!(t.sched_wall_total(), std::time::Duration::from_micros(100));
+        // Other accumulators ignore scheduler passes.
+        assert_eq!(t.aborted_count(), 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use tetriserve_bench::{Experiment, PolicyKind};
 use tetriserve_costmodel::Resolution;
-use tetriserve_metrics::latency::{mean_latency, percentile};
+use tetriserve_metrics::latency::LatencySummary;
 use tetriserve_metrics::sar::{sar, sar_by_resolution};
 
 fn main() {
@@ -26,11 +26,12 @@ fn main() {
             .iter()
             .map(|r| format!("{}: {:.2}", r.label(), by.get(r).copied().unwrap_or(0.0)))
             .collect();
+        let lat = LatencySummary::from_outcomes(&report.outcomes);
         println!(
             "{label:<12} {:>6.3} {:>8.2}s {:>7.2}s   [{}]",
             sar(&report.outcomes),
-            mean_latency(&report.outcomes).unwrap_or(f64::NAN),
-            percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN),
+            lat.mean().unwrap_or(f64::NAN),
+            lat.percentile(99.0).unwrap_or(f64::NAN),
             spider.join("  ")
         );
     }

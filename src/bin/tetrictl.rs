@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use tetriserve::bench::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
 use tetriserve::core::TetriServeConfig;
 use tetriserve::costmodel::{ClusterSpec, DitModel, Resolution};
-use tetriserve::metrics::latency::{mean_latency, percentile};
+use tetriserve::metrics::latency::LatencySummary;
 use tetriserve::metrics::report::TextTable;
 use tetriserve::metrics::sar::{sar, sar_by_resolution};
 use tetriserve::nirvana::NirvanaConfig;
@@ -229,11 +229,12 @@ fn cmd_serve(
         .iter()
         .map(|(r, s)| format!("{}: {:.2}", r.label(), s))
         .collect();
+    let lat = LatencySummary::from_outcomes(&report.outcomes);
     println!(
         "SAR {:.3} | mean latency {:.2}s | p99 {:.2}s | utilisation {:.0}%",
         sar(&report.outcomes),
-        mean_latency(&report.outcomes).unwrap_or(f64::NAN),
-        percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN),
+        lat.mean().unwrap_or(f64::NAN),
+        lat.percentile(99.0).unwrap_or(f64::NAN),
         report.utilization * 100.0
     );
     println!("per-resolution SAR: [{}]", spider.join("  "));
@@ -251,14 +252,12 @@ fn cmd_compare(exp: &Experiment) {
         ["policy", "SAR", "mean lat (s)", "p99 (s)"],
     );
     for (label, report) in exp.run_policies(&PolicyKind::standard_set(&exp.cluster)) {
+        let lat = LatencySummary::from_outcomes(&report.outcomes);
         table.row([
             label,
             format!("{:.3}", sar(&report.outcomes)),
-            format!("{:.2}", mean_latency(&report.outcomes).unwrap_or(f64::NAN)),
-            format!(
-                "{:.2}",
-                percentile(&report.outcomes, 99.0).unwrap_or(f64::NAN)
-            ),
+            format!("{:.2}", lat.mean().unwrap_or(f64::NAN)),
+            format!("{:.2}", lat.percentile(99.0).unwrap_or(f64::NAN)),
         ]);
     }
     println!("{}", table.render());
