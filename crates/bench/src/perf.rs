@@ -175,6 +175,9 @@ fn run_round_loop(
     for round in 0..=config.rounds {
         let timed = round > 0;
         let grow_before = scratch.grow_events();
+        // tetrilint: allow(wall-clock) -- this *is* the measurement: host
+        // wall time per scheduler round (Table 6). Decisions are digested
+        // separately and never depend on it.
         let started = Instant::now();
         let packable: Vec<_> = (0..queue_depth)
             .map(|i| {

@@ -16,7 +16,7 @@
 //! bugs that unit tests on either side would miss, and the fuzz tests run
 //! it over randomized workloads.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::SimTime;
@@ -79,7 +79,9 @@ struct Interval {
 /// Returns every violation found (empty = clean).
 pub fn audit(trace: &Trace, outcomes: &[RequestOutcome]) -> Vec<AuditViolation> {
     let mut violations = Vec::new();
-    let mut open: HashMap<DispatchId, Interval> = HashMap::new();
+    // Ordered map: leftover open dispatches are iterated below to emit
+    // violations, and that report order must not depend on hash order.
+    let mut open: BTreeMap<DispatchId, Interval> = BTreeMap::new();
     let mut closed: Vec<Interval> = Vec::new();
 
     for e in trace.events() {
@@ -156,7 +158,8 @@ pub fn audit(trace: &Trace, outcomes: &[RequestOutcome]) -> Vec<AuditViolation> 
         }
     }
 
-    // Step conservation against outcomes.
+    // Step conservation against outcomes. Hash order never escapes this
+    // map: it is entry-accumulated then point-queried per outcome.
     let mut traced_steps: HashMap<RequestId, u64> = HashMap::new();
     for iv in &closed {
         for r in &iv.requests {

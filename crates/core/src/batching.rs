@@ -6,8 +6,17 @@
 //! small-resolution assignments into shared dispatches — but *only* when the
 //! cost model says the slower batched step flips nobody's deadline survival.
 //! Freed GPU sets flow back to the caller for the elastic scale-up pass.
+//!
+//! Batch formation is part of the scheduling decision path, so grouping
+//! uses a `BTreeMap`: candidate groups are visited in (tokens, degree)
+//! order, never in std's per-instance-randomized hash order, and the
+//! same seed therefore always forms the same batches.
 
-use std::collections::HashMap;
+// tetrilint: allow-file(slice-index) -- every index is produced by
+// enumerate() over `assignments` or by group membership built from those
+// same indices earlier in this pass.
+
+use std::collections::{BTreeMap, HashMap};
 
 use tetriserve_costmodel::CostTable;
 use tetriserve_simulator::gpuset::GpuSet;
@@ -46,8 +55,9 @@ pub fn merge_batches(
     t_next: SimTime,
 ) -> GpuSet {
     let mut freed = GpuSet::EMPTY;
-    // Group candidate indices by (resolution tokens, degree).
-    let mut groups: HashMap<(u64, usize), Vec<usize>> = HashMap::new();
+    // Group candidate indices by (resolution tokens, degree). Ordered map:
+    // iteration below must not depend on hash order (see module docs).
+    let mut groups: BTreeMap<(u64, usize), Vec<usize>> = BTreeMap::new();
     for (i, a) in assignments.iter().enumerate() {
         if a.resolution.tokens() <= BATCHABLE_TOKEN_LIMIT && a.requests.len() == 1 {
             groups
@@ -131,9 +141,11 @@ fn batch_survives(
     let t_min = costs.t_min(host.resolution);
     members.iter().all(|&i| {
         let a = &assignments[i];
-        let d = deadlines
-            .get(&a.requests[0])
-            .expect("batch member has deadline context");
+        // A member the caller gave no deadline context for cannot be
+        // proven SLO-safe — veto the batch rather than panic mid-round.
+        let Some(d) = deadlines.get(&a.requests[0]) else {
+            return false;
+        };
         let residual = t_min * u64::from(d.remaining.saturating_sub(q_b));
         t_next + residual <= d.deadline
     })

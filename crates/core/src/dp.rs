@@ -1,5 +1,10 @@
 //! The group-knapsack round packer (Algorithm 1, lines 13–22).
 //!
+// tetrilint: allow-file(slice-index) -- the DP/choice buffers are sized
+// to requests × (capacity+1) at entry (PackScratch::ensure) and every
+// index below is bounded by those two dimensions; bounds checks here are
+// the hot path the perf harness measures.
+//!
 //! Each request is a *group*: choose at most one of its options (a GPU
 //! allocation for this round, or *none*). An option consumes `w_i(o)` GPUs
 //! and yields a binary survival value `sv_i(o)`. The DP maximises the number

@@ -130,6 +130,8 @@ impl Policy for TetriServePolicy {
         let mut packable: Vec<RequestOptions> = Vec::new();
         let mut best_effort: Vec<RequestId> = Vec::new();
         for id in ctx.tracker.schedulable_ids(now) {
+            // tetrilint: allow(unwrap) -- id came from this tracker's own
+            // schedulable_ids() one line up.
             let r = ctx.tracker.get(id).expect("schedulable id is tracked");
             if r.is_past_deadline(now) {
                 best_effort.push(id);
@@ -203,6 +205,8 @@ impl Policy for TetriServePolicy {
             if option.segment.is_none() {
                 continue;
             }
+            // tetrilint: allow(unwrap) -- packable was built from tracked
+            // ids in pass 1 and the tracker is not mutated in between.
             let r = ctx.tracker.get(opts.id).expect("packed id is tracked");
             placement_reqs.push(PlacementRequest {
                 id: opts.id,
@@ -235,6 +239,8 @@ impl Policy for TetriServePolicy {
         // the head, so the late requests run 1 GPU each in parallel (the
         // paper's literal reading).
         best_effort.sort_by_key(|id| {
+            // tetrilint: allow(unwrap) -- best_effort holds tracked ids
+            // collected in pass 1.
             let r = ctx.tracker.get(*id).expect("tracked");
             (r.spec.deadline, *id)
         });
@@ -247,6 +253,8 @@ impl Policy for TetriServePolicy {
             let Some(gpu_lowest) = free.lowest() else {
                 break;
             };
+            // tetrilint: allow(unwrap) -- best_effort holds tracked ids
+            // collected in pass 1.
             let r = ctx.tracker.get(id).expect("tracked");
             // Prefer the previously used GPU when it is free and single.
             let gpu = match r.last_gpus {
@@ -277,6 +285,8 @@ impl Policy for TetriServePolicy {
                 .iter()
                 .flat_map(|a| a.requests.iter())
                 .map(|&id| {
+                    // tetrilint: allow(unwrap) -- assignments only carry
+                    // ids the tracker handed out this round.
                     let r = ctx.tracker.get(id).expect("tracked");
                     (
                         id,

@@ -313,6 +313,9 @@ impl<P: Policy> Server<P> {
                     tracker: &tracker,
                     costs: &self.costs,
                 };
+                // tetrilint: allow(wall-clock) -- measures the host-side
+                // control-plane cost of Policy::schedule (Table 6); the
+                // value feeds SchedPass telemetry, never a decision.
                 let started = std::time::Instant::now();
                 let plans = self.policy.schedule(&ctx);
                 let elapsed = started.elapsed();

@@ -129,12 +129,10 @@ impl CostTable {
                 .expect("at least one degree");
             t_min.push(best_t);
             fastest.push(degrees[best_di]);
+            // total_cmp matches partial_cmp on these always-finite costs
+            // and needs no NaN panic path.
             let cheap_di = (0..nd)
-                .min_by(|&a, &b| {
-                    gpu_secs[ri * nd + a]
-                        .partial_cmp(&gpu_secs[ri * nd + b])
-                        .expect("gpu seconds are finite")
-                })
+                .min_by(|&a, &b| gpu_secs[ri * nd + a].total_cmp(&gpu_secs[ri * nd + b]))
                 .expect("at least one degree");
             cheapest.push(degrees[cheap_di]);
         }

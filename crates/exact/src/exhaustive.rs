@@ -88,6 +88,8 @@ pub fn solve_exhaustive(inst: &ExactInstance, timeout: Duration) -> ExactSolutio
             .all(|r| r.step_time.len() == inst.degrees.len()),
         "each request needs a step time per degree"
     );
+    // tetrilint: allow(wall-clock) -- wall-clock timeout guard for the
+    // exhaustive search; affects only how long we search.
     let start = Instant::now();
     let subsets = inst
         .degrees
@@ -142,6 +144,7 @@ fn enumerate_subsets(n: usize, k: usize) -> Vec<GpuSet> {
 impl Searcher<'_> {
     fn dfs(&mut self, state: &SearchState) {
         self.nodes += 1;
+        // tetrilint: allow(wall-clock) -- search timeout check (see above).
         if self.timed_out || (self.nodes.is_multiple_of(1024) && Instant::now() >= self.deadline) {
             self.timed_out = true;
             return;

@@ -110,6 +110,8 @@ impl ZilpInstance {
 
 /// Solves the ILP exactly by branch and bound over per-request placements.
 pub fn solve_zilp(inst: &ZilpInstance, timeout: Duration) -> ZilpSolution {
+    // tetrilint: allow(wall-clock) -- wall-clock timeout guard for the
+    // exact solver; affects only how long we search, not the simulation.
     let start = Instant::now();
     let options: Vec<Vec<ZilpPlacement>> = (0..inst.requests.len())
         .map(|i| inst.feasible_starts(i))
@@ -136,6 +138,7 @@ pub fn solve_zilp(inst: &ZilpInstance, timeout: Duration) -> ZilpSolution {
         timed_out: &mut bool,
     ) {
         *nodes += 1;
+        // tetrilint: allow(wall-clock) -- solver timeout check (see above).
         if *timed_out || (nodes.is_multiple_of(1024) && Instant::now() >= deadline) {
             *timed_out = true;
             return;

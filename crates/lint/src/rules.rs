@@ -1,0 +1,524 @@
+//! The rule engine: three rule families over the token stream.
+//!
+//! Every rule exists because the reproduction's headline claim — the
+//! simulator is a faithful, *deterministic* substrate and the perf
+//! harness's FNV-1a decision digests are comparable across runs — is a
+//! property of the whole codebase, not of any one module. See DESIGN.md
+//! §11 for the rule-by-rule rationale.
+//!
+//! | rule                | family            | scope                         |
+//! |---------------------|-------------------|-------------------------------|
+//! | `wall-clock`        | determinism       | every scanned file            |
+//! | `ambient-rng`       | determinism       | every scanned file            |
+//! | `unordered-iter`    | determinism       | decision-path crates          |
+//! | `unwrap`            | panic-discipline  | hot-path modules              |
+//! | `slice-index`       | panic-discipline  | hot-path modules              |
+//! | `float-eq`          | float-discipline  | every scanned file            |
+//! | `partial-cmp-unwrap`| float-discipline  | every scanned file            |
+//! | `bad-annotation`    | (meta)            | every scanned file            |
+//!
+//! Decision-path crates are the ones whose control flow picks schedules:
+//! `core`, `simulator`, `metrics`, `costmodel`, `baselines`. Hot-path
+//! modules are the per-round inner loop: `dp.rs`, `scheduler.rs`,
+//! `batching.rs`, `engine.rs`. `#[cfg(test)]` items are skipped — tests
+//! are not decision paths and `unwrap` is idiomatic there.
+
+use crate::tokenizer::{AllowScope, Lexed, Tok, TokKind};
+
+/// Every rule name the annotation grammar accepts.
+pub const RULE_NAMES: &[&str] = &[
+    "wall-clock",
+    "ambient-rng",
+    "unordered-iter",
+    "unwrap",
+    "slice-index",
+    "float-eq",
+    "partial-cmp-unwrap",
+    "bad-annotation",
+];
+
+/// Crate sub-paths whose files count as scheduling decision paths.
+const DECISION_PATHS: &[&str] = &[
+    "crates/core/src/",
+    "crates/simulator/src/",
+    "crates/metrics/src/",
+    "crates/costmodel/src/",
+    "crates/baselines/src/",
+];
+
+/// Per-round inner-loop modules held to panic discipline.
+const HOT_FILES: &[&str] = &["dp.rs", "scheduler.rs", "batching.rs", "engine.rs"];
+
+/// Unordered-collection methods whose yield order is the RandomState hash
+/// order (`retain`/`drain` visit in that order too).
+const UNORDERED_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// One rule hit, after allow-annotation filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path (or the fixture label in unit tests).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name from [`RULE_NAMES`].
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One `tetrilint: allow` annotation, with whether anything used it.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the annotation comment.
+    pub line: u32,
+    /// Rule it silences.
+    pub rule: String,
+    /// Justification text after `--`.
+    pub reason: String,
+    /// `allow-file` vs. line-scoped `allow`.
+    pub file_scope: bool,
+    /// Whether at least one would-be violation matched it.
+    pub used: bool,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Violations surviving allow filtering, sorted by (line, rule).
+    pub violations: Vec<Violation>,
+    /// Every annotation in the file.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Run every rule against one lexed file.
+pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
+    let norm = file_label.replace('\\', "/");
+    let basename = norm.rsplit('/').next().unwrap_or(&norm);
+    let decision_path = DECISION_PATHS.iter().any(|p| norm.contains(p));
+    let hot_path = HOT_FILES.contains(&basename);
+
+    let mask = test_mask(&lexed.tokens);
+    let live: Vec<&Tok> = lexed
+        .tokens
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &m)| !m)
+        .map(|(t, _)| t)
+        .collect();
+
+    let mut allows = Allows::new(lexed, &norm);
+    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
+
+    // Malformed or unknown-rule annotations are violations themselves:
+    // a typo must not silently disable a rule.
+    for m in &lexed.malformed {
+        raw.push((m.line, "bad-annotation", m.message.clone()));
+    }
+    for a in &lexed.annotations {
+        if !RULE_NAMES.contains(&a.rule.as_str()) {
+            raw.push((
+                a.line,
+                "bad-annotation",
+                format!(
+                    "unknown rule `{}` (known: {})",
+                    a.rule,
+                    RULE_NAMES.join(", ")
+                ),
+            ));
+        }
+    }
+
+    rule_wall_clock(&live, &mut raw);
+    rule_ambient_rng(&live, &mut raw);
+    if decision_path {
+        rule_unordered_iter(&live, &mut raw);
+    }
+    if hot_path {
+        rule_unwrap(&live, &mut raw);
+        rule_slice_index(&live, &mut raw);
+    }
+    rule_float_eq(&live, &mut raw);
+    rule_partial_cmp_unwrap(&live, &mut raw);
+
+    let mut violations: Vec<Violation> = raw
+        .into_iter()
+        .filter(|(line, rule, _)| !allows.covers(*line, rule))
+        .map(|(line, rule, message)| Violation {
+            file: norm.clone(),
+            line,
+            rule,
+            message,
+        })
+        .collect();
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    FileScan {
+        violations,
+        allows: allows.into_records(),
+    }
+}
+
+/// Marks tokens covered by a `#[cfg(test)]` attribute and the item that
+/// follows it (to the matching close brace, or `;` for brace-less items).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let attr = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 7;
+        let end = loop {
+            let Some(t) = toks.get(j) else {
+                break toks.len();
+            };
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    if depth <= 1 {
+                        break j + 1;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => break j + 1,
+                _ => {}
+            }
+            j += 1;
+        };
+        for m in &mut mask[i..end] {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Allow-annotation bookkeeping: file-scoped and line-scoped silencers.
+struct Allows {
+    records: Vec<AllowRecord>,
+    /// Per line-scoped record, the set of lines it silences: its own line
+    /// (trailing comment) and the next line containing code (standalone
+    /// comment above the offending statement).
+    targets: Vec<Option<(u32, u32)>>,
+}
+
+impl Allows {
+    fn new(lexed: &Lexed, file: &str) -> Allows {
+        let mut records = Vec::new();
+        let mut targets = Vec::new();
+        for a in &lexed.annotations {
+            let file_scope = a.scope == AllowScope::File;
+            records.push(AllowRecord {
+                file: file.to_string(),
+                line: a.line,
+                rule: a.rule.clone(),
+                reason: a.reason.clone(),
+                file_scope,
+                used: false,
+            });
+            if file_scope {
+                targets.push(None);
+            } else {
+                let next_code_line = lexed
+                    .tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > a.line)
+                    .unwrap_or(a.line);
+                targets.push(Some((a.line, next_code_line)));
+            }
+        }
+        Allows { records, targets }
+    }
+
+    /// True (and marks the annotation used) if some allow covers the hit.
+    fn covers(&mut self, line: u32, rule: &str) -> bool {
+        for (rec, target) in self.records.iter_mut().zip(&self.targets) {
+            if rec.rule != rule {
+                continue;
+            }
+            let hit = match target {
+                None => true, // file scope
+                Some((own, next)) => line == *own || line == *next,
+            };
+            if hit {
+                rec.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn into_records(self) -> Vec<AllowRecord> {
+        self.records
+    }
+}
+
+/// `Instant::now()` / `SystemTime`: wall-clock reads make runs
+/// non-reproducible; simulated components must use `SimTime`.
+fn rule_wall_clock(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant"
+            && toks.get(k + 1).is_some_and(|t| t.text == "::")
+            && toks.get(k + 2).is_some_and(|t| t.text == "now")
+        {
+            out.push((
+                t.line,
+                "wall-clock",
+                "`Instant::now()` reads host wall-clock; simulated paths must use SimTime"
+                    .to_string(),
+            ));
+        }
+        if t.text == "SystemTime" {
+            out.push((
+                t.line,
+                "wall-clock",
+                "`SystemTime` reads host wall-clock; simulated paths must use SimTime".to_string(),
+            ));
+        }
+    }
+}
+
+/// `thread_rng()` / `ThreadRng`: ambient OS-seeded randomness breaks
+/// same-seed reproducibility; draw from the run's seeded `SimRng`.
+fn rule_ambient_rng(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "thread_rng" || t.text == "ThreadRng") {
+            out.push((
+                t.line,
+                "ambient-rng",
+                "ambient OS-seeded RNG; draw from the run's seeded SimRng instead".to_string(),
+            ));
+        }
+    }
+}
+
+/// Unordered `HashMap`/`HashSet` iteration in decision-path crates: std's
+/// RandomState is seeded per map instance, so iteration order differs
+/// between same-seed runs — the exact bug class behind the PR-2 digest
+/// mismatches. Bindings are found lexically: any identifier declared with
+/// a `HashMap`/`HashSet` type ascription in this file.
+fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    let mut bindings: Vec<&str> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over `std :: collections ::` path segments…
+        let mut p = k;
+        while p >= 2 && toks[p - 1].text == "::" {
+            p -= 2;
+        }
+        // …and over `&`, `mut` and lifetimes in the type position…
+        while p >= 1
+            && (toks[p - 1].text == "&"
+                || toks[p - 1].text == "mut"
+                || toks[p - 1].kind == TokKind::Lifetime)
+        {
+            p -= 1;
+        }
+        // …to a `name :` type ascription (let binding, fn param, field).
+        if p >= 2 && toks[p - 1].text == ":" && toks[p - 2].kind == TokKind::Ident {
+            bindings.push(&toks[p - 2].text);
+        }
+    }
+    if bindings.is_empty() {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !bindings.contains(&t.text.as_str()) {
+            continue;
+        }
+        let name = &t.text;
+        // `name.iter()` / `.values()` / `.into_values()` / `.drain()` …
+        if toks.get(k + 1).is_some_and(|t| t.text == ".")
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| UNORDERED_METHODS.contains(&t.text.as_str()))
+            && toks.get(k + 3).is_some_and(|t| t.text == "(")
+        {
+            let method = &toks[k + 2].text;
+            out.push((
+                t.line,
+                "unordered-iter",
+                format!(
+                    "`{name}.{method}()` iterates a std HashMap/HashSet in hash order \
+                     (randomized per map); use BTreeMap/BTreeSet or collect-and-sort"
+                ),
+            ));
+            continue;
+        }
+        // `for x in &name {` / `for x in name {`
+        let mut p = k;
+        while p >= 1 && (toks[p - 1].text == "&" || toks[p - 1].text == "mut") {
+            p -= 1;
+        }
+        if p >= 1
+            && toks[p - 1].text == "in"
+            && toks[p - 1].kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|t| t.text == "{")
+        {
+            out.push((
+                t.line,
+                "unordered-iter",
+                format!(
+                    "`for … in {name}` iterates a std HashMap/HashSet in hash order \
+                     (randomized per map); use BTreeMap/BTreeSet or collect-and-sort"
+                ),
+            ));
+        }
+    }
+}
+
+/// `unwrap()`/`expect()` in hot-path modules: a panic mid-round kills the
+/// whole serve; either handle the case or justify the invariant inline.
+fn rule_unwrap(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.text == "."
+            && toks.get(k + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect")
+            })
+            && toks.get(k + 2).is_some_and(|t| t.text == "(")
+        {
+            out.push((
+                toks[k + 1].line,
+                "unwrap",
+                format!(
+                    "`.{}()` in a hot-path module can panic mid-round; handle the case or \
+                     annotate the invariant",
+                    toks[k + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+/// Bare indexing in hot-path modules: `xs[i]` panics on out-of-bounds;
+/// pervasive DP-buffer indexing earns a justified `allow-file`.
+fn rule_slice_index(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.text != "[" || k == 0 {
+            continue;
+        }
+        let prev = toks[k - 1];
+        let indexable = prev.kind == TokKind::Ident || prev.text == ")" || prev.text == "]";
+        // `vec![…]` and attributes `#[…]` have `!`/`#` before the bracket
+        // and are already excluded by the `indexable` test.
+        if indexable {
+            out.push((
+                t.line,
+                "slice-index",
+                "bare index can panic on out-of-bounds in a hot-path module; use get() or \
+                 annotate the sizing invariant"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `==`/`!=` where either side is lexically a float (literal, `f64`/`f32`
+/// cast): exact float equality is almost never the intended comparison.
+fn rule_float_eq(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let float_before = k > 0
+            && (toks[k - 1].kind == TokKind::Float
+                || toks[k - 1].text == "f64"
+                || toks[k - 1].text == "f32");
+        let float_after = {
+            // Skip a unary minus, then look for a float literal or an
+            // `as f64` / `as f32` cast within the next few tokens.
+            let start = if toks.get(k + 1).is_some_and(|t| t.text == "-") {
+                k + 2
+            } else {
+                k + 1
+            };
+            toks.get(start).is_some_and(|t| t.kind == TokKind::Float)
+                || (start..start + 4).any(|j| {
+                    toks.get(j).is_some_and(|t| t.text == "as")
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|t| t.text == "f64" || t.text == "f32")
+                })
+        };
+        if float_before || float_after {
+            out.push((
+                t.line,
+                "float-eq",
+                format!(
+                    "`{}` on a float expression; use total_cmp, an epsilon helper, or \
+                     integer units",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `.partial_cmp(..).unwrap()/expect()`: panics on NaN and encodes an
+/// unchecked finiteness assumption; `f64::total_cmp` is total and free.
+fn rule_partial_cmp_unwrap(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "partial_cmp" {
+            continue;
+        }
+        // Method call only — skip `fn partial_cmp` definitions in Ord/
+        // PartialOrd impls.
+        if k == 0 || toks[k - 1].text != "." {
+            continue;
+        }
+        if toks.get(k + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = k + 2;
+        while depth > 0 {
+            let Some(t) = toks.get(j) else { break };
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.text == ".")
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+        {
+            out.push((
+                t.line,
+                "partial-cmp-unwrap",
+                "`.partial_cmp(..).unwrap()/expect()` panics on NaN; use f64::total_cmp"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The container is offline, so `tetrilint` cannot lean on `syn` or
+//! `clippy-driver`; instead this module turns a source file into a flat
+//! token stream with comments and string/char literals *removed* (their
+//! contents must never trigger a rule) while line numbers are preserved
+//! for reporting. It is not a full Rust grammar — it only needs to be
+//! precise about the things that would cause false positives:
+//!
+//! * line comments (`//`), nested block comments (`/* /* */ */`)
+//! * string literals, including raw (`r#"…"#`), byte (`b"…"`) and
+//!   raw-byte (`br#"…"#`) forms, with escape handling
+//! * char literals vs. lifetimes (`'a'` vs. `'a`)
+//! * raw identifiers (`r#type`)
+//! * numeric literals, classified int vs. float (so `0..n` is not a
+//!   float and `1.0` is), with `_` separators, exponents and suffixes
+//! * multi-char operators that matter to the rules (`==`, `!=`, `::`,
+//!   `..`, `..=`) merged into single tokens
+//!
+//! `tetrilint: allow` annotations live in line comments, so the lexer is
+//! also where they are harvested (see [`Annotation`]).
+
+/// Token classification. String and char literals are dropped entirely —
+/// no rule should ever fire on their contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including `0x…`, `0b…`, `0o…`).
+    Int,
+    /// Float literal (`1.0`, `1e6`, `1f64`, `1.`).
+    Float,
+    /// Punctuation / operator (possibly multi-char: `==`, `::`, `..`).
+    Punct,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Verbatim text (for `Punct`, the merged operator).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Scope of a `tetrilint: allow` annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// `allow(rule)` — silences the annotated line (trailing comment) or
+    /// the next line containing code (standalone comment).
+    Line,
+    /// `allow-file(rule)` — silences the rule for the whole file.
+    File,
+}
+
+/// A well-formed `// tetrilint: allow[-file](<rule>) -- <reason>`.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line vs. file scope.
+    pub scope: AllowScope,
+    /// Rule name inside the parentheses (validated by the rule engine).
+    pub rule: String,
+    /// The justification after `--` (guaranteed non-empty).
+    pub reason: String,
+}
+
+/// A comment that mentions `tetrilint` but does not parse — surfaced as a
+/// `bad-annotation` violation so typos cannot silently disable a rule.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+/// Output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order (comments/strings stripped).
+    pub tokens: Vec<Tok>,
+    /// Well-formed allow annotations.
+    pub annotations: Vec<Annotation>,
+    /// Comments that mention `tetrilint` but failed to parse.
+    pub malformed: Vec<Malformed>,
+}
+
+/// Lex `src` into tokens plus harvested annotations.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.b.get(self.i + off).unwrap_or(&0)
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(0),
+                b'\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    /// `// …` — also the only place annotations are recognised.
+    fn line_comment(&mut self) {
+        let start = self.i + 2;
+        let mut end = start;
+        while end < self.b.len() && self.b[end] != b'\n' {
+            end += 1;
+        }
+        let body = String::from_utf8_lossy(&self.b[start..end]);
+        self.harvest_annotation(body.trim());
+        self.i = end;
+    }
+
+    /// `/* … */` with nesting; annotations are *not* recognised here (the
+    /// grammar is line-comment only, documented in DESIGN.md §11).
+    fn block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match self.b[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == b'/' => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn harvest_annotation(&mut self, body: &str) {
+        if !body.contains("tetrilint") {
+            return;
+        }
+        let line = self.line;
+        match parse_annotation(body) {
+            Ok(Some(ann)) => self.out.annotations.push(Annotation {
+                line,
+                scope: ann.0,
+                rule: ann.1,
+                reason: ann.2,
+            }),
+            Ok(None) => {} // prose that merely mentions the tool by name
+            Err(msg) => self.out.malformed.push(Malformed { line, message: msg }),
+        }
+    }
+
+    /// Ordinary string literal; `hashes` > 0 means raw with that many `#`.
+    fn string(&mut self, hashes: usize) {
+        self.i += 1; // opening quote
+        if hashes == 0 {
+            while self.i < self.b.len() {
+                match self.b[self.i] {
+                    b'\\' => self.i += 2,
+                    b'"' => {
+                        self.i += 1;
+                        return;
+                    }
+                    b'\n' => {
+                        self.line += 1;
+                        self.i += 1;
+                    }
+                    _ => self.i += 1,
+                }
+            }
+        } else {
+            // Raw string: ends at `"` followed by `hashes` hash marks.
+            while self.i < self.b.len() {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                    self.i += 1;
+                } else if self.b[self.i] == b'"'
+                    && self.b[self.i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    self.i += 1 + hashes;
+                    return;
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` / `b'x'` are literals (dropped); `'a` is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        if self.peek(1) == b'\\' {
+            // Escaped char literal: skip `'\`, the escape head, then scan
+            // to the closing quote (handles `\u{…}`).
+            self.i += 3;
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            return;
+        }
+        if is_ident_start(self.peek(1)) {
+            // Could be `'a'` (char) or `'a` (lifetime): read the ident run
+            // and look for an immediate closing quote.
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_cont(self.b[j]) {
+                j += 1;
+            }
+            if j < self.b.len() && self.b[j] == b'\'' {
+                self.i = j + 1; // char literal like 'a'
+            } else {
+                let text = String::from_utf8_lossy(&self.b[self.i..j]).into_owned();
+                self.push(TokKind::Lifetime, text, line);
+                self.i = j;
+            }
+            return;
+        }
+        // Non-ident char literal (`' '`, `'%'`, possibly multi-byte UTF-8):
+        // scan to the closing quote.
+        self.i += 1;
+        while self.i < self.b.len() && self.b[self.i] != b'\'' {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        self.i += 1;
+    }
+
+    /// Identifier, or one of the literal prefixes `r" b" br" b' r#"` or a
+    /// raw identifier `r#name`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.b.len() && is_ident_cont(self.b[j]) {
+            j += 1;
+        }
+        let ident = &self.b[start..j];
+        let next = *self.b.get(j).unwrap_or(&0);
+        match (ident, next) {
+            (b"r" | b"b" | b"br", b'"') => {
+                self.i = j;
+                self.string(0);
+            }
+            (b"r" | b"br", b'#') => {
+                let mut hashes = 0;
+                let mut k = j;
+                while *self.b.get(k).unwrap_or(&0) == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if *self.b.get(k).unwrap_or(&0) == b'"' {
+                    self.i = k;
+                    self.string(hashes);
+                } else {
+                    // Raw identifier `r#name`: emit the name itself.
+                    self.i = k;
+                    let mut m = self.i;
+                    while m < self.b.len() && is_ident_cont(self.b[m]) {
+                        m += 1;
+                    }
+                    let text = String::from_utf8_lossy(&self.b[self.i..m]).into_owned();
+                    self.push(TokKind::Ident, text, line);
+                    self.i = m;
+                }
+            }
+            (b"b", b'\'') => {
+                self.i = j;
+                self.char_or_lifetime();
+            }
+            _ => {
+                let text = String::from_utf8_lossy(ident).into_owned();
+                self.push(TokKind::Ident, text, line);
+                self.i = j;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut is_float = false;
+        if self.b[self.i] == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.i += 2;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+        } else {
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+            // Fractional part — but `0..n` is a range and `1.max` would be
+            // a field/method position, neither makes this a float.
+            if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+                is_float = true;
+                self.i += 1;
+                while self.i < self.b.len()
+                    && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+                {
+                    self.i += 1;
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), b'e' | b'E') {
+                let sign = matches!(self.peek(1), b'+' | b'-') as usize;
+                if self.peek(1 + sign).is_ascii_digit() {
+                    is_float = true;
+                    self.i += 2 + sign;
+                    while self.i < self.b.len()
+                        && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+            }
+            // Type suffix (`1f64` is a float, `1u32` an int).
+            if is_ident_start(self.peek(0)) {
+                if self.peek(0) == b'f' {
+                    is_float = true;
+                }
+                while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                    self.i += 1;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let two: &[u8] = &[self.peek(0), self.peek(1)];
+        const TWO_CHAR: &[&[u8]] = &[
+            b"==", b"!=", b"::", b"..", b"->", b"=>", b"<=", b">=", b"&&", b"||", b"+=", b"-=",
+            b"*=", b"/=", b"%=", b"^=", b"|=", b"&=",
+        ];
+        if TWO_CHAR.contains(&two) {
+            let mut text = String::from_utf8_lossy(two).into_owned();
+            self.i += 2;
+            if text == ".." && self.peek(0) == b'=' {
+                text.push('=');
+                self.i += 1;
+            }
+            self.push(TokKind::Punct, text, line);
+        } else {
+            let text = (self.b[self.i] as char).to_string();
+            self.i += 1;
+            self.push(TokKind::Punct, text, line);
+        }
+    }
+}
+
+/// Parse the body of a line comment that mentions `tetrilint`.
+///
+/// Grammar (DESIGN.md §11):
+///
+/// ```text
+/// tetrilint: allow(<rule>) -- <reason>
+/// tetrilint: allow-file(<rule>) -- <reason>
+/// ```
+///
+/// Returns `Ok(None)` for prose that mentions the tool without a colon
+/// directive, `Err` for a directive that does not parse.
+#[allow(clippy::type_complexity)]
+fn parse_annotation(body: &str) -> Result<Option<(AllowScope, String, String)>, String> {
+    let Some(rest) = body.strip_prefix("tetrilint:") else {
+        if body.starts_with("tetrilint") {
+            return Err("expected `tetrilint:` (missing colon)".to_string());
+        }
+        return Ok(None); // e.g. doc prose: "… run tetrilint to check …"
+    };
+    let rest = rest.trim_start();
+    let (scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (AllowScope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (AllowScope::Line, r)
+    } else {
+        return Err("expected `allow(<rule>)` or `allow-file(<rule>)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unterminated `allow(` — missing `)`".to_string());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() || !rule.bytes().all(|c| c.is_ascii_lowercase() || c == b'-') {
+        return Err(format!(
+            "`{rule}` is not a rule name (lowercase-with-dashes)"
+        ));
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing ` -- <reason>` justification".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason after `--`".to_string());
+    }
+    Ok(Some((scope, rule.to_string(), reason.to_string())))
+}

@@ -1,0 +1,32 @@
+//! The self-check: the workspace itself must be lint-clean.
+//!
+//! This is the test that makes `tetrilint` an enforced invariant rather
+//! than an opt-in tool — `cargo test` fails the moment someone
+//! reintroduces wall-clock reads, unordered map iteration in a decision
+//! path, an unjustified hot-path `unwrap`, or float `==`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // CARGO_MANIFEST_DIR = <repo>/crates/lint → the repo root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up");
+    let report = tetriserve_lint::scan_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 20,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+    // Every allow annotation must still be load-bearing; stale ones are
+    // deleted, not accumulated.
+    let stale: Vec<_> = report.allows.iter().filter(|a| !a.used).collect();
+    assert!(stale.is_empty(), "unused tetrilint allows: {stale:#?}");
+}

@@ -38,11 +38,11 @@ impl LatencySummary {
 
     /// Builds a summary from raw latency samples (seconds, any order).
     ///
-    /// # Panics
-    ///
-    /// Panics if any latency is NaN.
+    /// Uses `f64::total_cmp`, which agrees with `partial_cmp` on the
+    /// finite values simulated latencies always are (and totally orders
+    /// NaN instead of panicking, should a caller ever feed one in).
     pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        latencies.sort_by(f64::total_cmp);
         let sum = latencies.iter().sum();
         LatencySummary {
             sorted: latencies,
@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn summary_matches_free_functions() {
         let outcomes: Vec<_> = (0..25)
-            .map(|i| outcome(i, (i % 3 != 0).then(|| (i % 7) as f64 + 0.5)))
+            .map(|i| outcome(i, (i % 3 != 0).then_some((i % 7) as f64 + 0.5)))
             .collect();
         let s = LatencySummary::from_outcomes(&outcomes);
         assert_eq!(s.latencies(), completed_latencies(&outcomes).as_slice());

@@ -28,6 +28,8 @@ pub struct UtilizationReport {
 pub fn gpu_utilization(trace: &Trace, n_gpus: usize, horizon: SimTime) -> UtilizationReport {
     assert!(horizon > SimTime::ZERO, "horizon must be positive");
     let mut busy_us = vec![0u64; n_gpus];
+    // Keyed by dispatch id and point-accessed only (insert on start,
+    // remove on end) — hash order never escapes into the report.
     let mut open: std::collections::HashMap<u64, (SimTime, Vec<usize>)> =
         std::collections::HashMap::new();
     for e in trace.events() {
@@ -77,6 +79,8 @@ pub fn gpu_utilization(trace: &Trace, n_gpus: usize, horizon: SimTime) -> Utiliz
 /// `(time_s, busy_gpus)` steps, suitable for plotting cluster occupancy.
 pub fn busy_gpu_series(trace: &Trace) -> Vec<(f64, i64)> {
     let mut deltas: Vec<(SimTime, i64)> = Vec::new();
+    // Point-accessed only, like `open` in gpu_utilization above; the
+    // series itself is rebuilt from the sorted `deltas`.
     let mut open: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
     for e in trace.events() {
         match e {

@@ -1,5 +1,9 @@
 //! The distributed execution engine.
 //!
+// tetrilint: allow-file(slice-index) -- `busy_until`/`busy_time` are
+// sized to the topology's GPU count at construction and every `GpuIndex`
+// comes from that same topology.
+//!
 //! This is the simulator's stand-in for the paper's pool of GPU workers
 //! (§3 "Execution Engine"). A scheduling policy hands the engine
 //! [`StepDispatch`]es — "run these requests for `steps` diffusion steps on
@@ -186,6 +190,8 @@ pub struct Engine {
     rng: SimRng,
     busy_until: Vec<SimTime>,
     busy_time: Vec<SimDuration>,
+    // Point-queried only (get/insert/remove) — hash order never escapes
+    // these two, so same-seed runs are unaffected by their randomization.
     last_gpus: HashMap<RequestId, GpuSet>,
     needs_recovery: HashSet<RequestId>,
     decode_free_at: SimTime,
@@ -395,6 +401,8 @@ impl Engine {
             }
         }
 
+        // tetrilint: allow(unwrap) -- step_done.len() ≤ dispatch.steps,
+        // which is already a u32.
         let completed = u32::try_from(step_done.len()).expect("steps fit in u32");
         let useful_end = step_done.last().copied();
         let actual_mean = match useful_end {

@@ -73,6 +73,8 @@ impl ProcessGroupCache {
     /// Total NCCL buffer bytes held per member across warmed groups that
     /// include `gpu_index`.
     pub fn buffer_bytes_on(&self, gpu_index: usize) -> u64 {
+        // tetrilint: allow(unordered-iter) -- counting matching masks is
+        // order-insensitive; no hash order escapes.
         self.warmed
             .iter()
             .filter(|mask| (*mask >> gpu_index) & 1 == 1)
