@@ -1,0 +1,73 @@
+//! Fleet routing harness — produces `BENCH_fleet.json` at the repository
+//! root (schema `tetriserve-bench-fleet/v1`, documented in DESIGN.md):
+//! every shipped router over the identical heterogeneous three-cluster
+//! scenario, with deterministic routing and outcome digests per router.
+//!
+//! Run modes:
+//!
+//! * `cargo bench --bench perf_fleet` — full run (80 requests × 3
+//!   tenants);
+//! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run.
+//!
+//! The process exits non-zero if the deadline-aware router fails to
+//! strictly beat round-robin on SLO attainment — the fleet layer's core
+//! claim.
+
+use std::path::PathBuf;
+
+use tetriserve_bench::fleet::{run_fleet_perf, FleetPerfConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PERF_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (config, mode) = if smoke {
+        (FleetPerfConfig::smoke(), "smoke")
+    } else {
+        (FleetPerfConfig::full(), "full")
+    };
+
+    let report = run_fleet_perf(&config, mode);
+
+    println!(
+        "fleet routing harness ({mode}, seed {:#x}): {} requests over [{}]",
+        report.seed,
+        report.requests,
+        report.clusters.join(", ")
+    );
+    println!(
+        "{:>20} {:>8} {:>10} {:>6} {:>9} {:>10}  routed",
+        "router", "sar", "goodput", "shed", "rerouted", "imbalance"
+    );
+    for r in &report.routers {
+        println!(
+            "{:>20} {:>8.4} {:>10.4} {:>6} {:>9} {:>10.4}  {:?}",
+            r.router, r.sar, r.goodput, r.shed, r.rerouted, r.load_imbalance, r.routed
+        );
+    }
+
+    // Repo root: crates/bench/ -> crates/ -> root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fleet.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_fleet.json");
+    println!("wrote {}", out.display());
+
+    let sar = |name: &str| {
+        report
+            .routers
+            .iter()
+            .find(|r| r.router == name)
+            .unwrap_or_else(|| panic!("missing router {name}"))
+            .sar
+    };
+    if sar("deadline-aware") <= sar("round-robin") {
+        eprintln!(
+            "FAIL: deadline-aware sar {} does not beat round-robin sar {}",
+            sar("deadline-aware"),
+            sar("round-robin")
+        );
+        std::process::exit(1);
+    }
+}

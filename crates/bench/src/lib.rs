@@ -14,7 +14,9 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod fleet;
 pub mod perf;
 
 pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
+pub use fleet::{run_fleet_perf, FleetPerfConfig, FleetPerfReport};
 pub use perf::{run_perf, PerfConfig, PerfReport};

@@ -29,6 +29,7 @@ use tetriserve_core::dp::{pack_round_into, PackScratch, Packing};
 use tetriserve_core::options::build_options;
 use tetriserve_core::TetriServeConfig;
 use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
+use tetriserve_simulator::digest::{fnv1a, SplitMix, FNV_OFFSET};
 use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::trace::RequestId;
 
@@ -122,33 +123,6 @@ pub struct PerfReport {
     pub serve: ServeSummary,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-
-/// Incremental FNV-1a over 64-bit words.
-fn fnv1a(hash: u64, word: u64) -> u64 {
-    let mut h = hash;
-    for byte in word.to_le_bytes() {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// Minimal deterministic PRNG (splitmix64) for workload shaping — the
-/// harness must not depend on `rand`'s stability guarantees.
-struct SplitMix(u64);
-
-impl SplitMix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-}
-
 /// Runs the round loop at one queue depth.
 fn run_round_loop(
     costs: &CostTable,
@@ -181,7 +155,7 @@ fn run_round_loop(
         let started = Instant::now();
         let packable: Vec<_> = (0..queue_depth)
             .map(|i| {
-                let r = rng.next();
+                let r = rng.next_u64();
                 let res = Resolution::PRODUCTION[(r % 4) as usize];
                 // Deadlines spread 3–8 s; progress spread over a 50-step
                 // denoise. Both deterministic in (seed, depth, round, i).

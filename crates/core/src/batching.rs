@@ -11,6 +11,13 @@
 //! uses a `BTreeMap`: candidate groups are visited in (tokens, degree)
 //! order, never in std's per-instance-randomized hash order, and the
 //! same seed therefore always forms the same batches.
+//!
+//! Within a group, candidates are visited smallest-remaining-first, so
+//! requests at similar progress co-batch: survival-compatible requests
+//! are adjacent instead of interleaved with incompatible ones, and the
+//! members closest to completion finish inside the round and vacate
+//! their GPU sets at the earliest round boundary (see DESIGN.md §8 for
+//! why the ordering is ascending, not descending).
 
 // tetrilint: allow-file(slice-index) -- every index is produced by
 // enumerate() over `assignments` or by group membership built from those
@@ -68,11 +75,28 @@ pub fn merge_batches(
     }
 
     let mut remove: Vec<usize> = Vec::new();
-    for idxs in groups.into_values() {
+    for mut idxs in groups.into_values() {
         if idxs.len() < 2 {
             continue;
         }
-        // Greedily grow a batch from the first member.
+        // Size-aware ordering: visit candidates by ascending remaining
+        // steps. `q_b` is capped by a batch's *minimum* remaining, so a
+        // nearly-done member caps a fresh batch's per-round progress and
+        // the survival bound vetoes mixed merges; sorting by remaining
+        // puts survival-compatible candidates next to each other instead
+        // of interleaved with incompatible ones. Ascending (not the
+        // classic FFD descending): the open batch's host is then the
+        // member closest to completion, which finishes inside the round
+        // and vacates its GPU set at the earliest boundary — descending
+        // was tried and strands nearly-done requests solo behind a wall
+        // of fresh batches, starving small requests under mixed load
+        // (the elephants-and-mice stress scenario catches this, as does
+        // maximal multi-open-batch packing, which over-batches: each
+        // merge is individually SLO-safe under the optimistic solo-rate
+        // residual bound, but the slower batched rounds compound). The
+        // sort is stable, so ties keep packer index order and the pass
+        // stays deterministic.
+        idxs.sort_by_key(|&i| assignments[i].remaining_before);
         let mut host = idxs[0];
         let mut members = vec![host];
         for &cand in &idxs[1..] {
@@ -330,6 +354,68 @@ mod tests {
         let freed = merge_batches(&mut asg, &deadlines, &c, tau, t_next);
         assert_eq!(asg.len(), 2, "SLO-compromising batch must be rejected");
         assert!(freed.is_empty());
+    }
+
+    #[test]
+    fn size_aware_ordering_frees_at_least_as_many_gpu_sets_as_first_fit() {
+        let c = costs(); // max batch 4
+        let tau = c.t_min(Resolution::R2048) * 5;
+        let t_next = SimTime::ZERO + tau;
+        // Eight single-GPU mice, alternating fresh (rem 50, deadline
+        // requiring a full fresh batch's per-round progress) and
+        // nearly-done (rem 2, loose). Index-order first-fit grows the
+        // fresh batch while rejecting every interleaved nearly-done
+        // candidate (joining one caps q_b at 2 and breaks the fresh
+        // deadlines), then strands three of the four nearly-done solo —
+        // one committed batch, three freed GPU sets. The size-aware
+        // ordering visits the four nearly-done first, then the four
+        // fresh, so both quartets co-batch: two full batches, six freed
+        // sets.
+        let mut asg: Vec<Assignment> = (0..8)
+            .map(|i| assignment(i as u64 + 1, Resolution::R256, i, 1, 10))
+            .collect();
+        for i in [1usize, 3, 5, 7] {
+            asg[i].remaining_before = 2;
+        }
+        let t_b4 = c.step_time(Resolution::R256, 1, 4);
+        let q_quad = (tau.div_floor(t_b4) as u32).min(50);
+        assert!(
+            q_quad > 2,
+            "a fresh batch must advance past a nearly-done member's cap"
+        );
+        let t_min = c.t_min(Resolution::R256);
+        // Tight: exactly the residual a four-fresh-member batch leaves
+        // (smaller fresh batches step faster, so they pass too). A batch
+        // capped at q_b = 2 by a nearly-done member fails this.
+        let tight = t_next + t_min * u64::from(50 - q_quad);
+        let mut deadlines = loose_deadlines(&[2, 4, 6, 8]);
+        for id in [1u64, 3, 5, 7] {
+            deadlines.insert(
+                RequestId(id),
+                BatchDeadline {
+                    deadline: tight,
+                    remaining: 50,
+                },
+            );
+        }
+        let freed = merge_batches(&mut asg, &deadlines, &c, tau, t_next);
+        assert_eq!(asg.len(), 2, "two full batches of four");
+        assert_eq!(
+            freed.len(),
+            6,
+            "size-aware ordering frees six GPU sets; index-order first-fit freed three"
+        );
+        for a in &asg {
+            assert_eq!(a.requests.len(), 4);
+            let want: &[u64] = if a.requests.contains(&RequestId(1)) {
+                &[1, 3, 5, 7]
+            } else {
+                &[2, 4, 6, 8]
+            };
+            for id in want {
+                assert!(a.requests.contains(&RequestId(*id)), "{:?}", a.requests);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! EDF cumulative-demand feasibility — the admission machinery behind
+//! deadline-aware shedding (PR 1) and fleet-level routing.
+//!
+//! The test is the classic earliest-deadline-first capacity argument:
+//! walk live requests in deadline order accumulating each one's cheapest
+//! deadline-respecting GPU-second demand; the backlog is infeasible the
+//! moment the running total exceeds what the healthy GPUs can deliver by
+//! that deadline. Single-cluster admission control uses the scan to pick
+//! shedding victims ([`crate::server`]); the fleet router uses the pure
+//! boolean form ([`edf_feasible`]) to ask "could this cluster still take
+//! one more request" before committing an arrival to it.
+
+use tetriserve_costmodel::{CostTable, Resolution};
+use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::RequestId;
+
+use crate::config::ROUND_HEADROOM;
+use crate::tracker::{Phase, RequestTracker};
+
+/// Fraction of raw healthy GPU-seconds the admission test counts as
+/// deliverable. A real round-based schedule never converts 100% of the EDF
+/// capacity bound into diffusion steps: round-boundary quantization,
+/// placement fragmentation and VAE decodes all eat into it.
+pub const ADMISSION_UTILIZATION: f64 = 0.8;
+
+/// One live request's entry in the EDF cumulative-demand scan.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandEntry {
+    /// The request.
+    pub id: RequestId,
+    /// Absolute completion deadline.
+    pub deadline: SimTime,
+    /// Cheapest deadline-respecting GPU-second demand for the remaining
+    /// steps (see [`cheapest_step_demand`]).
+    pub demand: f64,
+    /// Seconds of headroom beyond running flat-out at the fastest degree;
+    /// negative means no degree can make the deadline.
+    pub slack: f64,
+    /// Whether the request has executed no steps yet (only fresh requests
+    /// may be shed or re-routed — progress is never thrown away).
+    pub fresh: bool,
+}
+
+/// The cheapest per-step GPU-second cost among parallelism degrees that
+/// can still finish `remaining` steps (plus the VAE decode) inside
+/// `horizon` seconds with jitter headroom. A tight deadline forces a wide
+/// (less GPU-efficient) degree, so this is *not* the global optimum. When
+/// no degree can make it, falls back to the fastest degree; the caller's
+/// negative slack makes such a request the first shedding victim anyway.
+pub fn cheapest_step_demand(
+    costs: &CostTable,
+    res: Resolution,
+    remaining: u32,
+    horizon: f64,
+) -> f64 {
+    let remaining_f = f64::from(remaining);
+    let decode = costs
+        .model()
+        .decode_time(res, costs.cluster().gpu.effective_tflops())
+        .as_secs_f64();
+    let per_step = costs
+        .degrees()
+        .iter()
+        .filter(|&&k| {
+            remaining_f * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM + decode
+                <= horizon
+        })
+        .map(|&k| costs.gpu_seconds(res, k))
+        .fold(f64::INFINITY, f64::min);
+    if per_step.is_finite() {
+        per_step
+    } else {
+        let fastest = costs
+            .degrees()
+            .iter()
+            .copied()
+            .min_by_key(|&k| costs.step_time(res, k, 1))
+            .expect("cost table has at least one degree");
+        costs.gpu_seconds(res, fastest)
+    }
+}
+
+/// Builds the demand entry for one request's remaining work at `now`.
+pub fn demand_entry(
+    costs: &CostTable,
+    id: RequestId,
+    res: Resolution,
+    remaining: u32,
+    deadline: SimTime,
+    now: SimTime,
+    fresh: bool,
+) -> DemandEntry {
+    let horizon = deadline.saturating_since(now).as_secs_f64();
+    let per_step = cheapest_step_demand(costs, res, remaining, horizon);
+    DemandEntry {
+        id,
+        deadline,
+        demand: f64::from(remaining) * per_step,
+        slack: horizon - f64::from(remaining) * costs.t_min(res).as_secs_f64(),
+        fresh,
+    }
+}
+
+/// Demand entries for every live (queued or running, work remaining)
+/// request in the tracker, sorted by (deadline, id) — EDF scan order.
+pub fn live_entries(tracker: &RequestTracker, now: SimTime, costs: &CostTable) -> Vec<DemandEntry> {
+    let mut live: Vec<DemandEntry> = tracker
+        .iter()
+        .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0)
+        .map(|r| {
+            demand_entry(
+                costs,
+                r.spec.id,
+                r.spec.resolution,
+                r.remaining_steps,
+                r.spec.deadline,
+                now,
+                r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps,
+            )
+        })
+        .collect();
+    sort_entries(&mut live);
+    live
+}
+
+/// Sorts entries into the canonical EDF scan order (deadline, then id).
+pub fn sort_entries(entries: &mut [DemandEntry]) {
+    entries.sort_by(|a, b| a.deadline.cmp(&b.deadline).then(a.id.cmp(&b.id)));
+}
+
+/// Whether the cumulative-demand scan stays within what `healthy` GPUs can
+/// deliver (derated by [`ADMISSION_UTILIZATION`]) at every deadline.
+/// `entries` must already be in EDF scan order.
+pub fn edf_feasible(entries: &[DemandEntry], now: SimTime, healthy: usize) -> bool {
+    let mut demand = 0.0;
+    for e in entries {
+        demand += e.demand;
+        let capacity =
+            healthy as f64 * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
+        if demand > capacity {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestSpec;
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+
+    fn costs() -> CostTable {
+        Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+    }
+
+    fn tracked(ids: &[(u64, f64)]) -> RequestTracker {
+        let mut t = RequestTracker::new();
+        for &(id, slo) in ids {
+            t.admit(RequestSpec {
+                id: RequestId(id),
+                resolution: Resolution::R1024,
+                arrival: SimTime::ZERO,
+                deadline: SimTime::from_secs_f64(slo),
+                total_steps: 50,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn relaxed_backlog_is_feasible() {
+        let c = costs();
+        let t = tracked(&[(0, 60.0), (1, 70.0)]);
+        let entries = live_entries(&t, SimTime::ZERO, &c);
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].deadline <= w[1].deadline));
+        assert!(edf_feasible(&entries, SimTime::ZERO, 8));
+    }
+
+    #[test]
+    fn overload_is_infeasible_and_relieved_by_capacity() {
+        let c = costs();
+        let ids: Vec<(u64, f64)> = (0..40).map(|i| (i, 3.0)).collect();
+        let t = tracked(&ids);
+        let entries = live_entries(&t, SimTime::ZERO, &c);
+        assert!(!edf_feasible(&entries, SimTime::ZERO, 1));
+        // The same backlog on a vastly bigger node would be fine.
+        assert!(edf_feasible(&entries, SimTime::ZERO, 4096));
+    }
+
+    #[test]
+    fn tight_deadline_forces_wider_cheapest_degree() {
+        let c = costs();
+        // With an impossible horizon the fallback charges the fastest
+        // degree, which costs at least as many GPU-seconds per step as the
+        // relaxed-case optimum.
+        let relaxed = cheapest_step_demand(&c, Resolution::R2048, 50, 1e9);
+        let hopeless = cheapest_step_demand(&c, Resolution::R2048, 50, 0.001);
+        assert!(hopeless >= relaxed);
+    }
+
+    #[test]
+    fn demand_scales_with_remaining_steps() {
+        let c = costs();
+        let e10 = demand_entry(
+            &c,
+            RequestId(0),
+            Resolution::R512,
+            10,
+            SimTime::from_secs_f64(60.0),
+            SimTime::ZERO,
+            true,
+        );
+        let e50 = demand_entry(
+            &c,
+            RequestId(0),
+            Resolution::R512,
+            50,
+            SimTime::from_secs_f64(60.0),
+            SimTime::ZERO,
+            true,
+        );
+        assert!(e50.demand > e10.demand);
+        assert!(e50.slack < e10.slack);
+    }
+}

@@ -45,6 +45,7 @@ pub mod batching;
 pub mod config;
 pub mod dp;
 pub mod elastic;
+pub mod feasibility;
 pub mod options;
 pub mod placement;
 pub mod policy;
@@ -58,5 +59,5 @@ pub use config::TetriServeConfig;
 pub use policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub use request::{RequestOutcome, RequestSpec};
 pub use scheduler::TetriServePolicy;
-pub use server::{ServeReport, Server, ServerConfig};
+pub use server::{ClusterLoad, ClusterSim, ServeReport, Server, ServerConfig};
 pub use tracker::RequestTracker;

@@ -88,6 +88,27 @@ pub trait Policy {
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<DispatchPlan>;
 }
 
+/// Boxed policies forward to the inner policy, so heterogeneous clusters
+/// (each with its own policy type) can share one driver — the fleet layer
+/// holds `ClusterSim<Box<dyn Policy>>`.
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn reacts_to(&self, event: PolicyEvent) -> bool {
+        (**self).reacts_to(event)
+    }
+
+    fn next_tick(&self, now: SimTime) -> Option<SimTime> {
+        (**self).next_tick(now)
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<DispatchPlan> {
+        (**self).schedule(ctx)
+    }
+}
+
 /// Validates a batch of plans against the context.
 ///
 /// Used by the serving loop in debug builds to catch policy bugs early.

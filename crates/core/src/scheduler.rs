@@ -99,7 +99,15 @@ impl Policy for TetriServePolicy {
     }
 
     fn next_tick(&self, now: SimTime) -> Option<SimTime> {
-        Some(now + self.tau)
+        // Next boundary of the τ grid (anchored at t = 0) strictly after
+        // `now`. Ticks always fire on-grid, so for the serving loop's
+        // tick-chain this equals `now + τ`; the grid form matters when the
+        // chain is re-seeded mid-round (a fleet arrival after an idle gap)
+        // — an off-grid chain would never hit `at_boundary` again.
+        let tau_us = self.tau.as_micros();
+        Some(SimTime::from_micros(
+            (now.as_micros() / tau_us + 1) * tau_us,
+        ))
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Vec<DispatchPlan> {

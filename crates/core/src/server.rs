@@ -1,12 +1,19 @@
 //! The serving loop: policies × engine × tracker.
 //!
-//! [`Server`] is the harness every experiment runs on. It owns the event
-//! queue (arrivals, dispatch completions, request completions, round
-//! ticks), asks the policy for dispatch plans at the triggers the policy
-//! subscribes to, converts plans into engine dispatches — computing the
-//! *placement-accurate* per-step latency, latent sizes and decode cost from
-//! the cost model — and folds the engine's resolved timelines back into
-//! future events.
+//! [`ClusterSim`] is the steppable core: it owns the event queue (arrivals,
+//! dispatch completions, request completions, round ticks), asks the policy
+//! for dispatch plans at the triggers the policy subscribes to, converts
+//! plans into engine dispatches — computing the *placement-accurate*
+//! per-step latency, latent sizes and decode cost from the cost model — and
+//! folds the engine's resolved timelines back into future events. One call
+//! to [`ClusterSim::step`] processes exactly one event, which is what lets
+//! the fleet layer interleave many clusters under a single virtual clock.
+//!
+//! [`Server`] is the single-cluster harness every experiment runs on: it
+//! feeds a whole workload into a `ClusterSim`, drains it to completion and
+//! returns the [`ServeReport`]. Its event ordering (fault transitions, then
+//! arrivals, then the initial tick) is exactly the pre-fleet behaviour, so
+//! all single-cluster digests are unchanged.
 
 use tetriserve_costmodel::steptime::step_time_on;
 use tetriserve_costmodel::CostTable;
@@ -14,9 +21,11 @@ use tetriserve_simulator::engine::{Engine, EngineConfig, StepDispatch};
 use tetriserve_simulator::event::EventQueue;
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::topology::Topology;
 use tetriserve_simulator::trace::{RequestId, Trace, TraceEvent};
 
-use crate::config::{AdmissionPolicy, ROUND_HEADROOM};
+use crate::config::AdmissionPolicy;
+use crate::feasibility::{self, DemandEntry};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
 use crate::request::{RequestOutcome, RequestSpec};
 use crate::tracker::{Phase, RequestTracker};
@@ -113,11 +122,43 @@ impl ServeReport {
     }
 }
 
-/// Fraction of raw healthy GPU-seconds the admission test counts as
-/// deliverable. A real round-based schedule never converts 100% of the EDF
-/// capacity bound into diffusion steps: round-boundary quantization,
-/// placement fragmentation and VAE decodes all eat into it.
-const ADMISSION_UTILIZATION: f64 = 0.8;
+/// A router-visible snapshot of one cluster's instantaneous load, exported
+/// for fleet-level placement decisions. All fields are derived from state
+/// the cluster already maintains; computing a snapshot never mutates the
+/// simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterLoad {
+    /// The instant the snapshot describes.
+    pub at: SimTime,
+    /// Total GPUs in the cluster (including any currently down).
+    pub n_gpus: usize,
+    /// GPUs not hard-faulted at `at` (per the static failure plan).
+    pub healthy_gpus: usize,
+    /// GPUs idle right now.
+    pub free_gpus: usize,
+    /// Live requests waiting for GPUs.
+    pub queued: usize,
+    /// Live requests currently executing a dispatch.
+    pub running: usize,
+    /// Diffusion steps outstanding across all live requests.
+    pub backlog_steps: u64,
+    /// Cheapest deadline-respecting GPU-second demand of the live backlog
+    /// (the EDF admission currency; see [`crate::feasibility`]).
+    pub backlog_gpu_seconds: f64,
+}
+
+impl ClusterLoad {
+    /// Live requests (queued + running) — the join-shortest-queue metric.
+    pub fn depth(&self) -> usize {
+        self.queued + self.running
+    }
+
+    /// Outstanding GPU-seconds per healthy GPU — a capacity-normalised
+    /// pressure metric that makes heterogeneous clusters comparable.
+    pub fn pressure(&self) -> f64 {
+        self.backlog_gpu_seconds / (self.healthy_gpus.max(1)) as f64
+    }
+}
 
 #[derive(Debug)]
 enum Event {
@@ -137,7 +178,496 @@ enum Event {
     GpuUp,
 }
 
-/// The serving loop.
+/// One cluster's serving loop as an explicitly steppable state machine.
+///
+/// Lifecycle: [`new`](ClusterSim::new) → any number of
+/// [`push_arrival`](ClusterSim::push_arrival) → [`start`](ClusterSim::start)
+/// → [`step`](ClusterSim::step) until it returns `false` (arrivals may keep
+/// being pushed between steps, at or after the cluster's current time) →
+/// [`finish`](ClusterSim::finish).
+pub struct ClusterSim<P: Policy> {
+    costs: CostTable,
+    policy: P,
+    config: ServerConfig,
+    topology: Topology,
+    n_gpus: usize,
+    engine: Engine,
+    tracker: RequestTracker,
+    events: EventQueue<Event>,
+    free: GpuSet,
+    down: GpuSet,
+    arrivals_pending: u64,
+    processed: u64,
+    last_time: SimTime,
+    sched_calls: u64,
+    sched_wall: std::time::Duration,
+    /// High-water mark of event times processed so far — the cluster's
+    /// local clock. Never decreases.
+    cursor: SimTime,
+    started: bool,
+    /// Whether a `Tick` event is sitting in the queue. Round-driven
+    /// policies keep a single tick in flight; when the chain dies on an
+    /// idle cluster, a later [`push_arrival`](ClusterSim::push_arrival)
+    /// re-seeds it.
+    tick_pending: bool,
+}
+
+impl<P: Policy> ClusterSim<P> {
+    /// Creates a cluster simulation. Health transitions from the statically
+    /// known failure plan are queued immediately, before any arrival, so
+    /// that on timestamp ties the health view updates before any scheduling
+    /// pass runs.
+    pub fn new(costs: CostTable, policy: P, config: ServerConfig) -> Self {
+        let topology = costs.cluster().topology();
+        let n_gpus = topology.n_gpus();
+        let engine = Engine::new(topology.clone(), config.engine.clone());
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for fault in config.engine.failures.faults() {
+            events.push(fault.down_from, Event::GpuDown);
+            if let Some(up) = fault.up_at {
+                events.push(up, Event::GpuUp);
+            }
+        }
+        ClusterSim {
+            costs,
+            policy,
+            config,
+            topology,
+            n_gpus,
+            engine,
+            tracker: RequestTracker::new(),
+            events,
+            free: GpuSet::first_n(n_gpus),
+            down: GpuSet::EMPTY,
+            arrivals_pending: 0,
+            processed: 0,
+            last_time: SimTime::ZERO,
+            sched_calls: 0,
+            sched_wall: std::time::Duration::ZERO,
+            cursor: SimTime::ZERO,
+            started: false,
+            tick_pending: false,
+        }
+    }
+
+    /// Queues a future arrival. May be called before `start` (batch mode)
+    /// or between steps (fleet mode). If the round-tick chain died while
+    /// the cluster sat idle, this re-seeds it so the new work gets
+    /// scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival lies in the cluster's past.
+    pub fn push_arrival(&mut self, spec: RequestSpec) {
+        assert!(
+            spec.arrival >= self.cursor,
+            "arrival at {} is in the cluster's past (cursor {})",
+            spec.arrival,
+            self.cursor
+        );
+        self.events.push(spec.arrival, Event::Arrival(spec));
+        self.arrivals_pending += 1;
+        if self.started && !self.tick_pending {
+            // Re-seed from the *arrival*, not the cursor: an idle cluster's
+            // cursor lags the fleet's global clock, and a tick between the
+            // two would run in the global past. The chain restarts at the
+            // first grid point at or after the arrival — exactly where an
+            // always-alive batch-mode chain would next do meaningful work
+            // (grid points are ≥ 1 µs apart, so probing 1 µs early lands on
+            // the arrival itself when it is on-grid).
+            let next = if spec.arrival == SimTime::ZERO {
+                self.policy.next_tick(SimTime::ZERO).map(|_| SimTime::ZERO)
+            } else {
+                let probe = SimTime::from_micros(spec.arrival.as_micros() - 1);
+                self.policy.next_tick(probe)
+            };
+            if let Some(next) = next {
+                // A tick at the cursor is legal: it queues behind the event
+                // being processed at the same timestamp.
+                assert!(next >= self.cursor, "round ticks must not rewind time");
+                self.events.push(next, Event::Tick);
+                self.tick_pending = true;
+            }
+        }
+    }
+
+    /// Seeds the initial round tick (round-driven policies tick from t = 0)
+    /// and marks the simulation live. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if self.policy.next_tick(SimTime::ZERO).is_some() {
+            // Round grid starts at t = 0.
+            self.events.push(SimTime::ZERO, Event::Tick);
+            self.tick_pending = true;
+        }
+    }
+
+    /// The cluster's local clock: the latest event time processed.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// When the next internal event fires, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// The cost table this cluster schedules against.
+    pub fn costs(&self) -> &CostTable {
+        &self.costs
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// GPUs in this cluster.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    fn healthy_count_at(&self, at: SimTime) -> usize {
+        let down = self.config.engine.failures.down_gpus(at);
+        GpuSet::first_n(self.n_gpus).difference(down).len()
+    }
+
+    /// Snapshot of the cluster's load as of `at` (≥ the local clock), for
+    /// router decisions.
+    pub fn load(&self, at: SimTime) -> ClusterLoad {
+        let at = at.max(self.cursor);
+        let mut queued = 0;
+        let mut running = 0;
+        let mut backlog_steps = 0u64;
+        for r in self.tracker.iter() {
+            match r.phase {
+                Phase::Queued if r.remaining_steps > 0 => queued += 1,
+                Phase::Running => running += 1,
+                _ => {}
+            }
+            if matches!(r.phase, Phase::Queued | Phase::Running) {
+                backlog_steps += u64::from(r.remaining_steps);
+            }
+        }
+        let backlog_gpu_seconds = feasibility::live_entries(&self.tracker, at, &self.costs)
+            .iter()
+            .map(|e| e.demand)
+            .sum();
+        ClusterLoad {
+            at,
+            n_gpus: self.n_gpus,
+            healthy_gpus: self.healthy_count_at(at),
+            free_gpus: self.free.len(),
+            queued,
+            running,
+            backlog_steps,
+            backlog_gpu_seconds,
+        }
+    }
+
+    /// Whether the cluster could take `spec` on top of its live backlog and
+    /// still meet every deadline under the EDF cumulative-demand test —
+    /// the router-facing form of the PR 1 admission machinery.
+    pub fn admission_feasible(&self, spec: &RequestSpec, at: SimTime) -> bool {
+        let at = at.max(self.cursor);
+        let mut entries = feasibility::live_entries(&self.tracker, at, &self.costs);
+        entries.push(feasibility::demand_entry(
+            &self.costs,
+            spec.id,
+            spec.resolution,
+            spec.total_steps,
+            spec.deadline,
+            at,
+            true,
+        ));
+        feasibility::sort_entries(&mut entries);
+        feasibility::edf_feasible(&entries, at, self.healthy_count_at(at))
+    }
+
+    /// Removes and returns every queued request that has made no progress
+    /// (fleet re-routing after a whole-cluster outage). Requests holding
+    /// checkpointed steps stay: their progress would be lost elsewhere.
+    pub fn drain_queued_fresh(&mut self) -> Vec<RequestSpec> {
+        let ids: Vec<RequestId> = self
+            .tracker
+            .iter()
+            .filter(|r| r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps)
+            .map(|r| r.spec.id)
+            .collect();
+        ids.into_iter().map(|id| self.tracker.extract(id)).collect()
+    }
+
+    /// Terminally fails every live request that still has steps to run —
+    /// the fleet driver calls this on a *permanent* whole-cluster outage,
+    /// after the outage's fault events have aborted all in-flight
+    /// dispatches: checkpointed partial work can never resume on a dead
+    /// cluster, and without this the round-tick chain would spin forever
+    /// waiting for capacity that never returns. Requests that already
+    /// finished their steps (awaiting only the decode `Complete` event)
+    /// are left to complete. Returns the number of requests failed.
+    pub fn fail_incomplete(&mut self) -> usize {
+        let ids: Vec<RequestId> = self
+            .tracker
+            .iter()
+            .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0)
+            .map(|r| r.spec.id)
+            .collect();
+        for &id in &ids {
+            self.tracker.fail(id);
+        }
+        ids.len()
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a policy emits an invalid plan (with validation enabled),
+    /// or the event cap is exceeded.
+    pub fn step(&mut self) -> bool {
+        let Some((now, event)) = self.events.pop() else {
+            return false;
+        };
+        self.processed += 1;
+        assert!(
+            self.processed <= self.config.max_events,
+            "event cap exceeded: the policy appears not to terminate"
+        );
+        self.cursor = self.cursor.max(now);
+        // Health transitions on an idle server must not inflate the
+        // makespan (a recovery scheduled long after the last request
+        // finished is not serving time).
+        let is_health = matches!(event, Event::GpuDown | Event::GpuUp);
+        if !is_health || self.arrivals_pending > 0 || self.tracker.active_count() > 0 {
+            self.last_time = self.last_time.max(now);
+        }
+
+        let trigger = match event {
+            Event::Arrival(spec) => {
+                self.tracker.admit(spec);
+                self.arrivals_pending -= 1;
+                if self.config.admission == AdmissionPolicy::ShedInfeasible {
+                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
+                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
+                }
+                Some(PolicyEvent::Arrival)
+            }
+            Event::DispatchDone { gpus, requests } => {
+                // A fault opening exactly as the dispatch ends keeps the
+                // GPU out of the pool (windows are half-open, so the
+                // dispatch itself still completes).
+                self.free = self.free.union(gpus).difference(self.down);
+                for id in requests {
+                    self.tracker.finish_dispatch(id);
+                }
+                Some(PolicyEvent::DispatchDone)
+            }
+            Event::DispatchAborted {
+                gpus,
+                requests,
+                lost_steps,
+            } => {
+                self.free = self.free.union(gpus).difference(self.down);
+                for id in requests {
+                    self.tracker.abort_dispatch(id, gpus, lost_steps);
+                    let retries = self.tracker.get(id).expect("tracked").retries;
+                    if retries > self.config.max_retries {
+                        self.tracker.fail(id);
+                    }
+                }
+                Some(PolicyEvent::DispatchDone)
+            }
+            Event::GpuDown => {
+                // Recompute from the plan rather than toggling one GPU:
+                // overlapping fault windows on the same GPU stay down
+                // until the *last* window closes.
+                self.down = self.config.engine.failures.down_gpus(now);
+                self.free = self.free.difference(self.down);
+                if self.config.admission == AdmissionPolicy::ShedInfeasible {
+                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
+                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
+                }
+                // Wake event-driven policies so queued work re-plans
+                // around the shrunk capacity at once; round-driven
+                // policies pick it up at the next tick.
+                Some(PolicyEvent::DispatchDone)
+            }
+            Event::GpuUp => {
+                let was = self.down;
+                self.down = self.config.engine.failures.down_gpus(now);
+                // A GPU can only return idle: while down it is excluded
+                // from every plan, so no dispatch holds it at `up_at`.
+                let newly_up = was.difference(self.down);
+                self.free = self.free.union(newly_up).difference(self.down);
+                Some(PolicyEvent::DispatchDone)
+            }
+            Event::Complete(id) => {
+                self.tracker.complete(id, now);
+                None
+            }
+            Event::Tick => {
+                self.tick_pending = false;
+                if self.arrivals_pending > 0 || self.tracker.active_count() > 0 {
+                    if let Some(next) = self.policy.next_tick(now) {
+                        assert!(next > now, "round ticks must advance time");
+                        self.events.push(next, Event::Tick);
+                        self.tick_pending = true;
+                    }
+                }
+                Some(PolicyEvent::RoundTick)
+            }
+        };
+
+        let Some(trigger) = trigger else {
+            return true;
+        };
+        if !self.policy.reacts_to(trigger) {
+            return true;
+        }
+
+        let plans = {
+            let ctx = SchedContext {
+                now,
+                free: self.free,
+                healthy: GpuSet::first_n(self.n_gpus).difference(self.down),
+                n_gpus: self.n_gpus,
+                tracker: &self.tracker,
+                costs: &self.costs,
+            };
+            // tetrilint: allow(wall-clock) -- measures the host-side
+            // control-plane cost of Policy::schedule (Table 6); the
+            // value feeds SchedPass telemetry, never a decision.
+            let started = std::time::Instant::now();
+            let plans = self.policy.schedule(&ctx);
+            let elapsed = started.elapsed();
+            self.sched_wall += elapsed;
+            self.sched_calls += 1;
+            self.engine.record(TraceEvent::SchedPass {
+                time: now,
+                queue_depth: self.tracker.active_count(),
+                plans: plans.len(),
+                wall: elapsed,
+            });
+            if self.config.validate_plans {
+                if let Err(e) = validate_plans(&plans, &ctx) {
+                    panic!("policy {} emitted invalid plans: {e}", self.policy.name());
+                }
+            }
+            plans
+        };
+
+        for plan in plans {
+            let model = self.costs.model();
+            let cluster = self.costs.cluster();
+            let resolution = self
+                .tracker
+                .get(plan.requests[0])
+                .expect("validated plan references tracked requests")
+                .spec
+                .resolution;
+            let batch = plan.batch();
+            let per_step = step_time_on(
+                model,
+                resolution,
+                plan.gpus,
+                batch,
+                cluster,
+                &self.topology,
+                self.costs.scheme(),
+            );
+            let finishing: Vec<RequestId> = plan
+                .requests
+                .iter()
+                .copied()
+                .filter(|&id| self.tracker.get(id).expect("tracked").remaining_steps == plan.steps)
+                .collect();
+            let decode_after = if finishing.is_empty() {
+                None
+            } else {
+                Some(model.decode_time(resolution, cluster.gpu.effective_tflops()))
+            };
+            let dispatch = StepDispatch {
+                requests: plan.requests.clone(),
+                gpus: plan.gpus,
+                steps: plan.steps,
+                per_step,
+                latent_bytes: model.latent_bytes(resolution),
+                activation_bytes_per_gpu: model.activation_bytes_per_gpu(
+                    resolution,
+                    plan.gpus.len(),
+                    batch,
+                ),
+                decode_after,
+                finishing,
+            };
+            let outcome = self
+                .engine
+                .submit(now, &dispatch)
+                .unwrap_or_else(|e| panic!("engine rejected a validated plan: {e}"));
+
+            // Accounting: GPU-seconds split evenly across the batch.
+            let span = outcome.gpus_free_at.saturating_since(now).as_secs_f64();
+            let gpu_seconds = plan.gpus.len() as f64 * span / f64::from(batch);
+            for &id in &plan.requests {
+                self.tracker
+                    .start_dispatch(id, plan.gpus, plan.steps, gpu_seconds);
+            }
+            self.free = self.free.difference(plan.gpus);
+            if let Some(abort) = outcome.aborted {
+                self.events.push(
+                    abort.time,
+                    Event::DispatchAborted {
+                        gpus: plan.gpus,
+                        requests: plan.requests.clone(),
+                        lost_steps: plan.steps - abort.completed_steps,
+                    },
+                );
+            } else {
+                self.events.push(
+                    outcome.gpus_free_at,
+                    Event::DispatchDone {
+                        gpus: plan.gpus,
+                        requests: plan.requests.clone(),
+                    },
+                );
+            }
+            for (id, done) in outcome.request_done {
+                self.events.push(done, Event::Complete(id));
+            }
+        }
+        true
+    }
+
+    /// Consumes the simulation and produces the final report.
+    pub fn finish(self) -> ServeReport {
+        let makespan = self.last_time.max(SimTime::from_micros(1));
+        let utilization = self.engine.utilization(makespan);
+        let mut outcomes = self.tracker.outcomes();
+        outcomes.sort_by_key(|o| o.id);
+        let policy = self.policy.name();
+        let trace = self.engine.into_trace();
+        let aborted_dispatches = trace.aborted_count();
+        let wasted_gpu_seconds = trace.wasted_gpu_seconds();
+        let shed_requests = outcomes.iter().filter(|o| o.shed).count();
+        ServeReport {
+            outcomes,
+            trace,
+            utilization,
+            makespan,
+            policy,
+            sched_calls: self.sched_calls,
+            sched_wall: self.sched_wall,
+            aborted_dispatches,
+            wasted_gpu_seconds,
+            shed_requests,
+        }
+    }
+}
+
+/// The single-cluster serving harness.
 pub struct Server<P: Policy> {
     costs: CostTable,
     policy: P,
@@ -178,365 +708,55 @@ impl<P: Policy> Server<P> {
     ///
     /// Panics if a policy emits an invalid plan (with validation enabled),
     /// or the event cap is exceeded.
-    pub fn run<I: IntoIterator<Item = RequestSpec>>(mut self, specs: I) -> ServeReport {
-        let topology = self.costs.cluster().topology();
-        let n_gpus = topology.n_gpus();
-        let mut engine = Engine::new(topology.clone(), self.config.engine.clone());
-        let mut tracker = RequestTracker::new();
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let mut free = GpuSet::first_n(n_gpus);
-        let mut down = GpuSet::EMPTY;
-        let mut arrivals_pending: u64 = 0;
-
-        // Health transitions come from the statically known failure plan.
-        // They are queued before arrivals so that, on timestamp ties, the
-        // health view updates before any scheduling pass runs.
-        for fault in self.config.engine.failures.faults() {
-            events.push(fault.down_from, Event::GpuDown);
-            if let Some(up) = fault.up_at {
-                events.push(up, Event::GpuUp);
-            }
-        }
+    pub fn run<I: IntoIterator<Item = RequestSpec>>(self, specs: I) -> ServeReport {
+        let mut sim = ClusterSim::new(self.costs, self.policy, self.config);
         for spec in specs {
-            events.push(spec.arrival, Event::Arrival(spec));
-            arrivals_pending += 1;
+            sim.push_arrival(spec);
         }
-        if let Some(first_tick) = self.policy.next_tick(SimTime::ZERO) {
-            // Round grid starts at t = 0.
-            let _ = first_tick;
-            events.push(SimTime::ZERO, Event::Tick);
-        }
-
-        let mut processed: u64 = 0;
-        let mut last_time = SimTime::ZERO;
-        let mut sched_calls: u64 = 0;
-        let mut sched_wall = std::time::Duration::ZERO;
-        while let Some((now, event)) = events.pop() {
-            processed += 1;
-            assert!(
-                processed <= self.config.max_events,
-                "event cap exceeded: the policy appears not to terminate"
-            );
-            // Health transitions on an idle server must not inflate the
-            // makespan (a recovery scheduled long after the last request
-            // finished is not serving time).
-            let is_health = matches!(event, Event::GpuDown | Event::GpuUp);
-            if !is_health || arrivals_pending > 0 || tracker.active_count() > 0 {
-                last_time = last_time.max(now);
-            }
-
-            let trigger = match event {
-                Event::Arrival(spec) => {
-                    tracker.admit(spec);
-                    arrivals_pending -= 1;
-                    if self.config.admission == AdmissionPolicy::ShedInfeasible {
-                        let healthy = GpuSet::first_n(n_gpus).difference(down).len();
-                        Self::shed_infeasible(&mut tracker, now, healthy, &self.costs);
-                    }
-                    Some(PolicyEvent::Arrival)
-                }
-                Event::DispatchDone { gpus, requests } => {
-                    // A fault opening exactly as the dispatch ends keeps the
-                    // GPU out of the pool (windows are half-open, so the
-                    // dispatch itself still completes).
-                    free = free.union(gpus).difference(down);
-                    for id in requests {
-                        tracker.finish_dispatch(id);
-                    }
-                    Some(PolicyEvent::DispatchDone)
-                }
-                Event::DispatchAborted {
-                    gpus,
-                    requests,
-                    lost_steps,
-                } => {
-                    free = free.union(gpus).difference(down);
-                    for id in requests {
-                        tracker.abort_dispatch(id, gpus, lost_steps);
-                        let retries = tracker.get(id).expect("tracked").retries;
-                        if retries > self.config.max_retries {
-                            tracker.fail(id);
-                        }
-                    }
-                    Some(PolicyEvent::DispatchDone)
-                }
-                Event::GpuDown => {
-                    // Recompute from the plan rather than toggling one GPU:
-                    // overlapping fault windows on the same GPU stay down
-                    // until the *last* window closes.
-                    down = self.config.engine.failures.down_gpus(now);
-                    free = free.difference(down);
-                    if self.config.admission == AdmissionPolicy::ShedInfeasible {
-                        let healthy = GpuSet::first_n(n_gpus).difference(down).len();
-                        Self::shed_infeasible(&mut tracker, now, healthy, &self.costs);
-                    }
-                    // Wake event-driven policies so queued work re-plans
-                    // around the shrunk capacity at once; round-driven
-                    // policies pick it up at the next tick.
-                    Some(PolicyEvent::DispatchDone)
-                }
-                Event::GpuUp => {
-                    let was = down;
-                    down = self.config.engine.failures.down_gpus(now);
-                    // A GPU can only return idle: while down it is excluded
-                    // from every plan, so no dispatch holds it at `up_at`.
-                    let newly_up = was.difference(down);
-                    free = free.union(newly_up).difference(down);
-                    Some(PolicyEvent::DispatchDone)
-                }
-                Event::Complete(id) => {
-                    tracker.complete(id, now);
-                    None
-                }
-                Event::Tick => {
-                    if arrivals_pending > 0 || tracker.active_count() > 0 {
-                        if let Some(next) = self.policy.next_tick(now) {
-                            assert!(next > now, "round ticks must advance time");
-                            events.push(next, Event::Tick);
-                        }
-                    }
-                    Some(PolicyEvent::RoundTick)
-                }
-            };
-
-            let Some(trigger) = trigger else { continue };
-            if !self.policy.reacts_to(trigger) {
-                continue;
-            }
-
-            let plans = {
-                let ctx = SchedContext {
-                    now,
-                    free,
-                    healthy: GpuSet::first_n(n_gpus).difference(down),
-                    n_gpus,
-                    tracker: &tracker,
-                    costs: &self.costs,
-                };
-                // tetrilint: allow(wall-clock) -- measures the host-side
-                // control-plane cost of Policy::schedule (Table 6); the
-                // value feeds SchedPass telemetry, never a decision.
-                let started = std::time::Instant::now();
-                let plans = self.policy.schedule(&ctx);
-                let elapsed = started.elapsed();
-                sched_wall += elapsed;
-                sched_calls += 1;
-                engine.record(TraceEvent::SchedPass {
-                    time: now,
-                    queue_depth: tracker.active_count(),
-                    plans: plans.len(),
-                    wall: elapsed,
-                });
-                if self.config.validate_plans {
-                    if let Err(e) = validate_plans(&plans, &ctx) {
-                        panic!("policy {} emitted invalid plans: {e}", self.policy.name());
-                    }
-                }
-                plans
-            };
-
-            for plan in plans {
-                let model = self.costs.model();
-                let cluster = self.costs.cluster();
-                let resolution = tracker
-                    .get(plan.requests[0])
-                    .expect("validated plan references tracked requests")
-                    .spec
-                    .resolution;
-                let batch = plan.batch();
-                let per_step = step_time_on(
-                    model,
-                    resolution,
-                    plan.gpus,
-                    batch,
-                    cluster,
-                    &topology,
-                    self.costs.scheme(),
-                );
-                let finishing: Vec<RequestId> = plan
-                    .requests
-                    .iter()
-                    .copied()
-                    .filter(|&id| tracker.get(id).expect("tracked").remaining_steps == plan.steps)
-                    .collect();
-                let decode_after = if finishing.is_empty() {
-                    None
-                } else {
-                    Some(model.decode_time(resolution, cluster.gpu.effective_tflops()))
-                };
-                let dispatch = StepDispatch {
-                    requests: plan.requests.clone(),
-                    gpus: plan.gpus,
-                    steps: plan.steps,
-                    per_step,
-                    latent_bytes: model.latent_bytes(resolution),
-                    activation_bytes_per_gpu: model.activation_bytes_per_gpu(
-                        resolution,
-                        plan.gpus.len(),
-                        batch,
-                    ),
-                    decode_after,
-                    finishing,
-                };
-                let outcome = engine
-                    .submit(now, &dispatch)
-                    .unwrap_or_else(|e| panic!("engine rejected a validated plan: {e}"));
-
-                // Accounting: GPU-seconds split evenly across the batch.
-                let span = outcome.gpus_free_at.saturating_since(now).as_secs_f64();
-                let gpu_seconds = plan.gpus.len() as f64 * span / f64::from(batch);
-                for &id in &plan.requests {
-                    tracker.start_dispatch(id, plan.gpus, plan.steps, gpu_seconds);
-                }
-                free = free.difference(plan.gpus);
-                if let Some(abort) = outcome.aborted {
-                    events.push(
-                        abort.time,
-                        Event::DispatchAborted {
-                            gpus: plan.gpus,
-                            requests: plan.requests.clone(),
-                            lost_steps: plan.steps - abort.completed_steps,
-                        },
-                    );
-                } else {
-                    events.push(
-                        outcome.gpus_free_at,
-                        Event::DispatchDone {
-                            gpus: plan.gpus,
-                            requests: plan.requests.clone(),
-                        },
-                    );
-                }
-                for (id, done) in outcome.request_done {
-                    events.push(done, Event::Complete(id));
-                }
-            }
-        }
-
-        let makespan = last_time.max(SimTime::from_micros(1));
-        let utilization = engine.utilization(makespan);
-        let mut outcomes = tracker.outcomes();
-        outcomes.sort_by_key(|o| o.id);
-        let trace = engine.into_trace();
-        let aborted_dispatches = trace.aborted_count();
-        let wasted_gpu_seconds = trace.wasted_gpu_seconds();
-        let shed_requests = outcomes.iter().filter(|o| o.shed).count();
-        ServeReport {
-            outcomes,
-            trace,
-            utilization,
-            makespan,
-            policy: self.policy.name(),
-            sched_calls,
-            sched_wall,
-            aborted_dispatches,
-            wasted_gpu_seconds,
-            shed_requests,
-        }
+        sim.start();
+        while sim.step() {}
+        sim.finish()
     }
+}
 
-    /// Deadline-aware admission control (EDF cumulative-demand test).
-    ///
-    /// Scans live requests in deadline order, accumulating each one's
-    /// cheapest deadline-respecting GPU-second demand; whenever the running
-    /// total exceeds what `healthy` GPUs can deliver by that deadline, the
-    /// least salvageable *not-yet-started* request in the prefix is shed
-    /// and the test restarts. Requests that already hold checkpointed steps
-    /// are never shed — dropping them would waste finished work.
-    fn shed_infeasible(
-        tracker: &mut RequestTracker,
-        now: SimTime,
-        healthy: usize,
-        costs: &CostTable,
-    ) {
-        struct Cand {
-            id: RequestId,
-            deadline: SimTime,
-            demand: f64,
-            slack: f64,
-            fresh: bool,
-        }
-        loop {
-            let mut live: Vec<Cand> = tracker
-                .iter()
-                .filter(|r| {
-                    matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0
-                })
-                .map(|r| {
-                    let res = r.spec.resolution;
-                    let horizon = r.spec.deadline.saturating_since(now).as_secs_f64();
-                    let remaining = f64::from(r.remaining_steps);
-                    let decode = costs
-                        .model()
-                        .decode_time(res, costs.cluster().gpu.effective_tflops())
-                        .as_secs_f64();
-                    // A tight deadline forces a wide (less GPU-efficient)
-                    // degree, so demand is the cheapest gpu-seconds among
-                    // degrees that can still make the deadline — diffusion
-                    // steps with jitter headroom plus the VAE decode — not
-                    // the global optimum. A request no degree can save
-                    // falls back to the fastest degree; its negative slack
-                    // makes it the first victim regardless.
-                    let per_step = costs
-                        .degrees()
-                        .iter()
-                        .filter(|&&k| {
-                            remaining * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM
-                                + decode
-                                <= horizon
-                        })
-                        .map(|&k| costs.gpu_seconds(res, k))
-                        .fold(f64::INFINITY, f64::min);
-                    let per_step = if per_step.is_finite() {
-                        per_step
-                    } else {
-                        let fastest = costs
-                            .degrees()
-                            .iter()
-                            .copied()
-                            .min_by_key(|&k| costs.step_time(res, k, 1))
-                            .expect("cost table has at least one degree");
-                        costs.gpu_seconds(res, fastest)
-                    };
-                    Cand {
-                        id: r.spec.id,
-                        deadline: r.spec.deadline,
-                        demand: f64::from(r.remaining_steps) * per_step,
-                        slack: horizon
-                            - f64::from(r.remaining_steps) * costs.t_min(res).as_secs_f64(),
-                        fresh: r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps,
-                    }
-                })
-                .collect();
-            live.sort_by(|a, b| a.deadline.cmp(&b.deadline).then(a.id.cmp(&b.id)));
+/// Deadline-aware admission control (EDF cumulative-demand test).
+///
+/// Scans live requests in deadline order, accumulating each one's
+/// cheapest deadline-respecting GPU-second demand; whenever the running
+/// total exceeds what `healthy` GPUs can deliver by that deadline, the
+/// least salvageable *not-yet-started* request in the prefix is shed
+/// and the test restarts. Requests that already hold checkpointed steps
+/// are never shed — dropping them would waste finished work.
+fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, healthy: usize, costs: &CostTable) {
+    loop {
+        let live: Vec<DemandEntry> = feasibility::live_entries(tracker, now, costs);
 
-            let mut demand = 0.0;
-            let mut shed = None;
-            for (i, c) in live.iter().enumerate() {
-                demand += c.demand;
-                let capacity = healthy as f64
-                    * c.deadline.saturating_since(now).as_secs_f64()
-                    * ADMISSION_UTILIZATION;
-                if demand > capacity {
-                    // Least slack first; on ties the newest admission goes
-                    // (reject the incoming request rather than break an
-                    // older commitment). Started requests are immune, so an
-                    // all-started prefix leaves this violation standing and
-                    // the scan moves on to ones it can still relieve.
-                    shed = live[..=i]
-                        .iter()
-                        .filter(|c| c.fresh)
-                        .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
-                        .map(|c| c.id);
-                    if shed.is_some() {
-                        break;
-                    }
+        let mut demand = 0.0;
+        let mut shed = None;
+        for (i, c) in live.iter().enumerate() {
+            demand += c.demand;
+            let capacity = healthy as f64
+                * c.deadline.saturating_since(now).as_secs_f64()
+                * feasibility::ADMISSION_UTILIZATION;
+            if demand > capacity {
+                // Least slack first; on ties the newest admission goes
+                // (reject the incoming request rather than break an
+                // older commitment). Started requests are immune, so an
+                // all-started prefix leaves this violation standing and
+                // the scan moves on to ones it can still relieve.
+                shed = live[..=i]
+                    .iter()
+                    .filter(|c| c.fresh)
+                    .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
+                    .map(|c| c.id);
+                if shed.is_some() {
+                    break;
                 }
             }
-            match shed {
-                Some(id) => tracker.shed(id),
-                None => break,
-            }
+        }
+        match shed {
+            Some(id) => tracker.shed(id),
+            None => break,
         }
     }
 }
@@ -875,5 +1095,103 @@ mod tests {
                 report.outcomes
             );
         }
+    }
+
+    fn stepwise(costs: CostTable) -> ClusterSim<TetriServePolicy> {
+        let policy = TetriServePolicy::with_defaults(&costs);
+        let mut config = ServerConfig::default();
+        config.engine.weights_bytes_per_gpu = costs.model().weights_bytes();
+        config.engine.hbm_capacity_bytes = costs.cluster().gpu.hbm_bytes();
+        ClusterSim::new(costs, policy, config)
+    }
+
+    #[test]
+    fn incremental_injection_matches_batch_run() {
+        // Fleet mode: arrivals injected just-in-time between steps must
+        // serve identically to the batch run that queues them all up front.
+        let specs = vec![
+            spec(0, Resolution::R512, 0.0, 4.0),
+            spec(1, Resolution::R1024, 2.0, 6.0),
+            spec(2, Resolution::R256, 9.0, 3.0),
+        ];
+        let batch = serve(specs.clone());
+
+        let mut sim = stepwise(costs());
+        sim.start();
+        let mut pending: std::collections::VecDeque<_> = specs.into_iter().collect();
+        loop {
+            // Inject every arrival due before (or at) the next internal
+            // event, mirroring the fleet driver's arbitration.
+            while let Some(next) = pending.front() {
+                let due = sim.next_event_time().map_or(true, |t| next.arrival <= t);
+                if due {
+                    let spec = pending.pop_front().expect("front exists");
+                    sim.push_arrival(spec);
+                } else {
+                    break;
+                }
+            }
+            if !sim.step() {
+                if let Some(spec) = pending.pop_front() {
+                    sim.push_arrival(spec);
+                } else {
+                    break;
+                }
+            }
+        }
+        let stepped = sim.finish();
+        let a: Vec<_> = batch.outcomes.iter().map(|o| o.completion).collect();
+        let b: Vec<_> = stepped.outcomes.iter().map(|o| o.completion).collect();
+        assert_eq!(a, b);
+        assert!(stepped.outcomes.iter().all(|o| o.met_slo()));
+    }
+
+    #[test]
+    fn load_snapshot_reflects_backlog() {
+        let mut sim = stepwise(costs());
+        sim.start();
+        sim.push_arrival(spec(0, Resolution::R1024, 0.0, 30.0));
+        sim.push_arrival(spec(1, Resolution::R2048, 0.0, 40.0));
+        // Process the two arrival events (plus the initial tick) without
+        // letting any dispatch finish.
+        for _ in 0..3 {
+            assert!(sim.step());
+        }
+        let load = sim.load(sim.now());
+        assert_eq!(load.n_gpus, 8);
+        assert_eq!(load.healthy_gpus, 8);
+        assert_eq!(load.depth(), 2, "{load:?}");
+        assert!(load.backlog_steps > 0);
+        assert!(load.backlog_gpu_seconds > 0.0);
+        assert!(load.pressure() > 0.0);
+    }
+
+    #[test]
+    fn admission_feasible_tracks_capacity() {
+        let sim = stepwise(costs());
+        let easy = spec(0, Resolution::R256, 0.0, 60.0);
+        assert!(sim.admission_feasible(&easy, SimTime::ZERO));
+        // No deadline horizon at all → zero capacity by any deadline.
+        let hopeless = spec(1, Resolution::R2048, 0.0, 0.0);
+        assert!(!sim.admission_feasible(&hopeless, SimTime::ZERO));
+    }
+
+    #[test]
+    fn drain_queued_fresh_extracts_unstarted_work() {
+        let mut sim = stepwise(costs());
+        sim.start();
+        sim.push_arrival(spec(0, Resolution::R512, 0.0, 30.0));
+        sim.push_arrival(spec(1, Resolution::R1024, 0.0, 30.0));
+        // Admit both without scheduling: process only the arrival events
+        // (the tick at t = 0 pops first; stop before any dispatch ends).
+        for _ in 0..3 {
+            assert!(sim.step());
+        }
+        let drained = sim.drain_queued_fresh();
+        // Whatever was dispatched by the t = 0 tick stays; the rest leaves
+        // untouched with full step budgets.
+        assert!(drained.iter().all(|s| s.total_steps == 50));
+        let load = sim.load(sim.now());
+        assert_eq!(load.queued, 0, "no fresh queued work remains");
     }
 }

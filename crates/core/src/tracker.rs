@@ -214,6 +214,28 @@ impl RequestTracker {
         r.phase = Phase::Shed;
     }
 
+    /// Removes a fresh, still-queued request from the tracker entirely and
+    /// returns its spec — fleet re-routing after a whole-cluster outage
+    /// hands the request to another cluster, so it must not appear in this
+    /// cluster's outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown, not queued, or has already
+    /// executed steps (progress is never discarded by re-routing).
+    pub fn extract(&mut self, id: RequestId) -> RequestSpec {
+        let r = self
+            .requests
+            .remove(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Queued, "{id} must be queued to extract");
+        assert_eq!(
+            r.remaining_steps, r.spec.total_steps,
+            "{id} already made progress; extracting it would waste work"
+        );
+        r.spec
+    }
+
     /// Marks the request fully complete (after VAE decode).
     ///
     /// # Panics

@@ -1,0 +1,435 @@
+//! The lockstep fleet driver.
+//!
+//! [`FleetSim`] co-simulates N heterogeneous clusters — each with its own
+//! cost table, policy and engine — under one deterministic virtual clock.
+//! Each cluster is a steppable [`ClusterSim`]; the driver arbitrates which
+//! cluster advances next by comparing three kinds of pending work:
+//!
+//! 1. **cluster-internal events** (dispatch completions, round ticks,
+//!    fault transitions) — via [`lockstep::next_source`], earliest time
+//!    wins, ties break to the lowest cluster index;
+//! 2. **whole-cluster outage drains** — at an outage's `down_from`,
+//!    queued work that has made no progress is extracted and re-routed;
+//! 3. **workload arrivals** — routed at arrival time via the [`Router`].
+//!
+//! On timestamp ties the priority is internal < outage < arrival. Internal
+//! events first means the outage's own GPU-fault events (pre-expanded into
+//! each cluster's failure plan) have already aborted in-flight dispatches
+//! when the drain runs, so zero-checkpoint aborted requests are back in
+//! the queue and get re-routed too. Outages before arrivals means a
+//! request arriving at the instant a cluster dies is never routed into it.
+//!
+//! Determinism: all inputs are sorted, all arbitration ties break on
+//! indices, and the routers are deterministic state machines — so the
+//! routing-decision digest and the fleet outcome digest are bit-identical
+//! across same-seed runs.
+
+use std::collections::VecDeque;
+
+use tetriserve_core::{ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig};
+use tetriserve_costmodel::CostTable;
+use tetriserve_metrics::{ClusterReport, FleetReport};
+use tetriserve_simulator::digest::Digest;
+use tetriserve_simulator::failure::ClusterOutage;
+use tetriserve_simulator::lockstep::{next_source, GlobalClock};
+use tetriserve_simulator::time::SimTime;
+
+use crate::router::{ClusterView, RouteDecision, Router};
+
+/// One cluster's static description: everything needed to build its
+/// [`ClusterSim`].
+pub struct FleetCluster {
+    /// Display label, e.g. `"h100x8-a"`.
+    pub name: String,
+    /// The cluster's cost table (encodes its topology and GPU model).
+    pub costs: CostTable,
+    /// The scheduling policy running inside the cluster.
+    pub policy: Box<dyn Policy>,
+    /// Server knobs (engine config, per-cluster admission, retries).
+    pub config: ServerConfig,
+}
+
+impl FleetCluster {
+    /// A cluster with default server knobs.
+    pub fn new(name: impl Into<String>, costs: CostTable, policy: Box<dyn Policy>) -> Self {
+        FleetCluster {
+            name: name.into(),
+            costs,
+            policy,
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// The multi-cluster co-simulation.
+pub struct FleetSim<R: Router> {
+    clusters: Vec<ClusterSim<Box<dyn Policy>>>,
+    names: Vec<String>,
+    router: R,
+    outages: Vec<ClusterOutage>,
+    /// Outage drains not yet executed, sorted by (down_from, cluster).
+    pending_outages: VecDeque<ClusterOutage>,
+    /// Workload not yet routed, sorted by (arrival, id).
+    arrivals: VecDeque<RequestSpec>,
+    clock: GlobalClock,
+    routed: Vec<usize>,
+    rerouted_in: Vec<usize>,
+    rerouted: usize,
+    fleet_shed: Vec<RequestOutcome>,
+    routing_digest: Digest,
+}
+
+impl<R: Router> FleetSim<R> {
+    /// Builds the fleet: expands each whole-cluster outage into per-GPU
+    /// faults inside that cluster's failure plan (so the cluster's own
+    /// engine and policy observe the outage through the ordinary
+    /// single-cluster fault machinery), constructs every [`ClusterSim`]
+    /// and seeds their initial round ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by `(arrival, id)` or an outage
+    /// names a cluster index out of range.
+    pub fn new(
+        clusters: Vec<FleetCluster>,
+        router: R,
+        arrivals: Vec<RequestSpec>,
+        mut outages: Vec<ClusterOutage>,
+    ) -> Self {
+        assert!(
+            arrivals
+                .windows(2)
+                .all(|w| (w[0].arrival, w[0].id) <= (w[1].arrival, w[1].id)),
+            "fleet arrivals must be sorted by (arrival, id)"
+        );
+        outages.sort_by_key(|o| (o.down_from, o.cluster));
+        for o in &outages {
+            assert!(
+                o.cluster < clusters.len(),
+                "outage names cluster {} but the fleet has {}",
+                o.cluster,
+                clusters.len()
+            );
+        }
+
+        let mut names = Vec::with_capacity(clusters.len());
+        let mut sims = Vec::with_capacity(clusters.len());
+        for (i, mut c) in clusters.into_iter().enumerate() {
+            let n_gpus = c.costs.cluster().topology().n_gpus();
+            for o in outages.iter().filter(|o| o.cluster == i) {
+                for fault in o.to_gpu_faults(n_gpus) {
+                    c.config.engine.failures = c.config.engine.failures.clone().with_fault(fault);
+                }
+            }
+            names.push(c.name);
+            let mut sim = ClusterSim::new(c.costs, c.policy, c.config);
+            sim.start();
+            sims.push(sim);
+        }
+
+        let n = sims.len();
+        FleetSim {
+            clusters: sims,
+            names,
+            router,
+            pending_outages: outages.iter().copied().collect(),
+            outages,
+            arrivals: arrivals.into(),
+            clock: GlobalClock::new(),
+            routed: vec![0; n],
+            rerouted_in: vec![0; n],
+            rerouted: 0,
+            fleet_shed: Vec::new(),
+            routing_digest: Digest::new(),
+        }
+    }
+
+    /// Runs the co-simulation to completion and aggregates the fleet
+    /// report.
+    pub fn run(mut self) -> FleetReport {
+        loop {
+            let internal: Vec<Option<SimTime>> =
+                self.clusters.iter().map(|c| c.next_event_time()).collect();
+            let next_internal = next_source(&internal);
+            let candidates = [
+                (next_internal.map(|(_, t)| t), 0u8),
+                (self.pending_outages.front().map(|o| o.down_from), 1u8),
+                (self.arrivals.front().map(|s| s.arrival), 2u8),
+            ];
+            let Some((t, rank)) = candidates
+                .iter()
+                .filter_map(|&(t, r)| t.map(|t| (t, r)))
+                .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+            else {
+                break;
+            };
+            self.clock.advance_to(t);
+            match rank {
+                0 => {
+                    let (i, _) = next_internal.expect("rank 0 implies an internal event");
+                    self.clusters[i].step();
+                }
+                1 => self.drain_outage(),
+                _ => {
+                    let spec = self
+                        .arrivals
+                        .pop_front()
+                        .expect("rank 2 implies an arrival");
+                    self.route(spec, false);
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// Handles the earliest pending outage: extracts the dying cluster's
+    /// fresh queued work (zero steps executed — including dispatches the
+    /// outage's fault events just aborted at this same timestamp) and
+    /// re-routes it with the arrival time reset to *now*. For a
+    /// *permanent* outage, requests with checkpointed progress are
+    /// terminally failed — their partial work can never resume on a dead
+    /// cluster, and leaving them live would keep its round-tick chain
+    /// spinning forever.
+    fn drain_outage(&mut self) {
+        let outage = self
+            .pending_outages
+            .pop_front()
+            .expect("drain_outage called with no pending outage");
+        let now = self.clock.now();
+        let drained = self.clusters[outage.cluster].drain_queued_fresh();
+        if outage.up_at.is_none() {
+            self.clusters[outage.cluster].fail_incomplete();
+        }
+        for mut spec in drained {
+            spec.arrival = now;
+            self.rerouted += 1;
+            self.route(spec, true);
+        }
+    }
+
+    /// Routes one request: snapshots every cluster, asks the router, and
+    /// folds the decision into the routing digest. Fleet-shed requests
+    /// become synthetic outcomes that never reached any cluster.
+    fn route(&mut self, spec: RequestSpec, reroute: bool) {
+        let at = self.clock.now();
+        let views: Vec<ClusterView> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterView {
+                index: i,
+                up: !self
+                    .outages
+                    .iter()
+                    .any(|o| o.cluster == i && o.is_down_at(at)),
+                feasible: c.admission_feasible(&spec, at),
+                load: c.load(at),
+            })
+            .collect();
+        let decision = self.router.route(&spec, &views);
+
+        self.routing_digest.push(spec.id.0);
+        self.routing_digest.push(spec.arrival.as_micros());
+        self.routing_digest.push(u64::from(reroute));
+        match decision {
+            RouteDecision::To(i) => {
+                assert!(
+                    i < views.len(),
+                    "router chose cluster {i} of {}",
+                    views.len()
+                );
+                assert!(
+                    views[i].up,
+                    "router sent request {} to down cluster {i}",
+                    spec.id.0
+                );
+                self.routing_digest.push(i as u64);
+                if reroute {
+                    self.rerouted_in[i] += 1;
+                } else {
+                    self.routed[i] += 1;
+                }
+                self.clusters[i].push_arrival(spec);
+            }
+            RouteDecision::Shed => {
+                self.routing_digest.push(u64::MAX);
+                self.fleet_shed.push(RequestOutcome {
+                    id: spec.id,
+                    resolution: spec.resolution,
+                    arrival: spec.arrival,
+                    deadline: spec.deadline,
+                    completion: None,
+                    gpu_seconds: 0.0,
+                    steps_executed: 0,
+                    sp_degree_step_sum: 0,
+                    retries: 0,
+                    shed: true,
+                });
+            }
+        }
+    }
+
+    fn finish(self) -> FleetReport {
+        let router = self.router.name();
+        let mut clusters = Vec::with_capacity(self.clusters.len());
+        for (i, sim) in self.clusters.into_iter().enumerate() {
+            let n_gpus = sim.n_gpus();
+            clusters.push(ClusterReport {
+                name: self.names[i].clone(),
+                n_gpus,
+                routed: self.routed[i],
+                rerouted_in: self.rerouted_in[i],
+                report: sim.finish(),
+            });
+        }
+        let mut report = FleetReport {
+            router,
+            clusters,
+            fleet_shed: self.fleet_shed,
+            rerouted: self.rerouted,
+            routing_digest: self.routing_digest.value(),
+            outcome_digest: 0,
+        };
+        // Same fold as the single-cluster perf harness: (id, completion µs
+        // or MAX) over id-sorted outcomes.
+        let mut digest = Digest::new();
+        for o in report.all_outcomes() {
+            digest.push(o.id.0);
+            digest.push(o.completion.map_or(u64::MAX, |t| t.as_micros()));
+        }
+        report.outcome_digest = digest.value();
+        report
+    }
+}
+
+/// Convenience wrapper: builds a [`FleetSim`] and runs it to completion.
+pub fn run_fleet<R: Router>(
+    clusters: Vec<FleetCluster>,
+    router: R,
+    arrivals: Vec<RequestSpec>,
+    outages: Vec<ClusterOutage>,
+) -> FleetReport {
+    FleetSim::new(clusters, router, arrivals, outages).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{DeadlineAwareRouter, JoinShortestQueueRouter, RoundRobinRouter};
+    use tetriserve_core::TetriServePolicy;
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_simulator::trace::RequestId;
+
+    fn h100x8(name: &str) -> FleetCluster {
+        let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
+        let policy: Box<dyn Policy> = Box::new(TetriServePolicy::with_defaults(&costs));
+        FleetCluster::new(name, costs, policy)
+    }
+
+    fn two_clusters() -> Vec<FleetCluster> {
+        vec![h100x8("h100x8-a"), h100x8("h100x8-b")]
+    }
+
+    fn spec(id: u64, arrival_s: f64, deadline_s: f64) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            resolution: Resolution::R1024,
+            arrival: SimTime::from_secs_f64(arrival_s),
+            deadline: SimTime::from_secs_f64(arrival_s + deadline_s),
+            total_steps: 50,
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_clusters() {
+        let arrivals: Vec<RequestSpec> = (0..4).map(|i| spec(i, i as f64 * 0.5, 30.0)).collect();
+        let report = run_fleet(two_clusters(), RoundRobinRouter::new(), arrivals, vec![]);
+        assert_eq!(report.clusters[0].routed, 2);
+        assert_eq!(report.clusters[1].routed, 2);
+        assert_eq!(report.total_requests(), 4);
+        assert_eq!(report.fleet_shed.len(), 0);
+        assert!(report.sar() > 0.0);
+    }
+
+    #[test]
+    fn all_requests_complete_on_an_uncontended_fleet() {
+        let arrivals: Vec<RequestSpec> = (0..6).map(|i| spec(i, i as f64, 60.0)).collect();
+        let report = run_fleet(
+            two_clusters(),
+            JoinShortestQueueRouter::new(),
+            arrivals,
+            vec![],
+        );
+        let outcomes = report.all_outcomes();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| o.completion.is_some()));
+        assert_eq!(report.sar(), 1.0);
+    }
+
+    #[test]
+    fn outage_reroutes_fresh_queued_work() {
+        // Cluster 0 takes a request at t=0, then dies permanently at
+        // t=0.5s while later work is queued behind it. The queued fresh
+        // requests must move to cluster 1 and complete there.
+        let arrivals: Vec<RequestSpec> =
+            vec![spec(0, 0.0, 60.0), spec(1, 0.1, 60.0), spec(2, 0.2, 60.0)];
+        // A router that pins everything to cluster 0 while it is up.
+        struct PinFirstUp;
+        impl Router for PinFirstUp {
+            fn name(&self) -> String {
+                "pin-first-up".to_owned()
+            }
+            fn route(&mut self, _spec: &RequestSpec, views: &[ClusterView]) -> RouteDecision {
+                views
+                    .iter()
+                    .find(|v| v.up)
+                    .map_or(RouteDecision::Shed, |v| RouteDecision::To(v.index))
+            }
+        }
+        let outage = ClusterOutage::permanent(0, SimTime::from_secs_f64(0.5));
+        let report = run_fleet(two_clusters(), PinFirstUp, arrivals, vec![outage]);
+        assert!(report.rerouted > 0, "queued fresh work must be re-routed");
+        assert_eq!(report.clusters[1].rerouted_in, report.rerouted);
+        // Everything re-routed to cluster 1 completes there.
+        assert!(report.clusters[1]
+            .report
+            .outcomes
+            .iter()
+            .all(|o| o.completion.is_some()));
+        assert_eq!(report.total_requests(), 3);
+    }
+
+    #[test]
+    fn deadline_aware_sheds_fleet_wide_only_when_nothing_is_feasible() {
+        // An impossible deadline is infeasible on every cluster → shed at
+        // the fleet level, never reaching a cluster.
+        let arrivals = vec![spec(0, 0.0, 0.001)];
+        let report = run_fleet(two_clusters(), DeadlineAwareRouter::new(), arrivals, vec![]);
+        assert_eq!(report.fleet_shed.len(), 1);
+        assert!(report.fleet_shed[0].shed);
+        assert_eq!(report.clusters[0].routed + report.clusters[1].routed, 0);
+    }
+
+    #[test]
+    fn same_inputs_same_digests() {
+        let run = || {
+            let arrivals: Vec<RequestSpec> =
+                (0..8).map(|i| spec(i, i as f64 * 0.3, 20.0)).collect();
+            let outage = ClusterOutage::transient(
+                0,
+                SimTime::from_secs_f64(1.0),
+                SimTime::from_secs_f64(3.0),
+            );
+            run_fleet(
+                two_clusters(),
+                DeadlineAwareRouter::new(),
+                arrivals,
+                vec![outage],
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.routing_digest, b.routing_digest);
+        assert_eq!(a.outcome_digest, b.outcome_digest);
+        assert_eq!(a.sar(), b.sar());
+    }
+}

@@ -1,0 +1,65 @@
+//! # tetriserve-fleet
+//!
+//! Deterministic multi-cluster co-simulation: the production framing of
+//! the paper, where one *fleet* of heterogeneous clusters (e.g. two
+//! 8×H100 nodes plus a 4×A40 node, each with its own cost table and
+//! scheduling policy) serves a multiplexed mixed-DiT workload under a
+//! single virtual clock.
+//!
+//! * [`driver`] — the lockstep [`FleetSim`]: arbitrates per-cluster event
+//!   queues, whole-cluster outage drains and workload arrivals on one
+//!   [`GlobalClock`](tetriserve_simulator::lockstep::GlobalClock), with
+//!   deterministic tie-breaking (internal < outage < arrival, then lowest
+//!   cluster index);
+//! * [`router`] — the [`Router`] contract plus four policies: round-robin,
+//!   join-shortest-queue, power-of-two-choices, and deadline-aware
+//!   (EDF-feasibility-gated, shedding fleet-wide only when *no* cluster
+//!   can meet the deadline).
+//!
+//! Every fleet run yields a
+//! [`FleetReport`](tetriserve_metrics::FleetReport) carrying two FNV-1a
+//! digests — the routing-decision stream and the fleet-wide outcome set —
+//! that are bit-identical across same-seed runs; the determinism suite
+//! and the `perf_fleet` bench pin them.
+//!
+//! # Examples
+//!
+//! ```
+//! use tetriserve_core::{Policy, RequestSpec, TetriServePolicy};
+//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+//! use tetriserve_fleet::{run_fleet, FleetCluster, RoundRobinRouter};
+//! use tetriserve_simulator::time::SimTime;
+//! use tetriserve_simulator::trace::RequestId;
+//!
+//! let cluster = |name: &str| {
+//!     let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
+//!     let policy: Box<dyn Policy> = Box::new(TetriServePolicy::with_defaults(&costs));
+//!     FleetCluster::new(name, costs, policy)
+//! };
+//! let arrivals = vec![RequestSpec {
+//!     id: RequestId(0),
+//!     resolution: Resolution::R512,
+//!     arrival: SimTime::ZERO,
+//!     deadline: SimTime::from_secs_f64(30.0),
+//!     total_steps: 50,
+//! }];
+//! let report = run_fleet(
+//!     vec![cluster("a"), cluster("b")],
+//!     RoundRobinRouter::new(),
+//!     arrivals,
+//!     vec![],
+//! );
+//! assert_eq!(report.total_requests(), 1);
+//! assert_eq!(report.sar(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod router;
+
+pub use driver::{run_fleet, FleetCluster, FleetSim};
+pub use router::{
+    ClusterView, DeadlineAwareRouter, JoinShortestQueueRouter, PowerOfTwoRouter, RoundRobinRouter,
+    RouteDecision, Router,
+};

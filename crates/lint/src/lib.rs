@@ -193,9 +193,90 @@ mod tests {
 
     #[test]
     fn unordered_iter_not_in_decision_path() {
+        // Outside decision paths the *iteration* is legal, but collecting
+        // hash order into a Vec still fires `unordered-collect`; inside a
+        // decision path the same line fires `unordered-iter` only (one
+        // site, one rule — the collect hit defers).
         let src = "use std::collections::HashMap;\nfn t(m: &HashMap<u64, u64>) -> Vec<u64> {\n    m.values().copied().collect()\n}";
-        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+        assert_eq!(fired(BENCH, src), vec!["unordered-collect"]);
         assert_eq!(fired(CORE, src), vec!["unordered-iter"]);
+    }
+
+    // ---- unordered-collect ---------------------------------------------
+
+    #[test]
+    fn unordered_collect_bad_let_binding() {
+        let src = "use std::collections::HashMap;\nfn t(m: &HashMap<u64, u64>) {\n    let ids: Vec<u64> = m.keys().copied().collect();\n    let _ = ids;\n}";
+        assert_eq!(fired(BENCH, src), vec!["unordered-collect"]);
+    }
+
+    #[test]
+    fn unordered_collect_bad_turbofish_tail() {
+        let src = "use std::collections::HashSet;\nfn t(s: &HashSet<u64>) -> Vec<u64> {\n    s.iter().copied().collect::<Vec<u64>>()\n}";
+        assert_eq!(fired(BENCH, src), vec!["unordered-collect"]);
+    }
+
+    #[test]
+    fn unordered_collect_good_sorted_after() {
+        // Collect-and-sort is the sanctioned idiom.
+        let src = "use std::collections::HashMap;\nfn t(m: &HashMap<u64, u64>) -> Vec<u64> {\n    let mut ids: Vec<u64> = m.keys().copied().collect();\n    ids.sort_unstable();\n    ids\n}";
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unordered_collect_good_btree_and_hash_targets() {
+        // A BTree target re-sorts; a hash target materializes no order.
+        let src = "use std::collections::{BTreeMap, HashMap, HashSet};\nfn t(m: &HashMap<u64, u64>) -> usize {\n    let sorted: BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();\n    let live: HashSet<u64> = m.keys().copied().collect();\n    sorted.len() + live.len()\n}";
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unordered_collect_good_point_access() {
+        let src = "use std::collections::HashMap;\nfn t(m: &HashMap<u64, u64>) -> Vec<u64> {\n    vec![m.get(&1).copied().unwrap_or(0)]\n}";
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unordered_collect_allowed_inline() {
+        let src = "use std::collections::HashMap;\nfn t(m: &HashMap<u64, u64>) -> Vec<u64> {\n    // tetrilint: allow(unordered-collect) -- order re-established by caller\n    m.keys().copied().collect()\n}";
+        let scan = scan_source(BENCH, src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert!(scan.allows[0].used);
+    }
+
+    // ---- strict mode ---------------------------------------------------
+
+    #[test]
+    fn strict_promotes_unused_allows_to_violations() {
+        let src = "fn t() {\n    // tetrilint: allow(wall-clock) -- stale: the clock read was removed\n    let x = 1;\n    let _ = x;\n}";
+        let mut rep = report::LintReport::default();
+        rep.absorb(scan_source(BENCH, src));
+        rep.finish();
+        // Lenient: the unused allow is counted but not fatal.
+        assert!(rep.is_clean());
+        assert_eq!(rep.unused_allows(), 1);
+        // Strict: it becomes an `unused-allow` violation at the
+        // annotation's own line.
+        rep.enforce_unused_allows();
+        assert!(!rep.is_clean());
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "unused-allow");
+        assert_eq!(rep.violations[0].line, 2);
+        assert!(
+            rep.render_text().contains("unused-allow"),
+            "{}",
+            rep.render_text()
+        );
+    }
+
+    #[test]
+    fn strict_is_a_no_op_when_every_allow_is_used() {
+        let src = "fn t() {\n    // tetrilint: allow(wall-clock) -- host-side measurement\n    let s = std::time::Instant::now();\n    let _ = s;\n}";
+        let mut rep = report::LintReport::default();
+        rep.absorb(scan_source(BENCH, src));
+        rep.finish();
+        rep.enforce_unused_allows();
+        assert!(rep.is_clean(), "{:?}", rep.violations);
     }
 
     // ---- unwrap --------------------------------------------------------

@@ -1,26 +1,30 @@
 //! `tetrilint` — scan the workspace and exit non-zero on any violation.
 //!
 //! ```text
-//! tetrilint [--json] [ROOT]
+//! tetrilint [--json] [--strict] [ROOT]
 //! ```
 //!
 //! With no `ROOT`, walks up from the current directory to the first
 //! ancestor containing a `Cargo.toml` with a `[workspace]` section (so
 //! `cargo run -p tetriserve-lint` works from any crate dir). `--json`
-//! emits the `tetrilint/v1` document instead of `file:line:` text; the
-//! exit code is 1 whenever violations exist, so CI can gate on it.
+//! emits the `tetrilint/v1` document instead of `file:line:` text;
+//! `--strict` additionally promotes unused allow annotations to
+//! `unused-allow` violations. The exit code is 1 whenever violations
+//! exist, so CI can gate on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut strict = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--strict" => strict = true,
             "--help" | "-h" => {
-                println!("usage: tetrilint [--json] [ROOT]");
+                println!("usage: tetrilint [--json] [--strict] [ROOT]");
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -42,7 +46,10 @@ fn main() -> ExitCode {
     };
 
     match tetriserve_lint::scan_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if strict {
+                report.enforce_unused_allows();
+            }
             if json {
                 print!("{}", report.render_json());
             } else {

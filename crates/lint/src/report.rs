@@ -21,9 +21,32 @@ impl LintReport {
     }
 
     /// Annotations no violation matched — stale justifications worth
-    /// pruning (reported, not yet fatal; see ROADMAP open items).
+    /// pruning. Always counted in the report; fatal under `--strict`
+    /// (see [`LintReport::enforce_unused_allows`]).
     pub fn unused_allows(&self) -> usize {
         self.allows.iter().filter(|a| !a.used).count()
+    }
+
+    /// `--strict` mode: promote every unused allow annotation to an
+    /// `unused-allow` violation. An allow that silences nothing is a
+    /// stale justification — the code it excused was fixed or deleted —
+    /// and leaving it in place pre-authorizes a future regression at
+    /// that site. Call after all files are absorbed; re-sorts the report.
+    pub fn enforce_unused_allows(&mut self) {
+        for a in &self.allows {
+            if !a.used {
+                self.violations.push(Violation {
+                    file: a.file.clone(),
+                    line: a.line,
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow({}) matched no violation; delete the stale annotation",
+                        a.rule
+                    ),
+                });
+            }
+        }
+        self.finish();
     }
 
     /// Merge one file's scan into the report.

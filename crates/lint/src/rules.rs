@@ -11,11 +11,13 @@
 //! | `wall-clock`        | determinism       | every scanned file            |
 //! | `ambient-rng`       | determinism       | every scanned file            |
 //! | `unordered-iter`    | determinism       | decision-path crates          |
+//! | `unordered-collect` | determinism       | every scanned file            |
 //! | `unwrap`            | panic-discipline  | hot-path modules              |
 //! | `slice-index`       | panic-discipline  | hot-path modules              |
 //! | `float-eq`          | float-discipline  | every scanned file            |
 //! | `partial-cmp-unwrap`| float-discipline  | every scanned file            |
 //! | `bad-annotation`    | (meta)            | every scanned file            |
+//! | `unused-allow`      | (meta, `--strict`)| every scanned file            |
 //!
 //! Decision-path crates are the ones whose control flow picks schedules:
 //! `core`, `simulator`, `metrics`, `costmodel`, `baselines`. Hot-path
@@ -30,11 +32,13 @@ pub const RULE_NAMES: &[&str] = &[
     "wall-clock",
     "ambient-rng",
     "unordered-iter",
+    "unordered-collect",
     "unwrap",
     "slice-index",
     "float-eq",
     "partial-cmp-unwrap",
     "bad-annotation",
+    "unused-allow",
 ];
 
 /// Crate sub-paths whose files count as scheduling decision paths.
@@ -146,6 +150,21 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
     if decision_path {
         rule_unordered_iter(&live, &mut raw);
     }
+    // `unordered-collect` runs everywhere, but defers to `unordered-iter`
+    // where both fire on the same line — decision paths already ban the
+    // iteration itself, and one site should not cost two annotations.
+    let iter_lines: Vec<u32> = raw
+        .iter()
+        .filter(|(_, rule, _)| *rule == "unordered-iter")
+        .map(|(line, _, _)| *line)
+        .collect();
+    let mut collect_hits: Vec<(u32, &'static str, String)> = Vec::new();
+    rule_unordered_collect(&live, &mut collect_hits);
+    raw.extend(
+        collect_hits
+            .into_iter()
+            .filter(|(line, _, _)| !iter_lines.contains(line)),
+    );
     if hot_path {
         rule_unwrap(&live, &mut raw);
         rule_slice_index(&live, &mut raw);
@@ -324,29 +343,7 @@ fn rule_ambient_rng(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
 /// mismatches. Bindings are found lexically: any identifier declared with
 /// a `HashMap`/`HashSet` type ascription in this file.
 fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
-    let mut bindings: Vec<&str> = Vec::new();
-    for (k, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
-            continue;
-        }
-        // Walk back over `std :: collections ::` path segments…
-        let mut p = k;
-        while p >= 2 && toks[p - 1].text == "::" {
-            p -= 2;
-        }
-        // …and over `&`, `mut` and lifetimes in the type position…
-        while p >= 1
-            && (toks[p - 1].text == "&"
-                || toks[p - 1].text == "mut"
-                || toks[p - 1].kind == TokKind::Lifetime)
-        {
-            p -= 1;
-        }
-        // …to a `name :` type ascription (let binding, fn param, field).
-        if p >= 2 && toks[p - 1].text == ":" && toks[p - 2].kind == TokKind::Ident {
-            bindings.push(&toks[p - 2].text);
-        }
-    }
+    let bindings = hash_bindings(toks);
     if bindings.is_empty() {
         return;
     }
@@ -392,6 +389,125 @@ fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>
                 ),
             ));
         }
+    }
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type ascription in
+/// this file (let bindings, fn params, struct fields) — the lexical
+/// binding set shared by `unordered-iter` and `unordered-collect`.
+fn hash_bindings<'a>(toks: &[&'a Tok]) -> Vec<&'a str> {
+    let mut bindings: Vec<&str> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over `std :: collections ::` path segments…
+        let mut p = k;
+        while p >= 2 && toks[p - 1].text == "::" {
+            p -= 2;
+        }
+        // …and over `&`, `mut` and lifetimes in the type position…
+        while p >= 1
+            && (toks[p - 1].text == "&"
+                || toks[p - 1].text == "mut"
+                || toks[p - 1].kind == TokKind::Lifetime)
+        {
+            p -= 1;
+        }
+        // …to a `name :` type ascription (let binding, fn param, field).
+        if p >= 2 && toks[p - 1].text == ":" && toks[p - 2].kind == TokKind::Ident {
+            bindings.push(&toks[p - 2].text);
+        }
+    }
+    bindings
+}
+
+/// `map.iter()…collect()` into a `Vec` with no subsequent sort: the Vec
+/// freezes the per-instance hash order, so two same-seed runs hold the
+/// same elements in different positions. Unlike `unordered-iter` this
+/// fires in *every* file — a bench or workload crate that collects hash
+/// order into a report poisons digest comparisons just as surely as a
+/// scheduler would. Collecting into `BTreeMap`/`BTreeSet` (re-sorts) or
+/// `HashMap`/`HashSet` (no materialized order) is fine, as is a
+/// `sort*()` call on the collected binding later in the file.
+fn rule_unordered_collect(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    let bindings = hash_bindings(toks);
+    if bindings.is_empty() {
+        return;
+    }
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !bindings.contains(&t.text.as_str()) {
+            continue;
+        }
+        let unordered_site = toks.get(k + 1).is_some_and(|t| t.text == ".")
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| UNORDERED_METHODS.contains(&t.text.as_str()))
+            && toks.get(k + 3).is_some_and(|t| t.text == "(");
+        if !unordered_site {
+            continue;
+        }
+        // Statement window: back to the previous `;`/`{`/`}`, forward to
+        // the next `;` (or EOF for tail expressions).
+        let stmt_start = (0..k)
+            .rev()
+            .find(|&j| matches!(toks[j].text.as_str(), ";" | "{" | "}"))
+            .map_or(0, |j| j + 1);
+        let stmt_end = (k..toks.len())
+            .find(|&j| toks[j].text == ";")
+            .unwrap_or(toks.len());
+        let Some(c) = (k + 3..stmt_end)
+            .find(|&j| toks[j].kind == TokKind::Ident && toks[j].text == "collect")
+        else {
+            continue;
+        };
+        // The collect target, where lexically visible (turbofish after
+        // `collect`, or the let-ascription ahead of the chain). A BTree
+        // target re-sorts; a hash target materializes no order. Anything
+        // else — Vec, or inferred — freezes hash order.
+        let target_ordered = (stmt_start..k).chain(c..stmt_end.min(c + 8)).any(|j| {
+            toks[j].text.starts_with("BTree")
+                || toks[j].text == "HashMap"
+                || toks[j].text == "HashSet"
+        });
+        if target_ordered {
+            continue;
+        }
+        // A later `sort*()` on the collected binding restores a canonical
+        // order, which is the sanctioned collect-and-sort idiom.
+        let bound = if toks.get(stmt_start).is_some_and(|t| t.text == "let") {
+            let p = if toks.get(stmt_start + 1).is_some_and(|t| t.text == "mut") {
+                stmt_start + 2
+            } else {
+                stmt_start + 1
+            };
+            toks.get(p)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+        } else {
+            None
+        };
+        let sorted_later = bound.is_some_and(|name| {
+            (stmt_end..toks.len()).any(|j| {
+                toks[j].kind == TokKind::Ident
+                    && toks[j].text == name
+                    && toks.get(j + 1).is_some_and(|t| t.text == ".")
+                    && toks.get(j + 2).is_some_and(|t| t.text.starts_with("sort"))
+            })
+        });
+        if sorted_later {
+            continue;
+        }
+        let name = &t.text;
+        let method = &toks[k + 2].text;
+        out.push((
+            t.line,
+            "unordered-collect",
+            format!(
+                "`{name}.{method}()…collect` freezes std HashMap/HashSet hash order \
+                 into the result; sort the collected Vec or collect into a BTree container"
+            ),
+        ));
     }
 }
 

@@ -1,0 +1,171 @@
+//! Fleet-level aggregation of per-cluster serving reports.
+//!
+//! A fleet run produces one [`ServeReport`] per cluster plus the routing
+//! decisions that shaped them. [`FleetReport`] folds those into the
+//! fleet-wide view the paper's production framing calls for: overall SLO
+//! attainment (counting fleet-shed requests), goodput over the fleet
+//! makespan, per-cluster routing counts and cross-cluster load imbalance.
+
+use tetriserve_core::{RequestOutcome, ServeReport};
+use tetriserve_simulator::time::SimTime;
+
+/// One cluster's contribution to a fleet run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Human-readable cluster label (e.g. `"h100x8-a"`).
+    pub name: String,
+    /// GPUs in the cluster, for capacity-normalised comparisons.
+    pub n_gpus: usize,
+    /// Requests the router sent to this cluster at arrival time.
+    pub routed: usize,
+    /// Requests re-routed *onto* this cluster after another cluster's
+    /// outage.
+    pub rerouted_in: usize,
+    /// The cluster's own serving report.
+    pub report: ServeReport,
+}
+
+/// The aggregated result of a fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Router that produced this run (e.g. `"deadline-aware"`).
+    pub router: String,
+    /// Per-cluster reports, in cluster-index order.
+    pub clusters: Vec<ClusterReport>,
+    /// Requests shed at the fleet level (no cluster was feasible, or none
+    /// was up). These never reached any cluster.
+    pub fleet_shed: Vec<RequestOutcome>,
+    /// Requests re-routed between clusters after outages.
+    pub rerouted: usize,
+    /// FNV-1a digest over the routing-decision stream.
+    pub routing_digest: u64,
+    /// FNV-1a digest over per-request outcomes fleet-wide.
+    pub outcome_digest: u64,
+}
+
+impl FleetReport {
+    /// Every outcome in the fleet — cluster outcomes plus fleet-level
+    /// sheds — sorted by request id.
+    pub fn all_outcomes(&self) -> Vec<RequestOutcome> {
+        let mut out: Vec<RequestOutcome> = self
+            .clusters
+            .iter()
+            .flat_map(|c| c.report.outcomes.iter().copied())
+            .chain(self.fleet_shed.iter().copied())
+            .collect();
+        out.sort_by_key(|o| o.id);
+        out
+    }
+
+    /// Fleet-wide SLO attainment: met-SLO requests over *all* requests,
+    /// including fleet-shed ones (they count against attainment exactly
+    /// like cluster-shed requests do in [`ServeReport::sar`]).
+    pub fn sar(&self) -> f64 {
+        let outcomes = self.all_outcomes();
+        if outcomes.is_empty() {
+            return 1.0;
+        }
+        outcomes.iter().filter(|o| o.met_slo()).count() as f64 / outcomes.len() as f64
+    }
+
+    /// The fleet makespan: the latest cluster makespan (all clusters share
+    /// one virtual clock).
+    pub fn makespan(&self) -> SimTime {
+        self.clusters
+            .iter()
+            .map(|c| c.report.makespan)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Fleet goodput: SLO-met requests per second of fleet makespan.
+    pub fn goodput(&self) -> f64 {
+        let met = self.all_outcomes().iter().filter(|o| o.met_slo()).count();
+        met as f64 / self.makespan().as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Total requests that entered the fleet.
+    pub fn total_requests(&self) -> usize {
+        self.clusters
+            .iter()
+            .map(|c| c.report.outcomes.len())
+            .sum::<usize>()
+            + self.fleet_shed.len()
+    }
+
+    /// Requests shed anywhere: at the fleet router or by per-cluster
+    /// admission control.
+    pub fn total_shed(&self) -> usize {
+        self.fleet_shed.len()
+            + self
+                .clusters
+                .iter()
+                .map(|c| c.report.shed_requests)
+                .sum::<usize>()
+    }
+
+    /// Cross-cluster load imbalance: the coefficient of variation of
+    /// per-cluster busy GPU-seconds *per GPU* (capacity-normalised so an
+    /// 8-GPU and a 4-GPU cluster compare fairly). 0 = perfectly balanced.
+    pub fn load_imbalance(&self) -> f64 {
+        let per_gpu: Vec<f64> = self
+            .clusters
+            .iter()
+            .map(|c| {
+                let busy: f64 = c.report.outcomes.iter().map(|o| o.gpu_seconds).sum();
+                busy / c.n_gpus.max(1) as f64
+            })
+            .collect();
+        load_imbalance(&per_gpu)
+    }
+}
+
+/// Coefficient of variation (σ/μ) over per-cluster normalised loads.
+/// Returns 0 for fewer than two clusters or an all-idle fleet.
+pub fn load_imbalance(loads: &[f64]) -> f64 {
+    if loads.len() < 2 {
+        return 0.0;
+    }
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_equal_loads_is_zero() {
+        assert_eq!(load_imbalance(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(load_imbalance(&[]), 0.0);
+        assert_eq!(
+            load_imbalance(&[5.0]),
+            0.0,
+            "one cluster is trivially balanced"
+        );
+        assert_eq!(
+            load_imbalance(&[0.0, 0.0]),
+            0.0,
+            "an idle fleet is balanced"
+        );
+    }
+
+    #[test]
+    fn imbalance_grows_with_skew() {
+        let mild = load_imbalance(&[4.0, 5.0, 6.0]);
+        let severe = load_imbalance(&[0.5, 5.0, 9.5]);
+        assert!(mild > 0.0);
+        assert!(severe > mild, "{severe} vs {mild}");
+    }
+
+    #[test]
+    fn imbalance_is_scale_invariant() {
+        let a = load_imbalance(&[1.0, 2.0, 3.0]);
+        let b = load_imbalance(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

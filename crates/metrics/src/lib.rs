@@ -11,6 +11,8 @@
 //! * [`utilization`] — per-GPU busy fractions and cluster-occupancy series
 //!   reconstructed from execution traces;
 //! * [`batching`] — selective-batching statistics from traces (§5);
+//! * [`fleet`] — multi-cluster aggregation: fleet SAR/goodput, routing
+//!   counts and cross-cluster load imbalance;
 //! * [`report`] — plain-text tables and ASCII charts used by the benchmark
 //!   harness to print paper-style artefacts.
 //!
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod batching;
+pub mod fleet;
 pub mod latency;
 pub mod report;
 pub mod sar;
@@ -33,6 +36,7 @@ pub mod timeseries;
 pub mod utilization;
 
 pub use batching::{batching_stats, BatchingStats};
+pub use fleet::{load_imbalance, ClusterReport, FleetReport};
 pub use latency::{cdf_at, latency_cdf, mean_latency, percentile, LatencySummary};
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};

@@ -110,6 +110,67 @@ impl GpuFault {
     }
 }
 
+/// A whole-cluster outage for fleet-level co-simulation: every GPU of the
+/// named cluster goes down at `down_from` (a rack power or network-fabric
+/// event rather than a single device falling off the bus).
+///
+/// The fleet driver expands an outage into per-GPU [`GpuFault`]s on the
+/// affected cluster's failure plan — so the cluster's own engine aborts
+/// in-flight dispatches and its policy sees zero healthy GPUs through the
+/// ordinary single-cluster machinery — and additionally re-routes the
+/// cluster's queued-but-unstarted requests to surviving clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterOutage {
+    /// Index of the affected cluster in the fleet.
+    pub cluster: usize,
+    /// When the cluster goes dark.
+    pub down_from: SimTime,
+    /// When it returns (exclusive), or `None` for a permanent loss.
+    pub up_at: Option<SimTime>,
+}
+
+impl ClusterOutage {
+    /// A transient outage over `[down_from, up_at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn transient(cluster: usize, down_from: SimTime, up_at: SimTime) -> Self {
+        assert!(down_from < up_at, "outage window must be non-empty");
+        ClusterOutage {
+            cluster,
+            down_from,
+            up_at: Some(up_at),
+        }
+    }
+
+    /// A permanent loss starting at `down_from`.
+    pub fn permanent(cluster: usize, down_from: SimTime) -> Self {
+        ClusterOutage {
+            cluster,
+            down_from,
+            up_at: None,
+        }
+    }
+
+    /// Whether the cluster is dark at `time`.
+    pub fn is_down_at(&self, time: SimTime) -> bool {
+        is_active_at(self.down_from, self.up_at, time)
+    }
+
+    /// Expands the outage into one [`GpuFault`] per GPU of an
+    /// `n_gpus`-wide cluster.
+    pub fn to_gpu_faults(&self, n_gpus: usize) -> Vec<GpuFault> {
+        (0..n_gpus)
+            .map(|g| GpuFault {
+                gpu: GpuId(g),
+                down_from: self.down_from,
+                up_at: self.up_at,
+            })
+            .collect()
+    }
+}
+
 /// A set of injected degradations and outages.
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
@@ -438,6 +499,43 @@ mod tests {
                 None
             );
         }
+    }
+
+    #[test]
+    fn cluster_outage_expands_to_per_gpu_faults() {
+        let (from, until) = window(100, 200);
+        let outage = ClusterOutage::transient(2, from, until);
+        assert!(!outage.is_down_at(SimTime::from_millis(99)));
+        assert!(outage.is_down_at(SimTime::from_millis(100)));
+        assert!(!outage.is_down_at(SimTime::from_millis(200)));
+        let faults = outage.to_gpu_faults(4);
+        assert_eq!(faults.len(), 4);
+        let mut plan = FailurePlan::none();
+        for f in faults {
+            assert_eq!(f.down_from, from);
+            assert_eq!(f.up_at, Some(until));
+            plan = plan.with_fault(f);
+        }
+        // Every GPU of the cluster is dark for the whole window.
+        assert_eq!(
+            plan.down_gpus(SimTime::from_millis(150)),
+            GpuSet::first_n(4)
+        );
+        assert!(plan.down_gpus(SimTime::from_millis(200)).is_empty());
+    }
+
+    #[test]
+    fn permanent_cluster_outage_never_recovers() {
+        let outage = ClusterOutage::permanent(0, SimTime::from_millis(50));
+        assert!(outage.is_down_at(SimTime::from_secs_f64(1e9)));
+        assert!(outage.to_gpu_faults(8).iter().all(|f| f.up_at.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_outage_window_rejected() {
+        let t = SimTime::from_millis(5);
+        ClusterOutage::transient(0, t, t);
     }
 
     #[test]

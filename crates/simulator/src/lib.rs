@@ -18,7 +18,11 @@
 //!   Table 1-calibrated jitter, remap stalls and sequential VAE decode;
 //! * [`failure`] — straggler injection for graceful-degradation testing;
 //! * [`trace`] — the event log the metrics crate mines for figures;
-//! * [`rng`] — seeded randomness (Box–Muller normals, exponentials).
+//! * [`rng`] — seeded randomness (Box–Muller normals, exponentials);
+//! * [`digest`] — the shared FNV-1a decision-digest and splitmix64 seed
+//!   machinery behind every reproducibility check;
+//! * [`lockstep`] — arbitration rules for multi-engine co-simulation
+//!   (the fleet layer's single virtual clock).
 //!
 //! Schedulers (both TetriServe and the fixed-SP baselines) drive the same
 //! engine, so every policy comparison in the benchmark harness is
@@ -51,12 +55,14 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod engine;
 pub mod event;
 pub mod failure;
 pub mod gpuset;
 pub mod group;
 pub mod latent;
+pub mod lockstep;
 pub mod memory;
 pub mod rng;
 pub mod time;

@@ -12,6 +12,8 @@
 //! * [`prompt`] — a DiffusionDB-like synthetic prompt library with
 //!   clustered CLIP-style embeddings (for the Nirvana integration);
 //! * [`gen`] — the end-to-end trace generator;
+//! * [`multiplex`] — merging independent tenant streams into one fleet
+//!   arrival stream;
 //! * [`trace_io`] — CSV persistence so exact request streams can be saved
 //!   and replayed across machines;
 //! * [`scenarios`] — curated named workloads (paper defaults, flash crowd,
@@ -42,6 +44,7 @@
 pub mod arrival;
 pub mod gen;
 pub mod mix;
+pub mod multiplex;
 pub mod prompt;
 pub mod scenarios;
 pub mod slo;
@@ -50,6 +53,7 @@ pub mod trace_io;
 pub use arrival::{ArrivalProcess, BurstyProcess, DiurnalProcess, PoissonProcess, UniformProcess};
 pub use gen::{GeneratedRequest, TraceGen, TraceRecord};
 pub use mix::ResolutionMix;
+pub use multiplex::multiplex;
 pub use prompt::{Embedding, Prompt, PromptLibrary};
 pub use slo::SloPolicy;
 pub use trace_io::{from_csv, resolution_for_tokens, to_csv, ParseTraceError};

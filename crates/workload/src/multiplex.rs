@@ -1,0 +1,146 @@
+//! Multiplexing independent tenant arrival streams into one fleet stream.
+//!
+//! A fleet serves many tenants at once — each with its own arrival
+//! process, resolution mix and SLO policy. [`multiplex`] merges per-tenant
+//! streams into a single globally-ordered stream with fresh sequential
+//! ids, which is what the fleet router consumes: routing decisions are
+//! made per *arrival*, blind to which tenant produced it.
+
+use crate::gen::GeneratedRequest;
+
+/// Merges per-tenant request streams into one stream ordered by arrival
+/// time (ties break by stream index, then by position within the stream —
+/// fully deterministic). Ids are re-assigned sequentially in the merged
+/// order, so the output is indistinguishable from a single generated
+/// trace.
+///
+/// Each input stream must already be sorted by arrival time, which is what
+/// [`crate::gen::TraceGen::generate`] produces.
+///
+/// # Panics
+///
+/// Panics if a stream is not sorted by arrival time.
+pub fn multiplex(streams: Vec<Vec<GeneratedRequest>>) -> Vec<GeneratedRequest> {
+    for (i, s) in streams.iter().enumerate() {
+        assert!(
+            s.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "tenant stream {i} is not sorted by arrival time"
+        );
+    }
+    let mut tagged: Vec<(usize, usize, GeneratedRequest)> = streams
+        .into_iter()
+        .enumerate()
+        .flat_map(|(tenant, s)| {
+            s.into_iter()
+                .enumerate()
+                .map(move |(pos, r)| (tenant, pos, r))
+        })
+        .collect();
+    // Stable key: arrival first (total order over the floats — generated
+    // arrivals are finite), then tenant, then intra-stream position.
+    tagged.sort_by(|a, b| {
+        a.2.arrival_s
+            .total_cmp(&b.2.arrival_s)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    tagged
+        .into_iter()
+        .enumerate()
+        .map(|(id, (_, _, mut r))| {
+            r.id = id as u64;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::PoissonProcess;
+    use crate::gen::TraceGen;
+    use crate::mix::ResolutionMix;
+    use crate::prompt::{Embedding, Prompt, PromptLibrary};
+    use crate::slo::SloPolicy;
+    use tetriserve_costmodel::Resolution;
+
+    fn req(arrival_s: f64, res: Resolution) -> GeneratedRequest {
+        GeneratedRequest {
+            id: 0,
+            arrival_s,
+            resolution: res,
+            deadline_s: arrival_s + 5.0,
+            prompt: Prompt {
+                id: 0,
+                cluster: 0,
+                embedding: Embedding::new(vec![1.0]),
+            },
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_arrival_and_reassigns_ids() {
+        let a = vec![req(0.1, Resolution::R256), req(2.0, Resolution::R512)];
+        let b = vec![req(0.5, Resolution::R1024), req(1.5, Resolution::R2048)];
+        let merged = multiplex(vec![a, b]);
+        let arrivals: Vec<f64> = merged.iter().map(|r| r.arrival_s).collect();
+        assert_eq!(arrivals, vec![0.1, 0.5, 1.5, 2.0]);
+        let ids: Vec<u64> = merged.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(merged[2].resolution, Resolution::R2048);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_break_ties_by_tenant() {
+        let a = vec![req(1.0, Resolution::R256)];
+        let b = vec![req(1.0, Resolution::R2048)];
+        let merged = multiplex(vec![a, b]);
+        assert_eq!(merged[0].resolution, Resolution::R256, "tenant 0 first");
+        assert_eq!(merged[1].resolution, Resolution::R2048);
+    }
+
+    #[test]
+    fn empty_streams_are_fine() {
+        assert!(multiplex(vec![]).is_empty());
+        let only = vec![req(0.3, Resolution::R512)];
+        let merged = multiplex(vec![vec![], only, vec![]]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].id, 0);
+    }
+
+    #[test]
+    fn generated_tenant_streams_merge_deterministically() {
+        let gen_stream = |seed: u64, rate: f64, n: usize| {
+            TraceGen::new(
+                PoissonProcess::new(rate),
+                ResolutionMix::uniform(),
+                SloPolicy::paper_targets(),
+                PromptLibrary::diffusiondb_like(seed),
+                seed,
+            )
+            .generate(n)
+        };
+        let run = || {
+            multiplex(vec![
+                gen_stream(1, 12.0, 40),
+                gen_stream(2, 6.0, 20),
+                gen_stream(3, 20.0, 60),
+            ])
+        };
+        let x = run();
+        let y = run();
+        assert_eq!(x.len(), 120);
+        assert_eq!(x, y, "multiplexing is deterministic");
+        assert!(x.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(x.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn unsorted_stream_rejected() {
+        multiplex(vec![vec![
+            req(2.0, Resolution::R256),
+            req(1.0, Resolution::R256),
+        ]]);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`baselines`] — xDiT fixed-SP and RSSP comparison policies;
 //! * [`workload`] — arrivals, mixes, SLOs and prompts;
 //! * [`metrics`] — SAR, latency CDFs and time series;
+//! * [`fleet`] — deterministic multi-cluster co-simulation with
+//!   cross-cluster routing;
 //! * [`nirvana`] — approximate-caching acceleration;
 //! * [`exact`] — exhaustive / ILP exact schedulers (complexity results);
 //! * `bench` — the experiment harness regenerating the paper's artefacts.
@@ -38,6 +40,7 @@ pub use tetriserve_bench as bench;
 pub use tetriserve_core as core;
 pub use tetriserve_costmodel as costmodel;
 pub use tetriserve_exact as exact;
+pub use tetriserve_fleet as fleet;
 pub use tetriserve_metrics as metrics;
 pub use tetriserve_nirvana as nirvana;
 pub use tetriserve_simulator as simulator;
