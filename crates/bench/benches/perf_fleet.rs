@@ -1,7 +1,10 @@
 //! Fleet routing harness — produces `BENCH_fleet.json` at the repository
-//! root (schema `tetriserve-bench-fleet/v1`, documented in DESIGN.md):
+//! root (schema `tetriserve-bench-fleet/v2`, documented in DESIGN.md):
 //! every shipped router over the identical heterogeneous three-cluster
-//! scenario, with deterministic routing and outcome digests per router.
+//! scenario, with deterministic routing and outcome digests per router,
+//! plus the skewed-outage rebalancing comparison (static vs rebalancing
+//! deadline-aware routing, with migration counts, migrated GPU-seconds,
+//! the hand-off delay histogram and the migration digest).
 //!
 //! Run modes:
 //!
@@ -10,8 +13,9 @@
 //! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run.
 //!
 //! The process exits non-zero if the deadline-aware router fails to
-//! strictly beat round-robin on SLO attainment — the fleet layer's core
-//! claim.
+//! strictly beat round-robin on SLO attainment, or if the rebalancing
+//! deadline-aware fleet fails to strictly beat the static one on the
+//! skewed outage — the fleet layer's two core claims.
 
 use std::path::PathBuf;
 
@@ -47,6 +51,19 @@ fn main() {
         );
     }
 
+    let rb = &report.rebalance;
+    println!("skewed-outage rebalancing comparison:");
+    for r in [&rb.static_da, &rb.rebalanced] {
+        println!(
+            "{:>30} {:>8.4} {:>10.4} {:>6} {:>9} {:>10.4}  {:?}",
+            r.router, r.sar, r.goodput, r.shed, r.rerouted, r.load_imbalance, r.routed
+        );
+    }
+    println!(
+        "  migrations {} (rescues {}), migrated {:.2} GPU-s, handoff histogram {:?}",
+        rb.migrations, rb.rescues, rb.migrated_gpu_seconds, rb.handoff_histogram
+    );
+
     // Repo root: crates/bench/ -> crates/ -> root.
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -67,6 +84,13 @@ fn main() {
             "FAIL: deadline-aware sar {} does not beat round-robin sar {}",
             sar("deadline-aware"),
             sar("round-robin")
+        );
+        std::process::exit(1);
+    }
+    if rb.rebalanced.sar <= rb.static_da.sar {
+        eprintln!(
+            "FAIL: rebalanced sar {} does not beat static sar {} on the skewed outage",
+            rb.rebalanced.sar, rb.static_da.sar
         );
         std::process::exit(1);
     }

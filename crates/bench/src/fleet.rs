@@ -16,16 +16,26 @@
 //! feasibility gate never routes them to a cluster that cannot make the
 //! deadline.
 //!
-//! Two digests pin determinism per router: the routing-decision stream
-//! and the fleet-wide outcome fold (both FNV-1a, same constants as
+//! A second scenario — the *skewed outage* — pits the fleet rebalancer
+//! against static routing: the same workload, but cluster 0 stays down
+//! for two minutes. Static deadline-aware routing strands the partially
+//! denoised work the outage aborted onto cluster 0's queue until it
+//! recovers — deadline misses by construction — while the rebalancing
+//! fleet migrates it to the survivors, paying the real latent hand-off
+//! delay per move. The harness (and CI) fail unless rebalancing strictly
+//! beats static on SLO attainment here.
+//!
+//! Three digests pin determinism per run: the routing-decision stream,
+//! the fleet-wide outcome fold, and (for rebalanced runs) the
+//! enacted-migration stream (all FNV-1a, same constants as
 //! `BENCH_scheduler.json`). [`FleetPerfReport::to_json`] renders the
-//! `tetriserve-bench-fleet/v1` schema without a serialisation dependency.
+//! `tetriserve-bench-fleet/v2` schema without a serialisation dependency.
 
 use tetriserve_core::{Policy, RequestSpec, ServerConfig, TetriServeConfig, TetriServePolicy};
-use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+use tetriserve_costmodel::{ClusterSpec, DitModel, InterClusterLink, Profiler};
 use tetriserve_fleet::{
-    run_fleet, DeadlineAwareRouter, FleetCluster, JoinShortestQueueRouter, PowerOfTwoRouter,
-    RoundRobinRouter, Router,
+    run_fleet, run_fleet_rebalanced, DeadlineAwareRouter, EdfRebalancer, FleetCluster,
+    JoinShortestQueueRouter, PowerOfTwoRouter, RoundRobinRouter, Router,
 };
 use tetriserve_metrics::FleetReport;
 use tetriserve_simulator::failure::ClusterOutage;
@@ -94,6 +104,27 @@ pub struct RouterResult {
     pub outcome_digest: u64,
 }
 
+/// Rebalancer-vs-static comparison on the skewed-outage scenario: the
+/// same deadline-aware router and workload, with and without the EDF
+/// rebalancer (which also enables fleet-coordinated admission).
+#[derive(Debug)]
+pub struct RebalanceComparison {
+    /// Static deadline-aware routing (no rebalancer).
+    pub static_da: RouterResult,
+    /// Deadline-aware routing plus the EDF rebalancer.
+    pub rebalanced: RouterResult,
+    /// Migrations the rebalancer enacted.
+    pub migrations: usize,
+    /// Shed-bound requests coordinated admission placed instead.
+    pub rescues: usize,
+    /// GPU-seconds of executed work carried across clusters.
+    pub migrated_gpu_seconds: f64,
+    /// Hand-off delay histogram (`<1ms, <10ms, <100ms, <1s, ≥1s`).
+    pub handoff_histogram: [usize; 5],
+    /// FNV-1a digest over the enacted-migration stream.
+    pub migration_digest: u64,
+}
+
 /// The full harness output.
 #[derive(Debug)]
 pub struct FleetPerfReport {
@@ -107,6 +138,8 @@ pub struct FleetPerfReport {
     pub requests: usize,
     /// One entry per router, in the canonical order.
     pub routers: Vec<RouterResult>,
+    /// The skewed-outage rebalancing comparison.
+    pub rebalance: RebalanceComparison,
 }
 
 /// The three-cluster heterogeneous fleet every router is judged on.
@@ -191,6 +224,21 @@ fn scenario_outage() -> ClusterOutage {
     )
 }
 
+/// The rebalancer's showcase: the same outage cluster, but down for two
+/// minutes instead of one — past most SLO deadlines. Static routing
+/// leaves the partially denoised requests the outage aborted (progress
+/// checkpointed, so the fresh-work drain cannot move them) stranded on
+/// cluster 0's queue until recovery; a rebalancing fleet migrates them to
+/// the survivors within one planning cadence, each move charged its
+/// latent hand-off delay.
+pub fn scenario_skewed_outage() -> ClusterOutage {
+    ClusterOutage::transient(
+        0,
+        SimTime::from_secs_f64(30.0),
+        SimTime::from_secs_f64(150.0),
+    )
+}
+
 /// Runs one router over the shared scenario.
 pub fn run_router(config: &FleetPerfConfig, router: Box<dyn Router>) -> FleetReport {
     run_fleet(
@@ -199,6 +247,37 @@ pub fn run_router(config: &FleetPerfConfig, router: Box<dyn Router>) -> FleetRep
         fleet_workload(config),
         vec![scenario_outage()],
     )
+}
+
+/// Runs the deadline-aware router over the skewed-outage scenario twice —
+/// statically and with the EDF rebalancer on the datacenter link — and
+/// summarizes both.
+pub fn run_rebalance_comparison(config: &FleetPerfConfig) -> RebalanceComparison {
+    let arrivals = fleet_workload(config);
+    let outages = vec![scenario_skewed_outage()];
+    let static_report = run_fleet(
+        build_fleet(),
+        Box::new(DeadlineAwareRouter::new()) as Box<dyn Router>,
+        arrivals.clone(),
+        outages.clone(),
+    );
+    let rebalanced_report = run_fleet_rebalanced(
+        build_fleet(),
+        Box::new(DeadlineAwareRouter::new()) as Box<dyn Router>,
+        arrivals,
+        outages,
+        Box::new(EdfRebalancer::new()),
+        InterClusterLink::datacenter(),
+    );
+    RebalanceComparison {
+        static_da: summarize(&static_report),
+        rebalanced: summarize(&rebalanced_report),
+        migrations: rebalanced_report.migrations,
+        rescues: rebalanced_report.rescues,
+        migrated_gpu_seconds: rebalanced_report.migrated_gpu_seconds,
+        handoff_histogram: rebalanced_report.handoff_delay_histogram(),
+        migration_digest: rebalanced_report.migration_digest,
+    }
 }
 
 fn summarize(report: &FleetReport) -> RouterResult {
@@ -238,15 +317,37 @@ pub fn run_fleet_perf(config: &FleetPerfConfig, mode: &str) -> FleetPerfReport {
         clusters,
         requests,
         routers: results,
+        rebalance: run_rebalance_comparison(config),
     }
 }
 
+/// Renders one router summary as a single-line JSON object.
+fn router_json(r: &RouterResult) -> String {
+    let routed: Vec<String> = r.routed.iter().map(usize::to_string).collect();
+    format!(
+        "{{\"router\": \"{}\", \"sar\": {:.6}, \"goodput\": {:.6}, \
+         \"shed\": {}, \"rerouted\": {}, \"load_imbalance\": {:.6}, \
+         \"routed\": [{}], \"routing_digest\": \"{:#018x}\", \
+         \"outcome_digest\": \"{:#018x}\"}}",
+        r.router,
+        r.sar,
+        r.goodput,
+        r.shed,
+        r.rerouted,
+        r.load_imbalance,
+        routed.join(", "),
+        r.routing_digest,
+        r.outcome_digest,
+    )
+}
+
 impl FleetPerfReport {
-    /// Renders the `BENCH_fleet.json` artefact.
+    /// Renders the `BENCH_fleet.json` artefact (schema v2: v1's router
+    /// table plus the skewed-outage rebalancing comparison).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"tetriserve-bench-fleet/v1\",\n");
+        out.push_str("  \"schema\": \"tetriserve-bench-fleet/v2\",\n");
         out.push_str(&format!("  \"seed\": \"{:#x}\",\n", self.seed));
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         let names: Vec<String> = self.clusters.iter().map(|c| format!("\"{c}\"")).collect();
@@ -254,25 +355,37 @@ impl FleetPerfReport {
         out.push_str(&format!("  \"requests\": {},\n", self.requests));
         out.push_str("  \"routers\": [\n");
         for (i, r) in self.routers.iter().enumerate() {
-            let routed: Vec<String> = r.routed.iter().map(usize::to_string).collect();
             out.push_str(&format!(
-                "    {{\"router\": \"{}\", \"sar\": {:.6}, \"goodput\": {:.6}, \
-                 \"shed\": {}, \"rerouted\": {}, \"load_imbalance\": {:.6}, \
-                 \"routed\": [{}], \"routing_digest\": \"{:#018x}\", \
-                 \"outcome_digest\": \"{:#018x}\"}}{}\n",
-                r.router,
-                r.sar,
-                r.goodput,
-                r.shed,
-                r.rerouted,
-                r.load_imbalance,
-                routed.join(", "),
-                r.routing_digest,
-                r.outcome_digest,
+                "    {}{}\n",
+                router_json(r),
                 if i + 1 == self.routers.len() { "" } else { "," },
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let rb = &self.rebalance;
+        let hist: Vec<String> = rb.handoff_histogram.iter().map(usize::to_string).collect();
+        out.push_str("  \"rebalance\": {\n");
+        out.push_str("    \"scenario\": \"skewed-outage\",\n");
+        out.push_str(&format!("    \"static\": {},\n", router_json(&rb.static_da)));
+        out.push_str(&format!(
+            "    \"rebalanced\": {},\n",
+            router_json(&rb.rebalanced)
+        ));
+        out.push_str(&format!("    \"migrations\": {},\n", rb.migrations));
+        out.push_str(&format!("    \"rescues\": {},\n", rb.rescues));
+        out.push_str(&format!(
+            "    \"migrated_gpu_seconds\": {:.6},\n",
+            rb.migrated_gpu_seconds
+        ));
+        out.push_str(&format!(
+            "    \"handoff_delay_histogram\": [{}],\n",
+            hist.join(", ")
+        ));
+        out.push_str(&format!(
+            "    \"migration_digest\": \"{:#018x}\"\n",
+            rb.migration_digest
+        ));
+        out.push_str("  }\n}\n");
         out
     }
 }
@@ -331,13 +444,45 @@ mod tests {
     fn json_schema_is_well_formed() {
         let report = run_fleet_perf(&FleetPerfConfig::smoke(), "smoke");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"tetriserve-bench-fleet/v1\""));
+        assert!(json.contains("\"schema\": \"tetriserve-bench-fleet/v2\""));
         assert!(json.contains("\"router\": \"round-robin\""));
         assert!(json.contains("\"router\": \"deadline-aware\""));
         assert_eq!(
             json.matches("\"routing_digest\"").count(),
-            4,
-            "one digest per router"
+            6,
+            "one digest per router, plus the static/rebalanced pair"
         );
+        assert!(json.contains("\"rebalance\": {"));
+        assert!(json.contains("\"scenario\": \"skewed-outage\""));
+        assert!(json.contains("\"migration_digest\""));
+        assert!(json.contains("\"router\": \"deadline-aware+edf-rebalance\""));
+    }
+
+    #[test]
+    fn rebalancing_strictly_beats_static_on_the_skewed_outage() {
+        let cmp = run_rebalance_comparison(&FleetPerfConfig::smoke());
+        assert!(
+            cmp.rebalanced.sar > cmp.static_da.sar,
+            "rebalanced sar {} must strictly beat static sar {}",
+            cmp.rebalanced.sar,
+            cmp.static_da.sar
+        );
+        assert!(cmp.migrations > 0, "the showcase must actually migrate");
+        assert_eq!(
+            cmp.handoff_histogram.iter().sum::<usize>(),
+            cmp.migrations,
+            "every migration lands in exactly one histogram bucket"
+        );
+    }
+
+    #[test]
+    fn rebalance_comparison_is_digest_stable() {
+        let config = FleetPerfConfig::smoke();
+        let a = run_rebalance_comparison(&config);
+        let b = run_rebalance_comparison(&config);
+        assert_eq!(a.rebalanced.routing_digest, b.rebalanced.routing_digest);
+        assert_eq!(a.rebalanced.outcome_digest, b.rebalanced.outcome_digest);
+        assert_eq!(a.migration_digest, b.migration_digest);
+        assert_eq!(a.migrations, b.migrations);
     }
 }

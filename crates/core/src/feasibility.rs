@@ -132,7 +132,23 @@ pub fn sort_entries(entries: &mut [DemandEntry]) {
 /// deliver (derated by [`ADMISSION_UTILIZATION`]) at every deadline.
 /// `entries` must already be in EDF scan order.
 pub fn edf_feasible(entries: &[DemandEntry], now: SimTime, healthy: usize) -> bool {
-    let mut demand = 0.0;
+    edf_feasible_with_extra(entries, now, healthy, 0.0)
+}
+
+/// [`edf_feasible`] with the demand accumulator seeded at `extra`
+/// GPU-seconds. The fleet rebalancer uses this to account for migrations
+/// it has already committed to a target cluster *within the same
+/// rebalance tick*: the in-flight work is not in the target's tracker
+/// yet, but it will land before any of the scanned deadlines, so it
+/// competes for the same capacity. `extra = 0.0` is bit-identical to the
+/// plain scan (the accumulator starts at `0.0 + 0.0`).
+pub fn edf_feasible_with_extra(
+    entries: &[DemandEntry],
+    now: SimTime,
+    healthy: usize,
+    extra: f64,
+) -> bool {
+    let mut demand = extra;
     for e in entries {
         demand += e.demand;
         let capacity =
@@ -142,6 +158,32 @@ pub fn edf_feasible(entries: &[DemandEntry], now: SimTime, healthy: usize) -> bo
         }
     }
     true
+}
+
+/// The ids of every entry inside the violating EDF prefix: if the
+/// cumulative-demand scan last exceeds capacity at index `j`, all of
+/// `entries[..=j]` are "at risk" — the backlog through deadline `j`
+/// cannot be delivered, and any of those requests is a candidate to be
+/// moved elsewhere (moving a later one frees capacity for the whole
+/// prefix). Empty when the backlog is feasible. A cluster with zero
+/// healthy GPUs has zero capacity, so every entry with positive demand
+/// is at risk — which is exactly what the fleet rebalancer wants during
+/// a whole-cluster outage. `entries` must be in EDF scan order.
+pub fn edf_at_risk(entries: &[DemandEntry], now: SimTime, healthy: usize) -> Vec<RequestId> {
+    let mut demand = 0.0;
+    let mut last_violation = None;
+    for (i, e) in entries.iter().enumerate() {
+        demand += e.demand;
+        let capacity =
+            healthy as f64 * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
+        if demand > capacity {
+            last_violation = Some(i);
+        }
+    }
+    match last_violation {
+        Some(j) => entries[..=j].iter().map(|e| e.id).collect(),
+        None => Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +240,47 @@ mod tests {
         let relaxed = cheapest_step_demand(&c, Resolution::R2048, 50, 1e9);
         let hopeless = cheapest_step_demand(&c, Resolution::R2048, 50, 0.001);
         assert!(hopeless >= relaxed);
+    }
+
+    #[test]
+    fn at_risk_prefix_matches_feasibility_verdict() {
+        let c = costs();
+        let ids: Vec<(u64, f64)> = (0..40).map(|i| (i, 3.0)).collect();
+        let t = tracked(&ids);
+        let entries = live_entries(&t, SimTime::ZERO, &c);
+        // Feasible backlog: nothing at risk.
+        assert!(edf_at_risk(&entries, SimTime::ZERO, 4096).is_empty());
+        // Infeasible on one GPU: the at-risk set is a non-empty prefix in
+        // scan order.
+        let risk = edf_at_risk(&entries, SimTime::ZERO, 1);
+        assert!(!risk.is_empty());
+        assert_eq!(
+            risk,
+            entries[..risk.len()]
+                .iter()
+                .map(|e| e.id)
+                .collect::<Vec<_>>()
+        );
+        // Zero healthy GPUs: everything with demand is at risk.
+        let all = edf_at_risk(&entries, SimTime::ZERO, 0);
+        assert_eq!(all.len(), entries.len());
+    }
+
+    #[test]
+    fn extra_demand_tightens_the_scan() {
+        let c = costs();
+        let t = tracked(&[(0, 30.0), (1, 30.0)]);
+        let entries = live_entries(&t, SimTime::ZERO, &c);
+        assert!(edf_feasible(&entries, SimTime::ZERO, 8));
+        assert!(edf_feasible_with_extra(&entries, SimTime::ZERO, 8, 0.0));
+        // A huge in-flight migration load makes the same backlog
+        // infeasible.
+        assert!(!edf_feasible_with_extra(
+            &entries,
+            SimTime::ZERO,
+            8,
+            1e9
+        ));
     }
 
     #[test]

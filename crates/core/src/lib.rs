@@ -60,4 +60,4 @@ pub use policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub use request::{RequestOutcome, RequestSpec};
 pub use scheduler::TetriServePolicy;
 pub use server::{ClusterLoad, ClusterSim, ServeReport, Server, ServerConfig};
-pub use tracker::RequestTracker;
+pub use tracker::{MigratedRequest, RequestTracker};

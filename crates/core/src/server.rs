@@ -20,7 +20,7 @@ use tetriserve_costmodel::CostTable;
 use tetriserve_simulator::engine::{Engine, EngineConfig, StepDispatch};
 use tetriserve_simulator::event::EventQueue;
 use tetriserve_simulator::gpuset::GpuSet;
-use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::topology::Topology;
 use tetriserve_simulator::trace::{RequestId, Trace, TraceEvent};
 
@@ -28,7 +28,7 @@ use crate::config::AdmissionPolicy;
 use crate::feasibility::{self, DemandEntry};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
 use crate::request::{RequestOutcome, RequestSpec};
-use crate::tracker::{Phase, RequestTracker};
+use crate::tracker::{MigratedRequest, Phase, RequestTracker};
 
 /// Server behaviour knobs.
 #[derive(Debug, Clone)]
@@ -176,6 +176,14 @@ enum Event {
     Tick,
     GpuDown,
     GpuUp,
+    /// A cross-cluster migration's latent hand-off completes and the
+    /// request re-enters this cluster's queue. `bytes`/`delay` are carried
+    /// only for the trace record.
+    Migration {
+        m: MigratedRequest,
+        bytes: u64,
+        delay: SimDuration,
+    },
 }
 
 /// One cluster's serving loop as an explicitly steppable state machine.
@@ -267,28 +275,79 @@ impl<P: Policy> ClusterSim<P> {
         );
         self.events.push(spec.arrival, Event::Arrival(spec));
         self.arrivals_pending += 1;
-        if self.started && !self.tick_pending {
-            // Re-seed from the *arrival*, not the cursor: an idle cluster's
-            // cursor lags the fleet's global clock, and a tick between the
-            // two would run in the global past. The chain restarts at the
-            // first grid point at or after the arrival — exactly where an
-            // always-alive batch-mode chain would next do meaningful work
-            // (grid points are ≥ 1 µs apart, so probing 1 µs early lands on
-            // the arrival itself when it is on-grid).
-            let next = if spec.arrival == SimTime::ZERO {
-                self.policy.next_tick(SimTime::ZERO).map(|_| SimTime::ZERO)
-            } else {
-                let probe = SimTime::from_micros(spec.arrival.as_micros() - 1);
-                self.policy.next_tick(probe)
-            };
-            if let Some(next) = next {
-                // A tick at the cursor is legal: it queues behind the event
-                // being processed at the same timestamp.
-                assert!(next >= self.cursor, "round ticks must not rewind time");
-                self.events.push(next, Event::Tick);
-                self.tick_pending = true;
-            }
+        self.reseed_tick_at(spec.arrival);
+    }
+
+    /// Restarts a dead round-tick chain at the first grid point at or
+    /// after `at`. Re-seeds from the injection instant, not the cursor: an
+    /// idle cluster's cursor lags the fleet's global clock, and a tick
+    /// between the two would run in the global past. The chain restarts at
+    /// the first grid point at or after `at` — exactly where an
+    /// always-alive batch-mode chain would next do meaningful work (grid
+    /// points are ≥ 1 µs apart, so probing 1 µs early lands on `at` itself
+    /// when it is on-grid).
+    fn reseed_tick_at(&mut self, at: SimTime) {
+        if !self.started || self.tick_pending {
+            return;
         }
+        let next = if at == SimTime::ZERO {
+            self.policy.next_tick(SimTime::ZERO).map(|_| SimTime::ZERO)
+        } else {
+            // tetrilint: allow(sim-time-monotonicity) -- at != ZERO here,
+            // so the raw-micros probe cannot underflow; it intentionally
+            // lands 1 µs early so an on-grid `at` yields a tick at `at`.
+            let probe = SimTime::from_micros(at.as_micros() - 1);
+            self.policy.next_tick(probe)
+        };
+        if let Some(next) = next {
+            // A tick at the cursor is legal: it queues behind the event
+            // being processed at the same timestamp.
+            assert!(next >= self.cursor, "round ticks must not rewind time");
+            self.events.push(next, Event::Tick);
+            self.tick_pending = true;
+        }
+    }
+
+    /// Removes a queued request (fresh or partially denoised) from this
+    /// cluster for migration, returning its portable state. The request
+    /// disappears from this cluster's outcomes entirely — conservation is
+    /// restored when the fleet driver injects it into the target cluster.
+    /// Records a [`TraceEvent::MigrationOut`] at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown or not currently queued.
+    pub fn extract_request(&mut self, id: RequestId, at: SimTime) -> MigratedRequest {
+        let m = self.tracker.extract_queued(id);
+        self.engine.record(TraceEvent::MigrationOut {
+            time: at.max(self.cursor),
+            request: id,
+            remaining_steps: m.remaining_steps,
+        });
+        m
+    }
+
+    /// Schedules a migrated-in request to re-enter this cluster's queue at
+    /// `at + delay` (the cross-cluster latent hand-off completion). The
+    /// original arrival and deadline are preserved — migration never
+    /// resets SLO accounting — and a dead round-tick chain is re-seeded
+    /// from the hand-off completion, mirroring
+    /// [`push_arrival`](ClusterSim::push_arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hand-off would complete in this cluster's past.
+    pub fn inject_request(&mut self, m: MigratedRequest, at: SimTime, bytes: u64, delay: SimDuration) {
+        let ready = at + delay;
+        assert!(
+            ready >= self.cursor,
+            "migration lands at {} in the cluster's past (cursor {})",
+            ready,
+            self.cursor
+        );
+        self.events.push(ready, Event::Migration { m, bytes, delay });
+        self.arrivals_pending += 1;
+        self.reseed_tick_at(ready);
     }
 
     /// Seeds the initial round tick (round-driven policies tick from t = 0)
@@ -330,9 +389,48 @@ impl<P: Policy> ClusterSim<P> {
         self.n_gpus
     }
 
-    fn healthy_count_at(&self, at: SimTime) -> usize {
+    /// GPUs not hard-faulted at `at` per the static failure plan — the
+    /// capacity the EDF feasibility scans run against.
+    pub fn healthy_count_at(&self, at: SimTime) -> usize {
         let down = self.config.engine.failures.down_gpus(at);
         GpuSet::first_n(self.n_gpus).difference(down).len()
+    }
+
+    /// The live backlog's demand entries in EDF scan order, as of `at` —
+    /// the raw material for fleet-level feasibility questions ("could this
+    /// cluster absorb one more request / a migrated-in request"). Pure
+    /// read; pairs with [`healthy_count_at`](ClusterSim::healthy_count_at).
+    pub fn feasibility_entries(&self, at: SimTime) -> Vec<DemandEntry> {
+        let at = at.max(self.cursor);
+        feasibility::live_entries(&self.tracker, at, &self.costs)
+    }
+
+    /// Every queued request with work remaining, in id order, as
+    /// `(spec, remaining_steps)` — the movable set a fleet rebalancer may
+    /// migrate (running requests are pinned to their dispatch).
+    pub fn queued_movable(&self) -> Vec<(RequestSpec, u32)> {
+        self.tracker
+            .iter()
+            .filter(|r| r.phase == Phase::Queued && r.remaining_steps > 0)
+            .map(|r| (r.spec, r.remaining_steps))
+            .collect()
+    }
+
+    /// Queued requests inside the violating EDF prefix at `at`: the
+    /// backlog this cluster cannot deliver by its deadlines under current
+    /// healthy capacity (all of it, during a whole-cluster outage).
+    /// Running requests are excluded — they cannot be migrated.
+    pub fn at_risk_queued(&self, at: SimTime) -> Vec<RequestId> {
+        let at = at.max(self.cursor);
+        let entries = feasibility::live_entries(&self.tracker, at, &self.costs);
+        feasibility::edf_at_risk(&entries, at, self.healthy_count_at(at))
+            .into_iter()
+            .filter(|&id| {
+                self.tracker
+                    .get(id)
+                    .is_some_and(|r| r.phase == Phase::Queued)
+            })
+            .collect()
     }
 
     /// Snapshot of the cluster's load as of `at` (≥ the local clock), for
@@ -507,6 +605,25 @@ impl<P: Policy> ClusterSim<P> {
             Event::Complete(id) => {
                 self.tracker.complete(id, now);
                 None
+            }
+            Event::Migration { m, bytes, delay } => {
+                self.arrivals_pending -= 1;
+                self.engine.record(TraceEvent::MigrationIn {
+                    time: now,
+                    request: m.spec.id,
+                    bytes,
+                    delay,
+                });
+                self.tracker.admit_migrated(m);
+                // Same admission discipline as a fresh arrival: the
+                // migrated request itself holds progress and is immune to
+                // shedding, but its demand may push *fresh* queued work
+                // over the feasibility edge.
+                if self.config.admission == AdmissionPolicy::ShedInfeasible {
+                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
+                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
+                }
+                Some(PolicyEvent::Arrival)
             }
             Event::Tick => {
                 self.tick_pending = false;

@@ -61,6 +61,34 @@ impl TrackedRequest {
     }
 }
 
+/// The portable state of a queued request being migrated between
+/// clusters: the spec plus every piece of execution accounting that must
+/// survive the hand-off. The latent tensor itself is not modeled as data
+/// — its size only prices the transfer delay (see
+/// `tetriserve_costmodel::interconnect`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigratedRequest {
+    /// The immutable request description (original arrival and deadline —
+    /// migration never resets SLO accounting).
+    pub spec: RequestSpec,
+    /// Diffusion steps still to execute on the target cluster.
+    pub remaining_steps: u32,
+    /// GPU-seconds already consumed on previous clusters.
+    pub gpu_seconds: f64,
+    /// Σ (degree × steps) over dispatches executed so far.
+    pub sp_degree_step_sum: u64,
+    /// Fault-induced dispatch aborts survived so far.
+    pub retries: u32,
+}
+
+impl MigratedRequest {
+    /// Whether the request has executed no steps yet — a fresh migration
+    /// ships no latent tensor and pays only the hand-off launch latency.
+    pub fn is_fresh(&self) -> bool {
+        self.remaining_steps == self.spec.total_steps
+    }
+}
+
 /// Tracks all requests across their lifecycle.
 #[derive(Debug, Default)]
 pub struct RequestTracker {
@@ -234,6 +262,65 @@ impl RequestTracker {
             "{id} already made progress; extracting it would waste work"
         );
         r.spec
+    }
+
+    /// Removes a queued request — fresh *or* partially denoised — from the
+    /// tracker and returns its portable migration state. Unlike
+    /// [`extract`](Self::extract), progress is allowed: the rebalancer
+    /// ships the latent alongside the request (and is charged for it), so
+    /// nothing is wasted. The request must not be mid-dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown or not queued.
+    pub fn extract_queued(&mut self, id: RequestId) -> MigratedRequest {
+        let r = self
+            .requests
+            .remove(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Queued, "{id} must be queued to migrate");
+        MigratedRequest {
+            spec: r.spec,
+            remaining_steps: r.remaining_steps,
+            gpu_seconds: r.gpu_seconds,
+            sp_degree_step_sum: r.sp_degree_step_sum,
+            retries: r.retries,
+        }
+    }
+
+    /// Admits a request migrated in from another cluster, preserving its
+    /// execution accounting (progress, GPU-seconds, degree sum, retries).
+    /// Conservation pairing of [`extract_queued`](Self::extract_queued):
+    /// an extract on the source followed by `admit_migrated` on the
+    /// target keeps the request's fleet-wide outcome identity intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already tracked or no steps remain.
+    pub fn admit_migrated(&mut self, m: MigratedRequest) {
+        assert!(
+            m.remaining_steps > 0,
+            "request {} migrated with no work remaining",
+            m.spec.id
+        );
+        assert!(
+            m.remaining_steps <= m.spec.total_steps,
+            "request {} migrated with more steps than it started with",
+            m.spec.id
+        );
+        let prev = self.requests.insert(
+            m.spec.id,
+            TrackedRequest {
+                spec: m.spec,
+                remaining_steps: m.remaining_steps,
+                phase: Phase::Queued,
+                last_gpus: None,
+                gpu_seconds: m.gpu_seconds,
+                sp_degree_step_sum: m.sp_degree_step_sum,
+                retries: m.retries,
+            },
+        );
+        assert!(prev.is_none(), "request {} admitted twice", m.spec.id);
     }
 
     /// Marks the request fully complete (after VAE decode).
@@ -445,6 +532,69 @@ mod tests {
         t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.1);
         t.finish_dispatch(RequestId(1));
         t.shed(RequestId(1));
+    }
+
+    #[test]
+    fn migration_round_trip_preserves_accounting() {
+        let mut src = RequestTracker::new();
+        src.admit(spec(1));
+        // Two steps execute on the source, then the request re-queues.
+        src.start_dispatch(RequestId(1), GpuSet::contiguous(0, 2), 2, 0.4);
+        src.finish_dispatch(RequestId(1));
+        let m = src.extract_queued(RequestId(1));
+        assert!(src.get(RequestId(1)).is_none(), "gone from the source");
+        assert!(!m.is_fresh());
+        assert_eq!(m.remaining_steps, 8);
+        assert_eq!(m.sp_degree_step_sum, 4);
+        assert!((m.gpu_seconds - 0.4).abs() < 1e-12);
+
+        let mut dst = RequestTracker::new();
+        dst.admit_migrated(m);
+        let r = dst.get(RequestId(1)).unwrap();
+        assert_eq!(r.phase, Phase::Queued);
+        assert_eq!(r.remaining_steps, 8);
+        assert_eq!(r.sp_degree_step_sum, 4);
+        assert!((r.gpu_seconds - 0.4).abs() < 1e-12);
+        assert_eq!(r.last_gpus, None, "placement never crosses clusters");
+        // The outcome on the target credits the source's progress.
+        dst.start_dispatch(RequestId(1), GpuSet::contiguous(0, 2), 8, 1.0);
+        dst.finish_dispatch(RequestId(1));
+        dst.complete(RequestId(1), SimTime::from_secs_f64(2.0));
+        let out = dst.outcomes();
+        assert_eq!(out[0].steps_executed, 10);
+        assert!((out[0].gpu_seconds - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_extract_queued_matches_extract() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(3));
+        let m = t.extract_queued(RequestId(3));
+        assert!(m.is_fresh());
+        assert_eq!(m.remaining_steps, m.spec.total_steps);
+        assert_eq!(m.retries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be queued to migrate")]
+    fn extract_queued_running_request_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.0);
+        let _ = t.extract_queued(RequestId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no work remaining")]
+    fn admit_migrated_without_work_panics() {
+        let mut t = RequestTracker::new();
+        t.admit_migrated(MigratedRequest {
+            spec: spec(1),
+            remaining_steps: 0,
+            gpu_seconds: 1.0,
+            sp_degree_step_sum: 10,
+            retries: 0,
+        });
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Cross-cluster latent hand-off cost model.
+//!
+//! The fleet rebalancer (PR 5) moves queued work *between* clusters. For
+//! fresh requests that is a pure metadata operation, but a
+//! partially-denoised request carries its latent tensor with it, and the
+//! paper's elastic scale-up section prices exactly this hand-off: the
+//! latent is small (≤ 2 MiB even at R2048, see
+//! [`DitModel::latent_bytes`](crate::DitModel::latent_bytes)), so
+//! migration is cheap *relative to waiting behind a backlog* — but it is
+//! not free, and the simulator must charge the real delay so the
+//! rebalancer only migrates when moving beats waiting.
+//!
+//! The decomposition mirrors [`comm`](crate::comm)'s `α(k) + volume`
+//! split for intra-node collectives:
+//!
+//! * **α** — a per-transfer launch latency covering the control-plane
+//!   round trip (source checkpoint, target admission RPC, transport
+//!   setup). Inter-cluster launches cross the datacenter network, so the
+//!   floor is orders of magnitude above the intra-node
+//!   [`COLLECTIVE_LAUNCH_S`](crate::comm::COLLECTIVE_LAUNCH_S).
+//! * **volume** — latent bytes over the *effective* link bandwidth.
+//!   Small messages do not saturate a link any more across clusters than
+//!   inside a node, so the same half-saturation ramp
+//!   ([`effective_message_bandwidth_gbps`]) applies, just with a far
+//!   lower peak than NVLink.
+//!
+//! A fresh request (no denoising progress) ships zero latent bytes and
+//! pays only α.
+
+use tetriserve_simulator::time::SimDuration;
+
+use crate::comm::effective_message_bandwidth_gbps;
+
+/// Peak bandwidth of the default inter-cluster link, in GB/s. Modeled on
+/// a 200 Gbit/s RDMA datacenter fabric (≈ 25 GB/s), i.e. ~16× below the
+/// 400 GB/s NVSwitch fabric inside an H100 node.
+pub const DATACENTER_LINK_GBPS: f64 = 25.0;
+
+/// Per-transfer launch latency of the default inter-cluster link. A
+/// cross-cluster hand-off is a control-plane round trip (checkpoint,
+/// admission RPC, transport setup), not a kernel launch: 250 µs, vs 5 µs
+/// for an intra-node collective.
+pub const DATACENTER_LAUNCH: SimDuration = SimDuration::from_micros(250);
+
+/// An inter-cluster link: the α(launch) + volume(bandwidth) parameters a
+/// hand-off is priced against. All clusters in a fleet share one link
+/// model — the reproduction's fleets are symmetric at the network level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterClusterLink {
+    /// Peak link bandwidth in GB/s. Must be positive.
+    pub bandwidth_gbps: f64,
+    /// Per-transfer launch latency (the α term).
+    pub launch: SimDuration,
+}
+
+impl InterClusterLink {
+    /// A link with the given peak bandwidth (GB/s) and launch latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not strictly positive.
+    #[must_use]
+    pub fn new(bandwidth_gbps: f64, launch: SimDuration) -> Self {
+        assert!(
+            bandwidth_gbps > 0.0,
+            "inter-cluster bandwidth must be positive, got {bandwidth_gbps}"
+        );
+        Self {
+            bandwidth_gbps,
+            launch,
+        }
+    }
+
+    /// The default datacenter RDMA fabric (200 Gbit/s, 250 µs launch).
+    #[must_use]
+    pub fn datacenter() -> Self {
+        Self::new(DATACENTER_LINK_GBPS, DATACENTER_LAUNCH)
+    }
+}
+
+impl Default for InterClusterLink {
+    fn default() -> Self {
+        Self::datacenter()
+    }
+}
+
+/// The wall-clock delay to hand `bytes` of latent state across `link`:
+/// `α + bytes / effective_bandwidth(bytes)`.
+///
+/// Zero bytes (a fresh request: no latent to ship) costs exactly the
+/// launch latency. The volume term uses the message-size-dependent
+/// effective bandwidth, so a 1 KiB latent does not get credited with the
+/// full link rate.
+#[must_use]
+pub fn handoff_time(bytes: u64, link: &InterClusterLink) -> SimDuration {
+    if bytes == 0 {
+        return link.launch;
+    }
+    let eff = effective_message_bandwidth_gbps(bytes as f64, link.bandwidth_gbps);
+    let wire = bytes as f64 / (eff * 1e9);
+    link.launch + SimDuration::from_secs_f64(wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_handoff_costs_exactly_the_launch_latency() {
+        let link = InterClusterLink::datacenter();
+        assert_eq!(handoff_time(0, &link), link.launch);
+    }
+
+    #[test]
+    fn handoff_time_is_monotone_in_bytes() {
+        let link = InterClusterLink::datacenter();
+        let mut prev = handoff_time(0, &link);
+        for bytes in [1, 1024, 1 << 20, 2 << 20, 64 << 20] {
+            let t = handoff_time(bytes, &link);
+            assert!(t >= prev, "{bytes} bytes: {t:?} < {prev:?}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn launch_dominates_small_latents() {
+        // A 2 MiB R2048 FLUX latent over a 25 GB/s link is ~84 µs of wire
+        // time under half-saturation (eff ≈ 1/3 peak) — the 250 µs launch
+        // still dominates, which is the paper's "migration is cheap"
+        // claim in miniature.
+        let link = InterClusterLink::datacenter();
+        let t = handoff_time(2 << 20, &link);
+        assert!(t < link.launch * 3, "{t:?}");
+        assert!(t > link.launch, "{t:?}");
+    }
+
+    #[test]
+    fn slower_links_mean_longer_handoffs() {
+        let fast = InterClusterLink::new(25.0, DATACENTER_LAUNCH);
+        let slow = InterClusterLink::new(1.0, DATACENTER_LAUNCH);
+        let bytes = 2 << 20;
+        assert!(handoff_time(bytes, &slow) > handoff_time(bytes, &fast));
+    }
+
+    #[test]
+    fn large_transfers_approach_peak_bandwidth() {
+        // Deep in saturation the volume term should be within 2× of the
+        // ideal bytes/peak time (the half-saturation ramp asymptotes to
+        // peak).
+        let link = InterClusterLink::datacenter();
+        let bytes: u64 = 1 << 30;
+        let ideal_s = bytes as f64 / (link.bandwidth_gbps * 1e9);
+        let t = handoff_time(bytes, &link) - link.launch;
+        assert!(t.as_secs_f64() < 2.0 * ideal_s, "{t:?} vs ideal {ideal_s}");
+        assert!(t.as_secs_f64() > ideal_s, "effective bw can never beat peak");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_link_panics() {
+        let _ = InterClusterLink::new(0.0, DATACENTER_LAUNCH);
+    }
+}

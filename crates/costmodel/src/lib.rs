@@ -16,6 +16,8 @@
 //! * [`hardware`] — the 8×H100 and 4×A40 testbeds;
 //! * [`comm`] — Ulysses / Ring sequence-parallel communication cost
 //!   (Figure 2's shape);
+//! * [`interconnect`] — cross-cluster latent hand-off pricing for the
+//!   fleet rebalancer (α + volume over the datacenter link);
 //! * [`efficiency`] — the occupancy curve behind sublinear scaling
 //!   (Figure 3's shape);
 //! * [`steptime`] — the combined `T(resolution, k, batch, placement)`;
@@ -44,6 +46,7 @@ pub mod comm;
 pub mod efficiency;
 pub mod flops;
 pub mod hardware;
+pub mod interconnect;
 pub mod model;
 pub mod profiler;
 pub mod resolution;
@@ -53,6 +56,7 @@ pub use calibration::{verify_flux_h100, verify_sd3_a40, CalibrationReport};
 pub use comm::CommScheme;
 pub use flops::FlopsModel;
 pub use hardware::{ClusterSpec, GpuKind};
+pub use interconnect::{handoff_time, InterClusterLink};
 pub use model::DitModel;
 pub use profiler::{measure_step_cv, CostRow, CostTable, Profiler};
 pub use resolution::Resolution;

@@ -1,0 +1,183 @@
+//! Fleet-coordinated admission.
+//!
+//! PR 4's deadline-aware router sheds a request the moment no *single*
+//! cluster passes the EDF feasibility test — each cluster is judged on
+//! the backlog it happens to hold. But backlog is movable: if cluster A
+//! would become feasible for the new request once a couple of its
+//! latest-deadline queued requests migrated to cluster B, shedding is
+//! premature. [`coordinate`] encodes exactly that rule: **a request is
+//! shed only if no cluster can feasibly serve it after hypothetical
+//! rebalancing.** When a rescue plan exists, the driver enacts the
+//! plan's migrations (each charged its real latent hand-off delay) and
+//! routes the request to the freed cluster instead of shedding it.
+//!
+//! The search is deliberately bounded — at most [`MAX_RESCUE_MOVES`]
+//! migrations per rescued request, victims chosen latest-deadline-first
+//! (they have the most slack to survive a move) — so a single hopeless
+//! arrival cannot churn the whole fleet's queues.
+
+use tetriserve_core::RequestSpec;
+use tetriserve_simulator::trace::RequestId;
+
+use crate::rebalance::{FleetOracle, MigrationDecision};
+
+/// Upper bound on migrations enacted to rescue one shed-bound request.
+pub const MAX_RESCUE_MOVES: usize = 4;
+
+/// A way to serve a request the router wanted to shed: send it to
+/// cluster `to` after first enacting `moves`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RescuePlan {
+    /// The cluster that serves the rescued request.
+    pub to: usize,
+    /// Migrations (possibly none) that make `to` feasible for it.
+    pub moves: Vec<MigrationDecision>,
+}
+
+/// Finds a rescue plan for `spec`, or `None` if no cluster can feasibly
+/// serve it even after hypothetical rebalancing — only then may the
+/// fleet shed it.
+///
+/// Deterministic search order: up clusters by (backlog pressure, index).
+/// For each, first try direct placement; then offload the cluster's
+/// movable queued requests latest-deadline-first onto other up clusters
+/// (each offload must itself pass the post-hand-off feasibility test,
+/// with demand already promised this rescue counted), re-testing after
+/// every offload, up to [`MAX_RESCUE_MOVES`].
+pub fn coordinate(spec: &RequestSpec, oracle: &dyn FleetOracle) -> Option<RescuePlan> {
+    let n = oracle.clusters();
+    let mut targets: Vec<usize> = (0..n).filter(|&i| oracle.up(i)).collect();
+    targets.sort_by(|&a, &b| {
+        oracle
+            .pressure(a)
+            .total_cmp(&oracle.pressure(b))
+            .then(a.cmp(&b))
+    });
+
+    // Direct placement: the router may shed for its own reasons (e.g. a
+    // load-blind router with every cluster down except a feasible one it
+    // never probes); re-checking here costs one scan per cluster.
+    for &t in &targets {
+        if oracle.spec_feasible_on(t, spec, &[]) {
+            return Some(RescuePlan {
+                to: t,
+                moves: Vec::new(),
+            });
+        }
+    }
+
+    for &t in &targets {
+        let mut movable = oracle.queued_movable(t);
+        movable.sort_by_key(|c| (c.spec.deadline, c.spec.id));
+        let mut moves: Vec<MigrationDecision> = Vec::new();
+        let mut exclude: Vec<RequestId> = Vec::new();
+        let mut extra = vec![0.0f64; n];
+        // Latest deadline first: those requests have the most slack left
+        // to absorb a hand-off delay elsewhere.
+        for c in movable.into_iter().rev() {
+            if moves.len() == MAX_RESCUE_MOVES {
+                break;
+            }
+            let home = targets
+                .iter()
+                .copied()
+                .find(|&o| o != t && oracle.candidate_feasible_on(o, &c, extra[o]));
+            let Some(o) = home else { continue };
+            extra[o] += oracle.candidate_demand_on(o, &c);
+            exclude.push(c.spec.id);
+            moves.push(MigrationDecision {
+                id: c.spec.id,
+                from: t,
+                to: o,
+            });
+            if oracle.spec_feasible_on(t, spec, &exclude) {
+                return Some(RescuePlan { to: t, moves });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rebalance::tests::{cand, MockFleet};
+    use tetriserve_core::RequestSpec;
+    use tetriserve_costmodel::Resolution;
+    use tetriserve_simulator::time::SimTime;
+
+    fn fresh_spec(id: u64, steps: u32) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(id),
+            resolution: Resolution::R1024,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_secs_f64(30.0),
+            total_steps: steps,
+        }
+    }
+
+    #[test]
+    fn direct_placement_needs_no_moves() {
+        let mut fleet = MockFleet::idle(2, 100.0);
+        fleet.used = vec![95.0, 10.0];
+        fleet.pressure = vec![9.5, 1.0];
+        let plan = coordinate(&fresh_spec(9, 50), &fleet).expect("cluster 1 fits it directly");
+        assert_eq!(plan.to, 1);
+        assert!(plan.moves.is_empty());
+    }
+
+    #[test]
+    fn rescue_offloads_the_latest_deadline_victim() {
+        // Neither cluster fits the 25-step request directly (90 + 25 and
+        // 80 + 25 both exceed cap 100), but cluster 0 becomes feasible if
+        // one of its 20-step queued requests moves to cluster 1 — which
+        // can still absorb 20. The loosest-deadline victim (id 2) must be
+        // the one that moves.
+        let mut fleet = MockFleet::idle(2, 100.0);
+        fleet.used = vec![90.0, 80.0];
+        fleet.pressure = vec![9.0, 8.0];
+        fleet.movable[0] = vec![cand(1, 0, 5.0, 20), cand(2, 0, 50.0, 20)];
+        let plan = coordinate(&fresh_spec(9, 25), &fleet).expect("offload frees cluster 0");
+        assert_eq!(plan.to, 0);
+        assert_eq!(
+            plan.moves,
+            vec![MigrationDecision {
+                id: RequestId(2),
+                from: 0,
+                to: 1
+            }],
+            "the latest-deadline victim (id 2) moves, not the tight one"
+        );
+    }
+
+    #[test]
+    fn hopeless_requests_are_still_shed() {
+        let mut fleet = MockFleet::idle(2, 10.0);
+        fleet.used = vec![10.0, 10.0];
+        assert_eq!(coordinate(&fresh_spec(9, 50), &fleet), None);
+    }
+
+    #[test]
+    fn down_clusters_never_serve_or_receive() {
+        let mut fleet = MockFleet::idle(2, 100.0);
+        fleet.up[1] = false;
+        fleet.used = vec![95.0, 0.0];
+        fleet.movable[0] = vec![cand(1, 0, 50.0, 20)];
+        // Cluster 1 is idle but down: no direct placement there, and no
+        // offloading onto it either → unrescuable.
+        assert_eq!(coordinate(&fresh_spec(9, 50), &fleet), None);
+    }
+
+    #[test]
+    fn rescue_moves_are_bounded() {
+        // Cluster 0 needs 5 × 10-step offloads to fit a 50-step request
+        // on cap 100 with 95 used — one more than MAX_RESCUE_MOVES, so
+        // coordinate must give up rather than churn. Cluster 1 (60 used)
+        // cannot take it directly either.
+        let mut fleet = MockFleet::idle(2, 100.0);
+        fleet.used = vec![95.0, 60.0];
+        fleet.pressure = vec![9.5, 6.0];
+        fleet.movable[0] = (0..6).map(|i| cand(i, 0, 40.0 + i as f64, 10)).collect();
+        assert_eq!(coordinate(&fresh_spec(9, 50), &fleet), None);
+    }
+}

@@ -3,37 +3,57 @@
 //! [`FleetSim`] co-simulates N heterogeneous clusters — each with its own
 //! cost table, policy and engine — under one deterministic virtual clock.
 //! Each cluster is a steppable [`ClusterSim`]; the driver arbitrates which
-//! cluster advances next by comparing three kinds of pending work:
+//! cluster advances next by comparing four kinds of pending work:
 //!
 //! 1. **cluster-internal events** (dispatch completions, round ticks,
-//!    fault transitions) — via [`lockstep::next_source`], earliest time
-//!    wins, ties break to the lowest cluster index;
+//!    fault transitions, migration landings) — via
+//!    [`lockstep::next_source`], earliest time wins, ties break to the
+//!    lowest cluster index;
 //! 2. **whole-cluster outage drains** — at an outage's `down_from`,
 //!    queued work that has made no progress is extracted and re-routed;
-//! 3. **workload arrivals** — routed at arrival time via the [`Router`].
+//! 3. **rebalance ticks** (only with a [`Rebalancer`] configured) — the
+//!    periodic migration planner runs on its fleet-clock cadence;
+//! 4. **workload arrivals** — routed at arrival time via the [`Router`].
 //!
-//! On timestamp ties the priority is internal < outage < arrival. Internal
-//! events first means the outage's own GPU-fault events (pre-expanded into
-//! each cluster's failure plan) have already aborted in-flight dispatches
-//! when the drain runs, so zero-checkpoint aborted requests are back in
-//! the queue and get re-routed too. Outages before arrivals means a
-//! request arriving at the instant a cluster dies is never routed into it.
+//! On timestamp ties the priority is internal < outage < rebalance <
+//! arrival. Internal events first means the outage's own GPU-fault events
+//! (pre-expanded into each cluster's failure plan) have already aborted
+//! in-flight dispatches when the drain runs, so zero-checkpoint aborted
+//! requests are back in the queue and get re-routed too. Outages before
+//! arrivals means a request arriving at the instant a cluster dies is
+//! never routed into it. Rebalance before arrivals means an arrival at a
+//! planning instant is routed against post-migration queues. Without a
+//! rebalancer there are never rank-2 candidates, so the arbitration — and
+//! every digest — is bit-identical to the static PR 4 driver.
+//!
+//! Re-routed work drained at an outage is pushed onto the *front* of the
+//! arrival queue rather than routed inline: each drained request is then
+//! routed only after the previous one's `Arrival` event (same timestamp,
+//! internal rank 0) has been admitted by its target, so every routing
+//! decision in the drain sees fresh load/feasibility views instead of a
+//! stale pre-drain snapshot shared across the whole batch.
 //!
 //! Determinism: all inputs are sorted, all arbitration ties break on
-//! indices, and the routers are deterministic state machines — so the
-//! routing-decision digest and the fleet outcome digest are bit-identical
-//! across same-seed runs.
+//! indices, and the routers and rebalancers are deterministic state
+//! machines — so the routing-decision digest, the fleet outcome digest
+//! and the migration digest are bit-identical across same-seed runs.
 
 use std::collections::VecDeque;
 
-use tetriserve_core::{ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig};
+use tetriserve_core::{
+    feasibility, ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig,
+};
+use tetriserve_costmodel::interconnect::{handoff_time, InterClusterLink};
 use tetriserve_costmodel::CostTable;
 use tetriserve_metrics::{ClusterReport, FleetReport};
 use tetriserve_simulator::digest::Digest;
 use tetriserve_simulator::failure::ClusterOutage;
 use tetriserve_simulator::lockstep::{next_source, GlobalClock};
-use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::time::{SimDuration, SimTime};
+use tetriserve_simulator::trace::RequestId;
 
+use crate::admission;
+use crate::rebalance::{FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer};
 use crate::router::{ClusterView, RouteDecision, Router};
 
 /// One cluster's static description: everything needed to build its
@@ -61,6 +81,15 @@ impl FleetCluster {
     }
 }
 
+/// The rebalancing configuration a fleet may carry: the pluggable policy,
+/// the inter-cluster link its migrations are priced on, and the next
+/// fleet-clock planning tick.
+struct Rebalancing {
+    rebalancer: Box<dyn Rebalancer>,
+    link: InterClusterLink,
+    next_tick: SimTime,
+}
+
 /// The multi-cluster co-simulation.
 pub struct FleetSim<R: Router> {
     clusters: Vec<ClusterSim<Box<dyn Policy>>>,
@@ -69,14 +98,150 @@ pub struct FleetSim<R: Router> {
     outages: Vec<ClusterOutage>,
     /// Outage drains not yet executed, sorted by (down_from, cluster).
     pending_outages: VecDeque<ClusterOutage>,
-    /// Workload not yet routed, sorted by (arrival, id).
-    arrivals: VecDeque<RequestSpec>,
+    /// Workload not yet routed: `(spec, is_reroute)`. Initially the sorted
+    /// trace; outage drains push re-routes onto the front.
+    arrivals: VecDeque<(RequestSpec, bool)>,
+    /// Periodic migration planning; `None` reproduces the static driver
+    /// bit for bit.
+    rebalance: Option<Rebalancing>,
     clock: GlobalClock,
     routed: Vec<usize>,
     rerouted_in: Vec<usize>,
     rerouted: usize,
+    migrated_in: Vec<usize>,
+    migrations: usize,
+    rescues: usize,
+    migrated_gpu_seconds: f64,
+    handoff_delays: Vec<SimDuration>,
     fleet_shed: Vec<RequestOutcome>,
     routing_digest: Digest,
+    migration_digest: Digest,
+}
+
+/// The read-only window a [`Rebalancer`] (and coordinated admission) gets
+/// onto the live fleet: feasibility questions answered with the target
+/// cluster's own cost table, hand-off delays priced on the configured
+/// link, and a migrated candidate's deadline tightened by its transfer
+/// time — so "move" only wins when it beats waiting.
+struct DriverOracle<'a> {
+    clusters: &'a [ClusterSim<Box<dyn Policy>>],
+    outages: &'a [ClusterOutage],
+    link: InterClusterLink,
+    now: SimTime,
+}
+
+impl DriverOracle<'_> {
+    /// Bytes on the wire for a candidate: fresh requests ship no latent.
+    fn bytes_for(&self, c: &MigrationCandidate) -> u64 {
+        if c.is_fresh() {
+            0
+        } else {
+            self.clusters[c.from]
+                .costs()
+                .model()
+                .latent_bytes(c.spec.resolution)
+        }
+    }
+}
+
+impl FleetOracle for DriverOracle<'_> {
+    fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    fn up(&self, i: usize) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|o| o.cluster == i && o.is_down_at(self.now))
+    }
+
+    fn pressure(&self, i: usize) -> f64 {
+        self.clusters[i].load(self.now).pressure()
+    }
+
+    fn queued_movable(&self, i: usize) -> Vec<MigrationCandidate> {
+        self.clusters[i]
+            .queued_movable()
+            .into_iter()
+            .map(|(spec, remaining_steps)| MigrationCandidate {
+                spec,
+                from: i,
+                remaining_steps,
+            })
+            .collect()
+    }
+
+    fn at_risk(&self, i: usize) -> Vec<RequestId> {
+        self.clusters[i].at_risk_queued(self.now)
+    }
+
+    fn handoff_delay(&self, c: &MigrationCandidate) -> SimDuration {
+        handoff_time(self.bytes_for(c), &self.link)
+    }
+
+    fn candidate_feasible_on(
+        &self,
+        to: usize,
+        c: &MigrationCandidate,
+        extra_gpu_seconds: f64,
+    ) -> bool {
+        let delay = self.handoff_delay(c);
+        let sim = &self.clusters[to];
+        let at = self.now.max(sim.now());
+        let mut entries = sim.feasibility_entries(at);
+        // The migrated request cannot start on `to` until the hand-off
+        // lands, so its effective deadline tightens by the delay
+        // (saturating: an already-blown deadline stays blown).
+        entries.push(feasibility::demand_entry(
+            sim.costs(),
+            c.spec.id,
+            c.spec.resolution,
+            c.remaining_steps,
+            c.spec.deadline - delay,
+            at,
+            c.is_fresh(),
+        ));
+        feasibility::sort_entries(&mut entries);
+        feasibility::edf_feasible_with_extra(&entries, at, sim.healthy_count_at(at), extra_gpu_seconds)
+    }
+
+    fn candidate_demand_on(&self, to: usize, c: &MigrationCandidate) -> f64 {
+        let delay = self.handoff_delay(c);
+        let sim = &self.clusters[to];
+        let at = self.now.max(sim.now());
+        feasibility::demand_entry(
+            sim.costs(),
+            c.spec.id,
+            c.spec.resolution,
+            c.remaining_steps,
+            c.spec.deadline - delay,
+            at,
+            c.is_fresh(),
+        )
+        .demand
+    }
+
+    fn spec_feasible_on(&self, to: usize, spec: &RequestSpec, exclude: &[RequestId]) -> bool {
+        let sim = &self.clusters[to];
+        let at = self.now.max(sim.now());
+        let mut entries: Vec<_> = sim
+            .feasibility_entries(at)
+            .into_iter()
+            .filter(|e| !exclude.contains(&e.id))
+            .collect();
+        entries.push(feasibility::demand_entry(
+            sim.costs(),
+            spec.id,
+            spec.resolution,
+            spec.total_steps,
+            spec.deadline,
+            at,
+            true,
+        ));
+        feasibility::sort_entries(&mut entries);
+        feasibility::edf_feasible(&entries, at, sim.healthy_count_at(at))
+    }
 }
 
 impl<R: Router> FleetSim<R> {
@@ -134,14 +299,36 @@ impl<R: Router> FleetSim<R> {
             router,
             pending_outages: outages.iter().copied().collect(),
             outages,
-            arrivals: arrivals.into(),
+            arrivals: arrivals.into_iter().map(|s| (s, false)).collect(),
+            rebalance: None,
             clock: GlobalClock::new(),
             routed: vec![0; n],
             rerouted_in: vec![0; n],
             rerouted: 0,
+            migrated_in: vec![0; n],
+            migrations: 0,
+            rescues: 0,
+            migrated_gpu_seconds: 0.0,
+            handoff_delays: Vec::new(),
             fleet_shed: Vec::new(),
             routing_digest: Digest::new(),
+            migration_digest: Digest::new(),
         }
+    }
+
+    /// Attaches a periodic [`Rebalancer`] whose migrations are priced on
+    /// `link`. Also enables fleet-coordinated admission: a request the
+    /// router would shed is first offered to [`admission::coordinate`],
+    /// and only shed if no cluster can serve it even after hypothetical
+    /// rebalancing. The first planning tick fires one cadence after t = 0.
+    pub fn with_rebalancer(mut self, rebalancer: Box<dyn Rebalancer>, link: InterClusterLink) -> Self {
+        let next_tick = SimTime::ZERO + rebalancer.cadence();
+        self.rebalance = Some(Rebalancing {
+            rebalancer,
+            link,
+            next_tick,
+        });
+        self
     }
 
     /// Runs the co-simulation to completion and aggregates the fleet
@@ -151,10 +338,23 @@ impl<R: Router> FleetSim<R> {
             let internal: Vec<Option<SimTime>> =
                 self.clusters.iter().map(|c| c.next_event_time()).collect();
             let next_internal = next_source(&internal);
+            let internal_t = next_internal.map(|(_, t)| t);
+            let outage_t = self.pending_outages.front().map(|o| o.down_from);
+            let arrival_t = self.arrivals.front().map(|(s, _)| s.arrival);
+            // Rebalance ticks only keep firing while some *other* work is
+            // pending; otherwise an idle fleet would tick its planning
+            // clock forever and the run would never terminate.
+            let other_work = internal_t.is_some() || outage_t.is_some() || arrival_t.is_some();
+            let rebalance_t = self
+                .rebalance
+                .as_ref()
+                .filter(|_| other_work)
+                .map(|r| r.next_tick);
             let candidates = [
-                (next_internal.map(|(_, t)| t), 0u8),
-                (self.pending_outages.front().map(|o| o.down_from), 1u8),
-                (self.arrivals.front().map(|s| s.arrival), 2u8),
+                (internal_t, 0u8),
+                (outage_t, 1u8),
+                (rebalance_t, 2u8),
+                (arrival_t, 3u8),
             ];
             let Some((t, rank)) = candidates
                 .iter()
@@ -170,26 +370,129 @@ impl<R: Router> FleetSim<R> {
                     self.clusters[i].step();
                 }
                 1 => self.drain_outage(),
+                2 => self.do_rebalance(),
                 _ => {
-                    let spec = self
+                    let (spec, reroute) = self
                         .arrivals
                         .pop_front()
-                        .expect("rank 2 implies an arrival");
-                    self.route(spec, false);
+                        .expect("rank 3 implies an arrival");
+                    if reroute {
+                        self.rerouted += 1;
+                    }
+                    self.route(spec, reroute);
                 }
             }
         }
         self.finish()
     }
 
+    /// Runs one planning tick: asks the rebalancer for this instant's
+    /// migrations (through a read-only oracle over the live clusters) and
+    /// enacts them in plan order, then re-arms the fleet clock one cadence
+    /// out.
+    fn do_rebalance(&mut self) {
+        let now = self.clock.now();
+        let decisions = {
+            let reb = self
+                .rebalance
+                .as_mut()
+                .expect("rebalance tick fired without a rebalancer");
+            reb.next_tick = now + reb.rebalancer.cadence();
+            let oracle = DriverOracle {
+                clusters: &self.clusters,
+                outages: &self.outages,
+                link: reb.link,
+                now,
+            };
+            reb.rebalancer.plan(now, &oracle)
+        };
+        for d in decisions {
+            self.enact_migration(d, now);
+        }
+    }
+
+    /// Enacts one migration: extracts the request from its source (trace:
+    /// `MigrationOut`), prices the latent hand-off on the configured link,
+    /// and schedules it to land on the target after that delay (trace:
+    /// `MigrationIn`). Skipped — returning `false` — if the statically
+    /// known outage plan says the target is (or will be, when the hand-off
+    /// lands) inside an outage window: migrating into a dying cluster
+    /// would strand the work all over again.
+    fn enact_migration(&mut self, d: MigrationDecision, now: SimTime) -> bool {
+        assert!(d.from != d.to, "migration from a cluster to itself");
+        assert!(
+            d.from < self.clusters.len() && d.to < self.clusters.len(),
+            "migration names cluster {}→{} but the fleet has {}",
+            d.from,
+            d.to,
+            self.clusters.len()
+        );
+        let link = self
+            .rebalance
+            .as_ref()
+            .expect("migration enacted without a rebalancer")
+            .link;
+        let Some((spec, remaining)) = self.clusters[d.from]
+            .queued_movable()
+            .into_iter()
+            .find(|(s, _)| s.id == d.id)
+        else {
+            // The planner named a request that is no longer queued at the
+            // source (e.g. an earlier rescue move this tick took it).
+            return false;
+        };
+        let fresh = remaining == spec.total_steps;
+        let bytes = if fresh {
+            0
+        } else {
+            self.clusters[d.from]
+                .costs()
+                .model()
+                .latent_bytes(spec.resolution)
+        };
+        let delay = handoff_time(bytes, &link);
+        let landing = now + delay;
+        if self
+            .outages
+            .iter()
+            .any(|o| o.cluster == d.to && (o.is_down_at(now) || o.is_down_at(landing)))
+        {
+            return false;
+        }
+        let m = self.clusters[d.from].extract_request(d.id, now);
+        self.migration_digest.push(now.as_micros());
+        self.migration_digest.push(d.id.0);
+        self.migration_digest.push(d.from as u64);
+        self.migration_digest.push(d.to as u64);
+        self.migration_digest.push(delay.as_micros());
+        self.migrations += 1;
+        self.migrated_gpu_seconds += m.gpu_seconds;
+        self.handoff_delays.push(delay);
+        self.migrated_in[d.to] += 1;
+        self.clusters[d.to].inject_request(m, now, bytes, delay);
+        true
+    }
+
     /// Handles the earliest pending outage: extracts the dying cluster's
     /// fresh queued work (zero steps executed — including dispatches the
     /// outage's fault events just aborted at this same timestamp) and
-    /// re-routes it with the arrival time reset to *now*. For a
-    /// *permanent* outage, requests with checkpointed progress are
+    /// queues it for re-routing with the arrival time reset to *now*. For
+    /// a *permanent* outage, requests with checkpointed progress are
     /// terminally failed — their partial work can never resume on a dead
     /// cluster, and leaving them live would keep its round-tick chain
-    /// spinning forever.
+    /// spinning forever. (A *transient* outage keeps them: its latent is
+    /// still addressable, so the rebalancer may migrate the partial work
+    /// off the down cluster.)
+    ///
+    /// The drained specs go onto the *front* of the arrival queue, in
+    /// drain order, rather than being routed inline. Routing them inline
+    /// made every drained request share one pre-drain load/feasibility
+    /// snapshot: the second and later routes saw queues as they were
+    /// before the first re-route landed, so a whole drained batch could
+    /// dog-pile one cluster the stale view showed as empty. Queued as
+    /// arrivals, each re-route is arbitrated separately — the previous
+    /// one's `Arrival` event (same timestamp, internal rank 0) is
+    /// admitted first — so every routing decision sees fresh views.
     fn drain_outage(&mut self) {
         let outage = self
             .pending_outages
@@ -200,10 +503,9 @@ impl<R: Router> FleetSim<R> {
         if outage.up_at.is_none() {
             self.clusters[outage.cluster].fail_incomplete();
         }
-        for mut spec in drained {
+        for mut spec in drained.into_iter().rev() {
             spec.arrival = now;
-            self.rerouted += 1;
-            self.route(spec, true);
+            self.arrivals.push_front((spec, true));
         }
     }
 
@@ -252,6 +554,25 @@ impl<R: Router> FleetSim<R> {
                 self.clusters[i].push_arrival(spec);
             }
             RouteDecision::Shed => {
+                // Fleet-coordinated admission: with a rebalancer attached,
+                // shedding requires that *no* cluster can serve the
+                // request even after hypothetical rebalancing. When a
+                // rescue plan exists, enact its migrations and route to
+                // the freed cluster instead.
+                if let Some(plan) = self.rescue_plan(&spec, at) {
+                    for d in plan.moves {
+                        self.enact_migration(d, at);
+                    }
+                    self.routing_digest.push(plan.to as u64);
+                    self.rescues += 1;
+                    if reroute {
+                        self.rerouted_in[plan.to] += 1;
+                    } else {
+                        self.routed[plan.to] += 1;
+                    }
+                    self.clusters[plan.to].push_arrival(spec);
+                    return;
+                }
                 self.routing_digest.push(u64::MAX);
                 self.fleet_shed.push(RequestOutcome {
                     id: spec.id,
@@ -269,8 +590,25 @@ impl<R: Router> FleetSim<R> {
         }
     }
 
+    /// Asks [`admission::coordinate`] for a rescue plan for a request the
+    /// router wants to shed. `None` without a rebalancer (coordinated
+    /// admission rides on the same oracle and link).
+    fn rescue_plan(&self, spec: &RequestSpec, at: SimTime) -> Option<admission::RescuePlan> {
+        let reb = self.rebalance.as_ref()?;
+        let oracle = DriverOracle {
+            clusters: &self.clusters,
+            outages: &self.outages,
+            link: reb.link,
+            now: at,
+        };
+        admission::coordinate(spec, &oracle)
+    }
+
     fn finish(self) -> FleetReport {
-        let router = self.router.name();
+        let router = match &self.rebalance {
+            Some(reb) => format!("{}+{}", self.router.name(), reb.rebalancer.name()),
+            None => self.router.name(),
+        };
         let mut clusters = Vec::with_capacity(self.clusters.len());
         for (i, sim) in self.clusters.into_iter().enumerate() {
             let n_gpus = sim.n_gpus();
@@ -279,6 +617,7 @@ impl<R: Router> FleetSim<R> {
                 n_gpus,
                 routed: self.routed[i],
                 rerouted_in: self.rerouted_in[i],
+                migrated_in: self.migrated_in[i],
                 report: sim.finish(),
             });
         }
@@ -287,8 +626,13 @@ impl<R: Router> FleetSim<R> {
             clusters,
             fleet_shed: self.fleet_shed,
             rerouted: self.rerouted,
+            migrations: self.migrations,
+            rescues: self.rescues,
+            migrated_gpu_seconds: self.migrated_gpu_seconds,
+            handoff_delays: self.handoff_delays,
             routing_digest: self.routing_digest.value(),
             outcome_digest: 0,
+            migration_digest: self.migration_digest.value(),
         };
         // Same fold as the single-cluster perf harness: (id, completion µs
         // or MAX) over id-sorted outcomes.
@@ -310,6 +654,21 @@ pub fn run_fleet<R: Router>(
     outages: Vec<ClusterOutage>,
 ) -> FleetReport {
     FleetSim::new(clusters, router, arrivals, outages).run()
+}
+
+/// Convenience wrapper: like [`run_fleet`] with a [`Rebalancer`] attached
+/// (which also enables fleet-coordinated admission).
+pub fn run_fleet_rebalanced<R: Router>(
+    clusters: Vec<FleetCluster>,
+    router: R,
+    arrivals: Vec<RequestSpec>,
+    outages: Vec<ClusterOutage>,
+    rebalancer: Box<dyn Rebalancer>,
+    link: InterClusterLink,
+) -> FleetReport {
+    FleetSim::new(clusters, router, arrivals, outages)
+        .with_rebalancer(rebalancer, link)
+        .run()
 }
 
 #[cfg(test)]

@@ -7,20 +7,30 @@
 //! single virtual clock.
 //!
 //! * [`driver`] — the lockstep [`FleetSim`]: arbitrates per-cluster event
-//!   queues, whole-cluster outage drains and workload arrivals on one
+//!   queues, whole-cluster outage drains, rebalance ticks and workload
+//!   arrivals on one
 //!   [`GlobalClock`](tetriserve_simulator::lockstep::GlobalClock), with
-//!   deterministic tie-breaking (internal < outage < arrival, then lowest
-//!   cluster index);
+//!   deterministic tie-breaking (internal < outage < rebalance < arrival,
+//!   then lowest cluster index);
 //! * [`router`] — the [`Router`] contract plus four policies: round-robin,
 //!   join-shortest-queue, power-of-two-choices, and deadline-aware
 //!   (EDF-feasibility-gated, shedding fleet-wide only when *no* cluster
-//!   can meet the deadline).
+//!   can meet the deadline);
+//! * [`rebalance`] — the pluggable [`Rebalancer`] contract and the
+//!   [`EdfRebalancer`]: a periodic planner that migrates at-risk queued
+//!   work (fresh or partially denoised) off backlogged or down clusters,
+//!   charging every move its real cross-cluster latent hand-off delay
+//!   (`tetriserve_costmodel::interconnect`) so migration is only taken
+//!   when it beats waiting;
+//! * [`admission`] — fleet-coordinated admission: a request is shed only
+//!   if no cluster can feasibly serve it even after hypothetical
+//!   rebalancing ([`coordinate`]).
 //!
 //! Every fleet run yields a
-//! [`FleetReport`](tetriserve_metrics::FleetReport) carrying two FNV-1a
-//! digests — the routing-decision stream and the fleet-wide outcome set —
-//! that are bit-identical across same-seed runs; the determinism suite
-//! and the `perf_fleet` bench pin them.
+//! [`FleetReport`](tetriserve_metrics::FleetReport) carrying three FNV-1a
+//! digests — the routing-decision stream, the fleet-wide outcome set and
+//! the enacted-migration stream — that are bit-identical across same-seed
+//! runs; the determinism suites and the `perf_fleet` bench pin them.
 //!
 //! # Examples
 //!
@@ -55,10 +65,17 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod driver;
+pub mod rebalance;
 pub mod router;
 
-pub use driver::{run_fleet, FleetCluster, FleetSim};
+pub use admission::{coordinate, RescuePlan, MAX_RESCUE_MOVES};
+pub use driver::{run_fleet, run_fleet_rebalanced, FleetCluster, FleetSim};
+pub use rebalance::{
+    EdfRebalancer, FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer,
+    DEFAULT_CADENCE,
+};
 pub use router::{
     ClusterView, DeadlineAwareRouter, JoinShortestQueueRouter, PowerOfTwoRouter, RoundRobinRouter,
     RouteDecision, Router,

@@ -329,6 +329,65 @@ mod tests {
         assert!(scan.allows[0].used && scan.allows[0].file_scope);
     }
 
+    // ---- sim-time-monotonicity ----------------------------------------
+
+    #[test]
+    fn sim_time_monotonicity_bad_minuend() {
+        let src = "fn t(a: SimTime, n: u64) -> u64 { a.as_micros() - n }";
+        assert_eq!(fired(BENCH, src), vec!["sim-time-monotonicity"]);
+    }
+
+    #[test]
+    fn sim_time_monotonicity_bad_subtrahend() {
+        let src = "fn t(a: SimTime, n: u64) -> u64 { n - a.as_micros() }";
+        assert_eq!(fired(BENCH, src), vec!["sim-time-monotonicity"]);
+        // Chained receivers are still caught.
+        let src = "fn t(s: &Server, n: u64) -> u64 { n - s.cursor.as_micros() }";
+        assert_eq!(fired(BENCH, src), vec!["sim-time-monotonicity"]);
+    }
+
+    #[test]
+    fn sim_time_monotonicity_good_forms() {
+        // Additions, saturating/checked arithmetic and comparisons on the
+        // raw micros never underflow; `-` nowhere near as_micros is fine.
+        let src = "fn t(a: SimTime, b: SimTime, n: u64) -> u64 {\n    let x = a.as_micros() + n;\n    let y = a.as_micros().saturating_sub(n);\n    let z = b.saturating_since(a).as_micros();\n    let w = n - 1;\n    x + y + z + w\n}";
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn sim_time_monotonicity_allowed_with_reason() {
+        let src = "fn t(at: SimTime) -> u64 {\n    // tetrilint: allow(sim-time-monotonicity) -- at != ZERO checked above\n    at.as_micros() - 1\n}";
+        let scan = scan_source(BENCH, src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert!(scan.allows[0].used);
+    }
+
+    // ---- unordered-iter: inferred bindings -----------------------------
+
+    #[test]
+    fn unordered_iter_bad_inferred_let_binding() {
+        // No type ascription anywhere: the binding is inferred from the
+        // `HashMap::new()` initializer.
+        let src = "use std::collections::HashMap;\nfn t() {\n    let mut groups = HashMap::new();\n    groups.insert(1u64, 2u64);\n    for v in groups.values() { let _ = v; }\n}";
+        assert_eq!(fired(CORE, src), vec!["unordered-iter"]);
+        // Same for HashSet::with_capacity.
+        let src = "use std::collections::HashSet;\nfn t(n: usize) {\n    let live = HashSet::with_capacity(n);\n    for id in live.iter() { let _ = id; }\n}";
+        assert_eq!(fired(CORE, src), vec!["unordered-iter"]);
+    }
+
+    #[test]
+    fn unordered_iter_good_inferred_btree_binding() {
+        let src = "use std::collections::BTreeMap;\nfn t() {\n    let mut groups = BTreeMap::new();\n    groups.insert(1u64, 2u64);\n    for v in groups.values() { let _ = v; }\n}";
+        assert_eq!(fired(CORE, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unordered_collect_bad_inferred_binding() {
+        // The inferred binding set feeds unordered-collect too.
+        let src = "use std::collections::HashMap;\nfn t() -> Vec<u64> {\n    let mut m = HashMap::new();\n    m.insert(1u64, 2u64);\n    let ids: Vec<u64> = m.keys().copied().collect();\n    ids\n}";
+        assert_eq!(fired(BENCH, src), vec!["unordered-collect"]);
+    }
+
     // ---- float-eq ------------------------------------------------------
 
     #[test]

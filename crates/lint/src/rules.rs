@@ -6,22 +6,23 @@
 //! property of the whole codebase, not of any one module. See DESIGN.md
 //! §11 for the rule-by-rule rationale.
 //!
-//! | rule                | family            | scope                         |
-//! |---------------------|-------------------|-------------------------------|
-//! | `wall-clock`        | determinism       | every scanned file            |
-//! | `ambient-rng`       | determinism       | every scanned file            |
-//! | `unordered-iter`    | determinism       | decision-path crates          |
-//! | `unordered-collect` | determinism       | every scanned file            |
-//! | `unwrap`            | panic-discipline  | hot-path modules              |
-//! | `slice-index`       | panic-discipline  | hot-path modules              |
-//! | `float-eq`          | float-discipline  | every scanned file            |
-//! | `partial-cmp-unwrap`| float-discipline  | every scanned file            |
-//! | `bad-annotation`    | (meta)            | every scanned file            |
-//! | `unused-allow`      | (meta, `--strict`)| every scanned file            |
+//! | rule                   | family            | scope                      |
+//! |------------------------|-------------------|----------------------------|
+//! | `wall-clock`           | determinism       | every scanned file         |
+//! | `ambient-rng`          | determinism       | every scanned file         |
+//! | `unordered-iter`       | determinism       | decision-path crates       |
+//! | `unordered-collect`    | determinism       | every scanned file         |
+//! | `unwrap`               | panic-discipline  | hot-path modules           |
+//! | `slice-index`          | panic-discipline  | hot-path modules           |
+//! | `sim-time-monotonicity`| panic-discipline  | every scanned file         |
+//! | `float-eq`             | float-discipline  | every scanned file         |
+//! | `partial-cmp-unwrap`   | float-discipline  | every scanned file         |
+//! | `bad-annotation`       | (meta)            | every scanned file         |
+//! | `unused-allow`         | (meta, `--strict`)| every scanned file         |
 //!
 //! Decision-path crates are the ones whose control flow picks schedules:
-//! `core`, `simulator`, `metrics`, `costmodel`, `baselines`. Hot-path
-//! modules are the per-round inner loop: `dp.rs`, `scheduler.rs`,
+//! `core`, `simulator`, `metrics`, `costmodel`, `baselines`, `fleet`.
+//! Hot-path modules are the per-round inner loop: `dp.rs`, `scheduler.rs`,
 //! `batching.rs`, `engine.rs`. `#[cfg(test)]` items are skipped — tests
 //! are not decision paths and `unwrap` is idiomatic there.
 
@@ -35,6 +36,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unordered-collect",
     "unwrap",
     "slice-index",
+    "sim-time-monotonicity",
     "float-eq",
     "partial-cmp-unwrap",
     "bad-annotation",
@@ -48,6 +50,7 @@ const DECISION_PATHS: &[&str] = &[
     "crates/metrics/src/",
     "crates/costmodel/src/",
     "crates/baselines/src/",
+    "crates/fleet/src/",
 ];
 
 /// Per-round inner-loop modules held to panic discipline.
@@ -169,6 +172,7 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
         rule_unwrap(&live, &mut raw);
         rule_slice_index(&live, &mut raw);
     }
+    rule_sim_time_monotonicity(&live, &mut raw);
     rule_float_eq(&live, &mut raw);
     rule_partial_cmp_unwrap(&live, &mut raw);
 
@@ -393,8 +397,11 @@ fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>
 }
 
 /// Identifiers declared with a `HashMap`/`HashSet` type ascription in
-/// this file (let bindings, fn params, struct fields) — the lexical
-/// binding set shared by `unordered-iter` and `unordered-collect`.
+/// this file (let bindings, fn params, struct fields), plus let bindings
+/// whose *initializer* mentions `HashMap`/`HashSet` with no ascription at
+/// all (`let m = HashMap::new()`, `let s = HashSet::with_capacity(8)` —
+/// type inference hides the container but not the hash order) — the
+/// lexical binding set shared by `unordered-iter` and `unordered-collect`.
 fn hash_bindings<'a>(toks: &[&'a Tok]) -> Vec<&'a str> {
     let mut bindings: Vec<&str> = Vec::new();
     for (k, t) in toks.iter().enumerate() {
@@ -417,6 +424,41 @@ fn hash_bindings<'a>(toks: &[&'a Tok]) -> Vec<&'a str> {
         // …to a `name :` type ascription (let binding, fn param, field).
         if p >= 2 && toks[p - 1].text == ":" && toks[p - 2].kind == TokKind::Ident {
             bindings.push(&toks[p - 2].text);
+        }
+    }
+    // Ascription-free let bindings: `let [mut] name = …HashMap/HashSet…;`
+    // — the initializer names the container even when the type is
+    // inferred. Scanning stops at the statement's `;` (tracking nesting so
+    // a closure body's semicolons don't end it early).
+    for (k, t) in toks.iter().enumerate() {
+        if t.text != "let" {
+            continue;
+        }
+        let mut p = k + 1;
+        if toks.get(p).is_some_and(|t| t.text == "mut") {
+            p += 1;
+        }
+        let Some(name) = toks.get(p).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if toks.get(p + 1).is_none_or(|t| t.text != "=") {
+            continue;
+        }
+        let mut depth = 0usize;
+        for j in p + 2..toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                _ => {
+                    if toks[j].kind == TokKind::Ident
+                        && (toks[j].text == "HashMap" || toks[j].text == "HashSet")
+                        && !bindings.contains(&name.text.as_str())
+                    {
+                        bindings.push(&name.text);
+                    }
+                }
+            }
         }
     }
     bindings
@@ -551,6 +593,62 @@ fn rule_slice_index(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
                 "slice-index",
                 "bare index can panic on out-of-bounds in a hot-path module; use get() or \
                  annotate the sizing invariant"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Bare subtraction on raw `.as_micros()` values: `SimTime` itself has no
+/// `Sub<SimTime>` (by design — `saturating_since` is the sanctioned
+/// difference), so the way underflow sneaks in is dropping to the raw u64
+/// microsecond count and subtracting there. `t.as_micros() - n` (and
+/// `n - t.as_micros()`) panics in debug builds and wraps to ~u64::MAX in
+/// release — a silently corrupted timestamp in a digest-bearing run. Use
+/// `saturating_since` / `saturating_sub`, or `checked_sub` with an
+/// explicit decision; a genuinely un-underflowable probe earns a justified
+/// allow.
+fn rule_sim_time_monotonicity(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as_micros" {
+            continue;
+        }
+        // Method call only: `. as_micros ( )`.
+        if k == 0
+            || toks[k - 1].text != "."
+            || toks.get(k + 1).is_none_or(|t| t.text != "(")
+            || toks.get(k + 2).is_none_or(|t| t.text != ")")
+        {
+            continue;
+        }
+        // `….as_micros() - …`: the call result is the minuend.
+        if toks.get(k + 3).is_some_and(|t| t.text == "-") {
+            out.push((
+                t.line,
+                "sim-time-monotonicity",
+                "raw `.as_micros()` subtraction can underflow (wraps in release); use \
+                 saturating_since/saturating_sub or checked_sub"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // `… - recv.chain.as_micros()`: walk the receiver chain (an
+        // `ident(.ident)*` path) back to the operator ahead of it and
+        // check it is a *binary* minus — the token before it is
+        // value-like, ruling out unary negation.
+        let mut p = k - 1; // the `.` of `.as_micros`
+        while p >= 2 && toks[p].text == "." && toks[p - 1].kind == TokKind::Ident {
+            p -= 2;
+        }
+        if toks[p].text == "-"
+            && p > 0
+            && matches!(toks[p - 1].kind, TokKind::Ident | TokKind::Int)
+        {
+            out.push((
+                t.line,
+                "sim-time-monotonicity",
+                "raw `.as_micros()` as a subtrahend can underflow (wraps in release); use \
+                 saturating_since/saturating_sub or checked_sub"
                     .to_string(),
             ));
         }

@@ -7,7 +7,7 @@
 //! makespan, per-cluster routing counts and cross-cluster load imbalance.
 
 use tetriserve_core::{RequestOutcome, ServeReport};
-use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::time::{SimDuration, SimTime};
 
 /// One cluster's contribution to a fleet run.
 #[derive(Debug)]
@@ -21,14 +21,28 @@ pub struct ClusterReport {
     /// Requests re-routed *onto* this cluster after another cluster's
     /// outage.
     pub rerouted_in: usize,
+    /// Requests the rebalancer migrated *onto* this cluster (each paid
+    /// its latent hand-off delay first).
+    pub migrated_in: usize,
     /// The cluster's own serving report.
     pub report: ServeReport,
 }
 
+/// Upper edges of the hand-off delay histogram buckets, in ascending
+/// order; the final bucket is unbounded. See
+/// [`FleetReport::handoff_delay_histogram`].
+pub const HANDOFF_HISTOGRAM_EDGES: [SimDuration; 4] = [
+    SimDuration::from_millis(1),
+    SimDuration::from_millis(10),
+    SimDuration::from_millis(100),
+    SimDuration::from_secs(1),
+];
+
 /// The aggregated result of a fleet run.
 #[derive(Debug)]
 pub struct FleetReport {
-    /// Router that produced this run (e.g. `"deadline-aware"`).
+    /// Router (plus rebalancer, when one is attached) that produced this
+    /// run — e.g. `"deadline-aware"` or `"deadline-aware+edf-rebalance"`.
     pub router: String,
     /// Per-cluster reports, in cluster-index order.
     pub clusters: Vec<ClusterReport>,
@@ -37,10 +51,26 @@ pub struct FleetReport {
     pub fleet_shed: Vec<RequestOutcome>,
     /// Requests re-routed between clusters after outages.
     pub rerouted: usize,
+    /// Migrations the rebalancer enacted (periodic ticks plus rescue
+    /// moves).
+    pub migrations: usize,
+    /// Requests the router would have shed that coordinated admission
+    /// placed instead.
+    pub rescues: usize,
+    /// GPU-seconds of already-executed work carried across clusters by
+    /// migrations (partially-denoised requests keep their progress).
+    pub migrated_gpu_seconds: f64,
+    /// Every enacted migration's latent hand-off delay, in enactment
+    /// order.
+    pub handoff_delays: Vec<SimDuration>,
     /// FNV-1a digest over the routing-decision stream.
     pub routing_digest: u64,
     /// FNV-1a digest over per-request outcomes fleet-wide.
     pub outcome_digest: u64,
+    /// FNV-1a digest over the enacted-migration stream
+    /// (time, id, from, to, delay per migration); 0 when no rebalancer
+    /// ran or it never migrated.
+    pub migration_digest: u64,
 }
 
 impl FleetReport {
@@ -102,6 +132,22 @@ impl FleetReport {
                 .iter()
                 .map(|c| c.report.shed_requests)
                 .sum::<usize>()
+    }
+
+    /// Histogram of enacted migrations' hand-off delays over the
+    /// [`HANDOFF_HISTOGRAM_EDGES`] buckets: counts for `< 1 ms`,
+    /// `< 10 ms`, `< 100 ms`, `< 1 s` and a final unbounded `≥ 1 s`
+    /// bucket (five counts total, summing to `migrations`).
+    pub fn handoff_delay_histogram(&self) -> [usize; 5] {
+        let mut buckets = [0usize; 5];
+        for &d in &self.handoff_delays {
+            let i = HANDOFF_HISTOGRAM_EDGES
+                .iter()
+                .position(|&edge| d < edge)
+                .unwrap_or(HANDOFF_HISTOGRAM_EDGES.len());
+            buckets[i] += 1;
+        }
+        buckets
     }
 
     /// Cross-cluster load imbalance: the coefficient of variation of
@@ -167,5 +213,32 @@ mod tests {
         let a = load_imbalance(&[1.0, 2.0, 3.0]);
         let b = load_imbalance(&[10.0, 20.0, 30.0]);
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handoff_histogram_buckets_and_conserves_counts() {
+        let report = FleetReport {
+            router: "test".to_owned(),
+            clusters: Vec::new(),
+            fleet_shed: Vec::new(),
+            rerouted: 0,
+            migrations: 6,
+            rescues: 0,
+            migrated_gpu_seconds: 0.0,
+            handoff_delays: vec![
+                SimDuration::from_micros(250),  // < 1 ms
+                SimDuration::from_millis(1),    // edge: lands in < 10 ms
+                SimDuration::from_millis(5),    // < 10 ms
+                SimDuration::from_millis(50),   // < 100 ms
+                SimDuration::from_millis(500),  // < 1 s
+                SimDuration::from_secs(2),      // ≥ 1 s
+            ],
+            routing_digest: 0,
+            outcome_digest: 0,
+            migration_digest: 0,
+        };
+        let hist = report.handoff_delay_histogram();
+        assert_eq!(hist, [1, 2, 1, 1, 1]);
+        assert_eq!(hist.iter().sum::<usize>(), report.handoff_delays.len());
     }
 }

@@ -36,7 +36,7 @@ pub mod timeseries;
 pub mod utilization;
 
 pub use batching::{batching_stats, BatchingStats};
-pub use fleet::{load_imbalance, ClusterReport, FleetReport};
+pub use fleet::{load_imbalance, ClusterReport, FleetReport, HANDOFF_HISTOGRAM_EDGES};
 pub use latency::{cdf_at, latency_cdf, mean_latency, percentile, LatencySummary};
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};

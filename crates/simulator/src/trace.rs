@@ -98,6 +98,29 @@ pub enum TraceEvent {
         /// Host wall-clock time spent inside `Policy::schedule`.
         wall: std::time::Duration,
     },
+    /// A queued request left this cluster for another one (fleet
+    /// rebalancing). The paired [`TraceEvent::MigrationIn`] appears in the
+    /// *target* cluster's trace once the latent hand-off completes.
+    MigrationOut {
+        /// When the request was extracted.
+        time: SimTime,
+        /// The migrated request.
+        request: RequestId,
+        /// Diffusion steps it still had to run.
+        remaining_steps: u32,
+    },
+    /// A request migrated in from another cluster finished its latent
+    /// hand-off and re-entered this cluster's queue.
+    MigrationIn {
+        /// When the hand-off completed (extraction time + delay).
+        time: SimTime,
+        /// The migrated request.
+        request: RequestId,
+        /// Latent bytes shipped (0 for a fresh request).
+        bytes: u64,
+        /// The cross-cluster hand-off delay that was charged.
+        delay: SimDuration,
+    },
     /// A dispatch was delayed before starting (remap stall or group warm-up).
     Stall {
         /// When the stall began.
@@ -219,6 +242,33 @@ impl Trace {
             .sum()
     }
 
+    /// Number of requests migrated *out of* this cluster.
+    pub fn migration_out_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MigrationOut { .. }))
+            .count()
+    }
+
+    /// Number of requests migrated *into* this cluster.
+    pub fn migration_in_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MigrationIn { .. }))
+            .count()
+    }
+
+    /// Total cross-cluster hand-off delay charged to inbound migrations.
+    pub fn handoff_delay_total(&self) -> SimDuration {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MigrationIn { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Total stall time across all dispatches, broken down by reason.
     pub fn stall_totals(&self) -> (SimDuration, SimDuration) {
         let mut remap = SimDuration::ZERO;
@@ -319,6 +369,33 @@ mod tests {
         assert_eq!(t.wasted_gpu_seconds(), 0.0);
         // Positive zero specifically: -0.0 would render as "-0.000".
         assert!(t.wasted_gpu_seconds().is_sign_positive());
+    }
+
+    #[test]
+    fn migration_totals_accumulate() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::MigrationOut {
+            time: SimTime::from_millis(10),
+            request: RequestId(1),
+            remaining_steps: 30,
+        });
+        t.record(TraceEvent::MigrationIn {
+            time: SimTime::from_millis(11),
+            request: RequestId(2),
+            bytes: 1 << 20,
+            delay: SimDuration::from_micros(300),
+        });
+        t.record(TraceEvent::MigrationIn {
+            time: SimTime::from_millis(12),
+            request: RequestId(3),
+            bytes: 0,
+            delay: SimDuration::from_micros(250),
+        });
+        assert_eq!(t.migration_out_count(), 1);
+        assert_eq!(t.migration_in_count(), 2);
+        assert_eq!(t.handoff_delay_total(), SimDuration::from_micros(550));
+        // Migrations are not latent transfers (those are intra-cluster).
+        assert_eq!(t.latent_transfer_total(RequestId(2)), SimDuration::ZERO);
     }
 
     #[test]
