@@ -135,6 +135,7 @@ mod tests {
         tracker.admit(spec(0, Resolution::R512, 0.0, 10.0));
         tracker.admit(spec(1, Resolution::R512, 0.0, 2.0));
         let mut p = EdfRsspPolicy::from_profile(&c, &slo_targets());
+        let failures = tetriserve_simulator::failure::FailurePlan::none();
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::single(tetriserve_simulator::gpuset::GpuId(0)),
@@ -142,6 +143,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
+            failures: &failures,
         };
         let plans = p.schedule(&ctx);
         assert_eq!(plans.len(), 1, "only one free GPU");
@@ -161,6 +163,7 @@ mod tests {
         // Savable 2048² with a fresh 5 s budget.
         tracker.admit(spec(1, Resolution::R2048, 0.0, 5.0));
         let mut p = EdfRsspPolicy::from_profile(&c, &slo_targets());
+        let failures = tetriserve_simulator::failure::FailurePlan::none();
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
@@ -168,6 +171,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
+            failures: &failures,
         };
         let plans = p.schedule(&ctx);
         assert_eq!(

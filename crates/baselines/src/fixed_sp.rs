@@ -193,6 +193,7 @@ mod tests {
             tracker.admit(spec(id, Resolution::R512, 0.0, 5.0));
         }
         let mut p = FixedSpPolicy::new(4);
+        let failures = tetriserve_simulator::failure::FailurePlan::none();
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
@@ -200,6 +201,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
+            failures: &failures,
         };
         let plans = p.schedule(&ctx);
         assert_eq!(plans.len(), 2, "two SP=4 slots");

@@ -1,0 +1,75 @@
+//! Chaos robustness harness — produces `BENCH_chaos.json` at the
+//! repository root (schema `tetriserve-bench-chaos/v1`, see DESIGN.md).
+//!
+//! Run modes:
+//!
+//! * `cargo bench --bench perf_chaos` — the full seeded sweep;
+//! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run
+//!   (three pinned seeds).
+//!
+//! The process exits non-zero if any scenario violates a serving
+//! invariant, a seed is non-deterministic, or the pinned gate scenario
+//! fails (degrade-enabled SAR must strictly beat shed-only SAR within
+//! the quality-debt budget).
+
+use std::path::PathBuf;
+
+use tetriserve_bench::chaos::{run_chaos, ChaosConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PERF_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (config, mode) = if smoke {
+        (ChaosConfig::smoke(), "smoke")
+    } else {
+        (ChaosConfig::full(), "full")
+    };
+
+    let report = run_chaos(&config, mode);
+
+    println!("chaos harness ({mode}, {} seeds)", report.scenarios.len());
+    println!(
+        "{:>12} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6}  digest (degrade)",
+        "seed", "hard", "slow", "shed SAR", "degr SAR", "fq SAR", "debt", "shed", "viol"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:>#12x} {:>6} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10} {:>6} {:>6}  {:#018x}",
+            s.seed,
+            s.gpu_faults,
+            s.perf_faults,
+            s.shed_only.sar,
+            s.degrade.sar,
+            s.degrade.full_quality_sar,
+            s.degrade.quality_debt_steps,
+            s.degrade.shed_requests,
+            s.violations.len(),
+            s.degrade.outcome_digest,
+        );
+        for v in &s.violations {
+            eprintln!("  VIOLATION: {v}");
+        }
+    }
+    println!(
+        "gate: degrade SAR {:.3} vs shed-only {:.3}, debt {}/{} steps — {}",
+        report.gate.degrade_sar,
+        report.gate.shed_only_sar,
+        report.gate.debt_steps,
+        report.gate.debt_budget,
+        if report.gate.pass { "PASS" } else { "FAIL" },
+    );
+
+    // Repo root: crates/bench/ -> crates/ -> root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_chaos.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_chaos.json");
+    println!("wrote {}", out.display());
+
+    if !report.ok() {
+        eprintln!("FAIL: chaos invariants violated or gate scenario regressed");
+        std::process::exit(1);
+    }
+}

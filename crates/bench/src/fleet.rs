@@ -366,7 +366,10 @@ impl FleetPerfReport {
         let hist: Vec<String> = rb.handoff_histogram.iter().map(usize::to_string).collect();
         out.push_str("  \"rebalance\": {\n");
         out.push_str("    \"scenario\": \"skewed-outage\",\n");
-        out.push_str(&format!("    \"static\": {},\n", router_json(&rb.static_da)));
+        out.push_str(&format!(
+            "    \"static\": {},\n",
+            router_json(&rb.static_da)
+        ));
         out.push_str(&format!(
             "    \"rebalanced\": {},\n",
             router_json(&rb.rebalanced)

@@ -12,11 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod figures;
 pub mod fleet;
 pub mod perf;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
 pub use fleet::{run_fleet_perf, FleetPerfConfig, FleetPerfReport};
 pub use perf::{run_perf, PerfConfig, PerfReport};

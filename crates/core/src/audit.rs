@@ -276,6 +276,7 @@ mod tests {
             sp_degree_step_sum: 7,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         };
         let v = audit(&trace, &[outcome]);
         assert!(

@@ -1,0 +1,146 @@
+//! Deadline-rescue step shedding: per-SLO-class quality floors.
+//!
+//! TetriServe has a degradation lever no LLM server has: DiT requests run
+//! a *fixed* number of denoise steps, and dropping tail steps yields a
+//! lower-quality but usable image. When a request becomes EDF-infeasible —
+//! at admission, after a fault, or after a migration reprice — the server
+//! first tries shrinking its step budget toward a per-class quality floor
+//! and only sheds the whole request when even the floor cannot make the
+//! deadline (the *degrade-before-shed* ladder; see DESIGN.md §14).
+//!
+//! SLO classes follow the paper's per-resolution SLO targets (GENSERVE's
+//! per-class tiers ground the semantics): each [`Resolution`] may carry its
+//! own `min_steps_fraction`, the smallest fraction of the originally
+//! requested steps a degraded completion may deliver.
+
+use tetriserve_costmodel::Resolution;
+
+/// Per-SLO-class quality floors for deadline-rescue step shedding.
+///
+/// A floor of `f` for a class means a request of that class must execute
+/// at least `ceil(total_steps × f)` steps (never fewer than 1); steps
+/// beyond the floor may be shed to rescue its deadline. The policy is
+/// pure configuration — attaching it to
+/// [`ServerConfig`](crate::server::ServerConfig) (`degrade: Some(...)`)
+/// is what switches the server from shed-only to degrade-before-shed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradePolicy {
+    default_floor: f64,
+    /// Per-resolution overrides, kept in insertion order (later wins).
+    overrides: Vec<(Resolution, f64)>,
+}
+
+impl DegradePolicy {
+    /// A uniform floor for every SLO class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < min_steps_fraction ≤ 1.0`.
+    pub fn uniform(min_steps_fraction: f64) -> Self {
+        assert!(
+            min_steps_fraction > 0.0 && min_steps_fraction <= 1.0,
+            "min_steps_fraction must be in (0, 1], got {min_steps_fraction}"
+        );
+        DegradePolicy {
+            default_floor: min_steps_fraction,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The paper-flavoured default ladder: small previews tolerate deep
+    /// degradation, large hero images barely any.
+    pub fn paper_classes() -> Self {
+        DegradePolicy::uniform(0.5)
+            .with_floor(Resolution::R1024, 0.6)
+            .with_floor(Resolution::R2048, 0.7)
+    }
+
+    /// Overrides the floor for one SLO class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < min_steps_fraction ≤ 1.0`.
+    pub fn with_floor(mut self, class: Resolution, min_steps_fraction: f64) -> Self {
+        assert!(
+            min_steps_fraction > 0.0 && min_steps_fraction <= 1.0,
+            "min_steps_fraction must be in (0, 1], got {min_steps_fraction}"
+        );
+        self.overrides.push((class, min_steps_fraction));
+        self
+    }
+
+    /// The floor fraction for one class.
+    pub fn floor(&self, class: Resolution) -> f64 {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(r, _)| *r == class)
+            .map_or(self.default_floor, |&(_, f)| f)
+    }
+
+    /// The minimum step count a degraded completion of this class may
+    /// deliver: `ceil(total_steps × floor)`, at least 1 for non-empty
+    /// requests.
+    pub fn min_steps(&self, class: Resolution, total_steps: u32) -> u32 {
+        if total_steps == 0 {
+            return 0;
+        }
+        let floor = (f64::from(total_steps) * self.floor(class)).ceil() as u32;
+        floor.clamp(1, total_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_floor_applies_everywhere() {
+        let p = DegradePolicy::uniform(0.5);
+        assert_eq!(p.min_steps(Resolution::R256, 50), 25);
+        assert_eq!(p.min_steps(Resolution::R2048, 50), 25);
+        // Ceiling, not floor: 0.5 × 51 = 25.5 → 26.
+        assert_eq!(p.min_steps(Resolution::R512, 51), 26);
+    }
+
+    #[test]
+    fn per_class_overrides_win() {
+        let p = DegradePolicy::uniform(0.5).with_floor(Resolution::R2048, 0.9);
+        assert_eq!(p.min_steps(Resolution::R256, 50), 25);
+        assert_eq!(p.min_steps(Resolution::R2048, 50), 45);
+        assert!((p.floor(Resolution::R2048) - 0.9).abs() < 1e-12);
+        // Later override wins.
+        let p = p.with_floor(Resolution::R2048, 0.8);
+        assert_eq!(p.min_steps(Resolution::R2048, 50), 40);
+    }
+
+    #[test]
+    fn floors_are_clamped_to_sane_bounds() {
+        let p = DegradePolicy::uniform(0.01);
+        // Never below one step for a non-empty request.
+        assert_eq!(p.min_steps(Resolution::R256, 50), 1);
+        assert_eq!(p.min_steps(Resolution::R256, 0), 0);
+        // A full floor never degrades.
+        let full = DegradePolicy::uniform(1.0);
+        assert_eq!(full.min_steps(Resolution::R1024, 50), 50);
+    }
+
+    #[test]
+    fn paper_classes_are_ordered_by_size() {
+        let p = DegradePolicy::paper_classes();
+        assert!(p.floor(Resolution::R256) < p.floor(Resolution::R1024));
+        assert!(p.floor(Resolution::R1024) < p.floor(Resolution::R2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn zero_floor_rejected() {
+        DegradePolicy::uniform(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn oversized_floor_rejected() {
+        let _ = DegradePolicy::uniform(0.5).with_floor(Resolution::R256, 1.5);
+    }
+}

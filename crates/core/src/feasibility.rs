@@ -62,6 +62,9 @@ pub fn cheapest_step_demand(
         .degrees()
         .iter()
         .filter(|&&k| {
+            // Demand is denominated in nominal GPU-seconds; the capacity
+            // side of the EDF scan carries the slowdown derating.
+            // tetrilint: allow(nominal-step-time) -- demand side is nominal by convention
             remaining_f * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM + decode
                 <= horizon
         })
@@ -74,6 +77,7 @@ pub fn cheapest_step_demand(
             .degrees()
             .iter()
             .copied()
+            // tetrilint: allow(nominal-step-time) -- degree ordering only; factor cancels
             .min_by_key(|&k| costs.step_time(res, k, 1))
             .expect("cost table has at least one degree");
         costs.gpu_seconds(res, fastest)
@@ -96,6 +100,7 @@ pub fn demand_entry(
         id,
         deadline,
         demand: f64::from(remaining) * per_step,
+        // tetrilint: allow(nominal-step-time) -- slack ranks victims; nominal keeps ranking stable
         slack: horizon - f64::from(remaining) * costs.t_min(res).as_secs_f64(),
         fresh,
     }
@@ -115,7 +120,9 @@ pub fn live_entries(tracker: &RequestTracker, now: SimTime, costs: &CostTable) -
                 r.remaining_steps,
                 r.spec.deadline,
                 now,
-                r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps,
+                // Degraded-but-unstarted still counts as fresh: no executed
+                // steps means shedding or re-routing it wastes no work.
+                r.phase == Phase::Queued && r.steps_executed() == 0,
             )
         })
         .collect();
@@ -135,6 +142,37 @@ pub fn edf_feasible(entries: &[DemandEntry], now: SimTime, healthy: usize) -> bo
     edf_feasible_with_extra(entries, now, healthy, 0.0)
 }
 
+/// [`edf_feasible`] against a *fractional* capacity in nominal-GPU units —
+/// the degradation-aware form. A cluster whose GPUs are throttled delivers
+/// fewer nominal GPU-seconds per wall-second than its healthy count
+/// suggests; callers pass `FailurePlan::effective_capacity` here so
+/// admission stays honest under slowdown faults. Demand entries remain in
+/// nominal GPU-seconds, which is the same currency. Passing
+/// `healthy as f64` is bit-identical to [`edf_feasible`].
+pub fn edf_feasible_capacity(entries: &[DemandEntry], now: SimTime, capacity: f64) -> bool {
+    edf_feasible_with_extra_capacity(entries, now, capacity, 0.0)
+}
+
+/// [`edf_feasible_with_extra`] against a fractional capacity (see
+/// [`edf_feasible_capacity`]).
+pub fn edf_feasible_with_extra_capacity(
+    entries: &[DemandEntry],
+    now: SimTime,
+    capacity: f64,
+    extra: f64,
+) -> bool {
+    let mut demand = extra;
+    for e in entries {
+        demand += e.demand;
+        let deliverable =
+            capacity * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
+        if demand > deliverable {
+            return false;
+        }
+    }
+    true
+}
+
 /// [`edf_feasible`] with the demand accumulator seeded at `extra`
 /// GPU-seconds. The fleet rebalancer uses this to account for migrations
 /// it has already committed to a target cluster *within the same
@@ -148,16 +186,7 @@ pub fn edf_feasible_with_extra(
     healthy: usize,
     extra: f64,
 ) -> bool {
-    let mut demand = extra;
-    for e in entries {
-        demand += e.demand;
-        let capacity =
-            healthy as f64 * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
-        if demand > capacity {
-            return false;
-        }
-    }
-    true
+    edf_feasible_with_extra_capacity(entries, now, healthy as f64, extra)
 }
 
 /// The ids of every entry inside the violating EDF prefix: if the
@@ -170,13 +199,24 @@ pub fn edf_feasible_with_extra(
 /// is at risk — which is exactly what the fleet rebalancer wants during
 /// a whole-cluster outage. `entries` must be in EDF scan order.
 pub fn edf_at_risk(entries: &[DemandEntry], now: SimTime, healthy: usize) -> Vec<RequestId> {
+    edf_at_risk_capacity(entries, now, healthy as f64)
+}
+
+/// [`edf_at_risk`] against a fractional capacity (see
+/// [`edf_feasible_capacity`]). Passing `healthy as f64` is bit-identical
+/// to the integer form.
+pub fn edf_at_risk_capacity(
+    entries: &[DemandEntry],
+    now: SimTime,
+    capacity: f64,
+) -> Vec<RequestId> {
     let mut demand = 0.0;
     let mut last_violation = None;
     for (i, e) in entries.iter().enumerate() {
         demand += e.demand;
-        let capacity =
-            healthy as f64 * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
-        if demand > capacity {
+        let deliverable =
+            capacity * e.deadline.saturating_since(now).as_secs_f64() * ADMISSION_UTILIZATION;
+        if demand > deliverable {
             last_violation = Some(i);
         }
     }
@@ -275,12 +315,7 @@ mod tests {
         assert!(edf_feasible_with_extra(&entries, SimTime::ZERO, 8, 0.0));
         // A huge in-flight migration load makes the same backlog
         // infeasible.
-        assert!(!edf_feasible_with_extra(
-            &entries,
-            SimTime::ZERO,
-            8,
-            1e9
-        ));
+        assert!(!edf_feasible_with_extra(&entries, SimTime::ZERO, 8, 1e9));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod allocation;
 pub mod audit;
 pub mod batching;
 pub mod config;
+pub mod degrade;
 pub mod dp;
 pub mod elastic;
 pub mod feasibility;
@@ -56,6 +57,7 @@ pub mod server;
 pub mod tracker;
 
 pub use config::TetriServeConfig;
+pub use degrade::DegradePolicy;
 pub use policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub use request::{RequestOutcome, RequestSpec};
 pub use scheduler::TetriServePolicy;

@@ -8,9 +8,10 @@
 //! arrivals and dispatch completions for the non-preemptive baselines) and,
 //! when woken, converts tracker state into [`DispatchPlan`]s.
 
-use tetriserve_costmodel::CostTable;
-use tetriserve_simulator::gpuset::GpuSet;
-use tetriserve_simulator::time::SimTime;
+use tetriserve_costmodel::{CostTable, Resolution};
+use tetriserve_simulator::failure::FailurePlan;
+use tetriserve_simulator::gpuset::{GpuId, GpuSet};
+use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::trace::RequestId;
 
 use crate::tracker::RequestTracker;
@@ -68,6 +69,51 @@ pub struct SchedContext<'a> {
     pub tracker: &'a RequestTracker,
     /// The profiled cost model.
     pub costs: &'a CostTable,
+    /// The run's failure plan — the degradation view. Policies read
+    /// per-GPU effective speed through the accessors below so packing and
+    /// admission stay honest when part of the cluster is throttled.
+    pub failures: &'a FailurePlan,
+}
+
+impl SchedContext<'_> {
+    /// Effective speed of one GPU right now, in `(0, 1]` (1.0 = nominal).
+    pub fn effective_speed(&self, gpu: GpuId) -> f64 {
+        self.failures.effective_speed(gpu, self.now)
+    }
+
+    /// The slowdown a dispatch on `gpus` would experience right now: the
+    /// max member slowdown, because a sequence-parallel step synchronises
+    /// on its slowest shard. Exactly 1.0 when no slowdown is active.
+    pub fn group_slowdown(&self, gpus: GpuSet) -> f64 {
+        self.failures.group_slowdown(gpus, self.now)
+    }
+
+    /// Effective step time for `res` at degree `k`, batch `batch`, when
+    /// executed on `gpus` right now: the nominal cost-table entry scaled
+    /// by the group slowdown. Identical to the nominal time when no
+    /// slowdown is active (scaling by exactly 1.0 is exact in IEEE-754).
+    pub fn effective_step_time(
+        &self,
+        res: Resolution,
+        k: usize,
+        batch: u32,
+        gpus: GpuSet,
+    ) -> SimDuration {
+        // tetrilint: allow(nominal-step-time) -- this IS the effective accessor
+        let nominal = self.costs.step_time(res, k, batch);
+        let slow = self.group_slowdown(gpus);
+        if slow > 1.0 {
+            nominal.mul_f64(slow)
+        } else {
+            nominal
+        }
+    }
+
+    /// Effective serving capacity of the healthy set in nominal-GPU
+    /// units: exactly `healthy.len() as f64` on a degradation-free run.
+    pub fn effective_capacity(&self) -> f64 {
+        self.failures.effective_capacity(self.healthy, self.now)
+    }
 }
 
 /// A scheduling policy.
@@ -203,6 +249,7 @@ mod tests {
     #[test]
     fn valid_plans_pass() {
         let (tracker, costs) = ctx_fixture();
+        let failures = FailurePlan::none();
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(8),
@@ -210,6 +257,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &costs,
+            failures: &failures,
         };
         let plans = vec![
             plan(&[1, 2], GpuSet::contiguous(0, 2), 10),
@@ -223,6 +271,7 @@ mod tests {
     #[test]
     fn violations_are_caught() {
         let (tracker, costs) = ctx_fixture();
+        let failures = FailurePlan::none();
         let ctx = SchedContext {
             now: SimTime::ZERO,
             free: GpuSet::first_n(4),
@@ -231,6 +280,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &costs,
+            failures: &failures,
         };
         // Down GPUs (outside the health view).
         let e = validate_plans(&[plan(&[1], GpuSet::contiguous(7, 1), 1)], &ctx).unwrap_err();

@@ -53,6 +53,11 @@ pub struct RequestOutcome {
     pub retries: u32,
     /// Whether admission control shed the request (it never completes).
     pub shed: bool,
+    /// Diffusion steps the degrade ladder removed from the request's
+    /// budget to rescue its deadline (0 on a full-quality serve). A
+    /// degraded completion still counts toward SLO attainment; the shed
+    /// steps are its *quality debt*.
+    pub steps_shed: u32,
 }
 
 impl RequestOutcome {
@@ -73,6 +78,11 @@ impl RequestOutcome {
         } else {
             self.sp_degree_step_sum as f64 / f64::from(self.steps_executed)
         }
+    }
+
+    /// Whether the degrade ladder shed steps from this request.
+    pub fn was_degraded(&self) -> bool {
+        self.steps_shed > 0
     }
 }
 
@@ -109,6 +119,7 @@ mod tests {
             sp_degree_step_sum: 100,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         };
         assert!(on_time.met_slo());
         assert_eq!(on_time.latency(), Some(SimDuration::from_secs_f64(1.5)));
@@ -147,6 +158,7 @@ mod tests {
             sp_degree_step_sum: 1,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         };
         assert!(exactly.met_slo());
     }

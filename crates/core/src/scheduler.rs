@@ -269,7 +269,10 @@ impl Policy for TetriServePolicy {
                 Some(prev) if prev.len() == 1 && free.is_superset_of(prev) => prev,
                 _ => GpuSet::single(gpu_lowest),
             };
-            let t1 = costs.step_time(r.spec.resolution, 1, 1);
+            // Effective, not nominal: sizing against a throttled GPU's
+            // nominal speed would overrun the boundary and hold the GPU
+            // into the next round's packing.
+            let t1 = ctx.effective_step_time(r.spec.resolution, 1, 1, gpu);
             let mut steps = (window.div_floor(t1) as u32).min(r.remaining_steps);
             if steps == 0 {
                 if !at_boundary {
@@ -339,6 +342,7 @@ mod tests {
     use crate::request::RequestSpec;
     use crate::tracker::RequestTracker;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_simulator::failure::FailurePlan;
     use tetriserve_simulator::time::SimDuration;
 
     fn costs() -> CostTable {
@@ -361,6 +365,7 @@ mod tests {
         costs: &CostTable,
         now: SimTime,
     ) -> Vec<DispatchPlan> {
+        let failures = FailurePlan::none();
         let ctx = SchedContext {
             now,
             free: GpuSet::first_n(8),
@@ -368,6 +373,7 @@ mod tests {
             n_gpus: 8,
             tracker,
             costs,
+            failures: &failures,
         };
         let plans = policy.schedule(&ctx);
         crate::policy::validate_plans(&plans, &ctx).expect("plans are valid");
@@ -568,6 +574,7 @@ mod tests {
             deadline: mid + SimDuration::from_secs_f64(5.0),
             total_steps: 50,
         });
+        let failures = FailurePlan::none();
         let ctx = SchedContext {
             now: mid,
             free: GpuSet::first_n(8),
@@ -575,6 +582,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
+            failures: &failures,
         };
         let plans = policy.schedule(&ctx);
         crate::policy::validate_plans(&plans, &ctx).expect("valid");
@@ -607,6 +615,7 @@ mod tests {
             deadline: sliver + SimDuration::from_secs_f64(5.0),
             total_steps: 50,
         });
+        let failures = FailurePlan::none();
         let ctx = SchedContext {
             now: sliver,
             free: GpuSet::first_n(8),
@@ -614,6 +623,7 @@ mod tests {
             n_gpus: 8,
             tracker: &tracker,
             costs: &c,
+            failures: &failures,
         };
         let plans = policy.schedule(&ctx);
         assert!(plans.is_empty(), "{plans:?}");

@@ -25,6 +25,7 @@ use tetriserve_simulator::topology::Topology;
 use tetriserve_simulator::trace::{RequestId, Trace, TraceEvent};
 
 use crate::config::AdmissionPolicy;
+use crate::degrade::DegradePolicy;
 use crate::feasibility::{self, DemandEntry};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
 use crate::request::{RequestOutcome, RequestSpec};
@@ -46,6 +47,12 @@ pub struct ServerConfig {
     /// Fault-abort retries allowed per request before it is terminally
     /// failed (bounds the work a flapping GPU can burn on one request).
     pub max_retries: u32,
+    /// Deadline-rescue step shedding: when set, EDF infeasibility first
+    /// shrinks step budgets toward the per-class quality floors and only
+    /// sheds whole requests (under [`AdmissionPolicy::ShedInfeasible`])
+    /// when even the floor cannot make the deadline. `None` (the default)
+    /// preserves the exact shed-only behaviour.
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +63,7 @@ impl Default for ServerConfig {
             max_events: 50_000_000,
             admission: AdmissionPolicy::AdmitAll,
             max_retries: 3,
+            degrade: None,
         }
     }
 }
@@ -112,6 +120,42 @@ impl ServeReport {
         self.outcomes.iter().map(|o| u64::from(o.retries)).sum()
     }
 
+    /// Requests the degrade ladder shed steps from (whether or not they
+    /// went on to complete).
+    pub fn rescued_requests(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.was_degraded()).count()
+    }
+
+    /// SLO-met completions that were served degraded (fewer than their
+    /// requested steps).
+    pub fn degraded_completions(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.met_slo() && o.was_degraded())
+            .count()
+    }
+
+    /// Total steps the degrade ladder removed — the run's quality debt,
+    /// in steps. Pair with a cost table for step-second debt (see
+    /// `tetriserve_metrics::quality`).
+    pub fn quality_debt_steps(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.steps_shed)).sum()
+    }
+
+    /// SAR counting only *full-quality* completions: an SLO met via
+    /// degradation counts against this metric. Equals [`sar`](Self::sar)
+    /// exactly on a degradation-free run.
+    pub fn full_quality_sar(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.met_slo() && !o.was_degraded())
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
     /// Mean host wall-clock per scheduling pass.
     pub fn mean_sched_latency(&self) -> std::time::Duration {
         if self.sched_calls == 0 {
@@ -134,6 +178,10 @@ pub struct ClusterLoad {
     pub n_gpus: usize,
     /// GPUs not hard-faulted at `at` (per the static failure plan).
     pub healthy_gpus: usize,
+    /// Effective serving capacity in nominal-GPU units: the healthy set
+    /// derated by active slowdown faults. Exactly `healthy_gpus as f64`
+    /// when no slowdown is active.
+    pub effective_gpus: f64,
     /// GPUs idle right now.
     pub free_gpus: usize,
     /// Live requests waiting for GPUs.
@@ -153,10 +201,12 @@ impl ClusterLoad {
         self.queued + self.running
     }
 
-    /// Outstanding GPU-seconds per healthy GPU — a capacity-normalised
-    /// pressure metric that makes heterogeneous clusters comparable.
+    /// Outstanding GPU-seconds per effective GPU — a capacity-normalised
+    /// pressure metric that makes heterogeneous clusters comparable. A
+    /// throttled cluster reads as more loaded than its healthy count
+    /// suggests, steering the fleet router away from it.
     pub fn pressure(&self) -> f64 {
-        self.backlog_gpu_seconds / (self.healthy_gpus.max(1)) as f64
+        self.backlog_gpu_seconds / self.effective_gpus.max(1.0)
     }
 }
 
@@ -337,7 +387,13 @@ impl<P: Policy> ClusterSim<P> {
     /// # Panics
     ///
     /// Panics if the hand-off would complete in this cluster's past.
-    pub fn inject_request(&mut self, m: MigratedRequest, at: SimTime, bytes: u64, delay: SimDuration) {
+    pub fn inject_request(
+        &mut self,
+        m: MigratedRequest,
+        at: SimTime,
+        bytes: u64,
+        delay: SimDuration,
+    ) {
         let ready = at + delay;
         assert!(
             ready >= self.cursor,
@@ -345,7 +401,8 @@ impl<P: Policy> ClusterSim<P> {
             ready,
             self.cursor
         );
-        self.events.push(ready, Event::Migration { m, bytes, delay });
+        self.events
+            .push(ready, Event::Migration { m, bytes, delay });
         self.arrivals_pending += 1;
         self.reseed_tick_at(ready);
     }
@@ -396,6 +453,17 @@ impl<P: Policy> ClusterSim<P> {
         GpuSet::first_n(self.n_gpus).difference(down).len()
     }
 
+    /// Effective serving capacity at `at` in nominal-GPU units: the
+    /// healthy set derated by active slowdown faults. Exactly
+    /// `healthy_count_at(at) as f64` when no slowdown is active, so the
+    /// capacity-form EDF scans it feeds are bit-identical to the integer
+    /// forms on slowdown-free runs.
+    pub fn effective_capacity_at(&self, at: SimTime) -> f64 {
+        let failures = &self.config.engine.failures;
+        let healthy = GpuSet::first_n(self.n_gpus).difference(failures.down_gpus(at));
+        failures.effective_capacity(healthy, at)
+    }
+
     /// The live backlog's demand entries in EDF scan order, as of `at` —
     /// the raw material for fleet-level feasibility questions ("could this
     /// cluster absorb one more request / a migrated-in request"). Pure
@@ -423,7 +491,7 @@ impl<P: Policy> ClusterSim<P> {
     pub fn at_risk_queued(&self, at: SimTime) -> Vec<RequestId> {
         let at = at.max(self.cursor);
         let entries = feasibility::live_entries(&self.tracker, at, &self.costs);
-        feasibility::edf_at_risk(&entries, at, self.healthy_count_at(at))
+        feasibility::edf_at_risk_capacity(&entries, at, self.effective_capacity_at(at))
             .into_iter()
             .filter(|&id| {
                 self.tracker
@@ -458,6 +526,7 @@ impl<P: Policy> ClusterSim<P> {
             at,
             n_gpus: self.n_gpus,
             healthy_gpus: self.healthy_count_at(at),
+            effective_gpus: self.effective_capacity_at(at),
             free_gpus: self.free.len(),
             queued,
             running,
@@ -482,7 +551,7 @@ impl<P: Policy> ClusterSim<P> {
             true,
         ));
         feasibility::sort_entries(&mut entries);
-        feasibility::edf_feasible(&entries, at, self.healthy_count_at(at))
+        feasibility::edf_feasible_capacity(&entries, at, self.effective_capacity_at(at))
     }
 
     /// Removes and returns every queued request that has made no progress
@@ -492,7 +561,7 @@ impl<P: Policy> ClusterSim<P> {
         let ids: Vec<RequestId> = self
             .tracker
             .iter()
-            .filter(|r| r.phase == Phase::Queued && r.remaining_steps == r.spec.total_steps)
+            .filter(|r| r.phase == Phase::Queued && r.steps_executed() == 0)
             .map(|r| r.spec.id)
             .collect();
         ids.into_iter().map(|id| self.tracker.extract(id)).collect()
@@ -517,6 +586,29 @@ impl<P: Policy> ClusterSim<P> {
             self.tracker.fail(id);
         }
         ids.len()
+    }
+
+    /// The degrade-before-shed ladder (DESIGN.md §14), run whenever the
+    /// backlog may have turned infeasible: at admission, on a fault
+    /// transition, and when a migration lands. With a degrade policy
+    /// configured, the EDF scan first shrinks step budgets toward the
+    /// per-class quality floors; whole-request shedding (when the
+    /// admission policy allows it) is the last rung. Capacity is the
+    /// slowdown-derated effective count, so throttled GPUs trigger the
+    /// ladder exactly like lost ones.
+    fn rescue_pass(&mut self, now: SimTime) {
+        let shed = self.config.admission == AdmissionPolicy::ShedInfeasible;
+        if self.config.degrade.is_none() && !shed {
+            return;
+        }
+        let healthy = GpuSet::first_n(self.n_gpus).difference(self.down);
+        let capacity = self.config.engine.failures.effective_capacity(healthy, now);
+        match &self.config.degrade {
+            Some(policy) => {
+                degrade_or_shed(&mut self.tracker, now, capacity, &self.costs, policy, shed);
+            }
+            None => shed_infeasible(&mut self.tracker, now, capacity, &self.costs),
+        }
     }
 
     /// Processes one event. Returns `false` when the queue is empty.
@@ -547,10 +639,7 @@ impl<P: Policy> ClusterSim<P> {
             Event::Arrival(spec) => {
                 self.tracker.admit(spec);
                 self.arrivals_pending -= 1;
-                if self.config.admission == AdmissionPolicy::ShedInfeasible {
-                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
-                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
-                }
+                self.rescue_pass(now);
                 Some(PolicyEvent::Arrival)
             }
             Event::DispatchDone { gpus, requests } => {
@@ -584,10 +673,7 @@ impl<P: Policy> ClusterSim<P> {
                 // until the *last* window closes.
                 self.down = self.config.engine.failures.down_gpus(now);
                 self.free = self.free.difference(self.down);
-                if self.config.admission == AdmissionPolicy::ShedInfeasible {
-                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
-                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
-                }
+                self.rescue_pass(now);
                 // Wake event-driven policies so queued work re-plans
                 // around the shrunk capacity at once; round-driven
                 // policies pick it up at the next tick.
@@ -619,10 +705,7 @@ impl<P: Policy> ClusterSim<P> {
                 // migrated request itself holds progress and is immune to
                 // shedding, but its demand may push *fresh* queued work
                 // over the feasibility edge.
-                if self.config.admission == AdmissionPolicy::ShedInfeasible {
-                    let healthy = GpuSet::first_n(self.n_gpus).difference(self.down).len();
-                    shed_infeasible(&mut self.tracker, now, healthy, &self.costs);
-                }
+                self.rescue_pass(now);
                 Some(PolicyEvent::Arrival)
             }
             Event::Tick => {
@@ -653,6 +736,7 @@ impl<P: Policy> ClusterSim<P> {
                 n_gpus: self.n_gpus,
                 tracker: &self.tracker,
                 costs: &self.costs,
+                failures: &self.config.engine.failures,
             };
             // tetrilint: allow(wall-clock) -- measures the host-side
             // control-plane cost of Policy::schedule (Table 6); the
@@ -840,11 +924,13 @@ impl<P: Policy> Server<P> {
 ///
 /// Scans live requests in deadline order, accumulating each one's
 /// cheapest deadline-respecting GPU-second demand; whenever the running
-/// total exceeds what `healthy` GPUs can deliver by that deadline, the
-/// least salvageable *not-yet-started* request in the prefix is shed
-/// and the test restarts. Requests that already hold checkpointed steps
-/// are never shed — dropping them would waste finished work.
-fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, healthy: usize, costs: &CostTable) {
+/// total exceeds what `capacity` nominal GPUs can deliver by that
+/// deadline, the least salvageable *not-yet-started* request in the
+/// prefix is shed and the test restarts. Requests that already hold
+/// checkpointed steps are never shed — dropping them would waste
+/// finished work. `capacity` is fractional (slowdown-derated); passing a
+/// whole healthy count is bit-identical to the pre-slowdown behaviour.
+fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, capacity: f64, costs: &CostTable) {
     loop {
         let live: Vec<DemandEntry> = feasibility::live_entries(tracker, now, costs);
 
@@ -852,10 +938,10 @@ fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, healthy: usize, c
         let mut shed = None;
         for (i, c) in live.iter().enumerate() {
             demand += c.demand;
-            let capacity = healthy as f64
+            let deliverable = capacity
                 * c.deadline.saturating_since(now).as_secs_f64()
                 * feasibility::ADMISSION_UTILIZATION;
-            if demand > capacity {
+            if demand > deliverable {
                 // Least slack first; on ties the newest admission goes
                 // (reject the incoming request rather than break an
                 // older commitment). Started requests are immune, so an
@@ -873,6 +959,97 @@ fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, healthy: usize, c
         }
         match shed {
             Some(id) => tracker.shed(id),
+            None => break,
+        }
+    }
+}
+
+/// The degrade-before-shed ladder: like [`shed_infeasible`], but at each
+/// capacity violation the first rung shrinks a queued prefix member's
+/// step budget toward its class quality floor ([`DegradePolicy`]) —
+/// enough steps to cover the overshoot, never past the floor. Only when
+/// no prefix member has sheddable steps left does the ladder fall through
+/// to whole-request shedding (and only if `shed_at_floor` — i.e. the
+/// admission policy — allows dropping requests at all). Victim order on
+/// both rungs matches [`shed_infeasible`]: least slack first, newest id
+/// on ties.
+fn degrade_or_shed(
+    tracker: &mut RequestTracker,
+    now: SimTime,
+    capacity: f64,
+    costs: &CostTable,
+    policy: &DegradePolicy,
+    shed_at_floor: bool,
+) {
+    enum Action {
+        Degrade(RequestId, u32),
+        Shed(RequestId),
+    }
+    loop {
+        let live: Vec<DemandEntry> = feasibility::live_entries(tracker, now, costs);
+
+        let mut demand = 0.0;
+        let mut action = None;
+        for (i, c) in live.iter().enumerate() {
+            demand += c.demand;
+            let deliverable = capacity
+                * c.deadline.saturating_since(now).as_secs_f64()
+                * feasibility::ADMISSION_UTILIZATION;
+            if demand > deliverable {
+                let overshoot = demand - deliverable;
+                // Rung 1: degrade. Running requests are pinned (their
+                // dispatch already holds its step count); queued ones may
+                // shed steps down to max(floor − executed, 1) remaining.
+                let victim = live[..=i]
+                    .iter()
+                    .filter_map(|e| {
+                        let r = tracker.get(e.id)?;
+                        if r.phase != Phase::Queued {
+                            return None;
+                        }
+                        let min_steps = policy.min_steps(r.spec.resolution, r.spec.total_steps);
+                        let floor_remaining = min_steps.saturating_sub(r.steps_executed()).max(1);
+                        let sheddable = r.remaining_steps.saturating_sub(floor_remaining);
+                        (sheddable > 0).then_some((e, sheddable, r.remaining_steps))
+                    })
+                    .min_by(|(a, _, _), (b, _, _)| {
+                        a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id))
+                    });
+                if let Some((e, sheddable, remaining)) = victim {
+                    // Shed just enough of the victim's steps to cover the
+                    // overshoot at its cheapest per-step demand, clamped
+                    // to the floor; the re-scan sheds more (or picks the
+                    // next victim) if that was not enough.
+                    let per_step = e.demand / f64::from(remaining);
+                    let needed = (overshoot / per_step).ceil();
+                    let steps = if needed >= f64::from(sheddable) {
+                        sheddable
+                    } else {
+                        (needed as u32).max(1)
+                    };
+                    action = Some(Action::Degrade(e.id, steps));
+                    break;
+                }
+                // Rung 2: every prefix member is at its floor (or
+                // running) — shed a whole fresh request if allowed.
+                if shed_at_floor {
+                    let shed = live[..=i]
+                        .iter()
+                        .filter(|c| c.fresh)
+                        .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
+                        .map(|c| c.id);
+                    if let Some(id) = shed {
+                        action = Some(Action::Shed(id));
+                        break;
+                    }
+                }
+                // No relief available at this violation; keep scanning —
+                // a later violation may still have degradable members.
+            }
+        }
+        match action {
+            Some(Action::Degrade(id, steps)) => tracker.shed_steps(id, steps),
+            Some(Action::Shed(id)) => tracker.shed(id),
             None => break,
         }
     }
@@ -1061,6 +1238,112 @@ mod tests {
     }
 
     #[test]
+    fn recovered_steps_count_as_goodput_not_waste() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        use tetriserve_simulator::trace::TraceEvent;
+        // Same shape as the survival test above, but the fault lands at
+        // 0.3 s — mid-way through the opening full-cluster dispatch — so
+        // the aborted dispatch has checkpointed steps.
+        // Those steps must be counted exactly once toward the request's 50
+        // (goodput), and `wasted_gpu_seconds` must cover only the tail
+        // after the last checkpointed step — never the recovered work.
+        let report = serve_with(
+            vec![
+                spec(0, Resolution::R512, 0.0, 30.0),
+                spec(1, Resolution::R1024, 0.1, 30.0),
+                spec(2, Resolution::R2048, 0.2, 40.0),
+            ],
+            |cfg| {
+                cfg.engine.failures = cfg.engine.failures.clone().with_fault(GpuFault::transient(
+                    GpuId(3),
+                    SimTime::from_secs_f64(0.3),
+                    SimTime::from_secs_f64(5.0),
+                ));
+            },
+        );
+        assert!(
+            report.aborted_dispatches > 0,
+            "fault must land mid-dispatch"
+        );
+        assert!(
+            report.outcomes.iter().all(|o| o.met_slo()),
+            "generous SLOs: every request recovers and meets its deadline\n{:#?}",
+            report.outcomes
+        );
+        assert!(report.goodput() > 0.0);
+
+        // Index DispatchStart events by id: the paired start of an aborted
+        // dispatch records only the checkpointed steps.
+        let mut starts = std::collections::BTreeMap::new();
+        for e in report.trace.events() {
+            if let TraceEvent::DispatchStart {
+                time,
+                dispatch,
+                requests,
+                gpus,
+                steps,
+                per_step,
+            } = e
+            {
+                starts.insert(
+                    *dispatch,
+                    (*time, requests.clone(), *gpus, *steps, *per_step),
+                );
+            }
+        }
+
+        let mut event_waste = 0.0;
+        let mut checkpointed_abort = false;
+        for e in report.trace.events() {
+            let TraceEvent::DispatchAborted {
+                time,
+                dispatch,
+                completed_steps,
+                wasted_gpu_seconds,
+                ..
+            } = e
+            else {
+                continue;
+            };
+            event_waste += wasted_gpu_seconds;
+            let (start, _, gpus, steps, per_step) = &starts[dispatch];
+            assert_eq!(steps, completed_steps, "start records checkpointed steps");
+            if *completed_steps == 0 {
+                continue;
+            }
+            checkpointed_abort = true;
+            // Waste is exactly the span after the last checkpointed step,
+            // over every member GPU — the recovered prefix is excluded.
+            let useful_end =
+                start.as_secs_f64() + per_step.as_secs_f64() * f64::from(*completed_steps);
+            let expected = gpus.len() as f64 * (time.as_secs_f64() - useful_end);
+            assert!(
+                (wasted_gpu_seconds - expected).abs() < 5e-3,
+                "waste {wasted_gpu_seconds} != tail {expected}"
+            );
+            let full_span = gpus.len() as f64 * (time.as_secs_f64() - start.as_secs_f64());
+            assert!(
+                *wasted_gpu_seconds < full_span,
+                "checkpointed work must not be double-counted as waste"
+            );
+        }
+        assert!(checkpointed_abort, "need an abort with checkpointed steps");
+        assert!((event_waste - report.wasted_gpu_seconds).abs() < 1e-9);
+
+        // Conservation: per request, checkpointed + retried steps sum to
+        // exactly 50 — recovered steps are never re-executed.
+        for o in &report.outcomes {
+            let executed: u32 = starts
+                .values()
+                .filter(|(_, reqs, ..)| reqs.contains(&o.id))
+                .map(|(_, _, _, steps, _)| *steps)
+                .sum();
+            assert_eq!(executed, 50, "request {:?}", o.id);
+        }
+    }
+
+    #[test]
     fn permanent_fault_excludes_the_gpu_from_all_placements() {
         use tetriserve_simulator::failure::GpuFault;
         use tetriserve_simulator::gpuset::GpuId;
@@ -1192,6 +1475,135 @@ mod tests {
         );
         assert_eq!(report.shed_requests, 0);
         assert_eq!(report.sar(), 1.0);
+    }
+
+    #[test]
+    fn degrade_rescues_overload_without_shedding() {
+        use crate::degrade::DegradePolicy;
+        // Two hero images that *almost* fit back-to-back at SP=8 (4.48 s
+        // each against an 8.4 s deadline): full quality makes the second
+        // one ~2 s late, but shedding a third of its steps (floor 0.5 →
+        // ≥ 25 of 50) pulls it well inside the deadline without crowding
+        // the first one out. Quality bends so requests don't break.
+        let burst: Vec<RequestSpec> = (0..2)
+            .map(|i| spec(i, Resolution::R2048, 0.0, 8.4))
+            .collect();
+        let admit_all = serve_with(burst.clone(), |_| ());
+        let degraded = serve_with(burst, |cfg| {
+            cfg.degrade = Some(DegradePolicy::uniform(0.5));
+        });
+        assert_eq!(degraded.shed_requests, 0, "AdmitAll never sheds");
+        assert!(degraded.rescued_requests() > 0, "overload must degrade");
+        assert!(degraded.quality_debt_steps() > 0);
+        assert!(
+            degraded.sar() > admit_all.sar(),
+            "degraded {} vs admit-all {}",
+            degraded.sar(),
+            admit_all.sar()
+        );
+        // The quality floor (0.5) is never pierced: every completion ran
+        // at least ⌈50 × 0.5⌉ = 25 steps, and executed + shed always
+        // accounts for the full request.
+        for o in degraded.outcomes.iter().filter(|o| o.completion.is_some()) {
+            assert!(o.steps_executed >= 25, "{o:?}");
+            assert_eq!(o.steps_executed + o.steps_shed, 50, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn degrade_before_shed_keeps_more_requests_than_shed_only() {
+        use crate::degrade::DegradePolicy;
+        let burst: Vec<RequestSpec> = (0..12)
+            .map(|i| spec(i, Resolution::R2048, 0.0, 10.0))
+            .collect();
+        let shed_only = serve_with(burst.clone(), |cfg| {
+            cfg.admission = AdmissionPolicy::ShedInfeasible;
+        });
+        let ladder = serve_with(burst, |cfg| {
+            cfg.admission = AdmissionPolicy::ShedInfeasible;
+            cfg.degrade = Some(DegradePolicy::paper_classes());
+        });
+        assert!(shed_only.shed_requests > 0);
+        assert!(
+            ladder.shed_requests < shed_only.shed_requests,
+            "degrading first must save requests from the shedder: {} vs {}",
+            ladder.shed_requests,
+            shed_only.shed_requests
+        );
+        assert!(
+            ladder.sar() >= shed_only.sar(),
+            "ladder {} vs shed-only {}",
+            ladder.sar(),
+            shed_only.sar()
+        );
+        assert!(ladder.quality_debt_steps() > 0, "the rescue has a price");
+    }
+
+    #[test]
+    fn degrade_policy_is_inert_on_feasible_load() {
+        use crate::degrade::DegradePolicy;
+        // A workload with ample headroom: the ladder must never fire, and
+        // the report must be indistinguishable from a no-degrade run.
+        let specs = vec![
+            spec(0, Resolution::R256, 0.0, 60.0),
+            spec(1, Resolution::R1024, 0.5, 60.0),
+            spec(2, Resolution::R2048, 1.0, 60.0),
+        ];
+        let plain = serve_with(specs.clone(), |_| ());
+        let with_policy = serve_with(specs, |cfg| {
+            cfg.degrade = Some(DegradePolicy::paper_classes());
+        });
+        assert_eq!(with_policy.quality_debt_steps(), 0);
+        assert_eq!(with_policy.rescued_requests(), 0);
+        assert_eq!(with_policy.full_quality_sar(), with_policy.sar());
+        let a: Vec<_> = plain
+            .outcomes
+            .iter()
+            .map(|o| (o.completion, o.steps_executed, o.gpu_seconds.to_bits()))
+            .collect();
+        let b: Vec<_> = with_policy
+            .outcomes
+            .iter()
+            .map(|o| (o.completion, o.steps_executed, o.gpu_seconds.to_bits()))
+            .collect();
+        assert_eq!(a, b, "an idle ladder must be bit-invisible");
+    }
+
+    #[test]
+    fn straggler_triggers_degradation_under_pressure() {
+        use crate::degrade::DegradePolicy;
+        use tetriserve_simulator::failure::PerfFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        // A load that fits nominal capacity but not a cluster whose GPUs
+        // are all running at one third speed: only the slowdown-aware
+        // admission scan notices, and the ladder sheds steps to cope.
+        let specs: Vec<RequestSpec> = (0..2)
+            .map(|i| spec(i, Resolution::R2048, 0.0, 12.0))
+            .collect();
+        let tweak_faults = |cfg: &mut ServerConfig| {
+            let mut failures = cfg.engine.failures.clone();
+            for g in 0..8 {
+                failures =
+                    failures.with_perf_fault(PerfFault::brownout(GpuId(g), 3.0, SimTime::ZERO));
+            }
+            cfg.engine.failures = failures;
+        };
+        let nominal = serve_with(specs.clone(), |cfg| {
+            cfg.degrade = Some(DegradePolicy::paper_classes());
+        });
+        assert_eq!(
+            nominal.quality_debt_steps(),
+            0,
+            "fits at nominal speed — no rescue needed"
+        );
+        let browned = serve_with(specs, |cfg| {
+            tweak_faults(cfg);
+            cfg.degrade = Some(DegradePolicy::paper_classes());
+        });
+        assert!(
+            browned.quality_debt_steps() > 0,
+            "the derated capacity must trigger the ladder"
+        );
     }
 
     #[test]

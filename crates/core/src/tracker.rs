@@ -47,12 +47,21 @@ pub struct TrackedRequest {
     pub sp_degree_step_sum: u64,
     /// Fault-induced dispatch aborts survived so far.
     pub retries: u32,
+    /// Steps removed from the budget by the degrade ladder (deadline
+    /// rescue); the request completes after
+    /// `total_steps − steps_shed` executed steps.
+    pub steps_shed: u32,
 }
 
 impl TrackedRequest {
     /// Whether the request still has steps to run and is not mid-dispatch.
     pub fn is_schedulable(&self, now: SimTime) -> bool {
         self.phase == Phase::Queued && self.remaining_steps > 0 && self.spec.arrival <= now
+    }
+
+    /// Steps executed so far (total minus shed minus still-remaining).
+    pub fn steps_executed(&self) -> u32 {
+        self.spec.total_steps - self.steps_shed - self.remaining_steps
     }
 
     /// Whether the deadline has already passed at `now`.
@@ -79,13 +88,16 @@ pub struct MigratedRequest {
     pub sp_degree_step_sum: u64,
     /// Fault-induced dispatch aborts survived so far.
     pub retries: u32,
+    /// Steps shed by the degrade ladder on previous clusters; quality
+    /// debt survives the hand-off (migration never restores shed steps).
+    pub steps_shed: u32,
 }
 
 impl MigratedRequest {
     /// Whether the request has executed no steps yet — a fresh migration
     /// ships no latent tensor and pays only the hand-off launch latency.
     pub fn is_fresh(&self) -> bool {
-        self.remaining_steps == self.spec.total_steps
+        self.remaining_steps + self.steps_shed == self.spec.total_steps
     }
 }
 
@@ -118,6 +130,7 @@ impl RequestTracker {
                 gpu_seconds: 0.0,
                 sp_degree_step_sum: 0,
                 retries: 0,
+                steps_shed: 0,
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", spec.id);
@@ -194,7 +207,8 @@ impl RequestTracker {
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert_eq!(r.phase, Phase::Running, "{id} must be running to abort");
         assert!(
-            u64::from(r.remaining_steps) + u64::from(lost_steps) <= u64::from(r.spec.total_steps),
+            u64::from(r.remaining_steps) + u64::from(lost_steps) + u64::from(r.steps_shed)
+                <= u64::from(r.spec.total_steps),
             "{id}: restoring {lost_steps} lost steps exceeds the schedule"
         );
         r.remaining_steps += lost_steps;
@@ -224,7 +238,8 @@ impl RequestTracker {
     }
 
     /// Sheds a queued request (admission control). Only requests that have
-    /// not started executing may be shed.
+    /// not started executing may be shed (a degraded-but-unstarted budget
+    /// still counts as no progress).
     ///
     /// # Panics
     ///
@@ -236,10 +251,37 @@ impl RequestTracker {
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert_eq!(r.phase, Phase::Queued, "{id} must be queued to shed");
         assert_eq!(
-            r.remaining_steps, r.spec.total_steps,
+            r.remaining_steps + r.steps_shed,
+            r.spec.total_steps,
             "{id} already made progress; shedding it would waste work"
         );
         r.phase = Phase::Shed;
+    }
+
+    /// Removes `steps` denoise steps from a queued request's remaining
+    /// budget (the degrade ladder's deadline rescue). The request still
+    /// completes normally — just with fewer total steps; the shed count
+    /// is carried into its outcome as quality debt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown, not queued, `steps` is zero, or
+    /// shedding would leave no remaining work (the dispatch→complete path
+    /// needs at least one step to fire).
+    pub fn shed_steps(&mut self, id: RequestId, steps: u32) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        assert_eq!(r.phase, Phase::Queued, "{id} must be queued to degrade");
+        assert!(steps > 0, "{id}: degrading by zero steps");
+        assert!(
+            steps < r.remaining_steps,
+            "{id}: shedding {steps} of {} remaining steps would leave no work",
+            r.remaining_steps
+        );
+        r.remaining_steps -= steps;
+        r.steps_shed += steps;
     }
 
     /// Removes a fresh, still-queued request from the tracker entirely and
@@ -258,9 +300,12 @@ impl RequestTracker {
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert_eq!(r.phase, Phase::Queued, "{id} must be queued to extract");
         assert_eq!(
-            r.remaining_steps, r.spec.total_steps,
+            r.remaining_steps + r.steps_shed,
+            r.spec.total_steps,
             "{id} already made progress; extracting it would waste work"
         );
+        // The unchanged spec ships: re-routing to a cluster with headroom
+        // forgives any degradation this cluster had planned.
         r.spec
     }
 
@@ -285,6 +330,7 @@ impl RequestTracker {
             gpu_seconds: r.gpu_seconds,
             sp_degree_step_sum: r.sp_degree_step_sum,
             retries: r.retries,
+            steps_shed: r.steps_shed,
         }
     }
 
@@ -304,7 +350,7 @@ impl RequestTracker {
             m.spec.id
         );
         assert!(
-            m.remaining_steps <= m.spec.total_steps,
+            u64::from(m.remaining_steps) + u64::from(m.steps_shed) <= u64::from(m.spec.total_steps),
             "request {} migrated with more steps than it started with",
             m.spec.id
         );
@@ -318,6 +364,7 @@ impl RequestTracker {
                 gpu_seconds: m.gpu_seconds,
                 sp_degree_step_sum: m.sp_degree_step_sum,
                 retries: m.retries,
+                steps_shed: m.steps_shed,
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", m.spec.id);
@@ -384,10 +431,11 @@ impl RequestTracker {
                     _ => None,
                 },
                 gpu_seconds: r.gpu_seconds,
-                steps_executed: r.spec.total_steps - r.remaining_steps,
+                steps_executed: r.steps_executed(),
                 sp_degree_step_sum: r.sp_degree_step_sum,
                 retries: r.retries,
                 shed: r.phase == Phase::Shed,
+                steps_shed: r.steps_shed,
             })
             .collect()
     }
@@ -535,6 +583,87 @@ mod tests {
     }
 
     #[test]
+    fn shed_steps_shrinks_budget_and_tracks_debt() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.shed_steps(RequestId(1), 4);
+        let r = t.get(RequestId(1)).unwrap();
+        assert_eq!(r.remaining_steps, 6);
+        assert_eq!(r.steps_shed, 4);
+        assert_eq!(r.steps_executed(), 0, "degradation is not execution");
+        // The degraded request completes after only 6 executed steps.
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 2), 6, 0.5);
+        t.finish_dispatch(RequestId(1));
+        t.complete(RequestId(1), SimTime::from_secs_f64(2.0));
+        let out = t.outcomes();
+        assert_eq!(out[0].steps_executed, 6);
+        assert_eq!(out[0].steps_shed, 4);
+        assert!(out[0].was_degraded());
+        assert!(out[0].met_slo());
+    }
+
+    #[test]
+    fn shed_steps_compose_across_rescues() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.1);
+        t.finish_dispatch(RequestId(1));
+        t.shed_steps(RequestId(1), 3);
+        t.shed_steps(RequestId(1), 2);
+        let r = t.get(RequestId(1)).unwrap();
+        assert_eq!(r.remaining_steps, 3, "10 − 2 run − 5 shed");
+        assert_eq!(r.steps_shed, 5);
+        assert_eq!(r.steps_executed(), 2);
+    }
+
+    #[test]
+    fn degraded_fresh_request_can_still_be_shed_whole() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.shed_steps(RequestId(1), 4);
+        // No steps executed — whole-request shedding wastes no work.
+        t.shed(RequestId(1));
+        let out = t.outcomes();
+        assert!(out[0].shed);
+        assert_eq!(out[0].steps_executed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave no work")]
+    fn shedding_every_remaining_step_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.shed_steps(RequestId(1), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be queued to degrade")]
+    fn shed_steps_mid_dispatch_panics() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 2, 0.1);
+        t.shed_steps(RequestId(1), 1);
+    }
+
+    #[test]
+    fn migration_carries_quality_debt() {
+        let mut src = RequestTracker::new();
+        src.admit(spec(1));
+        src.shed_steps(RequestId(1), 3);
+        let m = src.extract_queued(RequestId(1));
+        assert_eq!(m.steps_shed, 3);
+        assert!(m.is_fresh(), "degraded but unstarted ships no latent");
+        let mut dst = RequestTracker::new();
+        dst.admit_migrated(m);
+        dst.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 7, 0.7);
+        dst.finish_dispatch(RequestId(1));
+        dst.complete(RequestId(1), SimTime::from_secs_f64(2.0));
+        let out = dst.outcomes();
+        assert_eq!(out[0].steps_executed, 7);
+        assert_eq!(out[0].steps_shed, 3, "debt survives the hand-off");
+    }
+
+    #[test]
     fn migration_round_trip_preserves_accounting() {
         let mut src = RequestTracker::new();
         src.admit(spec(1));
@@ -594,6 +723,7 @@ mod tests {
             gpu_seconds: 1.0,
             sp_degree_step_sum: 10,
             retries: 0,
+            steps_shed: 0,
         });
     }
 

@@ -152,7 +152,10 @@ mod tests {
         let ideal_s = bytes as f64 / (link.bandwidth_gbps * 1e9);
         let t = handoff_time(bytes, &link) - link.launch;
         assert!(t.as_secs_f64() < 2.0 * ideal_s, "{t:?} vs ideal {ideal_s}");
-        assert!(t.as_secs_f64() > ideal_s, "effective bw can never beat peak");
+        assert!(
+            t.as_secs_f64() > ideal_s,
+            "effective bw can never beat peak"
+        );
     }
 
     #[test]

@@ -40,9 +40,7 @@
 
 use std::collections::VecDeque;
 
-use tetriserve_core::{
-    feasibility, ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig,
-};
+use tetriserve_core::{feasibility, ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig};
 use tetriserve_costmodel::interconnect::{handoff_time, InterClusterLink};
 use tetriserve_costmodel::CostTable;
 use tetriserve_metrics::{ClusterReport, FleetReport};
@@ -203,7 +201,12 @@ impl FleetOracle for DriverOracle<'_> {
             c.is_fresh(),
         ));
         feasibility::sort_entries(&mut entries);
-        feasibility::edf_feasible_with_extra(&entries, at, sim.healthy_count_at(at), extra_gpu_seconds)
+        feasibility::edf_feasible_with_extra(
+            &entries,
+            at,
+            sim.healthy_count_at(at),
+            extra_gpu_seconds,
+        )
     }
 
     fn candidate_demand_on(&self, to: usize, c: &MigrationCandidate) -> f64 {
@@ -321,7 +324,11 @@ impl<R: Router> FleetSim<R> {
     /// router would shed is first offered to [`admission::coordinate`],
     /// and only shed if no cluster can serve it even after hypothetical
     /// rebalancing. The first planning tick fires one cadence after t = 0.
-    pub fn with_rebalancer(mut self, rebalancer: Box<dyn Rebalancer>, link: InterClusterLink) -> Self {
+    pub fn with_rebalancer(
+        mut self,
+        rebalancer: Box<dyn Rebalancer>,
+        link: InterClusterLink,
+    ) -> Self {
         let next_tick = SimTime::ZERO + rebalancer.cadence();
         self.rebalance = Some(Rebalancing {
             rebalancer,
@@ -585,6 +592,7 @@ impl<R: Router> FleetSim<R> {
                     sp_degree_step_sum: 0,
                     retries: 0,
                     shed: true,
+                    steps_shed: 0,
                 });
             }
         }

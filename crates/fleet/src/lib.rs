@@ -73,8 +73,7 @@ pub mod router;
 pub use admission::{coordinate, RescuePlan, MAX_RESCUE_MOVES};
 pub use driver::{run_fleet, run_fleet_rebalanced, FleetCluster, FleetSim};
 pub use rebalance::{
-    EdfRebalancer, FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer,
-    DEFAULT_CADENCE,
+    EdfRebalancer, FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer, DEFAULT_CADENCE,
 };
 pub use router::{
     ClusterView, DeadlineAwareRouter, JoinShortestQueueRouter, PowerOfTwoRouter, RoundRobinRouter,

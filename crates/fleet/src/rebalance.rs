@@ -89,8 +89,12 @@ pub trait FleetOracle {
     /// Whether cluster `to` passes the EDF feasibility test with `c`
     /// added — `c`'s deadline tightened by the hand-off delay — on top of
     /// `extra_gpu_seconds` of demand already committed to `to` this tick.
-    fn candidate_feasible_on(&self, to: usize, c: &MigrationCandidate, extra_gpu_seconds: f64)
-        -> bool;
+    fn candidate_feasible_on(
+        &self,
+        to: usize,
+        c: &MigrationCandidate,
+        extra_gpu_seconds: f64,
+    ) -> bool;
 
     /// `c`'s cheapest deadline-respecting GPU-second demand priced on
     /// cluster `to` (the amount to accumulate into `extra_gpu_seconds`).
@@ -248,7 +252,12 @@ pub(crate) mod tests {
         }
     }
 
-    pub(crate) fn cand(id: u64, from: usize, deadline_s: f64, remaining: u32) -> MigrationCandidate {
+    pub(crate) fn cand(
+        id: u64,
+        from: usize,
+        deadline_s: f64,
+        remaining: u32,
+    ) -> MigrationCandidate {
         MigrationCandidate {
             spec: RequestSpec {
                 id: RequestId(id),

@@ -236,6 +236,7 @@ mod tests {
                 at: SimTime::ZERO,
                 n_gpus: 8,
                 healthy_gpus: 8,
+                effective_gpus: 8.0,
                 free_gpus: 8,
                 queued: depth,
                 running: 0,

@@ -362,6 +362,42 @@ mod tests {
         assert!(scan.allows[0].used);
     }
 
+    // ---- nominal-step-time ---------------------------------------------
+
+    #[test]
+    fn nominal_step_time_fires_in_speed_aware_modules() {
+        let src = "fn t(c: &CostTable) -> SimDuration { c.step_time(res, 8, 1) }";
+        assert_eq!(
+            fired("crates/core/src/feasibility.rs", src),
+            vec!["nominal-step-time"]
+        );
+        let src = "fn t(c: &CostTable) -> SimDuration { c.t_min(res) }";
+        assert_eq!(
+            fired("crates/core/src/scheduler.rs", src),
+            vec!["nominal-step-time"]
+        );
+    }
+
+    #[test]
+    fn nominal_step_time_scoped_to_speed_aware_files() {
+        // dp.rs packs pre-sized options and never reads the cost table
+        // directly; bench code measures whatever it likes.
+        let src = "fn t(c: &CostTable) -> SimDuration { c.step_time(res, 8, 1) }";
+        assert_eq!(fired(HOT, src), Vec::<&str>::new());
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+        // Definitions and non-method mentions are not reads.
+        let src = "fn step_time(res: Resolution) -> SimDuration { todo(res) }";
+        assert_eq!(fired("crates/core/src/policy.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn nominal_step_time_allowed_with_reason() {
+        let src = "fn t(c: &CostTable) -> f64 {\n    // tetrilint: allow(nominal-step-time) -- demand side is nominal by convention\n    c.step_time(res, 1, 1).as_secs_f64()\n}";
+        let scan = scan_source("crates/core/src/feasibility.rs", src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert!(scan.allows[0].used);
+    }
+
     // ---- unordered-iter: inferred bindings -----------------------------
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `unwrap`               | panic-discipline  | hot-path modules           |
 //! | `slice-index`          | panic-discipline  | hot-path modules           |
 //! | `sim-time-monotonicity`| panic-discipline  | every scanned file         |
+//! | `nominal-step-time`    | fault-discipline  | speed-aware core modules   |
 //! | `float-eq`             | float-discipline  | every scanned file         |
 //! | `partial-cmp-unwrap`   | float-discipline  | every scanned file         |
 //! | `bad-annotation`       | (meta)            | every scanned file         |
@@ -37,6 +38,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unwrap",
     "slice-index",
     "sim-time-monotonicity",
+    "nominal-step-time",
     "float-eq",
     "partial-cmp-unwrap",
     "bad-annotation",
@@ -55,6 +57,18 @@ const DECISION_PATHS: &[&str] = &[
 
 /// Per-round inner-loop modules held to panic discipline.
 const HOT_FILES: &[&str] = &["dp.rs", "scheduler.rs", "batching.rs", "engine.rs"];
+
+/// Modules that reason about step durations while GPUs may be slowed by
+/// perf faults. A raw `CostTable::step_time`/`t_min` read there assumes
+/// nominal speed; sites that *mean* nominal (e.g. demand accounting in
+/// nominal GPU-seconds) must say so with an allow annotation.
+const SPEED_AWARE_FILES: &[&str] = &[
+    "scheduler.rs",
+    "feasibility.rs",
+    "policy.rs",
+    "server.rs",
+    "quality.rs",
+];
 
 /// Unordered-collection methods whose yield order is the RandomState hash
 /// order (`retain`/`drain` visit in that order too).
@@ -116,6 +130,7 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
     let basename = norm.rsplit('/').next().unwrap_or(&norm);
     let decision_path = DECISION_PATHS.iter().any(|p| norm.contains(p));
     let hot_path = HOT_FILES.contains(&basename);
+    let speed_aware = decision_path && SPEED_AWARE_FILES.contains(&basename);
 
     let mask = test_mask(&lexed.tokens);
     let live: Vec<&Tok> = lexed
@@ -173,6 +188,9 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
         rule_slice_index(&live, &mut raw);
     }
     rule_sim_time_monotonicity(&live, &mut raw);
+    if speed_aware {
+        rule_nominal_step_time(&live, &mut raw);
+    }
     rule_float_eq(&live, &mut raw);
     rule_partial_cmp_unwrap(&live, &mut raw);
 
@@ -296,6 +314,35 @@ impl Allows {
 
     fn into_records(self) -> Vec<AllowRecord> {
         self.records
+    }
+}
+
+/// `.step_time(` / `.t_min(` in speed-aware modules: a nominal per-step
+/// estimate sizes dispatches as if every GPU ran at profiled speed, so a
+/// straggler or throttle overruns the round boundary (and EDF admits work
+/// the derated node cannot finish). Decision code must route through
+/// `SchedContext::effective_step_time` / effective capacity; sites that
+/// genuinely mean nominal work (demand in nominal GPU-seconds, quality
+/// debt) annotate why.
+fn rule_nominal_step_time(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "step_time" && t.text != "t_min") {
+            continue;
+        }
+        // Method call only: `. step_time (` / `. t_min (`.
+        if k == 0 || toks[k - 1].text != "." || toks.get(k + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        out.push((
+            t.line,
+            "nominal-step-time",
+            format!(
+                "`.{}()` reads the nominal (fault-free) step time; under slowdown \
+                 faults use `effective_step_time`/effective capacity, or annotate \
+                 why nominal is correct here",
+                t.text
+            ),
+        ));
     }
 }
 
@@ -640,9 +687,7 @@ fn rule_sim_time_monotonicity(toks: &[&Tok], out: &mut Vec<(u32, &'static str, S
         while p >= 2 && toks[p].text == "." && toks[p - 1].kind == TokKind::Ident {
             p -= 2;
         }
-        if toks[p].text == "-"
-            && p > 0
-            && matches!(toks[p - 1].kind, TokKind::Ident | TokKind::Int)
+        if toks[p].text == "-" && p > 0 && matches!(toks[p - 1].kind, TokKind::Ident | TokKind::Int)
         {
             out.push((
                 t.line,

@@ -226,12 +226,12 @@ mod tests {
             rescues: 0,
             migrated_gpu_seconds: 0.0,
             handoff_delays: vec![
-                SimDuration::from_micros(250),  // < 1 ms
-                SimDuration::from_millis(1),    // edge: lands in < 10 ms
-                SimDuration::from_millis(5),    // < 10 ms
-                SimDuration::from_millis(50),   // < 100 ms
-                SimDuration::from_millis(500),  // < 1 s
-                SimDuration::from_secs(2),      // ≥ 1 s
+                SimDuration::from_micros(250), // < 1 ms
+                SimDuration::from_millis(1),   // edge: lands in < 10 ms
+                SimDuration::from_millis(5),   // < 10 ms
+                SimDuration::from_millis(50),  // < 100 ms
+                SimDuration::from_millis(500), // < 1 s
+                SimDuration::from_secs(2),     // ≥ 1 s
             ],
             routing_digest: 0,
             outcome_digest: 0,

@@ -176,6 +176,7 @@ mod tests {
             sp_degree_step_sum: 50,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         }
     }
 

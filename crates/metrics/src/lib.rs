@@ -11,6 +11,9 @@
 //! * [`utilization`] — per-GPU busy fractions and cluster-occupancy series
 //!   reconstructed from execution traces;
 //! * [`batching`] — selective-batching statistics from traces (§5);
+//! * [`quality`] — quality-debt accounting for degraded serving (steps
+//!   shed by the deadline-rescue ladder, full-quality SAR, mean delivered
+//!   quality);
 //! * [`fleet`] — multi-cluster aggregation: fleet SAR/goodput, routing
 //!   counts and cross-cluster load imbalance;
 //! * [`report`] — plain-text tables and ASCII charts used by the benchmark
@@ -30,6 +33,7 @@
 pub mod batching;
 pub mod fleet;
 pub mod latency;
+pub mod quality;
 pub mod report;
 pub mod sar;
 pub mod timeseries;
@@ -38,6 +42,10 @@ pub mod utilization;
 pub use batching::{batching_stats, BatchingStats};
 pub use fleet::{load_imbalance, ClusterReport, FleetReport, HANDOFF_HISTOGRAM_EDGES};
 pub use latency::{cdf_at, latency_cdf, mean_latency, percentile, LatencySummary};
+pub use quality::{
+    degraded_completions, full_quality_sar, mean_delivered_quality, quality_debt_by_resolution,
+    quality_debt_step_seconds, quality_debt_steps, rescued_requests,
+};
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};
 pub use timeseries::{inflight_series, mean_sp_degree_series, windowed_sar};

@@ -1,0 +1,203 @@
+//! Quality-debt metrics for degraded serving.
+//!
+//! The degrade ladder (see `tetriserve_core::DegradePolicy`) rescues
+//! deadline-infeasible requests by shedding diffusion steps down to a
+//! per-class quality floor. Every shed step is *quality debt*: the image
+//! was delivered, but with less denoising than requested. This module
+//! turns per-request `steps_shed` counts into run-level metrics so the
+//! debt is as visible as the SAR it buys.
+//!
+//! All functions are pure post-processing over [`RequestOutcome`] slices
+//! and never mutate anything.
+
+use std::collections::BTreeMap;
+
+use tetriserve_core::RequestOutcome;
+use tetriserve_costmodel::{CostTable, Resolution};
+
+/// Total diffusion steps shed across the run — the run's quality debt in
+/// steps. Zero on any degradation-free run.
+pub fn quality_debt_steps(outcomes: &[RequestOutcome]) -> u64 {
+    outcomes.iter().map(|o| u64::from(o.steps_shed)).sum()
+}
+
+/// Quality debt weighted by single-GPU step cost: the nominal GPU-seconds
+/// of denoising work the ladder removed. Unlike the raw step count this
+/// makes debt comparable across resolutions — one shed 2048px step costs
+/// ~14× a 256px one.
+pub fn quality_debt_step_seconds(outcomes: &[RequestOutcome], costs: &CostTable) -> f64 {
+    outcomes
+        .iter()
+        .filter(|o| o.steps_shed > 0)
+        .map(|o| {
+            // Debt is denominated in *nominal* single-GPU step-seconds by
+            // definition: it measures work not done, not work done slowly.
+            // tetrilint: allow(nominal-step-time) -- quality debt is nominal work by definition
+            let per_step = costs.step_time(o.resolution, 1, 1).as_secs_f64();
+            per_step * f64::from(o.steps_shed)
+        })
+        .sum()
+}
+
+/// Quality debt (in steps) broken down by resolution, ascending token
+/// order. Resolutions with no debt are omitted.
+pub fn quality_debt_by_resolution(outcomes: &[RequestOutcome]) -> BTreeMap<Resolution, u64> {
+    let mut debt: BTreeMap<Resolution, u64> = BTreeMap::new();
+    for o in outcomes {
+        if o.steps_shed > 0 {
+            *debt.entry(o.resolution).or_default() += u64::from(o.steps_shed);
+        }
+    }
+    debt
+}
+
+/// Requests the ladder degraded (shed at least one step from), whether or
+/// not they went on to complete.
+pub fn rescued_requests(outcomes: &[RequestOutcome]) -> usize {
+    outcomes.iter().filter(|o| o.was_degraded()).count()
+}
+
+/// SLO-met completions that were served below their requested step count.
+pub fn degraded_completions(outcomes: &[RequestOutcome]) -> usize {
+    outcomes
+        .iter()
+        .filter(|o| o.met_slo() && o.was_degraded())
+        .count()
+}
+
+/// SAR counting only full-quality completions: an SLO met via degradation
+/// counts against this metric. On a degradation-free run this equals the
+/// plain SAR exactly (bit-identical — both count the same outcomes).
+pub fn full_quality_sar(outcomes: &[RequestOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 1.0;
+    }
+    outcomes
+        .iter()
+        .filter(|o| o.met_slo() && !o.was_degraded())
+        .count() as f64
+        / outcomes.len() as f64
+}
+
+/// Mean delivered quality: executed steps as a fraction of requested
+/// steps, averaged over completed requests. `1.0` means every completion
+/// ran at full quality; the per-class floors lower-bound how far this can
+/// fall. Shed/failed requests are excluded — they delivered nothing, and
+/// their loss is already priced into SAR. Empty (or completion-free)
+/// input returns `1.0`.
+pub fn mean_delivered_quality(outcomes: &[RequestOutcome]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for o in outcomes.iter().filter(|o| o.completion.is_some()) {
+        let requested = u64::from(o.steps_executed) + u64::from(o.steps_shed);
+        if requested == 0 {
+            continue;
+        }
+        sum += f64::from(o.steps_executed) / requested as f64;
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sar::sar;
+    use tetriserve_simulator::time::SimTime;
+    use tetriserve_simulator::trace::RequestId;
+
+    fn costs() -> CostTable {
+        use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+        Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
+    }
+
+    fn outcome(id: u64, res: Resolution, met: bool, shed_steps: u32) -> RequestOutcome {
+        let total = 50u32;
+        RequestOutcome {
+            id: RequestId(id),
+            resolution: res,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_secs_f64(10.0),
+            completion: Some(SimTime::from_secs_f64(if met { 5.0 } else { 15.0 })),
+            gpu_seconds: 1.0,
+            steps_executed: total - shed_steps,
+            sp_degree_step_sum: u64::from(total - shed_steps),
+            retries: 0,
+            shed: false,
+            steps_shed: shed_steps,
+        }
+    }
+
+    #[test]
+    fn debt_sums_shed_steps() {
+        let outcomes = [
+            outcome(0, Resolution::R512, true, 0),
+            outcome(1, Resolution::R1024, true, 10),
+            outcome(2, Resolution::R2048, false, 15),
+        ];
+        assert_eq!(quality_debt_steps(&outcomes), 25);
+        let by_res = quality_debt_by_resolution(&outcomes);
+        assert_eq!(by_res.get(&Resolution::R1024), Some(&10));
+        assert_eq!(by_res.get(&Resolution::R2048), Some(&15));
+        assert!(!by_res.contains_key(&Resolution::R512));
+    }
+
+    #[test]
+    fn debt_step_seconds_weights_by_resolution() {
+        let costs = costs();
+        // Same step count, bigger resolution → strictly more step-seconds.
+        let small = [outcome(0, Resolution::R256, true, 10)];
+        let large = [outcome(0, Resolution::R2048, true, 10)];
+        let s = quality_debt_step_seconds(&small, &costs);
+        let l = quality_debt_step_seconds(&large, &costs);
+        assert!(s > 0.0);
+        assert!(l > s, "R2048 debt {l} must outweigh R256 debt {s}");
+    }
+
+    #[test]
+    fn degraded_accounting_splits_sar() {
+        let outcomes = [
+            outcome(0, Resolution::R512, true, 0),  // full-quality hit
+            outcome(1, Resolution::R512, true, 5),  // degraded hit
+            outcome(2, Resolution::R512, false, 5), // degraded miss
+            outcome(3, Resolution::R512, false, 0), // full-quality miss
+        ];
+        assert_eq!(rescued_requests(&outcomes), 2);
+        assert_eq!(degraded_completions(&outcomes), 1);
+        assert_eq!(sar(&outcomes), 0.5);
+        assert_eq!(full_quality_sar(&outcomes), 0.25);
+        // 2 full-quality + 2 at 45/50.
+        let want = (1.0 + 0.9 + 0.9 + 1.0) / 4.0;
+        assert!((mean_delivered_quality(&outcomes) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_degradation_run_matches_plain_sar_exactly() {
+        // On a degradation-free run the quality metrics collapse to the
+        // pre-degradation ones bit-for-bit: same filter, same division.
+        let outcomes: Vec<RequestOutcome> = (0..7)
+            .map(|i| outcome(i, Resolution::R1024, i % 3 != 0, 0))
+            .collect();
+        assert_eq!(quality_debt_steps(&outcomes), 0);
+        assert_eq!(quality_debt_step_seconds(&outcomes, &costs()), 0.0);
+        assert!(quality_debt_by_resolution(&outcomes).is_empty());
+        assert_eq!(rescued_requests(&outcomes), 0);
+        assert_eq!(
+            full_quality_sar(&outcomes).to_bits(),
+            sar(&outcomes).to_bits()
+        );
+        assert_eq!(mean_delivered_quality(&outcomes), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_perfect() {
+        assert_eq!(quality_debt_steps(&[]), 0);
+        assert_eq!(full_quality_sar(&[]), 1.0);
+        assert_eq!(mean_delivered_quality(&[]), 1.0);
+        assert!(quality_debt_by_resolution(&[]).is_empty());
+    }
+}

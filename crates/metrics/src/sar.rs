@@ -28,6 +28,7 @@ use tetriserve_costmodel::Resolution;
 ///     sp_degree_step_sum: 50,
 ///     retries: 0,
 ///     shed: false,
+///     steps_shed: 0,
 /// };
 /// assert_eq!(sar(&[outcome(true), outcome(false)]), 0.5);
 /// ```
@@ -82,6 +83,7 @@ mod tests {
             sp_degree_step_sum: 50,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         }
     }
 

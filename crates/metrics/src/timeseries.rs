@@ -128,6 +128,7 @@ mod tests {
             sp_degree_step_sum: 100,
             retries: 0,
             shed: false,
+            steps_shed: 0,
         }
     }
 

@@ -10,6 +10,12 @@
 //!   sequence-parallel step runs at the pace of its slowest member, so one
 //!   throttled GPU drags every group it joins (exactly why placement
 //!   matters).
+//! * **Performance faults** ([`PerfFault`]) — the generalised slowdown
+//!   taxonomy: a transient *straggler* (ECC retries, a neighbour on the
+//!   switch), a *throttle* (thermal/power capping) or a permanent
+//!   *brownout* (a device that will run slow until it is swapped,
+//!   `until = None`). All three degrade through the same multiplicative
+//!   factor and compose with [`Straggler`]s by max.
 //! * **Hard faults** ([`GpuFault`]) — a GPU goes *down* at a point in time,
 //!   either transiently (XID reset, driver restart: it recovers at
 //!   `up_at`) or permanently (`up_at = None`). A dispatch whose group
@@ -62,6 +68,101 @@ impl Straggler {
     /// Whether the straggler affects `gpu` at `time`.
     pub fn affects(&self, gpu: GpuId, time: SimTime) -> bool {
         self.gpu == gpu && is_active_at(self.from, Some(self.until), time)
+    }
+}
+
+/// The physical cause of a [`PerfFault`]. All kinds degrade identically
+/// through the multiplicative factor; the kind is taxonomy for traces and
+/// chaos-schedule reporting, not behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfFaultKind {
+    /// A transient per-device slowdown (ECC retries, noisy neighbour).
+    Straggler,
+    /// Thermal or power capping over a window.
+    Throttle,
+    /// A permanent degradation: the device runs slow until replaced.
+    Brownout,
+}
+
+/// A multiplicative slowdown on one GPU over a time window — the
+/// generalisation of [`Straggler`] that also covers open-ended windows
+/// (`until = None`: a permanent brownout).
+///
+/// Composes with [`Straggler`]s and other `PerfFault`s by *max* inside
+/// [`FailurePlan::group_slowdown`]; the factor is validated at
+/// construction to be finite and ≥ 1.0, so the effective speed
+/// `1.0 / factor` is always in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfFault {
+    /// The degraded GPU.
+    pub gpu: GpuId,
+    /// Multiplicative step-time factor (> 1 = slower).
+    pub factor: f64,
+    /// When the degradation begins.
+    pub from: SimTime,
+    /// When the degradation ends (exclusive), or `None` for a permanent
+    /// brownout.
+    pub until: Option<SimTime>,
+    /// What kind of degradation this models.
+    pub kind: PerfFaultKind,
+}
+
+impl PerfFault {
+    fn checked(
+        gpu: GpuId,
+        factor: f64,
+        from: SimTime,
+        until: Option<SimTime>,
+        kind: PerfFaultKind,
+    ) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "slowdown factor must be ≥ 1.0 and finite, got {factor}"
+        );
+        if let Some(u) = until {
+            assert!(from < u, "perf-fault window must be non-empty");
+        }
+        PerfFault {
+            gpu,
+            factor,
+            from,
+            until,
+            kind,
+        }
+    }
+
+    /// A transient straggler over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`, `factor` is not finite, or the window is
+    /// empty.
+    pub fn straggler(gpu: GpuId, factor: f64, from: SimTime, until: SimTime) -> Self {
+        PerfFault::checked(gpu, factor, from, Some(until), PerfFaultKind::Straggler)
+    }
+
+    /// A thermal/power throttle over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`, `factor` is not finite, or the window is
+    /// empty.
+    pub fn throttle(gpu: GpuId, factor: f64, from: SimTime, until: SimTime) -> Self {
+        PerfFault::checked(gpu, factor, from, Some(until), PerfFaultKind::Throttle)
+    }
+
+    /// A permanent brownout starting at `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` or `factor` is not finite.
+    pub fn brownout(gpu: GpuId, factor: f64, from: SimTime) -> Self {
+        PerfFault::checked(gpu, factor, from, None, PerfFaultKind::Brownout)
+    }
+
+    /// Whether the fault affects `gpu` at `time`.
+    pub fn affects(&self, gpu: GpuId, time: SimTime) -> bool {
+        self.gpu == gpu && is_active_at(self.from, self.until, time)
     }
 }
 
@@ -175,6 +276,7 @@ impl ClusterOutage {
 #[derive(Debug, Clone, Default)]
 pub struct FailurePlan {
     stragglers: Vec<Straggler>,
+    perf_faults: Vec<PerfFault>,
     faults: Vec<GpuFault>,
 }
 
@@ -190,6 +292,12 @@ impl FailurePlan {
         self
     }
 
+    /// Adds a performance fault.
+    pub fn with_perf_fault(mut self, p: PerfFault) -> Self {
+        self.perf_faults.push(p);
+        self
+    }
+
     /// Adds a hard fault.
     pub fn with_fault(mut self, f: GpuFault) -> Self {
         self.faults.push(f);
@@ -198,17 +306,70 @@ impl FailurePlan {
 
     /// Whether any degradation or outage is configured.
     pub fn is_empty(&self) -> bool {
-        self.stragglers.is_empty() && self.faults.is_empty()
+        self.stragglers.is_empty() && self.perf_faults.is_empty() && self.faults.is_empty()
+    }
+
+    /// Whether any slowdown (straggler or perf fault) is configured at
+    /// all; cheap gate for schedulers that want to skip the
+    /// effective-speed machinery on fault-free runs.
+    pub fn has_slowdowns(&self) -> bool {
+        !self.stragglers.is_empty() || !self.perf_faults.is_empty()
+    }
+
+    /// The slowdown of a single GPU at `time`: the maximum over its
+    /// active stragglers and perf faults, base 1.0. Always finite and
+    /// ≥ 1.0.
+    pub fn slowdown(&self, gpu: GpuId, time: SimTime) -> f64 {
+        let mut factor = 1.0f64;
+        for s in &self.stragglers {
+            if s.affects(gpu, time) {
+                factor = factor.max(s.slowdown);
+            }
+        }
+        for p in &self.perf_faults {
+            if p.affects(gpu, time) {
+                factor = factor.max(p.factor);
+            }
+        }
+        factor
+    }
+
+    /// The effective speed of a single GPU at `time`: `1 / slowdown`,
+    /// always in `(0, 1]`. A *down* GPU still reports its slowdown-based
+    /// speed — hard-fault state is a separate axis queried via
+    /// [`FailurePlan::is_down`].
+    pub fn effective_speed(&self, gpu: GpuId, time: SimTime) -> f64 {
+        1.0 / self.slowdown(gpu, time)
+    }
+
+    /// Effective serving capacity of a GPU set at `time` in
+    /// "nominal-GPU" units: the sum of `effective_speed` over members
+    /// that are *up*, so a fault-free set of `n` GPUs reports exactly
+    /// `n as f64` and digests of degradation-free runs are unchanged.
+    pub fn effective_capacity(&self, gpus: GpuSet, time: SimTime) -> f64 {
+        let mut cap = 0.0f64;
+        for g in gpus.iter() {
+            if !self.is_down(g, time) {
+                cap += self.effective_speed(g, time);
+            }
+        }
+        cap
     }
 
     /// The execution slowdown of a group dispatch running at `time`:
     /// the *maximum* member slowdown, because a sequence-parallel step
-    /// synchronises on its slowest shard.
+    /// synchronises on its slowest shard. Stragglers and perf faults
+    /// compose by the same max.
     pub fn group_slowdown(&self, gpus: GpuSet, time: SimTime) -> f64 {
         let mut factor = 1.0f64;
         for s in &self.stragglers {
             if gpus.iter().any(|g| s.affects(g, time)) {
                 factor = factor.max(s.slowdown);
+            }
+        }
+        for p in &self.perf_faults {
+            if gpus.iter().any(|g| p.affects(g, time)) {
+                factor = factor.max(p.factor);
             }
         }
         factor
@@ -262,6 +423,11 @@ impl FailurePlan {
     /// The configured stragglers.
     pub fn stragglers(&self) -> &[Straggler] {
         &self.stragglers
+    }
+
+    /// The configured performance faults.
+    pub fn perf_faults(&self) -> &[PerfFault] {
+        &self.perf_faults
     }
 
     /// The configured hard faults.
@@ -476,6 +642,61 @@ mod tests {
             prop_assert!(plan.group_slowdown(g, time) >= 1.0);
         }
 
+        /// Overlapping perf faults and hard faults on the same GPU, under
+        /// arbitrary window overlap: the effective speed is always in
+        /// `(0, 1]` (never ≤ 0, never NaN), a down GPU is never
+        /// dispatchable (any window starting inside the outage reports an
+        /// immediate hit), and capacity never counts a down GPU.
+        #[test]
+        fn prop_perf_and_hard_faults_never_break_speed_or_dispatch(
+            pf1 in 1u64..500, pfrom1 in 0u64..1000, pw1 in 1u64..1000,
+            pf2 in 1u64..500, pfrom2 in 0u64..1000,
+            sf in 1u64..500, sfrom in 0u64..1000, sw in 1u64..1000,
+            ff in 0u64..1000, fw in 1u64..1000,
+            t in 0u64..2500,
+        ) {
+            let plan = FailurePlan::none()
+                .with_perf_fault(PerfFault::throttle(
+                    GpuId(2),
+                    1.0 + pf1 as f64 / 100.0,
+                    SimTime::from_millis(pfrom1),
+                    SimTime::from_millis(pfrom1 + pw1),
+                ))
+                .with_perf_fault(PerfFault::brownout(
+                    GpuId(2),
+                    1.0 + pf2 as f64 / 100.0,
+                    SimTime::from_millis(pfrom2),
+                ))
+                .with_straggler(Straggler::new(
+                    GpuId(2),
+                    1.0 + sf as f64 / 100.0,
+                    SimTime::from_millis(sfrom),
+                    SimTime::from_millis(sfrom + sw),
+                ))
+                .with_fault(GpuFault::transient(
+                    GpuId(2),
+                    SimTime::from_millis(ff),
+                    SimTime::from_millis(ff + fw),
+                ));
+            let time = SimTime::from_millis(t);
+            let g = GpuSet::single(GpuId(2));
+            let speed = plan.effective_speed(GpuId(2), time);
+            prop_assert!(speed > 0.0 && speed <= 1.0 && speed.is_finite());
+            let slow = plan.group_slowdown(g, time);
+            prop_assert!(slow >= 1.0 && slow.is_finite());
+            let down = plan.is_down(GpuId(2), time);
+            if down {
+                // The engine aborts instead of dispatching: any window
+                // starting now reports an immediate hit …
+                prop_assert_eq!(plan.first_down_within(g, time, SimTime::MAX), Some(time));
+                // … and capacity never counts the down GPU.
+                prop_assert_eq!(plan.effective_capacity(g, time), 0.0);
+            } else {
+                let cap = plan.effective_capacity(g, time);
+                prop_assert!(cap > 0.0 && cap <= 1.0);
+            }
+        }
+
         /// A group whose members are all down can never begin a dispatch:
         /// any window starting inside the outage reports an immediate
         /// abort, and the group is usable again exactly at `up_at`.
@@ -499,6 +720,86 @@ mod tests {
                 None
             );
         }
+    }
+
+    #[test]
+    fn perf_fault_kinds_share_window_semantics() {
+        let (from, until) = window(100, 200);
+        for p in [
+            PerfFault::straggler(GpuId(3), 2.0, from, until),
+            PerfFault::throttle(GpuId(3), 2.0, from, until),
+        ] {
+            assert!(!p.affects(GpuId(3), SimTime::from_millis(99)));
+            assert!(p.affects(GpuId(3), SimTime::from_millis(100)));
+            assert!(p.affects(GpuId(3), SimTime::from_millis(199)));
+            assert!(!p.affects(GpuId(3), SimTime::from_millis(200)));
+            assert!(!p.affects(GpuId(2), SimTime::from_millis(150)));
+        }
+    }
+
+    #[test]
+    fn brownout_never_recovers() {
+        let p = PerfFault::brownout(GpuId(1), 1.5, SimTime::from_millis(50));
+        assert_eq!(p.kind, PerfFaultKind::Brownout);
+        assert!(!p.affects(GpuId(1), SimTime::from_millis(49)));
+        assert!(p.affects(GpuId(1), SimTime::from_secs_f64(1e9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1.0")]
+    fn perf_fault_speedups_rejected() {
+        let (from, until) = window(0, 1);
+        PerfFault::throttle(GpuId(0), 0.9, from, until);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_perf_fault_window_rejected() {
+        let t = SimTime::from_millis(5);
+        PerfFault::straggler(GpuId(0), 2.0, t, t);
+    }
+
+    #[test]
+    fn perf_faults_and_stragglers_compose_by_max() {
+        let (from, until) = window(0, 1000);
+        let plan = FailurePlan::none()
+            .with_straggler(Straggler::new(GpuId(0), 1.5, from, until))
+            .with_perf_fault(PerfFault::throttle(GpuId(0), 2.5, from, until))
+            .with_perf_fault(PerfFault::brownout(
+                GpuId(1),
+                4.0,
+                SimTime::from_millis(500),
+            ));
+        let t_early = SimTime::from_millis(100);
+        let t_late = SimTime::from_millis(800);
+        assert_eq!(plan.slowdown(GpuId(0), t_early), 2.5);
+        assert_eq!(plan.slowdown(GpuId(1), t_early), 1.0);
+        assert_eq!(plan.slowdown(GpuId(1), t_late), 4.0);
+        let both = GpuSet::contiguous(0, 2);
+        assert_eq!(plan.group_slowdown(both, t_late), 4.0);
+        assert!(plan.has_slowdowns());
+    }
+
+    #[test]
+    fn effective_speed_and_capacity() {
+        let (from, until) = window(0, 1000);
+        let plan = FailurePlan::none()
+            .with_perf_fault(PerfFault::throttle(GpuId(0), 2.0, from, until))
+            .with_fault(GpuFault::transient(GpuId(1), from, until));
+        let t = SimTime::from_millis(100);
+        assert_eq!(plan.effective_speed(GpuId(0), t), 0.5);
+        assert_eq!(plan.effective_speed(GpuId(2), t), 1.0);
+        // 4-GPU set: gpu0 at half speed, gpu1 down, gpus 2-3 nominal.
+        let set = GpuSet::first_n(4);
+        assert_eq!(plan.effective_capacity(set, t), 2.5);
+        // Outside every window the set reports exactly its size.
+        let after = SimTime::from_millis(2000);
+        assert_eq!(plan.effective_capacity(set, after), 4.0);
+        // Fault-free plans report exactly n for any n.
+        assert_eq!(
+            FailurePlan::none().effective_capacity(GpuSet::first_n(8), t),
+            8.0
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use tetriserve::core::{Policy, RequestSpec, TetriServeConfig, TetriServePolicy};
 use tetriserve::costmodel::{ClusterSpec, DitModel, InterClusterLink, Profiler, Resolution};
 use tetriserve::fleet::{
-    run_fleet, run_fleet_rebalanced, ClusterView, EdfRebalancer, FleetCluster,
-    RouteDecision, Router,
+    run_fleet, run_fleet_rebalanced, ClusterView, EdfRebalancer, FleetCluster, RouteDecision,
+    Router,
 };
 use tetriserve::metrics::FleetReport;
 use tetriserve::simulator::failure::ClusterOutage;
