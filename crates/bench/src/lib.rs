@@ -17,8 +17,10 @@ pub mod experiment;
 pub mod figures;
 pub mod fleet;
 pub mod perf;
+pub mod sim;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
 pub use fleet::{run_fleet_perf, FleetPerfConfig, FleetPerfReport};
 pub use perf::{run_perf, PerfConfig, PerfReport};
+pub use sim::{run_sim_perf, SimPerfConfig, SimPerfReport};

@@ -108,7 +108,55 @@ pub fn demand_entry(
 
 /// Demand entries for every live (queued or running, work remaining)
 /// request in the tracker, sorted by (deadline, id) — EDF scan order.
+///
+/// Iterates the tracker's incremental live index (already in scan order,
+/// so no sort), making each scan O(live backlog) instead of O(every
+/// request ever admitted). In debug builds the result is cross-checked
+/// bit-for-bit against [`live_entries_full`].
 pub fn live_entries(tracker: &RequestTracker, now: SimTime, costs: &CostTable) -> Vec<DemandEntry> {
+    let mut out = Vec::with_capacity(tracker.live_len());
+    fill_live_entries(tracker, now, costs, &mut out);
+    out
+}
+
+/// Fills `out` (cleared first) with the live demand entries in EDF scan
+/// order — the allocation-free form of [`live_entries`] used by the
+/// serving loop's reusable scratch.
+pub fn fill_live_entries(
+    tracker: &RequestTracker,
+    now: SimTime,
+    costs: &CostTable,
+    out: &mut Vec<DemandEntry>,
+) {
+    out.clear();
+    out.extend(tracker.live().map(|r| {
+        demand_entry(
+            costs,
+            r.spec.id,
+            r.spec.resolution,
+            r.remaining_steps,
+            r.spec.deadline,
+            now,
+            // Degraded-but-unstarted still counts as fresh: no executed
+            // steps means shedding or re-routing it wastes no work.
+            r.phase == Phase::Queued && r.steps_executed() == 0,
+        )
+    }));
+    debug_assert!(
+        entries_bit_identical(out, &live_entries_full(tracker, now, costs)),
+        "incremental live index diverged from the full recompute"
+    );
+}
+
+/// The pre-index full recompute of [`live_entries`]: scans *every*
+/// tracked request and sorts. Kept as the ground truth the incremental
+/// index is cross-checked against (`debug_assert` above, plus the
+/// proptest in `crate::proptests`); verdicts must stay bit-identical.
+pub fn live_entries_full(
+    tracker: &RequestTracker,
+    now: SimTime,
+    costs: &CostTable,
+) -> Vec<DemandEntry> {
     let mut live: Vec<DemandEntry> = tracker
         .iter()
         .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0)
@@ -120,14 +168,117 @@ pub fn live_entries(tracker: &RequestTracker, now: SimTime, costs: &CostTable) -
                 r.remaining_steps,
                 r.spec.deadline,
                 now,
-                // Degraded-but-unstarted still counts as fresh: no executed
-                // steps means shedding or re-routing it wastes no work.
                 r.phase == Phase::Queued && r.steps_executed() == 0,
             )
         })
         .collect();
     sort_entries(&mut live);
     live
+}
+
+/// Whether two entry slices are bit-identical: same order, same ids and
+/// deadlines, and the floating-point fields equal down to the bit pattern
+/// (`to_bits`, so NaN-safe and stricter than `==`).
+pub fn entries_bit_identical(a: &[DemandEntry], b: &[DemandEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.id == y.id
+                && x.deadline == y.deadline
+                && x.demand.to_bits() == y.demand.to_bits()
+                && x.slack.to_bits() == y.slack.to_bits()
+                && x.fresh == y.fresh
+        })
+}
+
+/// Reusable demand-entry scratch for the serving loop's per-pass EDF
+/// scans (`rescue_pass` and friends in [`crate::server`]), with the same
+/// counter discipline as the packer's `PackScratch`: after
+/// [`warm_up`](FeasScratch::warm_up) (or one cold pass at the
+/// high-water backlog), every refill reuses the buffer — zero heap
+/// allocations in the steady-state event loop, and `grow_events` counts
+/// the exceptions.
+#[derive(Debug, Default)]
+pub struct FeasScratch {
+    entries: Vec<DemandEntry>,
+    calls: u64,
+    grow_events: u64,
+    allocations_avoided: u64,
+}
+
+impl FeasScratch {
+    /// An empty scratch; the first fills size it.
+    pub fn new() -> Self {
+        FeasScratch::default()
+    }
+
+    /// Pre-sizes the buffer for a live backlog of up to `max_live`
+    /// entries so even the first pass allocates nothing.
+    pub fn warm_up(&mut self, max_live: usize) {
+        if self.entries.capacity() < max_live {
+            self.entries.reserve_exact(max_live - self.entries.len());
+        }
+    }
+
+    /// Refills the scratch with the tracker's live entries at `now` (EDF
+    /// scan order) and returns them. Reuses the buffer: no allocation
+    /// unless the live backlog outgrew every previous pass.
+    pub fn fill(
+        &mut self,
+        tracker: &RequestTracker,
+        now: SimTime,
+        costs: &CostTable,
+    ) -> &[DemandEntry] {
+        self.calls += 1;
+        let cap = self.entries.capacity();
+        if cap >= tracker.live_len() {
+            self.allocations_avoided += 1;
+        }
+        fill_live_entries(tracker, now, costs, &mut self.entries);
+        if self.entries.capacity() > cap {
+            self.grow_events += 1;
+        }
+        &self.entries
+    }
+
+    /// Refills like [`fill`](FeasScratch::fill), then appends `extra` and
+    /// re-sorts into scan order — the admission probe's "backlog plus one
+    /// hypothetical request" form.
+    pub fn fill_with(
+        &mut self,
+        tracker: &RequestTracker,
+        now: SimTime,
+        costs: &CostTable,
+        extra: DemandEntry,
+    ) -> &[DemandEntry] {
+        self.calls += 1;
+        let cap = self.entries.capacity();
+        if cap > tracker.live_len() {
+            self.allocations_avoided += 1;
+        }
+        fill_live_entries(tracker, now, costs, &mut self.entries);
+        self.entries.push(extra);
+        sort_entries(&mut self.entries);
+        if self.entries.capacity() > cap {
+            self.grow_events += 1;
+        }
+        &self.entries
+    }
+
+    /// Scans issued through this scratch.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Buffer growths — zero in steady state once warmed up.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Heap allocations the buffer reuse avoided vs the allocate-per-scan
+    /// implementation.
+    pub fn allocations_avoided(&self) -> u64 {
+        self.allocations_avoided
+    }
 }
 
 /// Sorts entries into the canonical EDF scan order (deadline, then id).

@@ -56,7 +56,7 @@ pub mod scheduler;
 pub mod server;
 pub mod tracker;
 
-pub use config::TetriServeConfig;
+pub use config::{AdmissionPolicy, TetriServeConfig};
 pub use degrade::DegradePolicy;
 pub use policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub use request::{RequestOutcome, RequestSpec};

@@ -17,8 +17,11 @@ use tetriserve_simulator::topology::Topology;
 use tetriserve_simulator::trace::RequestId;
 
 use crate::allocation::{min_gpu_hour_plan, useful_degrees};
+use crate::feasibility;
 use crate::options::build_options;
 use crate::placement::{place, PlacementRequest};
+use crate::request::RequestSpec;
+use crate::tracker::{Phase, RequestTracker};
 
 fn costs() -> CostTable {
     Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -76,6 +79,148 @@ proptest! {
             let fastest = *degrees.last().unwrap();
             let t = c.step_time(res, fastest, 1) * u64::from(steps);
             prop_assert!(t > slack);
+        }
+    }
+
+    /// The incremental live index and the full-tracker recompute agree —
+    /// bit-identical demand entries, the same feasibility verdict, and
+    /// the same at-risk prefix — under arbitrary interleavings of every
+    /// tracker mutation (admit, dispatch, abort, fail, shed, degrade,
+    /// migrate out/in, complete), with terminal requests accumulating in
+    /// the tracker exactly as they do over a long serving run.
+    #[test]
+    fn prop_incremental_feasibility_matches_full_recompute(
+        ops in proptest::collection::vec((0u8..10, any::<u32>()), 1..60),
+        capacity in 1.0f64..16.0,
+    ) {
+        let c = costs();
+        let mut tracker = RequestTracker::new();
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+
+        // Ids currently in a given phase, queried fresh each op.
+        let ids_in = |t: &RequestTracker, want: fn(&Phase) -> bool| -> Vec<RequestId> {
+            t.iter()
+                .filter(|r| want(&r.phase))
+                .map(|r| r.spec.id)
+                .collect()
+        };
+        let pick = |v: &[RequestId], r: u32| v[r as usize % v.len()];
+
+        for (op, r) in ops {
+            now = now + SimDuration::from_millis(u64::from(r % 200));
+            let queued = ids_in(&tracker, |p| *p == Phase::Queued);
+            let running = ids_in(&tracker, |p| *p == Phase::Running);
+            match op {
+                // Dispatch part of a queued request's budget.
+                0 if !queued.is_empty() => {
+                    let id = pick(&queued, r);
+                    let rem = tracker.get(id).unwrap().remaining_steps;
+                    if rem == 0 {
+                        tracker.complete(id, now);
+                    } else {
+                        let steps = 1 + r % rem;
+                        let gpus = GpuSet::contiguous(0, 1 << (r % 3));
+                        tracker.start_dispatch(id, gpus, steps, 0.25);
+                    }
+                }
+                // Finish a running dispatch.
+                1 if !running.is_empty() => {
+                    tracker.finish_dispatch(pick(&running, r));
+                }
+                // Fault-abort a running dispatch, restoring lost steps.
+                2 if !running.is_empty() => {
+                    let id = pick(&running, r);
+                    let t = tracker.get(id).unwrap();
+                    let executed = t.steps_executed();
+                    let lost = r % (executed + 1);
+                    tracker.abort_dispatch(id, GpuSet::contiguous(0, 1), lost);
+                }
+                // Terminal failure from either live phase.
+                3 if !queued.is_empty() || !running.is_empty() => {
+                    let pool = if queued.is_empty() { &running } else { &queued };
+                    tracker.fail(pick(pool, r));
+                }
+                // Admission-shed a still-fresh queued request.
+                4 => {
+                    let fresh: Vec<RequestId> = queued
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let t = tracker.get(id).unwrap();
+                            t.remaining_steps + t.steps_shed == t.spec.total_steps
+                        })
+                        .collect();
+                    if !fresh.is_empty() {
+                        tracker.shed(pick(&fresh, r));
+                    }
+                }
+                // Degrade ladder: shed steps from a queued budget.
+                5 => {
+                    let thick: Vec<RequestId> = queued
+                        .iter()
+                        .copied()
+                        .filter(|&id| tracker.get(id).unwrap().remaining_steps >= 2)
+                        .collect();
+                    if !thick.is_empty() {
+                        let id = pick(&thick, r);
+                        let rem = tracker.get(id).unwrap().remaining_steps;
+                        tracker.shed_steps(id, 1 + r % (rem - 1));
+                    }
+                }
+                // Migration round-trip: extract and re-admit (deadline
+                // unchanged — the index key must survive the cycle).
+                6 => {
+                    let movable: Vec<RequestId> = queued
+                        .iter()
+                        .copied()
+                        .filter(|&id| tracker.get(id).unwrap().remaining_steps > 0)
+                        .collect();
+                    if !movable.is_empty() {
+                        let m = tracker.extract_queued(pick(&movable, r));
+                        tracker.admit_migrated(m);
+                    }
+                }
+                // Complete a drained request.
+                7 => {
+                    let done_ready: Vec<RequestId> = queued
+                        .iter()
+                        .copied()
+                        .filter(|&id| tracker.get(id).unwrap().remaining_steps == 0)
+                        .collect();
+                    if !done_ready.is_empty() {
+                        tracker.complete(pick(&done_ready, r), now);
+                    }
+                }
+                // Default (and fall-through when a pool was empty): admit.
+                _ => {
+                    let res = Resolution::PRODUCTION[(r % 4) as usize];
+                    tracker.admit(RequestSpec {
+                        id: RequestId(next_id),
+                        resolution: res,
+                        arrival: now,
+                        deadline: now + SimDuration::from_millis(100 + u64::from(r % 9000)),
+                        total_steps: 1 + r % 50,
+                    });
+                    next_id += 1;
+                }
+            }
+
+            prop_assert!(tracker.index_is_consistent(), "index drifted after op {op}");
+            let inc = feasibility::live_entries(&tracker, now, &c);
+            let full = feasibility::live_entries_full(&tracker, now, &c);
+            prop_assert!(
+                feasibility::entries_bit_identical(&inc, &full),
+                "incremental {inc:?} != full {full:?}"
+            );
+            prop_assert_eq!(
+                feasibility::edf_feasible_capacity(&inc, now, capacity),
+                feasibility::edf_feasible_capacity(&full, now, capacity)
+            );
+            prop_assert_eq!(
+                feasibility::edf_at_risk_capacity(&inc, now, capacity),
+                feasibility::edf_at_risk_capacity(&full, now, capacity)
+            );
         }
     }
 

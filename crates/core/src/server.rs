@@ -94,6 +94,15 @@ pub struct ServeReport {
     pub wasted_gpu_seconds: f64,
     /// Requests dropped by admission control ([`AdmissionPolicy`]).
     pub shed_requests: usize,
+    /// Events the cluster's serving loop processed.
+    pub events: u64,
+    /// EDF feasibility scans issued through the reusable scratch.
+    pub feas_calls: u64,
+    /// Scratch buffer growths — zero in steady state once warmed up
+    /// (the zero-allocation hot-path invariant, like `PackScratch`).
+    pub feas_grow_events: u64,
+    /// Heap allocations the scratch reuse avoided vs allocate-per-scan.
+    pub feas_allocations_avoided: u64,
 }
 
 impl ServeReport {
@@ -268,6 +277,9 @@ pub struct ClusterSim<P: Policy> {
     /// idle cluster, a later [`push_arrival`](ClusterSim::push_arrival)
     /// re-seeds it.
     tick_pending: bool,
+    /// Reusable demand-entry buffer for the per-pass EDF scans — the
+    /// steady-state event loop refills it instead of allocating.
+    feas: feasibility::FeasScratch,
 }
 
 impl<P: Policy> ClusterSim<P> {
@@ -305,7 +317,26 @@ impl<P: Policy> ClusterSim<P> {
             cursor: SimTime::ZERO,
             started: false,
             tick_pending: false,
+            feas: feasibility::FeasScratch::new(),
         }
+    }
+
+    /// Pre-sizes the EDF scratch for a live backlog of up to `max_live`
+    /// requests so even the first rescue pass allocates nothing
+    /// (the perf harness gates `feas_grow_events == 0` after this).
+    pub fn warm_up_scratch(&mut self, max_live: usize) {
+        self.feas.warm_up(max_live);
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Live requests (queued or running with steps remaining) — the
+    /// instantaneous backlog, O(1) off the tracker's live index.
+    pub fn live_backlog(&self) -> usize {
+        self.tracker.live_len()
     }
 
     /// Queues a future arrival. May be called before `start` (batch mode)
@@ -475,13 +506,18 @@ impl<P: Policy> ClusterSim<P> {
 
     /// Every queued request with work remaining, in id order, as
     /// `(spec, remaining_steps)` — the movable set a fleet rebalancer may
-    /// migrate (running requests are pinned to their dispatch).
+    /// migrate (running requests are pinned to their dispatch). The live
+    /// index yields deadline order; the sort restores the id order the
+    /// pre-index scan produced.
     pub fn queued_movable(&self) -> Vec<(RequestSpec, u32)> {
-        self.tracker
-            .iter()
-            .filter(|r| r.phase == Phase::Queued && r.remaining_steps > 0)
+        let mut movable: Vec<(RequestSpec, u32)> = self
+            .tracker
+            .live()
+            .filter(|r| r.phase == Phase::Queued)
             .map(|r| (r.spec, r.remaining_steps))
-            .collect()
+            .collect();
+        movable.sort_unstable_by_key(|(s, _)| s.id);
+        movable
     }
 
     /// Queued requests inside the violating EDF prefix at `at`: the
@@ -505,19 +541,18 @@ impl<P: Policy> ClusterSim<P> {
     /// router decisions.
     pub fn load(&self, at: SimTime) -> ClusterLoad {
         let at = at.max(self.cursor);
-        let mut queued = 0;
-        let mut running = 0;
-        let mut backlog_steps = 0u64;
-        for r in self.tracker.iter() {
-            match r.phase {
-                Phase::Queued if r.remaining_steps > 0 => queued += 1,
-                Phase::Running => running += 1,
-                _ => {}
-            }
-            if matches!(r.phase, Phase::Queued | Phase::Running) {
-                backlog_steps += u64::from(r.remaining_steps);
-            }
-        }
+        // All O(live) or O(1) off the tracker's incremental index — the
+        // route-time snapshot must not scan every request ever admitted.
+        // `queued` counts live queued requests (remaining > 0, exactly the
+        // old `Queued && remaining > 0` filter); `running` includes final
+        // dispatches with zero steps remaining, as the full scan did.
+        let queued = self
+            .tracker
+            .live()
+            .filter(|r| r.phase == Phase::Queued)
+            .count();
+        let running = self.tracker.running_count();
+        let backlog_steps = self.tracker.live_backlog_steps();
         let backlog_gpu_seconds = feasibility::live_entries(&self.tracker, at, &self.costs)
             .iter()
             .map(|e| e.demand)
@@ -558,12 +593,15 @@ impl<P: Policy> ClusterSim<P> {
     /// (fleet re-routing after a whole-cluster outage). Requests holding
     /// checkpointed steps stay: their progress would be lost elsewhere.
     pub fn drain_queued_fresh(&mut self) -> Vec<RequestSpec> {
-        let ids: Vec<RequestId> = self
+        // Fresh queued work is a subset of the live index (fresh implies
+        // steps remaining); the sort restores the pre-index id order.
+        let mut ids: Vec<RequestId> = self
             .tracker
-            .iter()
+            .live()
             .filter(|r| r.phase == Phase::Queued && r.steps_executed() == 0)
             .map(|r| r.spec.id)
             .collect();
+        ids.sort_unstable();
         ids.into_iter().map(|id| self.tracker.extract(id)).collect()
     }
 
@@ -576,12 +614,11 @@ impl<P: Policy> ClusterSim<P> {
     /// finished their steps (awaiting only the decode `Complete` event)
     /// are left to complete. Returns the number of requests failed.
     pub fn fail_incomplete(&mut self) -> usize {
-        let ids: Vec<RequestId> = self
-            .tracker
-            .iter()
-            .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0)
-            .map(|r| r.spec.id)
-            .collect();
+        // The live index *is* the incomplete set; sorted for the
+        // pre-index id order (failures are unordered, but determinism of
+        // any traced side effects is cheap to keep).
+        let mut ids: Vec<RequestId> = self.tracker.live().map(|r| r.spec.id).collect();
+        ids.sort_unstable();
         for &id in &ids {
             self.tracker.fail(id);
         }
@@ -605,9 +642,23 @@ impl<P: Policy> ClusterSim<P> {
         let capacity = self.config.engine.failures.effective_capacity(healthy, now);
         match &self.config.degrade {
             Some(policy) => {
-                degrade_or_shed(&mut self.tracker, now, capacity, &self.costs, policy, shed);
+                degrade_or_shed(
+                    &mut self.tracker,
+                    now,
+                    capacity,
+                    &self.costs,
+                    policy,
+                    shed,
+                    &mut self.feas,
+                );
             }
-            None => shed_infeasible(&mut self.tracker, now, capacity, &self.costs),
+            None => shed_infeasible(
+                &mut self.tracker,
+                now,
+                capacity,
+                &self.costs,
+                &mut self.feas,
+            ),
         }
     }
 
@@ -638,6 +689,15 @@ impl<P: Policy> ClusterSim<P> {
         let trigger = match event {
             Event::Arrival(spec) => {
                 self.tracker.admit(spec);
+                // Every Arrival event was counted by push_arrival; a zero
+                // count here means an arrival was double-processed or the
+                // counter was decremented on a path that never queued one
+                // (the classic underflow when a migration lands after its
+                // source already accounted it).
+                debug_assert!(
+                    self.arrivals_pending > 0,
+                    "arrivals_pending underflow processing an Arrival"
+                );
                 self.arrivals_pending -= 1;
                 self.rescue_pass(now);
                 Some(PolicyEvent::Arrival)
@@ -693,6 +753,12 @@ impl<P: Policy> ClusterSim<P> {
                 None
             }
             Event::Migration { m, bytes, delay } => {
+                // Counted by inject_request when the hand-off was
+                // scheduled; see the Arrival arm for the underflow rationale.
+                debug_assert!(
+                    self.arrivals_pending > 0,
+                    "arrivals_pending underflow processing a Migration landing"
+                );
                 self.arrivals_pending -= 1;
                 self.engine.record(TraceEvent::MigrationIn {
                     time: now,
@@ -864,6 +930,10 @@ impl<P: Policy> ClusterSim<P> {
             aborted_dispatches,
             wasted_gpu_seconds,
             shed_requests,
+            events: self.processed,
+            feas_calls: self.feas.calls(),
+            feas_grow_events: self.feas.grow_events(),
+            feas_allocations_avoided: self.feas.allocations_avoided(),
         }
     }
 }
@@ -930,9 +1000,15 @@ impl<P: Policy> Server<P> {
 /// checkpointed steps are never shed — dropping them would waste
 /// finished work. `capacity` is fractional (slowdown-derated); passing a
 /// whole healthy count is bit-identical to the pre-slowdown behaviour.
-fn shed_infeasible(tracker: &mut RequestTracker, now: SimTime, capacity: f64, costs: &CostTable) {
+fn shed_infeasible(
+    tracker: &mut RequestTracker,
+    now: SimTime,
+    capacity: f64,
+    costs: &CostTable,
+    scratch: &mut feasibility::FeasScratch,
+) {
     loop {
-        let live: Vec<DemandEntry> = feasibility::live_entries(tracker, now, costs);
+        let live: &[DemandEntry] = scratch.fill(tracker, now, costs);
 
         let mut demand = 0.0;
         let mut shed = None;
@@ -980,13 +1056,14 @@ fn degrade_or_shed(
     costs: &CostTable,
     policy: &DegradePolicy,
     shed_at_floor: bool,
+    scratch: &mut feasibility::FeasScratch,
 ) {
     enum Action {
         Degrade(RequestId, u32),
         Shed(RequestId),
     }
     loop {
-        let live: Vec<DemandEntry> = feasibility::live_entries(tracker, now, costs);
+        let live: &[DemandEntry] = scratch.fill(tracker, now, costs);
 
         let mut demand = 0.0;
         let mut action = None;
@@ -1703,6 +1780,200 @@ mod tests {
         // No deadline horizon at all → zero capacity by any deadline.
         let hopeless = spec(1, Resolution::R2048, 0.0, 0.0);
         assert!(!sim.admission_feasible(&hopeless, SimTime::ZERO));
+    }
+
+    #[test]
+    fn zero_retry_budget_never_redispatches_aborted_work() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        use tetriserve_simulator::trace::TraceEvent;
+        // A bounded retry budget of zero means an aborted dispatch is
+        // terminal: the request fails on the spot and must never appear in
+        // a later DispatchStart. (An off-by-one in the `retries >
+        // max_retries` comparison would grant one silent extra retry.)
+        let fault = |cfg: &mut ServerConfig| {
+            cfg.engine.failures = cfg.engine.failures.clone().with_fault(GpuFault::transient(
+                GpuId(3),
+                SimTime::from_secs_f64(0.5),
+                SimTime::from_secs_f64(5.0),
+            ));
+        };
+        let specs = || {
+            vec![
+                spec(0, Resolution::R512, 0.0, 30.0),
+                spec(1, Resolution::R1024, 0.1, 30.0),
+                spec(2, Resolution::R2048, 0.2, 40.0),
+            ]
+        };
+        let report = serve_with(specs(), |cfg| {
+            cfg.max_retries = 0;
+            fault(cfg);
+        });
+        assert!(report.aborted_dispatches > 0, "fault must land mid-flight");
+
+        // Map dispatch ids to their request sets and find, per aborted
+        // request, the abort time and any dispatch started after it.
+        let mut starts: std::collections::BTreeMap<
+            tetriserve_simulator::DispatchId,
+            (SimTime, Vec<RequestId>),
+        > = std::collections::BTreeMap::new();
+        for e in report.trace.events() {
+            if let TraceEvent::DispatchStart {
+                time,
+                dispatch,
+                requests,
+                ..
+            } = e
+            {
+                starts.insert(*dispatch, (*time, requests.clone()));
+            }
+        }
+        let mut aborted: std::collections::BTreeMap<RequestId, SimTime> =
+            std::collections::BTreeMap::new();
+        for e in report.trace.events() {
+            if let TraceEvent::DispatchAborted { time, dispatch, .. } = e {
+                for id in &starts[dispatch].1 {
+                    aborted.insert(*id, *time);
+                }
+            }
+        }
+        assert!(!aborted.is_empty());
+        for (&id, &abort_time) in &aborted {
+            assert!(
+                !starts
+                    .values()
+                    .any(|(t, reqs)| *t > abort_time && reqs.contains(&id)),
+                "request {id} was re-dispatched after its abort despite max_retries = 0"
+            );
+            let o = report
+                .outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .expect("aborted request has an outcome");
+            assert!(o.completion.is_none(), "request {id} must fail terminally");
+            assert_eq!(o.retries, 1, "the abort itself is counted");
+        }
+
+        // Control: a budget of one lets the same aborts retry and finish.
+        let generous = serve_with(specs(), |cfg| {
+            cfg.max_retries = 1;
+            fault(cfg);
+        });
+        assert!(generous.aborted_dispatches > 0);
+        assert!(
+            generous.outcomes.iter().all(|o| o.completion.is_some()),
+            "one retry suffices here: {:#?}",
+            generous.outcomes
+        );
+    }
+
+    #[test]
+    fn migration_landing_keeps_arrival_accounting_balanced() {
+        // Satellite audit of `arrivals_pending`: drive every path that
+        // touches the counter — plain arrivals, a drain/re-route, and a
+        // migration hand-off that lands *after* the source already
+        // accounted the extraction — through one pair of clusters. The
+        // `debug_assert`s in `step()` fire on any underflow; the outcome
+        // checks pin conservation.
+        let mut a = stepwise(costs());
+        let mut b = stepwise(costs());
+        a.start();
+        b.start();
+        a.push_arrival(spec(0, Resolution::R512, 0.0, 30.0));
+        a.push_arrival(spec(1, Resolution::R1024, 0.0, 30.0));
+        a.push_arrival(spec(2, Resolution::R256, 0.0, 30.0));
+        // Admit all three on A without letting any dispatch finish.
+        for _ in 0..4 {
+            assert!(a.step());
+        }
+        let now = a.now();
+        // Path 1: migrate one queued request A → B with a latent delay.
+        let movable = a.queued_movable();
+        assert!(!movable.is_empty(), "need queued work to migrate");
+        let id = movable[0].0.id;
+        let m = a.extract_request(id, now);
+        b.inject_request(m, now, 1 << 20, SimDuration::from_millis(250));
+        // Path 2: drain the remaining fresh queued work and re-route it to
+        // B as ordinary arrivals (the outage re-route path).
+        for mut s in a.drain_queued_fresh() {
+            s.arrival = s.arrival.max(b.now()).max(now);
+            b.push_arrival(s);
+        }
+        while a.step() {}
+        while b.step() {}
+        let (ra, rb) = (a.finish(), b.finish());
+        assert_eq!(
+            ra.outcomes.len() + rb.outcomes.len(),
+            3,
+            "every request is accounted exactly once across the pair"
+        );
+        assert!(
+            rb.outcomes.iter().any(|o| o.id == id),
+            "the migrated request must complete on B"
+        );
+        assert!(rb.outcomes.iter().all(|o| o.completion.is_some()));
+    }
+
+    #[test]
+    fn inflight_handoff_to_idle_cluster_extends_makespan() {
+        use tetriserve_simulator::failure::GpuFault;
+        use tetriserve_simulator::gpuset::GpuId;
+        // The idle-health makespan gate: health transitions on an idle
+        // cluster must not inflate the makespan — but a hand-off *in
+        // flight* toward an otherwise-idle cluster counts as pending work
+        // (`arrivals_pending > 0`), so a fault window opening before the
+        // landing still extends serving time, and one opening after the
+        // migrated request finished does not.
+        // A fresh migrated request, as the fleet driver would hand over.
+        let m = MigratedRequest {
+            spec: spec(0, Resolution::R512, 0.0, 300.0),
+            remaining_steps: 50,
+            gpu_seconds: 0.0,
+            sp_degree_step_sum: 0,
+            retries: 0,
+            steps_shed: 0,
+        };
+
+        let c = costs();
+        let policy = TetriServePolicy::with_defaults(&c);
+        let mut config = ServerConfig::default();
+        // One fault window while the hand-off is in flight, one long
+        // after the cluster went idle again.
+        for (down, up) in [(5.0, 7.0), (500.0, 600.0)] {
+            config.engine.failures =
+                config
+                    .engine
+                    .failures
+                    .clone()
+                    .with_fault(GpuFault::transient(
+                        GpuId(0),
+                        SimTime::from_secs_f64(down),
+                        SimTime::from_secs_f64(up),
+                    ));
+        }
+        let mut target = ClusterSim::new(c, policy, config);
+        target.start();
+        // Hand-off dispatched at t = 0, landing at t = 10 s.
+        target.inject_request(m, SimTime::ZERO, 1 << 20, SimDuration::from_secs_f64(10.0));
+        while target.step() {}
+        let report = target.finish();
+        assert!(
+            report.outcomes.iter().all(|o| o.completion.is_some()),
+            "{:#?}",
+            report.outcomes
+        );
+        assert!(
+            report.makespan > SimTime::from_secs_f64(10.0),
+            "the landing and service must extend the makespan past the \
+             hand-off completion, got {}",
+            report.makespan
+        );
+        assert!(
+            report.makespan < SimTime::from_secs_f64(500.0),
+            "a health transition after the cluster went idle must not \
+             inflate the makespan, got {}",
+            report.makespan
+        );
     }
 
     #[test]

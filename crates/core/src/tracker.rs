@@ -5,7 +5,7 @@
 //! pending requests from the tracker and the serving loop writes execution
 //! progress back into it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::SimTime;
@@ -102,9 +102,33 @@ impl MigratedRequest {
 }
 
 /// Tracks all requests across their lifecycle.
+///
+/// Alongside the id-keyed map, the tracker maintains an **incremental live
+/// index**: a `(deadline, id)`-ordered set of every *live* request (queued
+/// or running with steps remaining) plus O(1) aggregate counters. The
+/// index is what makes the EDF feasibility machinery
+/// ([`crate::feasibility`]) O(live backlog) per scan instead of O(every
+/// request ever admitted) — the difference between quadratic and linear
+/// total work over a long serving run. Every mutator keeps the index in
+/// sync; `debug_assert`s (and a proptest in `crate::proptests`) cross-check
+/// it against a full recompute so feasibility verdicts stay bit-identical
+/// to the pre-index implementation.
 #[derive(Debug, Default)]
 pub struct RequestTracker {
     requests: BTreeMap<RequestId, TrackedRequest>,
+    /// Live requests — `(Queued | Running) && remaining_steps > 0` — in
+    /// `(deadline, id)` order: exactly the canonical EDF scan order, so
+    /// iterating the index needs no sort.
+    live: BTreeSet<(SimTime, RequestId)>,
+    /// Non-terminal requests (queued or running, *including* those with
+    /// zero steps remaining that are awaiting their decode `Complete`).
+    active: usize,
+    /// Requests currently executing a dispatch (any remaining count).
+    running: usize,
+    /// Requests shed by admission control.
+    shed: usize,
+    /// Σ remaining_steps over the live index.
+    live_steps: u64,
 }
 
 impl RequestTracker {
@@ -134,6 +158,9 @@ impl RequestTracker {
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", spec.id);
+        self.live.insert((spec.deadline, spec.id));
+        self.active += 1;
+        self.live_steps += u64::from(spec.total_steps);
     }
 
     /// Immutable view of a request.
@@ -142,12 +169,17 @@ impl RequestTracker {
     }
 
     /// Ids of requests schedulable at `now`, in admission (id) order.
+    /// Schedulable requests are a subset of the live index (queued with
+    /// steps remaining), so this is O(live backlog), not O(all requests).
     pub fn schedulable_ids(&self, now: SimTime) -> Vec<RequestId> {
-        self.requests
-            .values()
-            .filter(|r| r.is_schedulable(now))
-            .map(|r| r.spec.id)
-            .collect()
+        let mut ids: Vec<RequestId> = self
+            .live
+            .iter()
+            .filter(|&&(_, id)| self.requests[&id].is_schedulable(now))
+            .map(|&(_, id)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Marks the request as running a dispatch of `steps` steps at the
@@ -173,6 +205,13 @@ impl RequestTracker {
         r.remaining_steps -= steps;
         r.gpu_seconds += gpu_seconds;
         r.sp_degree_step_sum += gpus.len() as u64 * u64::from(steps);
+        let key = (r.spec.deadline, id);
+        let emptied = r.remaining_steps == 0;
+        self.running += 1;
+        self.live_steps -= u64::from(steps);
+        if emptied {
+            self.live.remove(&key);
+        }
     }
 
     /// Marks a dispatch finished; the request returns to the queue unless
@@ -188,6 +227,7 @@ impl RequestTracker {
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert_eq!(r.phase, Phase::Running, "{id} must be running");
         r.phase = Phase::Queued;
+        self.running -= 1;
     }
 
     /// Records a fault-aborted dispatch: the `lost_steps` that never ran
@@ -211,6 +251,7 @@ impl RequestTracker {
                 <= u64::from(r.spec.total_steps),
             "{id}: restoring {lost_steps} lost steps exceeds the schedule"
         );
+        let was_empty = r.remaining_steps == 0;
         r.remaining_steps += lost_steps;
         r.sp_degree_step_sum = r
             .sp_degree_step_sum
@@ -218,6 +259,13 @@ impl RequestTracker {
         r.last_gpus = None;
         r.retries += 1;
         r.phase = Phase::Queued;
+        let key = (r.spec.deadline, id);
+        let revived = was_empty && r.remaining_steps > 0;
+        self.running -= 1;
+        self.live_steps += u64::from(lost_steps);
+        if revived {
+            self.live.insert(key);
+        }
     }
 
     /// Terminally fails a request whose retry budget is exhausted.
@@ -234,7 +282,18 @@ impl RequestTracker {
             !matches!(r.phase, Phase::Done(_)),
             "{id} cannot fail after completing"
         );
+        let was = r.phase;
         r.phase = Phase::Failed;
+        if matches!(was, Phase::Queued | Phase::Running) {
+            self.active -= 1;
+            if was == Phase::Running {
+                self.running -= 1;
+            }
+            if r.remaining_steps > 0 {
+                self.live.remove(&(r.spec.deadline, id));
+                self.live_steps -= u64::from(r.remaining_steps);
+            }
+        }
     }
 
     /// Sheds a queued request (admission control). Only requests that have
@@ -256,6 +315,10 @@ impl RequestTracker {
             "{id} already made progress; shedding it would waste work"
         );
         r.phase = Phase::Shed;
+        self.active -= 1;
+        self.shed += 1;
+        self.live.remove(&(r.spec.deadline, id));
+        self.live_steps -= u64::from(r.remaining_steps);
     }
 
     /// Removes `steps` denoise steps from a queued request's remaining
@@ -282,6 +345,9 @@ impl RequestTracker {
         );
         r.remaining_steps -= steps;
         r.steps_shed += steps;
+        // Still live (the assert above guarantees remaining > 0): the index
+        // key is deadline-based, so shrinking the budget leaves it alone.
+        self.live_steps -= u64::from(steps);
     }
 
     /// Removes a fresh, still-queued request from the tracker entirely and
@@ -304,6 +370,9 @@ impl RequestTracker {
             r.spec.total_steps,
             "{id} already made progress; extracting it would waste work"
         );
+        self.active -= 1;
+        self.live.remove(&(r.spec.deadline, id));
+        self.live_steps -= u64::from(r.remaining_steps);
         // The unchanged spec ships: re-routing to a cluster with headroom
         // forgives any degradation this cluster had planned.
         r.spec
@@ -324,6 +393,11 @@ impl RequestTracker {
             .remove(&id)
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert_eq!(r.phase, Phase::Queued, "{id} must be queued to migrate");
+        self.active -= 1;
+        if r.remaining_steps > 0 {
+            self.live.remove(&(r.spec.deadline, id));
+            self.live_steps -= u64::from(r.remaining_steps);
+        }
         MigratedRequest {
             spec: r.spec,
             remaining_steps: r.remaining_steps,
@@ -368,6 +442,9 @@ impl RequestTracker {
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", m.spec.id);
+        self.live.insert((m.spec.deadline, m.spec.id));
+        self.active += 1;
+        self.live_steps += u64::from(m.remaining_steps);
     }
 
     /// Marks the request fully complete (after VAE decode).
@@ -382,24 +459,89 @@ impl RequestTracker {
             .unwrap_or_else(|| panic!("unknown request {id}"));
         assert!(!matches!(r.phase, Phase::Done(_)), "{id} completed twice");
         assert_eq!(r.remaining_steps, 0, "{id} completed with steps remaining");
+        let was = r.phase;
         r.phase = Phase::Done(at);
+        if matches!(was, Phase::Queued | Phase::Running) {
+            self.active -= 1;
+            if was == Phase::Running {
+                self.running -= 1;
+            }
+        }
     }
 
     /// Number of requests still in flight (terminal phases — done, failed,
     /// shed — do not count; the serving loop stops ticking without them).
+    /// O(1) — maintained incrementally by every mutator.
     pub fn active_count(&self) -> usize {
-        self.requests
-            .values()
-            .filter(|r| !matches!(r.phase, Phase::Done(_) | Phase::Failed | Phase::Shed))
-            .count()
+        self.active
     }
 
-    /// Number of requests shed by admission control.
+    /// Number of requests shed by admission control. O(1).
     pub fn shed_count(&self) -> usize {
-        self.requests
+        self.shed
+    }
+
+    /// Requests currently executing a dispatch, including ones on their
+    /// final dispatch (zero steps remaining). O(1).
+    pub fn running_count(&self) -> usize {
+        self.running
+    }
+
+    /// Live requests — queued or running with steps remaining — in
+    /// `(deadline, id)` order: the canonical EDF scan order, pre-sorted by
+    /// the incremental index.
+    pub fn live(&self) -> impl Iterator<Item = &TrackedRequest> {
+        self.live.iter().map(move |(_, id)| &self.requests[id])
+    }
+
+    /// Size of the live index. O(1).
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Σ remaining steps over the live index. O(1).
+    pub fn live_backlog_steps(&self) -> u64 {
+        self.live_steps
+    }
+
+    /// Full-recompute cross-check of the incremental index and counters:
+    /// `true` iff membership, order and every aggregate agree with a scan
+    /// over all tracked requests. The feasibility layer `debug_assert`s
+    /// this (via entry comparison) and `crate::proptests` drives it under
+    /// arbitrary mutation sequences.
+    pub fn index_is_consistent(&self) -> bool {
+        let expect: BTreeSet<(SimTime, RequestId)> = self
+            .requests
+            .values()
+            .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running) && r.remaining_steps > 0)
+            .map(|r| (r.spec.deadline, r.spec.id))
+            .collect();
+        let active = self
+            .requests
+            .values()
+            .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running))
+            .count();
+        let running = self
+            .requests
+            .values()
+            .filter(|r| r.phase == Phase::Running)
+            .count();
+        let shed = self
+            .requests
             .values()
             .filter(|r| r.phase == Phase::Shed)
-            .count()
+            .count();
+        let steps: u64 = self
+            .requests
+            .values()
+            .filter(|r| matches!(r.phase, Phase::Queued | Phase::Running))
+            .map(|r| u64::from(r.remaining_steps))
+            .sum();
+        expect == self.live
+            && active == self.active
+            && running == self.running
+            && shed == self.shed
+            && steps == self.live_steps
     }
 
     /// Iterates over all tracked requests in id order.

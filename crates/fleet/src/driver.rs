@@ -37,6 +37,23 @@
 //! indices, and the routers and rebalancers are deterministic state
 //! machines — so the routing-decision digest, the fleet outcome digest
 //! and the migration digest are bit-identical across same-seed runs.
+//!
+//! # Parallel lockstep
+//!
+//! [`FleetSim::with_parallel_lockstep`] steps clusters *concurrently*
+//! between global events. The key observation: cluster-internal events
+//! (rank 0) never touch fleet state — no digests fold, no routing, no
+//! migration — and the global candidate times (outage, rebalance,
+//! arrival) cannot change while internal events are processed. On
+//! timestamp ties rank 0 always wins, so the serial driver drains *every*
+//! internal event with time `≤ min(outage_t, rebalance_t, arrival_t)`
+//! before any global event fires. The parallel driver drains exactly that
+//! set per cluster on scoped worker threads ([`std::thread::scope`]);
+//! within a cluster events replay in the same order as the serial driver
+//! (each cluster owns its queue), and across clusters the drained windows
+//! are independent, so every global event observes bit-identical cluster
+//! states — and hence bit-identical routing, outcome and migration
+//! digests. The `parallel_matches_serial_digests` test pins this.
 
 use std::collections::VecDeque;
 
@@ -102,6 +119,12 @@ pub struct FleetSim<R: Router> {
     /// Periodic migration planning; `None` reproduces the static driver
     /// bit for bit.
     rebalance: Option<Rebalancing>,
+    /// When set, cluster-internal events are drained concurrently between
+    /// global events (see the module docs); digests stay bit-identical.
+    parallel: bool,
+    /// High-water mark of Σ per-cluster live backlogs, sampled at every
+    /// routing instant (a global event, so serial and parallel agree).
+    peak_backlog: usize,
     clock: GlobalClock,
     routed: Vec<usize>,
     rerouted_in: Vec<usize>,
@@ -304,6 +327,8 @@ impl<R: Router> FleetSim<R> {
             outages,
             arrivals: arrivals.into_iter().map(|s| (s, false)).collect(),
             rebalance: None,
+            parallel: false,
+            peak_backlog: 0,
             clock: GlobalClock::new(),
             routed: vec![0; n],
             rerouted_in: vec![0; n],
@@ -336,6 +361,23 @@ impl<R: Router> FleetSim<R> {
             next_tick,
         });
         self
+    }
+
+    /// Enables deterministic parallel lockstep: clusters drain their
+    /// internal events concurrently between global events. All digests
+    /// stay bit-identical to the serial driver (see the module docs).
+    pub fn with_parallel_lockstep(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Pre-sizes every cluster's feasibility scratch for up to `max_live`
+    /// concurrently live requests, so the steady-state event loop makes no
+    /// heap allocations (the `perf_sim` bench gates on this).
+    pub fn warm_up_scratch(&mut self, max_live: usize) {
+        for c in &mut self.clusters {
+            c.warm_up_scratch(max_live);
+        }
     }
 
     /// Runs the co-simulation to completion and aggregates the fleet
@@ -373,8 +415,20 @@ impl<R: Router> FleetSim<R> {
             self.clock.advance_to(t);
             match rank {
                 0 => {
-                    let (i, _) = next_internal.expect("rank 0 implies an internal event");
-                    self.clusters[i].step();
+                    if self.parallel {
+                        // Every internal event with time ≤ the earliest
+                        // global candidate would win the serial
+                        // arbitration anyway (rank 0 beats all on ties),
+                        // so drain them all — concurrently per cluster.
+                        let boundary = [outage_t, rebalance_t, arrival_t]
+                            .into_iter()
+                            .flatten()
+                            .min();
+                        Self::drain_internal(&mut self.clusters, boundary);
+                    } else {
+                        let (i, _) = next_internal.expect("rank 0 implies an internal event");
+                        self.clusters[i].step();
+                    }
                 }
                 1 => self.drain_outage(),
                 2 => self.do_rebalance(),
@@ -391,6 +445,40 @@ impl<R: Router> FleetSim<R> {
             }
         }
         self.finish()
+    }
+
+    /// Drains every cluster-internal event with time ≤ `boundary` (all of
+    /// them when `boundary` is `None`), stepping busy clusters on scoped
+    /// worker threads when more than one has work in the window. Internal
+    /// events never touch fleet state, so the per-cluster replays are
+    /// independent and the merged result is bit-identical to the serial
+    /// one-event-at-a-time arbitration.
+    fn drain_internal(clusters: &mut [ClusterSim<Box<dyn Policy>>], boundary: Option<SimTime>) {
+        fn in_window(c: &ClusterSim<Box<dyn Policy>>, boundary: Option<SimTime>) -> bool {
+            c.next_event_time()
+                .is_some_and(|t| boundary.is_none_or(|b| t <= b))
+        }
+        let busy = clusters.iter().filter(|c| in_window(c, boundary)).count();
+        if busy <= 1 {
+            // Nothing to overlap: step inline and skip the thread spawns.
+            for c in clusters.iter_mut() {
+                while in_window(c, boundary) {
+                    c.step();
+                }
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for c in clusters.iter_mut() {
+                if in_window(c, boundary) {
+                    s.spawn(move || {
+                        while in_window(c, boundary) {
+                            c.step();
+                        }
+                    });
+                }
+            }
+        });
     }
 
     /// Runs one planning tick: asks the rebalancer for this instant's
@@ -521,6 +609,8 @@ impl<R: Router> FleetSim<R> {
     /// become synthetic outcomes that never reached any cluster.
     fn route(&mut self, spec: RequestSpec, reroute: bool) {
         let at = self.clock.now();
+        let backlog: usize = self.clusters.iter().map(|c| c.live_backlog()).sum();
+        self.peak_backlog = self.peak_backlog.max(backlog);
         let views: Vec<ClusterView> = self
             .clusters
             .iter()
@@ -641,6 +731,7 @@ impl<R: Router> FleetSim<R> {
             routing_digest: self.routing_digest.value(),
             outcome_digest: 0,
             migration_digest: self.migration_digest.value(),
+            peak_backlog: self.peak_backlog,
         };
         // Same fold as the single-cluster perf harness: (id, completion µs
         // or MAX) over id-sorted outcomes.
@@ -662,6 +753,20 @@ pub fn run_fleet<R: Router>(
     outages: Vec<ClusterOutage>,
 ) -> FleetReport {
     FleetSim::new(clusters, router, arrivals, outages).run()
+}
+
+/// Convenience wrapper: like [`run_fleet`] but with parallel lockstep —
+/// clusters drain internal events concurrently between global events.
+/// Digest-identical to [`run_fleet`] on the same inputs.
+pub fn run_fleet_parallel<R: Router>(
+    clusters: Vec<FleetCluster>,
+    router: R,
+    arrivals: Vec<RequestSpec>,
+    outages: Vec<ClusterOutage>,
+) -> FleetReport {
+    FleetSim::new(clusters, router, arrivals, outages)
+        .with_parallel_lockstep()
+        .run()
 }
 
 /// Convenience wrapper: like [`run_fleet`] with a [`Rebalancer`] attached
@@ -775,6 +880,76 @@ mod tests {
         assert_eq!(report.fleet_shed.len(), 1);
         assert!(report.fleet_shed[0].shed);
         assert_eq!(report.clusters[0].routed + report.clusters[1].routed, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_digests() {
+        // A contended scenario with a transient outage so re-routes,
+        // retries and fault events all cross the drain windows. The
+        // parallel lockstep must reproduce the serial driver bit for bit.
+        let scenario = || {
+            let arrivals: Vec<RequestSpec> =
+                (0..24).map(|i| spec(i, i as f64 * 0.15, 12.0)).collect();
+            let outage = ClusterOutage::transient(
+                0,
+                SimTime::from_secs_f64(0.8),
+                SimTime::from_secs_f64(2.5),
+            );
+            (arrivals, vec![outage])
+        };
+        let (arrivals, outages) = scenario();
+        let serial = run_fleet(
+            two_clusters(),
+            DeadlineAwareRouter::new(),
+            arrivals,
+            outages,
+        );
+        let (arrivals, outages) = scenario();
+        let parallel = run_fleet_parallel(
+            two_clusters(),
+            DeadlineAwareRouter::new(),
+            arrivals,
+            outages,
+        );
+        assert_eq!(serial.routing_digest, parallel.routing_digest);
+        assert_eq!(serial.outcome_digest, parallel.outcome_digest);
+        assert_eq!(serial.migration_digest, parallel.migration_digest);
+        assert_eq!(serial.peak_backlog, parallel.peak_backlog);
+        assert_eq!(serial.rerouted, parallel.rerouted);
+        assert!(serial.peak_backlog > 0, "scenario must build a backlog");
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_rebalancer() {
+        use crate::rebalance::EdfRebalancer;
+        use tetriserve_costmodel::interconnect::InterClusterLink;
+        let run = |parallel: bool| {
+            let arrivals: Vec<RequestSpec> =
+                (0..20).map(|i| spec(i, i as f64 * 0.2, 10.0)).collect();
+            let outage = ClusterOutage::transient(
+                1,
+                SimTime::from_secs_f64(0.5),
+                SimTime::from_secs_f64(2.0),
+            );
+            let mut sim = FleetSim::new(
+                two_clusters(),
+                DeadlineAwareRouter::new(),
+                arrivals,
+                vec![outage],
+            )
+            .with_rebalancer(Box::new(EdfRebalancer::new()), InterClusterLink::default());
+            if parallel {
+                sim = sim.with_parallel_lockstep();
+            }
+            sim.run()
+        };
+        let (serial, parallel) = (run(false), run(true));
+        assert_eq!(serial.routing_digest, parallel.routing_digest);
+        assert_eq!(serial.outcome_digest, parallel.outcome_digest);
+        assert_eq!(serial.migration_digest, parallel.migration_digest);
+        assert_eq!(serial.peak_backlog, parallel.peak_backlog);
+        assert_eq!(serial.migrations, parallel.migrations);
+        assert_eq!(serial.rescues, parallel.rescues);
     }
 
     #[test]

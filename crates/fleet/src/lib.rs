@@ -71,7 +71,7 @@ pub mod rebalance;
 pub mod router;
 
 pub use admission::{coordinate, RescuePlan, MAX_RESCUE_MOVES};
-pub use driver::{run_fleet, run_fleet_rebalanced, FleetCluster, FleetSim};
+pub use driver::{run_fleet, run_fleet_parallel, run_fleet_rebalanced, FleetCluster, FleetSim};
 pub use rebalance::{
     EdfRebalancer, FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer, DEFAULT_CADENCE,
 };

@@ -398,6 +398,46 @@ mod tests {
         assert!(scan.allows[0].used);
     }
 
+    // ---- units-of-measure ----------------------------------------------
+
+    #[test]
+    fn units_of_measure_bad_mixed_statement() {
+        // Integer microseconds and float seconds priced into one value.
+        let src = "fn t(d: SimDuration, s: SimDuration) -> f64 {\n    d.as_micros() as f64 * s.as_secs_f64()\n}";
+        assert_eq!(
+            fired("crates/core/src/feasibility.rs", src),
+            vec!["units-of-measure"]
+        );
+        // The constructor direction is just as wrong.
+        let src = "fn t(d: SimDuration) -> SimDuration {\n    SimDuration::from_secs_f64(d.as_micros() as f64)\n}";
+        assert_eq!(
+            fired("crates/costmodel/src/steptime.rs", src),
+            vec!["units-of-measure"]
+        );
+    }
+
+    #[test]
+    fn units_of_measure_good_single_unit_statements() {
+        // One unit per statement is the sanctioned shape, and the scope
+        // is the three units-sensitive basenames only.
+        let src = "fn t(d: SimDuration, s: SimDuration) -> f64 {\n    let micros = d.as_micros();\n    let secs = s.as_secs_f64();\n    micros as f64 / 1e6 + secs\n}";
+        assert_eq!(
+            fired("crates/costmodel/src/interconnect.rs", src),
+            Vec::<&str>::new()
+        );
+        let src = "fn t(d: SimDuration, s: SimDuration) -> f64 {\n    d.as_micros() as f64 * s.as_secs_f64()\n}";
+        assert_eq!(fired(BENCH, src), Vec::<&str>::new());
+        assert_eq!(fired(CORE, src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn units_of_measure_allowed_with_reason() {
+        let src = "fn t(d: SimDuration) -> f64 {\n    // tetrilint: allow(units-of-measure) -- result is µs², fed to the µs-domain digest\n    d.as_micros() as f64 * d.as_secs_f64() * 1e6\n}";
+        let scan = scan_source("crates/core/src/feasibility.rs", src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert!(scan.allows[0].used);
+    }
+
     // ---- unordered-iter: inferred bindings -----------------------------
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `slice-index`          | panic-discipline  | hot-path modules           |
 //! | `sim-time-monotonicity`| panic-discipline  | every scanned file         |
 //! | `nominal-step-time`    | fault-discipline  | speed-aware core modules   |
+//! | `units-of-measure`     | unit-discipline   | time-unit-sensitive files  |
 //! | `float-eq`             | float-discipline  | every scanned file         |
 //! | `partial-cmp-unwrap`   | float-discipline  | every scanned file         |
 //! | `bad-annotation`       | (meta)            | every scanned file         |
@@ -39,6 +40,7 @@ pub const RULE_NAMES: &[&str] = &[
     "slice-index",
     "sim-time-monotonicity",
     "nominal-step-time",
+    "units-of-measure",
     "float-eq",
     "partial-cmp-unwrap",
     "bad-annotation",
@@ -69,6 +71,13 @@ const SPEED_AWARE_FILES: &[&str] = &[
     "server.rs",
     "quality.rs",
 ];
+
+/// Modules whose arithmetic spans three time units — integer microseconds
+/// (`SimTime`/`SimDuration::as_micros`), float wall-seconds
+/// (`as_secs_f64`/`from_secs_f64`), and float GPU-seconds (demand) —
+/// where a missed 1e6 scale factor produces numbers that look plausible
+/// per-term and are silently wrong in aggregate.
+const UNITS_FILES: &[&str] = &["feasibility.rs", "steptime.rs", "interconnect.rs"];
 
 /// Unordered-collection methods whose yield order is the RandomState hash
 /// order (`retain`/`drain` visit in that order too).
@@ -131,6 +140,7 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
     let decision_path = DECISION_PATHS.iter().any(|p| norm.contains(p));
     let hot_path = HOT_FILES.contains(&basename);
     let speed_aware = decision_path && SPEED_AWARE_FILES.contains(&basename);
+    let units_scoped = UNITS_FILES.contains(&basename);
 
     let mask = test_mask(&lexed.tokens);
     let live: Vec<&Tok> = lexed
@@ -190,6 +200,9 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
     rule_sim_time_monotonicity(&live, &mut raw);
     if speed_aware {
         rule_nominal_step_time(&live, &mut raw);
+    }
+    if units_scoped {
+        rule_units_of_measure(&live, &mut raw);
     }
     rule_float_eq(&live, &mut raw);
     rule_partial_cmp_unwrap(&live, &mut raw);
@@ -341,6 +354,54 @@ fn rule_nominal_step_time(toks: &[&Tok], out: &mut Vec<(u32, &'static str, Strin
                  faults use `effective_step_time`/effective capacity, or annotate \
                  why nominal is correct here",
                 t.text
+            ),
+        ));
+    }
+}
+
+/// `.as_micros()` (integer microseconds) and `as_secs_f64`/
+/// `from_secs_f64` (float seconds, the unit GPU-second demand is priced
+/// in) mixed inside one statement in a units-sensitive module: the
+/// hidden 1e6 scale factor is the classic silent unit bug — each term
+/// looks plausible alone and the sum is wrong by six orders of
+/// magnitude. Convert to one unit at the statement boundary, or
+/// annotate the site stating which unit the result carries.
+fn rule_units_of_measure(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+    let mut hit_lines: Vec<u32> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as_micros" {
+            continue;
+        }
+        // Method call only: `. as_micros (`.
+        if k == 0 || toks[k - 1].text != "." || toks.get(k + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        // Statement window: back to the previous `;`/`{`/`}`, forward to
+        // the next `;` (or EOF for tail expressions).
+        let stmt_start = (0..k)
+            .rev()
+            .find(|&j| matches!(toks[j].text.as_str(), ";" | "{" | "}"))
+            .map_or(0, |j| j + 1);
+        let stmt_end = (k..toks.len())
+            .find(|&j| toks[j].text == ";")
+            .unwrap_or(toks.len());
+        let seconds_site = (stmt_start..stmt_end).find(|&j| {
+            toks[j].kind == TokKind::Ident
+                && (toks[j].text == "as_secs_f64" || toks[j].text == "from_secs_f64")
+        });
+        let Some(s) = seconds_site else { continue };
+        if hit_lines.contains(&t.line) {
+            continue; // one hit per line, however many calls share it
+        }
+        hit_lines.push(t.line);
+        out.push((
+            t.line,
+            "units-of-measure",
+            format!(
+                "`.as_micros()` (integer µs) mixed with `{}` (float seconds) in one \
+                 statement; convert to a single unit first or annotate which unit \
+                 the result carries",
+                toks[s].text
             ),
         ));
     }

@@ -71,6 +71,10 @@ pub struct FleetReport {
     /// (time, id, from, to, delay per migration); 0 when no rebalancer
     /// ran or it never migrated.
     pub migration_digest: u64,
+    /// High-water mark of the fleet-wide live backlog (admitted requests
+    /// queued or running across all clusters), sampled at every routing
+    /// instant — identical between the serial and parallel drivers.
+    pub peak_backlog: usize,
 }
 
 impl FleetReport {
@@ -236,6 +240,7 @@ mod tests {
             routing_digest: 0,
             outcome_digest: 0,
             migration_digest: 0,
+            peak_backlog: 0,
         };
         let hist = report.handoff_delay_histogram();
         assert_eq!(hist, [1, 2, 1, 1, 1]);
