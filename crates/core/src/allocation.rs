@@ -189,7 +189,7 @@ pub fn min_gpu_hour_plan_capped(
     // faster one. For each pair, the GPU-hour-minimal split maximises the
     // cheap-segment length subject to the deadline.
     for (i, &k_lo) in degrees.iter().enumerate() {
-        for &k_hi in &degrees[i + 1..] {
+        for &k_hi in degrees.iter().skip(i + 1) {
             let t_lo = inflate(costs.step_time(res, k_lo, 1));
             let t_hi = inflate(costs.step_time(res, k_hi, 1));
             debug_assert!(t_lo > t_hi, "degrees are filtered to strictly improve");
@@ -229,6 +229,7 @@ pub fn min_gpu_hour_plan_capped(
             // Definitely late: best effort at the fastest degree.
             segments: vec![AllocSegment {
                 steps: remaining_steps,
+                // tetrilint: allow(taint-panic) -- CostTable construction asserts a non-empty degree axis
                 degree: *degrees.last().expect("at least one degree"),
             }],
             feasible: false,

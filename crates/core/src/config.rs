@@ -88,6 +88,7 @@ impl TetriServeConfig {
         let slowest = *costs
             .resolutions()
             .last()
+            // tetrilint: allow(taint-panic) -- CostTable construction asserts a non-empty resolution axis
             .expect("cost table has at least one resolution");
         (costs.t_min(slowest) * u64::from(self.step_granularity)).mul_f64(ROUND_HEADROOM)
     }

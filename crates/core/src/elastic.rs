@@ -75,7 +75,11 @@ pub fn elastic_scale_up(
         }
         let Some((idx, _)) = best else { break };
 
-        let a = &mut assignments[idx];
+        // `idx` came from this loop's own enumeration, so the lookup
+        // cannot miss; `get_mut` keeps the hot path panic-free anyway.
+        let Some(a) = assignments.get_mut(idx) else {
+            break;
+        };
         let k = a.gpus.len();
         // Prefer extras completing the aligned block around the current
         // set; otherwise take the lowest free ids.
@@ -106,6 +110,7 @@ fn pick_extras(current: GpuSet, extra_count: usize, free: GpuSet, topology: &Top
         }
     }
     free.take_lowest(extra_count)
+        // tetrilint: allow(taint-panic) -- elastic_scale_up only offers extras it counted in `free` above
         .expect("caller checked free capacity")
 }
 

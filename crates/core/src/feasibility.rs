@@ -79,6 +79,7 @@ pub fn cheapest_step_demand(
             .copied()
             // tetrilint: allow(nominal-step-time) -- degree ordering only; factor cancels
             .min_by_key(|&k| costs.step_time(res, k, 1))
+            // tetrilint: allow(taint-panic) -- CostTable construction asserts a non-empty degree axis
             .expect("cost table has at least one degree");
         costs.gpu_seconds(res, fastest)
     }
@@ -372,7 +373,7 @@ pub fn edf_at_risk_capacity(
         }
     }
     match last_violation {
-        Some(j) => entries[..=j].iter().map(|e| e.id).collect(),
+        Some(j) => entries.iter().take(j + 1).map(|e| e.id).collect(),
         None => Vec::new(),
     }
 }

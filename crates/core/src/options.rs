@@ -53,6 +53,7 @@ pub struct RequestOptions {
 impl RequestOptions {
     /// The option with the given index.
     pub fn option(&self, idx: usize) -> RoundOption {
+        // tetrilint: allow(taint-panic) -- accessor contract: callers index 0..len from this struct's own enumeration
         self.options[idx]
     }
 

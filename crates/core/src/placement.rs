@@ -7,6 +7,7 @@
 //! places fresh requests on topology-aligned blocks (which on the A40 node
 //! is the difference between NVLink and PCIe collectives).
 
+// tetrilint: allow-file(taint-panic) -- placement runs under the scheduler's demand pre-check (total requested width never exceeds free GPUs) and every index comes from a local enumeration; the expect messages name the violated pre-check
 use tetriserve_costmodel::Resolution;
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::topology::Topology;

@@ -720,8 +720,11 @@ impl<P: Policy> ClusterSim<P> {
                 self.free = self.free.union(gpus).difference(self.down);
                 for id in requests {
                     self.tracker.abort_dispatch(id, gpus, lost_steps);
-                    let retries = self.tracker.get(id).expect("tracked").retries;
-                    if retries > self.config.max_retries {
+                    if self
+                        .tracker
+                        .get(id)
+                        .is_some_and(|r| r.retries > self.config.max_retries)
+                    {
                         self.tracker.fail(id);
                     }
                 }
@@ -829,12 +832,18 @@ impl<P: Policy> ClusterSim<P> {
         for plan in plans {
             let model = self.costs.model();
             let cluster = self.costs.cluster();
-            let resolution = self
-                .tracker
-                .get(plan.requests[0])
-                .expect("validated plan references tracked requests")
-                .spec
-                .resolution;
+            // A plan with no requests (or one referencing an id the
+            // tracker no longer holds) schedules nothing; skipping it
+            // leaves the work queued for the rescue pass rather than
+            // panicking mid-round.
+            let Some(resolution) = plan
+                .requests
+                .first()
+                .and_then(|&id| self.tracker.get(id))
+                .map(|r| r.spec.resolution)
+            else {
+                continue;
+            };
             let batch = plan.batch();
             let per_step = step_time_on(
                 model,
@@ -849,7 +858,11 @@ impl<P: Policy> ClusterSim<P> {
                 .requests
                 .iter()
                 .copied()
-                .filter(|&id| self.tracker.get(id).expect("tracked").remaining_steps == plan.steps)
+                .filter(|&id| {
+                    self.tracker
+                        .get(id)
+                        .is_some_and(|r| r.remaining_steps == plan.steps)
+                })
                 .collect();
             let decode_after = if finishing.is_empty() {
                 None
@@ -1023,8 +1036,9 @@ fn shed_infeasible(
                 // older commitment). Started requests are immune, so an
                 // all-started prefix leaves this violation standing and
                 // the scan moves on to ones it can still relieve.
-                shed = live[..=i]
+                shed = live
                     .iter()
+                    .take(i + 1)
                     .filter(|c| c.fresh)
                     .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
                     .map(|c| c.id);
@@ -1077,8 +1091,9 @@ fn degrade_or_shed(
                 // Rung 1: degrade. Running requests are pinned (their
                 // dispatch already holds its step count); queued ones may
                 // shed steps down to max(floor − executed, 1) remaining.
-                let victim = live[..=i]
+                let victim = live
                     .iter()
+                    .take(i + 1)
                     .filter_map(|e| {
                         let r = tracker.get(e.id)?;
                         if r.phase != Phase::Queued {
@@ -1110,8 +1125,9 @@ fn degrade_or_shed(
                 // Rung 2: every prefix member is at its floor (or
                 // running) — shed a whole fresh request if allowed.
                 if shed_at_floor {
-                    let shed = live[..=i]
+                    let shed = live
                         .iter()
+                        .take(i + 1)
                         .filter(|c| c.fresh)
                         .min_by(|a, b| a.slack.total_cmp(&b.slack).then(b.id.cmp(&a.id)))
                         .map(|c| c.id);

@@ -175,6 +175,7 @@ impl RequestTracker {
         let mut ids: Vec<RequestId> = self
             .live
             .iter()
+            // tetrilint: allow(taint-panic) -- live-index ids are inserted and removed in lockstep with the requests map
             .filter(|&&(_, id)| self.requests[&id].is_schedulable(now))
             .map(|&(_, id)| id)
             .collect();
@@ -491,6 +492,7 @@ impl RequestTracker {
     /// `(deadline, id)` order: the canonical EDF scan order, pre-sorted by
     /// the incremental index.
     pub fn live(&self) -> impl Iterator<Item = &TrackedRequest> {
+        // tetrilint: allow(taint-panic) -- live-index ids are inserted and removed in lockstep with the requests map
         self.live.iter().map(move |(_, id)| &self.requests[id])
     }
 

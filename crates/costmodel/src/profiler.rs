@@ -13,6 +13,8 @@
 //! table directly from the closed-form model, for tests that need exact
 //! values.
 
+// tetrilint: allow-file(taint-panic) -- cost-table axes are asserted non-empty at construction and every lookup panic is a documented `# Panics` contract: a missing profile entry must fail loudly at table build, not mis-price a schedule silently
+
 use std::collections::BTreeMap;
 
 use crate::comm::CommScheme;

@@ -81,8 +81,10 @@ pub fn coordinate(spec: &RequestSpec, oracle: &dyn FleetOracle) -> Option<Rescue
             let home = targets
                 .iter()
                 .copied()
+                // tetrilint: allow(taint-panic) -- targets enumerate cluster indices 0..n and `extra` is sized n at entry
                 .find(|&o| o != t && oracle.candidate_feasible_on(o, &c, extra[o]));
             let Some(o) = home else { continue };
+            // tetrilint: allow(taint-panic) -- `o` came from targets, which enumerate 0..n; `extra` is sized n
             extra[o] += oracle.candidate_demand_on(o, &c);
             exclude.push(c.spec.id);
             moves.push(MigrationDecision {

@@ -55,6 +55,8 @@
 //! states — and hence bit-identical routing, outcome and migration
 //! digests. The `parallel_matches_serial_digests` test pins this.
 
+// tetrilint: allow-file(slice-index) -- every cluster index here is either produced by enumerating this fleet's own cluster vec or asserted in range at entry (FleetSim::new outage check, enact_migration bounds asserts, route's router-decision assert)
+
 use std::collections::VecDeque;
 
 use tetriserve_core::{feasibility, ClusterSim, Policy, RequestOutcome, RequestSpec, ServerConfig};
@@ -399,22 +401,32 @@ impl<R: Router> FleetSim<R> {
                 .as_ref()
                 .filter(|_| other_work)
                 .map(|r| r.next_tick);
+            // Each candidate carries what its arm needs (the internal
+            // event's cluster index rides along in `Tick::Internal`), so
+            // no arm re-derives state from "rank N implies …" reasoning.
+            #[derive(Clone, Copy)]
+            enum Tick {
+                Internal(usize),
+                Outage,
+                Rebalance,
+                Arrival,
+            }
             let candidates = [
-                (internal_t, 0u8),
-                (outage_t, 1u8),
-                (rebalance_t, 2u8),
-                (arrival_t, 3u8),
+                next_internal.map(|(i, t)| (t, 0u8, Tick::Internal(i))),
+                outage_t.map(|t| (t, 1, Tick::Outage)),
+                rebalance_t.map(|t| (t, 2, Tick::Rebalance)),
+                arrival_t.map(|t| (t, 3, Tick::Arrival)),
             ];
-            let Some((t, rank)) = candidates
-                .iter()
-                .filter_map(|&(t, r)| t.map(|t| (t, r)))
+            let Some((t, _, tick)) = candidates
+                .into_iter()
+                .flatten()
                 .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
             else {
                 break;
             };
             self.clock.advance_to(t);
-            match rank {
-                0 => {
+            match tick {
+                Tick::Internal(i) => {
                     if self.parallel {
                         // Every internal event with time ≤ the earliest
                         // global candidate would win the serial
@@ -426,21 +438,23 @@ impl<R: Router> FleetSim<R> {
                             .min();
                         Self::drain_internal(&mut self.clusters, boundary);
                     } else {
-                        let (i, _) = next_internal.expect("rank 0 implies an internal event");
                         self.clusters[i].step();
                     }
                 }
-                1 => self.drain_outage(),
-                2 => self.do_rebalance(),
-                _ => {
-                    let (spec, reroute) = self
-                        .arrivals
-                        .pop_front()
-                        .expect("rank 3 implies an arrival");
-                    if reroute {
-                        self.rerouted += 1;
+                Tick::Outage => self.drain_outage(),
+                Tick::Rebalance => self.do_rebalance(),
+                Tick::Arrival => {
+                    // The candidate was built from `arrivals.front()`;
+                    // an empty queue here would mean the selection raced
+                    // a mutation, and skipping (the candidate vanishes
+                    // next iteration) degrades more gracefully than a
+                    // mid-drive panic.
+                    if let Some((spec, reroute)) = self.arrivals.pop_front() {
+                        if reroute {
+                            self.rerouted += 1;
+                        }
+                        self.route(spec, reroute);
                     }
-                    self.route(spec, reroute);
                 }
             }
         }
@@ -487,22 +501,24 @@ impl<R: Router> FleetSim<R> {
     /// out.
     fn do_rebalance(&mut self) {
         let now = self.clock.now();
-        let decisions = {
-            let reb = self
-                .rebalance
-                .as_mut()
-                .expect("rebalance tick fired without a rebalancer");
+        let (decisions, link) = {
+            // A planning tick without a rebalancer attached has nothing
+            // to plan with — treat it as the no-op it is.
+            let Some(reb) = self.rebalance.as_mut() else {
+                return;
+            };
             reb.next_tick = now + reb.rebalancer.cadence();
+            let link = reb.link;
             let oracle = DriverOracle {
                 clusters: &self.clusters,
                 outages: &self.outages,
-                link: reb.link,
+                link,
                 now,
             };
-            reb.rebalancer.plan(now, &oracle)
+            (reb.rebalancer.plan(now, &oracle), link)
         };
         for d in decisions {
-            self.enact_migration(d, now);
+            self.enact_migration(d, now, link);
         }
     }
 
@@ -513,7 +529,12 @@ impl<R: Router> FleetSim<R> {
     /// known outage plan says the target is (or will be, when the hand-off
     /// lands) inside an outage window: migrating into a dying cluster
     /// would strand the work all over again.
-    fn enact_migration(&mut self, d: MigrationDecision, now: SimTime) -> bool {
+    fn enact_migration(
+        &mut self,
+        d: MigrationDecision,
+        now: SimTime,
+        link: InterClusterLink,
+    ) -> bool {
         assert!(d.from != d.to, "migration from a cluster to itself");
         assert!(
             d.from < self.clusters.len() && d.to < self.clusters.len(),
@@ -522,11 +543,6 @@ impl<R: Router> FleetSim<R> {
             d.to,
             self.clusters.len()
         );
-        let link = self
-            .rebalance
-            .as_ref()
-            .expect("migration enacted without a rebalancer")
-            .link;
         let Some((spec, remaining)) = self.clusters[d.from]
             .queued_movable()
             .into_iter()
@@ -589,10 +605,11 @@ impl<R: Router> FleetSim<R> {
     /// one's `Arrival` event (same timestamp, internal rank 0) is
     /// admitted first — so every routing decision sees fresh views.
     fn drain_outage(&mut self) {
-        let outage = self
-            .pending_outages
-            .pop_front()
-            .expect("drain_outage called with no pending outage");
+        // The rank-1 candidate was built from `pending_outages.front()`;
+        // an empty queue means there is nothing to drain.
+        let Some(outage) = self.pending_outages.pop_front() else {
+            return;
+        };
         let now = self.clock.now();
         let drained = self.clusters[outage.cluster].drain_queued_fresh();
         if outage.up_at.is_none() {
@@ -656,9 +673,9 @@ impl<R: Router> FleetSim<R> {
                 // request even after hypothetical rebalancing. When a
                 // rescue plan exists, enact its migrations and route to
                 // the freed cluster instead.
-                if let Some(plan) = self.rescue_plan(&spec, at) {
+                if let Some((plan, link)) = self.rescue_plan(&spec, at) {
                     for d in plan.moves {
-                        self.enact_migration(d, at);
+                        self.enact_migration(d, at, link);
                     }
                     self.routing_digest.push(plan.to as u64);
                     self.rescues += 1;
@@ -689,9 +706,14 @@ impl<R: Router> FleetSim<R> {
     }
 
     /// Asks [`admission::coordinate`] for a rescue plan for a request the
-    /// router wants to shed. `None` without a rebalancer (coordinated
+    /// router wants to shed, returning it with the link its migrations
+    /// should be priced on. `None` without a rebalancer (coordinated
     /// admission rides on the same oracle and link).
-    fn rescue_plan(&self, spec: &RequestSpec, at: SimTime) -> Option<admission::RescuePlan> {
+    fn rescue_plan(
+        &self,
+        spec: &RequestSpec,
+        at: SimTime,
+    ) -> Option<(admission::RescuePlan, InterClusterLink)> {
         let reb = self.rebalance.as_ref()?;
         let oracle = DriverOracle {
             clusters: &self.clusters,
@@ -699,7 +721,7 @@ impl<R: Router> FleetSim<R> {
             link: reb.link,
             now: at,
         };
-        admission::coordinate(spec, &oracle)
+        admission::coordinate(spec, &oracle).map(|plan| (plan, reb.link))
     }
 
     fn finish(self) -> FleetReport {

@@ -206,7 +206,9 @@ impl Rebalancer for EdfRebalancer {
                     if to == from {
                         continue;
                     }
+                    // tetrilint: allow(taint-panic) -- targets enumerate cluster indices 0..n and `extra` is sized n at entry
                     if oracle.candidate_feasible_on(to, &c, extra[to]) {
+                        // tetrilint: allow(taint-panic) -- same bound: `to` < n and `extra` is sized n
                         extra[to] += oracle.candidate_demand_on(to, &c);
                         decisions.push(MigrationDecision {
                             id: c.spec.id,

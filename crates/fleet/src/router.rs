@@ -91,6 +91,7 @@ impl Router for RoundRobinRouter {
         }
         for offset in 0..views.len() {
             let i = (self.next + offset) % views.len();
+            // tetrilint: allow(taint-panic) -- `i` is reduced modulo views.len() on the line above
             if views[i].up {
                 self.next = i + 1;
                 return RouteDecision::To(i);
@@ -150,10 +151,11 @@ impl Router for PowerOfTwoRouter {
 
     fn route(&mut self, _spec: &RequestSpec, views: &[ClusterView]) -> RouteDecision {
         let up: Vec<&ClusterView> = views.iter().filter(|v| v.up).collect();
-        match up.len() {
-            0 => RouteDecision::Shed,
-            1 => RouteDecision::To(up[0].index),
-            n => {
+        match up.as_slice() {
+            [] => RouteDecision::Shed,
+            [only] => RouteDecision::To(only.index),
+            up => {
+                let n = up.len();
                 let a = (self.rng.next_u64() % n as u64) as usize;
                 // Sample the second choice from the remaining n−1 slots so
                 // the pair is always distinct.
@@ -161,6 +163,7 @@ impl Router for PowerOfTwoRouter {
                 if b >= a {
                     b += 1;
                 }
+                // tetrilint: allow(taint-panic) -- `a` and `b` are reduced modulo `n` above and the shift keeps `b` < n and distinct from `a`
                 let (x, y) = (up[a], up[b]);
                 let pick = if (x.load.depth(), x.index) <= (y.load.depth(), y.index) {
                     x

@@ -23,8 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod graph;
+pub mod parser;
 pub mod report;
 pub mod rules;
+mod taint;
 pub mod tokenizer;
 
 use std::fs;
@@ -36,15 +40,64 @@ use rules::FileScan;
 
 /// Scan one source string under a workspace-relative label (the label
 /// drives path-scoped rules: decision-path crates, hot-path basenames).
+/// Per-file rules only — the interprocedural passes need the whole
+/// workspace; see [`analyze_sources`].
 pub fn scan_source(file_label: &str, source: &str) -> FileScan {
     rules::check(file_label, &tokenizer::lex(source))
 }
 
-/// Scan every `.rs` file under `<root>/src` and `<root>/crates/*/src`.
+/// Full analysis over a set of labelled sources: per-file rules, then
+/// the workspace symbol graph and the three interprocedural taint passes
+/// (DESIGN.md §16). This is `scan_workspace` minus the filesystem, so
+/// fixtures can exercise cross-file chains in-memory.
+pub fn analyze_sources(files: &[(String, String)]) -> LintReport {
+    let lexed: Vec<(String, tokenizer::Lexed)> = files
+        .iter()
+        .map(|(label, src)| (label.replace('\\', "/"), tokenizer::lex(src)))
+        .collect();
+
+    // Per-file pass, keeping each file's allow table alive for taint.
+    let mut allows: Vec<rules::Allows> = lexed
+        .iter()
+        .map(|(norm, lx)| rules::Allows::new(lx, norm))
+        .collect();
+    let mut violations: Vec<rules::Violation> = Vec::new();
+    for ((norm, lx), al) in lexed.iter().zip(allows.iter_mut()) {
+        violations.extend(rules::check_file(norm, lx, al));
+    }
+
+    // Workspace pass: items → symbol graph → taint chains.
+    let items: Vec<parser::FileItems> = lexed
+        .iter()
+        .map(|(norm, lx)| parser::parse(norm, lx))
+        .collect();
+    let wg = graph::build(&items);
+    violations.extend(taint::run(&wg, &lexed, &mut allows));
+
+    let mut rep = LintReport {
+        files_scanned: lexed.len(),
+        violations,
+        allows: allows.into_iter().flat_map(|a| a.into_records()).collect(),
+    };
+    rep.finish();
+    rep
+}
+
+/// Scan every `.rs` file under `<root>/src` and `<root>/crates/*/src`,
+/// running both the per-file rules and the interprocedural taint passes.
 ///
 /// Files are visited in sorted path order so the report is byte-stable —
 /// the linter holds itself to the determinism bar it enforces.
 pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    Ok(analyze_sources(&workspace_sources(root)?))
+}
+
+/// Collect the workspace's labelled sources — every `.rs` file under
+/// `<root>/src` and `<root>/crates/*/src` in sorted path order, each
+/// paired with its workspace-relative label. This is the exact input
+/// [`scan_workspace`] analyzes; the graph self-check test reuses it to
+/// assert the symbol graph covers every file the linter sees.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let root_src = root.join("src");
     if root_src.is_dir() {
@@ -66,19 +119,17 @@ pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
     }
     files.sort();
 
-    let mut rep = LintReport::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let bytes = fs::read(path)?;
-        let source = String::from_utf8_lossy(&bytes);
         let label = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        rep.absorb(scan_source(&label, &source));
+        sources.push((label, String::from_utf8_lossy(&bytes).into_owned()));
     }
-    rep.finish();
-    Ok(rep)
+    Ok(sources)
 }
 
 /// Recursively gather `.rs` files under `dir`.
@@ -567,7 +618,7 @@ fn t() -> (String, char, &'static str) {
         rep.finish();
         assert!(!rep.is_clean());
         let json = rep.render_json();
-        assert!(json.contains("\"schema\": \"tetrilint/v1\""));
+        assert!(json.contains("\"schema\": \"tetrilint/v2\""));
         assert!(json.contains("\"rule\": \"unwrap\""));
         let text = rep.render_text();
         assert!(text.contains("crates/core/src/dp.rs:1: unwrap:"), "{text}");

@@ -1,5 +1,7 @@
 //! Workspace-level report: human text and a machine-readable JSON form
-//! (`tetrilint/v1`) that CI can archive next to `BENCH_scheduler.json`.
+//! (`tetrilint/v2` — v1 plus a per-violation `chain` field for the
+//! interprocedural taint findings) that CI archives next to
+//! `BENCH_scheduler.json`.
 
 use crate::rules::{AllowRecord, Violation};
 
@@ -43,6 +45,7 @@ impl LintReport {
                         "allow({}) matched no violation; delete the stale annotation",
                         a.rule
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -64,7 +67,9 @@ impl LintReport {
             .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     }
 
-    /// `file:line: rule: message` lines plus a summary trailer.
+    /// `file:line: rule: message` lines (taint findings add an indented
+    /// `chain:` line, `entry → … → sink @ file:line`) plus a summary
+    /// trailer.
     pub fn render_text(&self) -> String {
         let mut s = String::new();
         for v in &self.violations {
@@ -72,6 +77,15 @@ impl LintReport {
                 "{}:{}: {}: {}\n",
                 v.file, v.line, v.rule, v.message
             ));
+            if !v.chain.is_empty() {
+                let hops: Vec<&str> = v.chain.iter().map(|h| h.func.as_str()).collect();
+                s.push_str(&format!(
+                    "    chain: {} @ {}:{}\n",
+                    hops.join(" → "),
+                    v.file,
+                    v.line
+                ));
+            }
         }
         s.push_str(&format!(
             "tetrilint: {} violation{}, {} allow{} ({} unused) across {} files\n",
@@ -85,19 +99,38 @@ impl LintReport {
         s
     }
 
-    /// The `tetrilint/v1` JSON document (hand-rolled — zero deps).
+    /// The `tetrilint/v2` JSON document (hand-rolled — zero deps).
+    /// v2 = v1 plus a `chain` array on taint violations, each hop
+    /// `{fn, file, line}` from entry point to sink-bearing function.
     pub fn render_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"tetrilint/v1\",\n");
+        let mut s = String::from("{\n  \"schema\": \"tetrilint/v2\",\n");
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str("  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let mut chain = String::new();
+            if !v.chain.is_empty() {
+                chain.push_str(", \"chain\": [");
+                for (j, h) in v.chain.iter().enumerate() {
+                    if j > 0 {
+                        chain.push_str(", ");
+                    }
+                    chain.push_str(&format!(
+                        "{{\"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                        esc(&h.func),
+                        esc(&h.file),
+                        h.line
+                    ));
+                }
+                chain.push(']');
+            }
             s.push_str(&format!(
-                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"{}}}",
                 esc(&v.file),
                 v.line,
                 v.rule,
-                esc(&v.message)
+                esc(&v.message),
+                chain
             ));
         }
         s.push_str("\n  ],\n  \"allows\": [");

@@ -43,12 +43,15 @@ pub const RULE_NAMES: &[&str] = &[
     "units-of-measure",
     "float-eq",
     "partial-cmp-unwrap",
+    "taint-determinism",
+    "taint-panic",
+    "taint-parallel",
     "bad-annotation",
     "unused-allow",
 ];
 
 /// Crate sub-paths whose files count as scheduling decision paths.
-const DECISION_PATHS: &[&str] = &[
+pub(crate) const DECISION_PATHS: &[&str] = &[
     "crates/core/src/",
     "crates/simulator/src/",
     "crates/metrics/src/",
@@ -58,7 +61,7 @@ const DECISION_PATHS: &[&str] = &[
 ];
 
 /// Per-round inner-loop modules held to panic discipline.
-const HOT_FILES: &[&str] = &["dp.rs", "scheduler.rs", "batching.rs", "engine.rs"];
+pub(crate) const HOT_FILES: &[&str] = &["dp.rs", "scheduler.rs", "batching.rs", "engine.rs"];
 
 /// Modules that reason about step durations while GPUs may be slowed by
 /// perf faults. A raw `CostTable::step_time`/`t_min` read there assumes
@@ -94,6 +97,17 @@ const UNORDERED_METHODS: &[&str] = &[
     "retain",
 ];
 
+/// One hop of an interprocedural taint chain (`entry → … → sink`).
+#[derive(Debug, Clone)]
+pub struct ChainHop {
+    /// `Type::name` or bare `name` of the function.
+    pub func: String,
+    /// Workspace-relative file the function is defined in.
+    pub file: String,
+    /// 1-based line of the `fn` item.
+    pub line: u32,
+}
+
 /// One rule hit, after allow-annotation filtering.
 #[derive(Debug, Clone)]
 pub struct Violation {
@@ -105,6 +119,9 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For `taint-*` rules: the entry→…→sink call chain (the violation's
+    /// own `file:line` locates the sink). Empty for per-file rules.
+    pub chain: Vec<ChainHop>,
 }
 
 /// One `tetrilint: allow` annotation, with whether anything used it.
@@ -136,22 +153,24 @@ pub struct FileScan {
 /// Run every rule against one lexed file.
 pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
     let norm = file_label.replace('\\', "/");
-    let basename = norm.rsplit('/').next().unwrap_or(&norm);
+    let mut allows = Allows::new(lexed, &norm);
+    let violations = check_file(&norm, lexed, &mut allows);
+    FileScan {
+        violations,
+        allows: allows.into_records(),
+    }
+}
+
+/// Per-file rule pass only; the caller owns `allows` so the workspace
+/// taint pass can consult (and mark used) the same annotations later.
+pub(crate) fn check_file(norm: &str, lexed: &Lexed, allows: &mut Allows) -> Vec<Violation> {
+    let basename = norm.rsplit('/').next().unwrap_or(norm);
     let decision_path = DECISION_PATHS.iter().any(|p| norm.contains(p));
     let hot_path = HOT_FILES.contains(&basename);
     let speed_aware = decision_path && SPEED_AWARE_FILES.contains(&basename);
     let units_scoped = UNITS_FILES.contains(&basename);
 
-    let mask = test_mask(&lexed.tokens);
-    let live: Vec<&Tok> = lexed
-        .tokens
-        .iter()
-        .zip(&mask)
-        .filter(|(_, &m)| !m)
-        .map(|(t, _)| t)
-        .collect();
-
-    let mut allows = Allows::new(lexed, &norm);
+    let live = live_tokens(lexed);
     let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
 
     // Malformed or unknown-rule annotations are violations themselves:
@@ -211,22 +230,36 @@ pub fn check(file_label: &str, lexed: &Lexed) -> FileScan {
         .into_iter()
         .filter(|(line, rule, _)| !allows.covers(*line, rule))
         .map(|(line, rule, message)| Violation {
-            file: norm.clone(),
+            file: norm.to_string(),
             line,
             rule,
             message,
+            chain: Vec::new(),
         })
         .collect();
     violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}
 
-    FileScan {
-        violations,
-        allows: allows.into_records(),
-    }
+/// The file's token stream with `#[cfg(test)]` items filtered out.
+pub(crate) fn live_tokens(lexed: &Lexed) -> Vec<&Tok> {
+    let mask = test_mask(&lexed.tokens);
+    lexed
+        .tokens
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &m)| !m)
+        .map(|(t, _)| t)
+        .collect()
 }
 
 /// Marks tokens covered by a `#[cfg(test)]` attribute and the item that
 /// follows it (to the matching close brace, or `;` for brace-less items).
+/// Shared with the item parser, which excludes test fns from the graph.
+pub(crate) fn test_mask_of(toks: &[Tok]) -> Vec<bool> {
+    test_mask(toks)
+}
+
 fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
@@ -270,7 +303,7 @@ fn test_mask(toks: &[Tok]) -> Vec<bool> {
 }
 
 /// Allow-annotation bookkeeping: file-scoped and line-scoped silencers.
-struct Allows {
+pub(crate) struct Allows {
     records: Vec<AllowRecord>,
     /// Per line-scoped record, the set of lines it silences: its own line
     /// (trailing comment) and the next line containing code (standalone
@@ -279,7 +312,7 @@ struct Allows {
 }
 
 impl Allows {
-    fn new(lexed: &Lexed, file: &str) -> Allows {
+    pub(crate) fn new(lexed: &Lexed, file: &str) -> Allows {
         let mut records = Vec::new();
         let mut targets = Vec::new();
         for a in &lexed.annotations {
@@ -325,7 +358,15 @@ impl Allows {
         false
     }
 
-    fn into_records(self) -> Vec<AllowRecord> {
+    /// Like [`Self::covers`] for any of several rule names — the taint
+    /// passes accept both their own name and the sink's per-file rule
+    /// name (a sink justified for the per-file rule is justified for
+    /// every chain that ends on it).
+    pub(crate) fn covers_any(&mut self, line: u32, rules: &[&str]) -> bool {
+        rules.iter().any(|r| self.covers(line, r))
+    }
+
+    pub(crate) fn into_records(self) -> Vec<AllowRecord> {
         self.records
     }
 }
@@ -454,7 +495,7 @@ fn rule_ambient_rng(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
 /// between same-seed runs — the exact bug class behind the PR-2 digest
 /// mismatches. Bindings are found lexically: any identifier declared with
 /// a `HashMap`/`HashSet` type ascription in this file.
-fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+pub(crate) fn rule_unordered_iter(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
     let bindings = hash_bindings(toks);
     if bindings.is_empty() {
         return;
@@ -663,7 +704,7 @@ fn rule_unordered_collect(toks: &[&Tok], out: &mut Vec<(u32, &'static str, Strin
 
 /// `unwrap()`/`expect()` in hot-path modules: a panic mid-round kills the
 /// whole serve; either handle the case or justify the invariant inline.
-fn rule_unwrap(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+pub(crate) fn rule_unwrap(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
     for (k, t) in toks.iter().enumerate() {
         if t.text == "."
             && toks.get(k + 1).is_some_and(|t| {
@@ -686,13 +727,20 @@ fn rule_unwrap(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
 
 /// Bare indexing in hot-path modules: `xs[i]` panics on out-of-bounds;
 /// pervasive DP-buffer indexing earns a justified `allow-file`.
-fn rule_slice_index(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
+pub(crate) fn rule_slice_index(toks: &[&Tok], out: &mut Vec<(u32, &'static str, String)>) {
     for (k, t) in toks.iter().enumerate() {
         if t.text != "[" || k == 0 {
             continue;
         }
         let prev = toks[k - 1];
-        let indexable = prev.kind == TokKind::Ident || prev.text == ")" || prev.text == "]";
+        // Keywords before `[` mean a slice *type* (`&mut [T]`) or other
+        // non-index position, never an indexing expression.
+        let keyword = matches!(
+            prev.text.as_str(),
+            "mut" | "dyn" | "in" | "as" | "return" | "else" | "match" | "if" | "const"
+        );
+        let indexable =
+            (prev.kind == TokKind::Ident && !keyword) || prev.text == ")" || prev.text == "]";
         // `vec![…]` and attributes `#[…]` have `!`/`#` before the bracket
         // and are already excluded by the `indexable` test.
         if indexable {

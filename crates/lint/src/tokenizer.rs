@@ -133,7 +133,7 @@ impl Lexer<'_> {
                 c if c.is_ascii_whitespace() => self.i += 1,
                 b'/' if self.peek(1) == b'/' => self.line_comment(),
                 b'/' if self.peek(1) == b'*' => self.block_comment(),
-                b'"' => self.string(0),
+                b'"' => self.string(0, false),
                 b'\'' => self.char_or_lifetime(),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(),
                 c if c.is_ascii_digit() => self.number(),
@@ -200,10 +200,12 @@ impl Lexer<'_> {
         }
     }
 
-    /// Ordinary string literal; `hashes` > 0 means raw with that many `#`.
-    fn string(&mut self, hashes: usize) {
+    /// String literal body. `raw` disables escape processing (raw strings
+    /// treat `\` as a plain byte: `r"\"` is complete); `hashes` is the
+    /// number of `#` marks a raw string's closing quote must carry.
+    fn string(&mut self, hashes: usize, raw: bool) {
         self.i += 1; // opening quote
-        if hashes == 0 {
+        if !raw {
             while self.i < self.b.len() {
                 match self.b[self.i] {
                     b'\\' => self.i += 2,
@@ -219,7 +221,8 @@ impl Lexer<'_> {
                 }
             }
         } else {
-            // Raw string: ends at `"` followed by `hashes` hash marks.
+            // Raw string: ends at `"` followed by `hashes` hash marks —
+            // backslashes and lone quotes (fewer trailing `#`) are content.
             while self.i < self.b.len() {
                 if self.b[self.i] == b'\n' {
                     self.line += 1;
@@ -294,9 +297,14 @@ impl Lexer<'_> {
         let ident = &self.b[start..j];
         let next = *self.b.get(j).unwrap_or(&0);
         match (ident, next) {
-            (b"r" | b"b" | b"br", b'"') => {
+            (b"r" | b"br", b'"') => {
+                // Hash-less raw (byte) string: no escapes, ends at `"`.
                 self.i = j;
-                self.string(0);
+                self.string(0, true);
+            }
+            (b"b", b'"') => {
+                self.i = j;
+                self.string(0, false);
             }
             (b"r" | b"br", b'#') => {
                 let mut hashes = 0;
@@ -307,7 +315,7 @@ impl Lexer<'_> {
                 }
                 if *self.b.get(k).unwrap_or(&0) == b'"' {
                     self.i = k;
-                    self.string(hashes);
+                    self.string(hashes, true);
                 } else {
                     // Raw identifier `r#name`: emit the name itself.
                     self.i = k;
@@ -460,4 +468,81 @@ fn parse_annotation(body: &str) -> Result<Option<(AllowScope, String, String)>, 
         return Err("empty reason after `--`".to_string());
     }
     Ok(Some((scope, rule.to_string(), reason.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_backslash_is_not_an_escape() {
+        // `r"\"` is a complete raw string holding one backslash; the old
+        // escape-processing path swallowed the closing quote and ate the
+        // rest of the file.
+        let src = r#"fn t() { let sep = r"\"; after() }"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"sep_contents".to_string()));
+        // Windows-path flavor: trailing backslash directly before the quote.
+        let src = "let p = r\"C:\\dir\\\"; trailing()";
+        assert!(idents(src).contains(&"trailing".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_are_dropped_with_escapes() {
+        // `b"…"` processes escapes like an ordinary string: `\"` must not
+        // terminate it, and its contents never become tokens.
+        let src = r#"fn t() { let b = b"quote \" inside Instant"; tail() }"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_byte_strings_and_hashed_raw_strings() {
+        // `br#"…"#` ends only at `"#` with the right hash count; interior
+        // `"` and `"#`-with-too-few-hashes are content.
+        let src = "fn t() { let s = br##\"has \"# inside\"##; next() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"next".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"inside".to_string()), "{ids:?}");
+        let src = "fn t() { let s = r#\"plain \" quote\"#; follow() }";
+        assert!(idents(src).contains(&"follow".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "fn a() {} /* outer /* inner /* deep */ */ still comment */ fn b() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()) && ids.contains(&"b".to_string()));
+        assert!(!ids.contains(&"still".to_string()), "{ids:?}");
+        // Unterminated comment consumes to EOF without panicking.
+        let ids = idents("fn a() {} /* /* unclosed */");
+        assert_eq!(ids, vec!["fn", "a"]);
+    }
+
+    #[test]
+    fn raw_strings_never_emit_annotations() {
+        let src = "let s = r#\"// tetrilint: allow(unwrap) -- not real\"#;";
+        let lexed = lex(src);
+        assert!(lexed.annotations.is_empty());
+        assert!(lexed.malformed.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_raw_strings() {
+        let src = "let s = r#\"line1\nline2\nline3\"#;\nfn after() {}";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
 }

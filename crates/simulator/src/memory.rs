@@ -7,6 +7,7 @@
 //! peak HBM usage per GPU and to flag would-be OOM conditions under mixed
 //! workloads.
 
+// tetrilint: allow-file(slice-index) -- per-GPU vectors are sized to n_gpus at construction and GpuId values come from the same topology
 use crate::gpuset::{GpuId, GpuSet};
 
 /// Tracks resident and peak memory per GPU.
@@ -56,6 +57,7 @@ impl MemoryTracker {
         for g in gpus.iter() {
             self.current_dynamic[g.0] = self.current_dynamic[g.0]
                 .checked_sub(bytes_per_gpu)
+                // tetrilint: allow(taint-panic) -- documented `# Panics` contract: over-release is an accounting bug that must fail loudly, not leave residency corrupt
                 .expect("memory release exceeds charged amount");
         }
     }

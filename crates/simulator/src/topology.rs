@@ -163,7 +163,7 @@ impl Topology {
         }
         let mut min_bw = f64::INFINITY;
         for (i, &a) in members.iter().enumerate() {
-            for &b in &members[i + 1..] {
+            for &b in members.iter().skip(i + 1) {
                 min_bw = min_bw.min(self.link(a, b).effective_bandwidth_gbps());
             }
         }
