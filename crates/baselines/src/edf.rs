@@ -102,7 +102,7 @@ mod tests {
     use tetriserve_core::tracker::RequestTracker;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
     use tetriserve_simulator::gpuset::GpuSet;
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn costs() -> CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -119,6 +119,7 @@ mod tests {
 
     fn spec(id: u64, res: Resolution, arrival: f64, slo: f64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::from_secs_f64(arrival),

@@ -93,7 +93,7 @@ mod tests {
     use tetriserve_core::server::Server;
     use tetriserve_core::tracker::RequestTracker;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn costs() -> tetriserve_costmodel::CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -101,6 +101,7 @@ mod tests {
 
     fn spec(id: u64, res: Resolution, arrival_s: f64, slo_s: f64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::from_secs_f64(arrival_s),

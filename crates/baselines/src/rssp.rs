@@ -133,7 +133,7 @@ mod tests {
     use tetriserve_core::request::RequestSpec;
     use tetriserve_core::server::Server;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn costs() -> CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -179,6 +179,7 @@ mod tests {
         ]
         .into_iter()
         .map(|(id, res, slo)| RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::from_secs_f64(id as f64 * 40.0), // well spaced
@@ -198,6 +199,7 @@ mod tests {
         let c = costs();
         let p = RsspPolicy::from_profile(&c, &slo_targets());
         let mk = |id, slo: f64| RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R2048,
             arrival: SimTime::ZERO,

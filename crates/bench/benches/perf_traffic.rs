@@ -1,0 +1,97 @@
+//! Multi-tenant traffic harness — produces `BENCH_traffic.json` at the
+//! repository root (schema `tetriserve-bench-traffic/v1`, documented in
+//! DESIGN.md): the heterogeneous three-cluster fleet serving four
+//! tenants *streamed online* through the open-loop traffic frontend —
+//! an interactive tight-SLO Poisson tenant, a batch skewed-mix MMPP
+//! tenant, and two flash-crowd tenants coupled through one shared burst
+//! timeline — under round-robin and deadline-aware routing, with
+//! per-tenant SAR/goodput, worst-tenant SAR and Jain's fairness index
+//! per router.
+//!
+//! Run modes:
+//!
+//! * `cargo bench --bench perf_traffic` — full run (320 streamed
+//!   requests);
+//! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run.
+//!
+//! The process exits non-zero if the deadline-aware router fails to
+//! strictly beat round-robin on worst-tenant SAR under the correlated
+//! bursts, or if two in-process runs disagree on any digest or
+//! per-tenant metric — the traffic layer's fairness and determinism
+//! claims.
+
+use std::path::PathBuf;
+
+use tetriserve_bench::traffic::{run_traffic_perf, TrafficPerfConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PERF_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (config, mode) = if smoke {
+        (TrafficPerfConfig::smoke(), "smoke")
+    } else {
+        (TrafficPerfConfig::full(), "full")
+    };
+
+    let report = run_traffic_perf(&config, mode);
+
+    println!(
+        "traffic frontend harness ({mode}, seed {:#x}): {} streamed requests from [{}]",
+        report.seed,
+        report.requests,
+        report.tenant_names.join(", ")
+    );
+    for r in &report.routers {
+        println!(
+            "{:>16}: sar {:.4}, goodput {:.4}, worst-tenant sar {:.4}, fairness {:.4}",
+            r.router, r.sar, r.goodput, r.worst_tenant_sar, r.fairness
+        );
+        println!(
+            "{:>16} {:>12} {:>9} {:>6} {:>8} {:>10}",
+            "", "tenant", "requests", "shed", "sar", "goodput"
+        );
+        for t in &r.tenants {
+            println!(
+                "{:>16} {:>12} {:>9} {:>6} {:>8.4} {:>10.4}",
+                "", t.name, t.requests, t.shed, t.sar, t.goodput
+            );
+        }
+    }
+
+    // Repo root: crates/bench/ -> crates/ -> root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_traffic.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_traffic.json");
+    println!("wrote {}", out.display());
+
+    let by_name = |name: &str| {
+        report
+            .routers
+            .iter()
+            .find(|r| r.router == name)
+            .unwrap_or_else(|| panic!("missing router {name}"))
+    };
+    let rr = by_name("round-robin");
+    let da = by_name("deadline-aware");
+    if da.worst_tenant_sar <= rr.worst_tenant_sar {
+        eprintln!(
+            "FAIL: deadline-aware worst-tenant sar {} does not beat round-robin {}",
+            da.worst_tenant_sar, rr.worst_tenant_sar
+        );
+        std::process::exit(1);
+    }
+
+    let again = run_traffic_perf(&config, mode);
+    for (a, b) in report.routers.iter().zip(&again.routers) {
+        if a != b {
+            eprintln!(
+                "FAIL: {} run disagrees with itself — per-tenant metrics or digests drifted",
+                a.router
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,7 @@ use tetriserve_simulator::digest::{fnv1a, SplitMix, FNV_OFFSET};
 use tetriserve_simulator::failure::{FailurePlan, GpuFault, PerfFault};
 use tetriserve_simulator::gpuset::GpuId;
 use tetriserve_simulator::time::SimTime;
+use tetriserve_simulator::trace::TenantId;
 
 use crate::{ArrivalKind, Experiment};
 
@@ -368,6 +369,7 @@ fn run_gate(costs: &CostTable, debt_budget: u64) -> GateResult {
     // Shed-only has no middle rung: it drops the second request whole.
     let specs: Vec<RequestSpec> = (0..2)
         .map(|i| RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: tetriserve_simulator::trace::RequestId(i),
             resolution: Resolution::R2048,
             arrival: SimTime::ZERO,

@@ -14,7 +14,7 @@ use tetriserve_core::{RequestSpec, ServeReport, Server, TetriServeConfig, TetriS
 use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
 use tetriserve_nirvana::{accelerate_trace, NirvanaConfig};
 use tetriserve_simulator::time::SimTime;
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 use tetriserve_workload::arrival::{BurstyProcess, DiurnalProcess, PoissonProcess, UniformProcess};
 use tetriserve_workload::gen::{GeneratedRequest, TraceGen};
 use tetriserve_workload::mix::ResolutionMix;
@@ -181,6 +181,7 @@ impl Experiment {
             .iter()
             .zip(steps)
             .map(|(r, total_steps)| RequestSpec {
+                tenant: TenantId::UNTAGGED,
                 id: RequestId(r.id),
                 resolution: r.resolution,
                 arrival: SimTime::from_secs_f64(r.arrival_s),
@@ -231,6 +232,7 @@ impl Experiment {
         records
             .iter()
             .map(|r| RequestSpec {
+                tenant: TenantId::UNTAGGED,
                 id: RequestId(r.id),
                 resolution: tetriserve_workload::resolution_for_tokens(r.tokens)
                     .unwrap_or_else(|| panic!("record {} has bad token count {}", r.id, r.tokens)),

@@ -198,6 +198,7 @@ pub fn fleet_workload(config: &FleetPerfConfig) -> Vec<RequestSpec> {
     multiplex(streams)
         .iter()
         .map(|r| RequestSpec {
+            tenant: r.tenant,
             id: RequestId(r.id),
             resolution: r.resolution,
             arrival: SimTime::from_secs_f64(r.arrival_s),

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod fleet;
 pub mod perf;
 pub mod sim;
+pub mod traffic;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};

@@ -40,7 +40,7 @@ use tetriserve_fleet::{DeadlineAwareRouter, FleetCluster, FleetSim};
 use tetriserve_metrics::FleetReport;
 use tetriserve_simulator::digest::SplitMix;
 use tetriserve_simulator::time::SimTime;
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 use tetriserve_workload::slo::SloPolicy;
 
 /// Live requests the per-cluster feasibility scratch is pre-sized for.
@@ -147,6 +147,7 @@ pub fn synthetic_workload(config: &SimPerfConfig) -> Vec<RequestSpec> {
         t += -u.ln() / config.rate_per_sec;
         let arrival = SimTime::from_secs_f64(t);
         out.push(RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id as u64),
             resolution: res,
             arrival,

@@ -184,6 +184,7 @@ pub fn audit(trace: &Trace, outcomes: &[RequestOutcome]) -> Vec<AuditViolation> 
 mod tests {
     use super::*;
     use tetriserve_simulator::time::SimDuration;
+    use tetriserve_simulator::trace::TenantId;
 
     fn start(t: u64, d: u64, req: u64, gpus: GpuSet, steps: u32) -> TraceEvent {
         TraceEvent::DispatchStart {
@@ -266,6 +267,7 @@ mod tests {
         trace.record(start(0, 0, 1, GpuSet::contiguous(0, 1), 5));
         trace.record(done(50, 0));
         let outcome = RequestOutcome {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(1),
             resolution: tetriserve_costmodel::Resolution::R256,
             arrival: SimTime::ZERO,

@@ -383,6 +383,7 @@ mod tests {
     use super::*;
     use crate::request::RequestSpec;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+    use tetriserve_simulator::trace::TenantId;
 
     fn costs() -> CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -392,6 +393,7 @@ mod tests {
         let mut t = RequestTracker::new();
         for &(id, slo) in ids {
             t.admit(RequestSpec {
+                tenant: TenantId::UNTAGGED,
                 id: RequestId(id),
                 resolution: Resolution::R1024,
                 arrival: SimTime::ZERO,

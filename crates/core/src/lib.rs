@@ -23,11 +23,12 @@
 //! use tetriserve_core::{RequestSpec, Server, TetriServePolicy};
 //! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
 //! use tetriserve_simulator::time::SimTime;
-//! use tetriserve_simulator::trace::RequestId;
+//! use tetriserve_simulator::trace::{RequestId, TenantId};
 //!
 //! let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
 //! let policy = TetriServePolicy::with_defaults(&costs);
 //! let report = Server::new(costs, policy).run(vec![RequestSpec {
+//!     tenant: TenantId::UNTAGGED,
 //!     id: RequestId(0),
 //!     resolution: Resolution::R1024,
 //!     arrival: SimTime::ZERO,

@@ -224,6 +224,7 @@ mod tests {
     use super::*;
     use crate::request::RequestSpec;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_simulator::trace::TenantId;
 
     fn ctx_fixture() -> (RequestTracker, CostTable) {
         let mut tracker = RequestTracker::new();
@@ -233,6 +234,7 @@ mod tests {
             (3, Resolution::R512),
         ] {
             tracker.admit(RequestSpec {
+                tenant: TenantId::UNTAGGED,
                 id: RequestId(id),
                 resolution: res,
                 arrival: SimTime::ZERO,

@@ -14,7 +14,7 @@ use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolutio
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::topology::Topology;
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 
 use crate::allocation::{min_gpu_hour_plan, useful_degrees};
 use crate::feasibility;
@@ -196,6 +196,7 @@ proptest! {
                 _ => {
                     let res = Resolution::PRODUCTION[(r % 4) as usize];
                     tracker.admit(RequestSpec {
+                        tenant: TenantId::UNTAGGED,
                         id: RequestId(next_id),
                         resolution: res,
                         arrival: now,

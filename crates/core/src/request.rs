@@ -2,13 +2,16 @@
 
 use tetriserve_costmodel::Resolution;
 use tetriserve_simulator::time::{SimDuration, SimTime};
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 
 /// An inbound image-generation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpec {
     /// Unique identifier.
     pub id: RequestId,
+    /// Originating tenant (attribution only — decision paths must not
+    /// branch on it). [`TenantId::UNTAGGED`] for single-stream workloads.
+    pub tenant: TenantId,
     /// Output resolution (determines latent length and per-step cost).
     pub resolution: Resolution,
     /// Arrival time.
@@ -32,6 +35,8 @@ impl RequestSpec {
 pub struct RequestOutcome {
     /// The request identifier.
     pub id: RequestId,
+    /// Originating tenant, carried through from the spec.
+    pub tenant: TenantId,
     /// Output resolution.
     pub resolution: Resolution,
     /// Arrival time.
@@ -93,6 +98,7 @@ mod tests {
     fn spec() -> RequestSpec {
         RequestSpec {
             id: RequestId(1),
+            tenant: TenantId::UNTAGGED,
             resolution: Resolution::R512,
             arrival: SimTime::from_secs_f64(10.0),
             deadline: SimTime::from_secs_f64(12.0),
@@ -110,6 +116,7 @@ mod tests {
         let s = spec();
         let on_time = RequestOutcome {
             id: s.id,
+            tenant: s.tenant,
             resolution: s.resolution,
             arrival: s.arrival,
             deadline: s.deadline,
@@ -149,6 +156,7 @@ mod tests {
         let s = spec();
         let exactly = RequestOutcome {
             id: s.id,
+            tenant: s.tenant,
             resolution: s.resolution,
             arrival: s.arrival,
             deadline: s.deadline,

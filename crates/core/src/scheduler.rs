@@ -344,6 +344,7 @@ mod tests {
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
     use tetriserve_simulator::failure::FailurePlan;
     use tetriserve_simulator::time::SimDuration;
+    use tetriserve_simulator::trace::TenantId;
 
     fn costs() -> CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -351,6 +352,7 @@ mod tests {
 
     fn spec(id: u64, res: Resolution, arrival_s: f64, slo_s: f64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::from_secs_f64(arrival_s),
@@ -568,6 +570,7 @@ mod tests {
         let mut tracker = RequestTracker::new();
         let mid = SimTime::ZERO + policy.tau() / 2;
         tracker.admit(RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(1),
             resolution: Resolution::R2048,
             arrival: mid,
@@ -609,6 +612,7 @@ mod tests {
         let mut tracker = RequestTracker::new();
         let sliver = SimTime::ZERO + policy.tau() - SimDuration::from_millis(1);
         tracker.admit(RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(1),
             resolution: Resolution::R2048,
             arrival: sliver,

@@ -1154,6 +1154,7 @@ mod tests {
     use crate::config::TetriServeConfig;
     use crate::scheduler::TetriServePolicy;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_simulator::trace::TenantId;
 
     fn costs() -> CostTable {
         Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -1161,6 +1162,7 @@ mod tests {
 
     fn spec(id: u64, res: Resolution, arrival_s: f64, slo_s: f64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::from_secs_f64(arrival_s),

@@ -566,6 +566,7 @@ impl RequestTracker {
         self.requests
             .values()
             .map(|r| RequestOutcome {
+                tenant: r.spec.tenant,
                 id: r.spec.id,
                 resolution: r.spec.resolution,
                 arrival: r.spec.arrival,
@@ -589,9 +590,11 @@ impl RequestTracker {
 mod tests {
     use super::*;
     use tetriserve_costmodel::Resolution;
+    use tetriserve_simulator::trace::TenantId;
 
     fn spec(id: u64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R256,
             arrival: SimTime::from_secs_f64(1.0),

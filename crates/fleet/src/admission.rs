@@ -107,9 +107,11 @@ mod tests {
     use tetriserve_core::RequestSpec;
     use tetriserve_costmodel::Resolution;
     use tetriserve_simulator::time::SimTime;
+    use tetriserve_simulator::trace::TenantId;
 
     fn fresh_spec(id: u64, steps: u32) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R1024,
             arrival: SimTime::ZERO,

@@ -26,12 +26,15 @@
 //! rebalancer there are never rank-2 candidates, so the arbitration — and
 //! every digest — is bit-identical to the static PR 4 driver.
 //!
-//! Re-routed work drained at an outage is pushed onto the *front* of the
-//! arrival queue rather than routed inline: each drained request is then
-//! routed only after the previous one's `Arrival` event (same timestamp,
-//! internal rank 0) has been admitted by its target, so every routing
-//! decision in the drain sees fresh load/feasibility views instead of a
-//! stale pre-drain snapshot shared across the whole batch.
+//! Fresh workload is pulled lazily from an [`ArrivalSource`] — an offline
+//! trace replays through [`ReplaySource`]; the live traffic frontend
+//! generates each request as the clock reaches it. Re-routed work drained
+//! at an outage goes into a separate re-route queue that wins arrival
+//! ties against the source: each drained request is routed only after the
+//! previous one's `Arrival` event (same timestamp, internal rank 0) has
+//! been admitted by its target, so every routing decision in the drain
+//! sees fresh load/feasibility views instead of a stale pre-drain
+//! snapshot shared across the whole batch.
 //!
 //! Determinism: all inputs are sorted, all arbitration ties break on
 //! indices, and the routers and rebalancers are deterministic state
@@ -107,6 +110,58 @@ struct Rebalancing {
     next_tick: SimTime,
 }
 
+/// A pull-based supplier of fresh workload for the fleet driver.
+///
+/// The driver peeks the next arrival time to build its arbitration
+/// candidate and consumes the request only when that candidate wins — so
+/// an *online* source (the live multi-tenant traffic frontend) generates
+/// each request lazily as the simulation reaches it, and an offline trace
+/// replay is just the degenerate [`ReplaySource`]. Implementations must
+/// yield non-decreasing arrival times, and `next_spec` must return the
+/// request `peek_time` announced.
+pub trait ArrivalSource {
+    /// Arrival time of the next request without consuming it, or `None`
+    /// when the source is exhausted.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Consumes and returns the next request.
+    fn next_spec(&mut self) -> Option<RequestSpec>;
+}
+
+/// The offline-trace [`ArrivalSource`]: replays a pre-sorted spec vector.
+pub struct ReplaySource {
+    specs: VecDeque<RequestSpec>,
+}
+
+impl ReplaySource {
+    /// Wraps a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is not sorted by `(arrival, id)`.
+    pub fn new(specs: Vec<RequestSpec>) -> Self {
+        assert!(
+            specs
+                .windows(2)
+                .all(|w| (w[0].arrival, w[0].id) <= (w[1].arrival, w[1].id)),
+            "fleet arrivals must be sorted by (arrival, id)"
+        );
+        ReplaySource {
+            specs: specs.into(),
+        }
+    }
+}
+
+impl ArrivalSource for ReplaySource {
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.specs.front().map(|s| s.arrival)
+    }
+
+    fn next_spec(&mut self) -> Option<RequestSpec> {
+        self.specs.pop_front()
+    }
+}
+
 /// The multi-cluster co-simulation.
 pub struct FleetSim<R: Router> {
     clusters: Vec<ClusterSim<Box<dyn Policy>>>,
@@ -115,9 +170,14 @@ pub struct FleetSim<R: Router> {
     outages: Vec<ClusterOutage>,
     /// Outage drains not yet executed, sorted by (down_from, cluster).
     pending_outages: VecDeque<ClusterOutage>,
-    /// Workload not yet routed: `(spec, is_reroute)`. Initially the sorted
-    /// trace; outage drains push re-routes onto the front.
-    arrivals: VecDeque<(RequestSpec, bool)>,
+    /// Fresh workload, pulled lazily (offline traces ride a
+    /// [`ReplaySource`]; the live traffic frontend generates on demand).
+    source: Box<dyn ArrivalSource>,
+    /// Outage-drained work awaiting re-routing. Re-routes win arrival
+    /// ties against the source: a drained request (arrival reset to the
+    /// drain instant) must route before any fresh arrival at the same
+    /// timestamp, exactly as the old push-onto-the-front queue did.
+    reroutes: VecDeque<RequestSpec>,
     /// Periodic migration planning; `None` reproduces the static driver
     /// bit for bit.
     rebalance: Option<Rebalancing>,
@@ -287,14 +347,31 @@ impl<R: Router> FleetSim<R> {
         clusters: Vec<FleetCluster>,
         router: R,
         arrivals: Vec<RequestSpec>,
+        outages: Vec<ClusterOutage>,
+    ) -> Self {
+        FleetSim::streaming(
+            clusters,
+            router,
+            Box::new(ReplaySource::new(arrivals)),
+            outages,
+        )
+    }
+
+    /// Builds the fleet around a live [`ArrivalSource`] instead of a
+    /// pre-generated trace: requests are pulled (and, for an online
+    /// source, *generated*) one at a time as the lockstep clock reaches
+    /// them. [`FleetSim::new`] is this with a [`ReplaySource`], so both
+    /// paths share one arbitration and digest contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outage names a cluster index out of range.
+    pub fn streaming(
+        clusters: Vec<FleetCluster>,
+        router: R,
+        source: Box<dyn ArrivalSource>,
         mut outages: Vec<ClusterOutage>,
     ) -> Self {
-        assert!(
-            arrivals
-                .windows(2)
-                .all(|w| (w[0].arrival, w[0].id) <= (w[1].arrival, w[1].id)),
-            "fleet arrivals must be sorted by (arrival, id)"
-        );
         outages.sort_by_key(|o| (o.down_from, o.cluster));
         for o in &outages {
             assert!(
@@ -327,7 +404,8 @@ impl<R: Router> FleetSim<R> {
             router,
             pending_outages: outages.iter().copied().collect(),
             outages,
-            arrivals: arrivals.into_iter().map(|s| (s, false)).collect(),
+            source,
+            reroutes: VecDeque::new(),
             rebalance: None,
             parallel: false,
             peak_backlog: 0,
@@ -391,7 +469,18 @@ impl<R: Router> FleetSim<R> {
             let next_internal = next_source(&internal);
             let internal_t = next_internal.map(|(_, t)| t);
             let outage_t = self.pending_outages.front().map(|o| o.down_from);
-            let arrival_t = self.arrivals.front().map(|(s, _)| s.arrival);
+            // One arrival candidate covers both queues; re-routes win
+            // ties (see the `reroutes` field docs). A source can never
+            // beat a reroute outright: reroute arrivals are stamped with
+            // their drain instant and the source's peek is ≥ the clock,
+            // so `source_t < reroute_t` would need an arrival from the
+            // past.
+            let reroute_t = self.reroutes.front().map(|s| s.arrival);
+            let source_t = self.source.peek_time();
+            let arrival_t = match (reroute_t, source_t) {
+                (Some(r), Some(s)) => Some(r.min(s)),
+                (r, s) => r.or(s),
+            };
             // Rebalance ticks only keep firing while some *other* work is
             // pending; otherwise an idle fleet would tick its planning
             // clock forever and the run would never terminate.
@@ -444,16 +533,22 @@ impl<R: Router> FleetSim<R> {
                 Tick::Outage => self.drain_outage(),
                 Tick::Rebalance => self.do_rebalance(),
                 Tick::Arrival => {
-                    // The candidate was built from `arrivals.front()`;
-                    // an empty queue here would mean the selection raced
-                    // a mutation, and skipping (the candidate vanishes
-                    // next iteration) degrades more gracefully than a
-                    // mid-drive panic.
-                    if let Some((spec, reroute)) = self.arrivals.pop_front() {
-                        if reroute {
+                    // Re-route priority on ties; the candidate was built
+                    // from the same peeks, so an empty pair here would
+                    // mean the selection raced a mutation — skipping (the
+                    // candidate vanishes next iteration) degrades more
+                    // gracefully than a mid-drive panic.
+                    let take_reroute = match (reroute_t, source_t) {
+                        (Some(r), Some(s)) => r <= s,
+                        (r, _) => r.is_some(),
+                    };
+                    if take_reroute {
+                        if let Some(spec) = self.reroutes.pop_front() {
                             self.rerouted += 1;
+                            self.route(spec, true);
                         }
-                        self.route(spec, reroute);
+                    } else if let Some(spec) = self.source.next_spec() {
+                        self.route(spec, false);
                     }
                 }
             }
@@ -617,7 +712,7 @@ impl<R: Router> FleetSim<R> {
         }
         for mut spec in drained.into_iter().rev() {
             spec.arrival = now;
-            self.arrivals.push_front((spec, true));
+            self.reroutes.push_front(spec);
         }
     }
 
@@ -689,6 +784,7 @@ impl<R: Router> FleetSim<R> {
                 }
                 self.routing_digest.push(u64::MAX);
                 self.fleet_shed.push(RequestOutcome {
+                    tenant: spec.tenant,
                     id: spec.id,
                     resolution: spec.resolution,
                     arrival: spec.arrival,
@@ -777,6 +873,19 @@ pub fn run_fleet<R: Router>(
     FleetSim::new(clusters, router, arrivals, outages).run()
 }
 
+/// Convenience wrapper: like [`run_fleet`] but pulling arrivals from a
+/// live [`ArrivalSource`] — the open-loop traffic frontend's entry
+/// point. Requests are generated as the lockstep clock reaches them, so
+/// the workload never has to be materialised up front.
+pub fn run_fleet_streaming<R: Router>(
+    clusters: Vec<FleetCluster>,
+    router: R,
+    source: Box<dyn ArrivalSource>,
+    outages: Vec<ClusterOutage>,
+) -> FleetReport {
+    FleetSim::streaming(clusters, router, source, outages).run()
+}
+
 /// Convenience wrapper: like [`run_fleet`] but with parallel lockstep —
 /// clusters drain internal events concurrently between global events.
 /// Digest-identical to [`run_fleet`] on the same inputs.
@@ -812,7 +921,7 @@ mod tests {
     use crate::router::{DeadlineAwareRouter, JoinShortestQueueRouter, RoundRobinRouter};
     use tetriserve_core::TetriServePolicy;
     use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn h100x8(name: &str) -> FleetCluster {
         let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
@@ -826,6 +935,7 @@ mod tests {
 
     fn spec(id: u64, arrival_s: f64, deadline_s: f64) -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R1024,
             arrival: SimTime::from_secs_f64(arrival_s),

@@ -39,7 +39,7 @@
 //! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
 //! use tetriserve_fleet::{run_fleet, FleetCluster, RoundRobinRouter};
 //! use tetriserve_simulator::time::SimTime;
-//! use tetriserve_simulator::trace::RequestId;
+//! use tetriserve_simulator::trace::{RequestId, TenantId};
 //!
 //! let cluster = |name: &str| {
 //!     let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
@@ -47,6 +47,7 @@
 //!     FleetCluster::new(name, costs, policy)
 //! };
 //! let arrivals = vec![RequestSpec {
+//!     tenant: TenantId::UNTAGGED,
 //!     id: RequestId(0),
 //!     resolution: Resolution::R512,
 //!     arrival: SimTime::ZERO,
@@ -71,7 +72,10 @@ pub mod rebalance;
 pub mod router;
 
 pub use admission::{coordinate, RescuePlan, MAX_RESCUE_MOVES};
-pub use driver::{run_fleet, run_fleet_parallel, run_fleet_rebalanced, FleetCluster, FleetSim};
+pub use driver::{
+    run_fleet, run_fleet_parallel, run_fleet_rebalanced, run_fleet_streaming, ArrivalSource,
+    FleetCluster, FleetSim, ReplaySource,
+};
 pub use rebalance::{
     EdfRebalancer, FleetOracle, MigrationCandidate, MigrationDecision, Rebalancer, DEFAULT_CADENCE,
 };

@@ -228,6 +228,7 @@ impl Rebalancer for EdfRebalancer {
 pub(crate) mod tests {
     use super::*;
     use tetriserve_costmodel::Resolution;
+    use tetriserve_simulator::trace::TenantId;
 
     /// A mock fleet with scalar demand accounting: each candidate costs
     /// `remaining_steps` GPU-seconds everywhere, and cluster `i` is
@@ -262,6 +263,7 @@ pub(crate) mod tests {
     ) -> MigrationCandidate {
         MigrationCandidate {
             spec: RequestSpec {
+                tenant: TenantId::UNTAGGED,
                 id: RequestId(id),
                 resolution: Resolution::R1024,
                 arrival: SimTime::ZERO,

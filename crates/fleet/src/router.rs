@@ -218,10 +218,11 @@ mod tests {
     use super::*;
     use tetriserve_costmodel::Resolution;
     use tetriserve_simulator::time::SimTime;
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn spec() -> RequestSpec {
         RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(0),
             resolution: Resolution::R1024,
             arrival: SimTime::ZERO,

@@ -111,7 +111,8 @@ impl<'a> WorkspaceGraph<'a> {
             let deterministic_root = (f.name == "schedule" && in_trait("Policy"))
                 || (f.name == "route" && in_trait("Router"))
                 || (f.name == "plan" && in_trait("Rebalancer"))
-                || (f.name == "coordinate" && f.owner.is_none() && basename == "admission.rs");
+                || (f.name == "coordinate" && f.owner.is_none() && basename == "admission.rs")
+                || (f.name == "next_spec" && in_trait("ArrivalSource"));
             if deterministic_root {
                 ep.determinism.push(n);
             }

@@ -58,6 +58,7 @@ pub(crate) const DECISION_PATHS: &[&str] = &[
     "crates/costmodel/src/",
     "crates/baselines/src/",
     "crates/fleet/src/",
+    "crates/traffic/src/",
 ];
 
 /// Per-round inner-loop modules held to panic discipline.

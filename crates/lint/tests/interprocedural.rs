@@ -138,6 +138,8 @@ fn workspace_graph_covers_every_file_and_all_entry_classes() {
         "crates/fleet/src/router.rs",
         "crates/fleet/src/rebalance.rs",
         "crates/fleet/src/admission.rs",
+        "crates/traffic/src/source.rs",
+        "crates/traffic/src/coupler.rs",
     ] {
         assert!(
             files_with_nodes.contains(must),
@@ -168,6 +170,10 @@ fn workspace_graph_covers_every_file_and_all_entry_classes() {
     assert!(
         det.contains("coordinate"),
         "admission coordinator root missing: {det:?}"
+    );
+    assert!(
+        det.contains("ReplaySource::next_spec") && det.contains("StreamingArrivals::next_spec"),
+        "ArrivalSource::next_spec streaming-pull roots missing: {det:?}"
     );
 
     // Every hot-path basename present in the workspace roots the panic

@@ -118,6 +118,21 @@ impl FleetReport {
         met as f64 / self.makespan().as_secs_f64().max(f64::MIN_POSITIVE)
     }
 
+    /// Per-tenant slices of the fleet run, in ascending tenant-id order.
+    pub fn tenant_summaries(&self) -> Vec<crate::tenancy::TenantSummary> {
+        crate::tenancy::tenant_summaries(&self.all_outcomes(), self.makespan())
+    }
+
+    /// The minimum per-tenant SAR — the fairness floor.
+    pub fn worst_tenant_sar(&self) -> f64 {
+        crate::tenancy::worst_tenant_sar(&self.tenant_summaries())
+    }
+
+    /// Jain's fairness index over the per-tenant SAR vector.
+    pub fn sar_fairness(&self) -> f64 {
+        crate::tenancy::sar_fairness(&self.tenant_summaries())
+    }
+
     /// Total requests that entered the fleet.
     pub fn total_requests(&self) -> usize {
         self.clusters

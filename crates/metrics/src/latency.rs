@@ -162,10 +162,11 @@ mod tests {
     use proptest::prelude::*;
     use tetriserve_costmodel::Resolution;
     use tetriserve_simulator::time::SimTime;
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn outcome(id: u64, latency_s: Option<f64>) -> RequestOutcome {
         RequestOutcome {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R512,
             arrival: SimTime::from_secs_f64(10.0),

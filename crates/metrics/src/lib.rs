@@ -16,6 +16,8 @@
 //!   quality);
 //! * [`fleet`] — multi-cluster aggregation: fleet SAR/goodput, routing
 //!   counts and cross-cluster load imbalance;
+//! * [`tenancy`] — per-tenant SAR/goodput slices plus fleet fairness
+//!   (Jain's index over per-tenant SAR, worst-tenant SAR);
 //! * [`report`] — plain-text tables and ASCII charts used by the benchmark
 //!   harness to print paper-style artefacts.
 //!
@@ -36,6 +38,7 @@ pub mod latency;
 pub mod quality;
 pub mod report;
 pub mod sar;
+pub mod tenancy;
 pub mod timeseries;
 pub mod utilization;
 
@@ -48,5 +51,6 @@ pub use quality::{
 };
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};
+pub use tenancy::{jains_index, sar_fairness, tenant_summaries, worst_tenant_sar, TenantSummary};
 pub use timeseries::{inflight_series, mean_sp_degree_series, windowed_sar};
 pub use utilization::{busy_gpu_series, gpu_utilization, UtilizationReport};

@@ -108,7 +108,7 @@ mod tests {
     use super::*;
     use crate::sar::sar;
     use tetriserve_simulator::time::SimTime;
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn costs() -> CostTable {
         use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
@@ -118,6 +118,7 @@ mod tests {
     fn outcome(id: u64, res: Resolution, met: bool, shed_steps: u32) -> RequestOutcome {
         let total = 50u32;
         RequestOutcome {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::ZERO,

@@ -15,9 +15,10 @@ use tetriserve_costmodel::Resolution;
 /// use tetriserve_core::RequestOutcome;
 /// use tetriserve_costmodel::Resolution;
 /// use tetriserve_simulator::time::SimTime;
-/// use tetriserve_simulator::trace::RequestId;
+/// use tetriserve_simulator::trace::{RequestId, TenantId};
 ///
 /// let outcome = |met: bool| RequestOutcome {
+///     tenant: TenantId::UNTAGGED,
 ///     id: RequestId(0),
 ///     resolution: Resolution::R512,
 ///     arrival: SimTime::ZERO,
@@ -69,10 +70,11 @@ pub fn mean_gpu_seconds(outcomes: &[RequestOutcome]) -> f64 {
 mod tests {
     use super::*;
     use tetriserve_simulator::time::SimTime;
-    use tetriserve_simulator::trace::RequestId;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
 
     fn outcome(id: u64, res: Resolution, met: bool) -> RequestOutcome {
         RequestOutcome {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: res,
             arrival: SimTime::ZERO,

@@ -112,10 +112,11 @@ mod tests {
     use super::*;
     use tetriserve_simulator::gpuset::GpuSet;
     use tetriserve_simulator::time::SimDuration;
-    use tetriserve_simulator::trace::{DispatchId, RequestId};
+    use tetriserve_simulator::trace::{DispatchId, RequestId, TenantId};
 
     fn outcome(id: u64, arrival_s: f64, met: bool) -> RequestOutcome {
         RequestOutcome {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(id),
             resolution: Resolution::R512,
             arrival: SimTime::from_secs_f64(arrival_s),

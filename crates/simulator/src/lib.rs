@@ -73,4 +73,4 @@ pub use engine::{DispatchOutcome, Engine, EngineConfig, StepDispatch, SubmitErro
 pub use gpuset::{GpuId, GpuSet};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
-pub use trace::{DispatchId, RequestId, Trace, TraceEvent};
+pub use trace::{DispatchId, RequestId, TenantId, Trace, TraceEvent};

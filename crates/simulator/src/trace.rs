@@ -19,6 +19,43 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Identifier of the tenant (workload stream) a request belongs to.
+///
+/// Tenancy is *attribution only*: schedulers, routers and rebalancers must
+/// never branch on it (the lint's determinism pass polices this), but the
+/// metrics layer groups outcomes by tenant to report per-tenant SLO
+/// attainment and fleet-level fairness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// Sentinel for requests produced before tenancy existed (synthetic
+    /// single-stream workloads, hand-built test specs). Untagged requests
+    /// aggregate into one pseudo-tenant in per-tenant reports.
+    pub const UNTAGGED: TenantId = TenantId(u32::MAX);
+
+    /// Whether this id is the [`TenantId::UNTAGGED`] sentinel.
+    pub fn is_untagged(self) -> bool {
+        self == TenantId::UNTAGGED
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::UNTAGGED
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_untagged() {
+            write!(f, "tenant?")
+        } else {
+            write!(f, "tenant{}", self.0)
+        }
+    }
+}
+
 /// Identifier of one engine dispatch (a contiguous run of steps on a fixed
 /// GPU set, possibly batched over several requests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

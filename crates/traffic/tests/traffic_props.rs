@@ -1,0 +1,85 @@
+//! Property tests for the traffic frontend's statistical contracts.
+//!
+//! The burst coupler's calm-factor construction promises that warping a
+//! tenant's arrivals through the shared modulating timeline changes the
+//! *shape* of the stream (correlated surges) but not its long-run mean
+//! rate; and the online merged stream must stay a bit-identical prefix
+//! of the offline generate-then-merge path for arbitrary tenant layouts.
+
+use proptest::prelude::*;
+
+use tetriserve_simulator::rng::SimRng;
+use tetriserve_traffic::coupler::{CoupledProcess, CouplingSpec};
+use tetriserve_traffic::tenant::{ArrivalShape, TenantSpec};
+use tetriserve_traffic::{BurstCoupler, TrafficModel};
+use tetriserve_workload::arrival::{ArrivalProcess, PoissonProcess};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary (tame) coupling profiles and tenant rates, the
+    /// coupled process keeps the base long-run mean rate: the calm
+    /// factor is chosen so the modulating multiplier has unit mean, so
+    /// over many bursts the warped clock tracks the base clock.
+    #[test]
+    fn coupler_preserves_long_run_mean_rate(
+        rate_per_min in 4.0f64..30.0,
+        // Keep burst_factor · burst_fraction < 1 so some calm traffic
+        // remains (the spec's validity constraint).
+        burst_factor in 1.5f64..3.5,
+        burst_fraction in 0.05f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let spec = CouplingSpec {
+            burst_factor,
+            burst_time_fraction: burst_fraction,
+            mean_burst_secs: 20.0,
+            seed,
+        };
+        let coupler = BurstCoupler::new(spec);
+        let mut p = CoupledProcess::new(PoissonProcess::new(rate_per_min), coupler);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xabcd);
+        let n = 40_000usize;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean_gap = total / n as f64;
+        let expected = 60.0 / rate_per_min;
+        // Burst sojourns induce heavy correlation, so the tolerance is
+        // loose; a broken calm factor is off by the burst factor itself.
+        prop_assert!(
+            (mean_gap - expected).abs() / expected < 0.15,
+            "mean gap {mean_gap} vs expected {expected}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Online lazy merge == offline generate-then-merge, for arbitrary
+    /// tenant counts, rates, seeds and coupling opt-ins.
+    #[test]
+    fn online_is_always_a_prefix_of_offline(
+        layout in proptest::collection::vec((4.0f64..20.0, 0u64..500, any::<bool>()), 1..5),
+        total in 1usize..120,
+    ) {
+        let tenants: Vec<TenantSpec> = layout
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, seed, coupled))| {
+                let spec = TenantSpec::new(&format!("t{i}"), rate, seed)
+                    .with_shape(ArrivalShape::Poisson { rate_per_min: rate });
+                if coupled { spec.coupled() } else { spec }
+            })
+            .collect();
+        let model = TrafficModel::new(tenants).with_coupling(CouplingSpec::standard(7));
+        let online: Vec<_> = model.online(total).collect();
+        let offline = model.offline(total);
+        prop_assert_eq!(online.len(), total);
+        for (a, b) in online.iter().zip(offline.iter()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.tenant, b.tenant);
+            prop_assert_eq!(a.arrival_s.to_bits(), b.arrival_s.to_bits());
+            prop_assert_eq!(a.deadline_s.to_bits(), b.deadline_s.to_bits());
+        }
+    }
+}

@@ -16,6 +16,36 @@ pub trait ArrivalProcess {
 
     /// Long-run mean rate in requests/minute (for reports).
     fn mean_rate_per_min(&self) -> f64;
+
+    /// [`ArrivalProcess::next_gap`] with the stream invariant enforced:
+    /// the gap must be finite and non-negative. A NaN gap from a buggy
+    /// process (or a trace replay gone wrong) would otherwise corrupt the
+    /// multiplex merge silently — `total_cmp` gives NaN a *position* in
+    /// the order, so the merged stream would pass its own sortedness
+    /// check while carrying a poisoned arrival time. Generators call this
+    /// instead of `next_gap` so the failure is loud and at the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying process yields NaN, ±∞ or a negative gap.
+    fn checked_gap(&mut self, rng: &mut SimRng) -> f64 {
+        let gap = self.next_gap(rng);
+        assert!(
+            gap.is_finite() && gap >= 0.0,
+            "arrival process yielded an invalid inter-arrival gap: {gap}"
+        );
+        gap
+    }
+}
+
+impl<P: ArrivalProcess + ?Sized> ArrivalProcess for Box<P> {
+    fn next_gap(&mut self, rng: &mut SimRng) -> f64 {
+        (**self).next_gap(rng)
+    }
+
+    fn mean_rate_per_min(&self) -> f64 {
+        (**self).mean_rate_per_min()
+    }
 }
 
 /// Memoryless arrivals at a constant mean rate.
@@ -381,5 +411,72 @@ mod tests {
     #[should_panic(expected = "amplitude")]
     fn diurnal_rejects_full_amplitude() {
         DiurnalProcess::new(12.0, 1.0, 600.0);
+    }
+
+    /// A process that emits a fixed (possibly pathological) gap sequence.
+    struct CannedGaps {
+        gaps: Vec<f64>,
+        at: usize,
+    }
+
+    impl ArrivalProcess for CannedGaps {
+        fn next_gap(&mut self, _rng: &mut SimRng) -> f64 {
+            let g = self.gaps[self.at];
+            self.at += 1;
+            g
+        }
+
+        fn mean_rate_per_min(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn checked_gap_passes_finite_gaps_through() {
+        let mut p = CannedGaps {
+            gaps: vec![0.0, 1.5],
+            at: 0,
+        };
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(p.checked_gap(&mut rng), 0.0);
+        assert_eq!(p.checked_gap(&mut rng), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid inter-arrival gap")]
+    fn checked_gap_rejects_nan() {
+        let mut p = CannedGaps {
+            gaps: vec![f64::NAN],
+            at: 0,
+        };
+        p.checked_gap(&mut SimRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid inter-arrival gap")]
+    fn checked_gap_rejects_negative() {
+        let mut p = CannedGaps {
+            gaps: vec![-0.5],
+            at: 0,
+        };
+        p.checked_gap(&mut SimRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid inter-arrival gap")]
+    fn checked_gap_rejects_infinity() {
+        let mut p = CannedGaps {
+            gaps: vec![f64::INFINITY],
+            at: 0,
+        };
+        p.checked_gap(&mut SimRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn boxed_process_forwards_trait_calls() {
+        let mut boxed: Box<dyn ArrivalProcess> = Box::new(UniformProcess::new(6.0));
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(boxed.next_gap(&mut rng), 10.0);
+        assert_eq!(boxed.mean_rate_per_min(), 6.0);
     }
 }

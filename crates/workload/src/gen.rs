@@ -6,6 +6,7 @@
 
 use tetriserve_costmodel::Resolution;
 use tetriserve_simulator::rng::SimRng;
+use tetriserve_simulator::trace::TenantId;
 
 use crate::arrival::ArrivalProcess;
 use crate::mix::ResolutionMix;
@@ -18,6 +19,10 @@ use crate::slo::SloPolicy;
 pub struct GeneratedRequest {
     /// Sequential id in arrival order.
     pub id: u64,
+    /// Originating tenant. Single-stream generators emit
+    /// [`TenantId::UNTAGGED`]; the multiplex merge (and the live
+    /// `TrafficSource`) stamp the stream index here.
+    pub tenant: TenantId,
     /// Arrival time in seconds from experiment start.
     pub arrival_s: f64,
     /// Output resolution.
@@ -44,6 +49,12 @@ pub struct TraceRecord {
 }
 
 /// Generates request traces.
+///
+/// The generator is a *stateful stream*: [`TraceGen::next_request`] emits
+/// one request and advances the internal clock, and
+/// [`TraceGen::generate`] is just `n` pulls collected into a `Vec` — so an
+/// online consumer pulling requests one at a time sees the bit-identical
+/// sequence an offline batch generation would have produced.
 #[derive(Debug)]
 pub struct TraceGen<A: ArrivalProcess> {
     arrivals: A,
@@ -51,6 +62,9 @@ pub struct TraceGen<A: ArrivalProcess> {
     slo: SloPolicy,
     prompts: PromptLibrary,
     rng: SimRng,
+    clock_s: f64,
+    next_id: u64,
+    tenant: TenantId,
 }
 
 impl<A: ArrivalProcess> TraceGen<A> {
@@ -69,26 +83,46 @@ impl<A: ArrivalProcess> TraceGen<A> {
             slo,
             prompts,
             rng: SimRng::seed_from_u64(seed),
+            clock_s: 0.0,
+            next_id: 0,
+            tenant: TenantId::UNTAGGED,
         }
     }
 
-    /// Generates `n` requests.
-    pub fn generate(&mut self, n: usize) -> Vec<GeneratedRequest> {
-        let mut out = Vec::with_capacity(n);
-        let mut t = 0.0;
-        for id in 0..n as u64 {
-            t += self.arrivals.next_gap(&mut self.rng);
-            let resolution = self.mix.sample(&mut self.rng);
-            let budget = self.slo.budget(resolution).as_secs_f64();
-            out.push(GeneratedRequest {
-                id,
-                arrival_s: t,
-                resolution,
-                deadline_s: t + budget,
-                prompt: self.prompts.next_prompt(),
-            });
+    /// Tags every emitted request with `tenant` (the multiplex merge
+    /// re-stamps stream indices, but a live per-tenant source wants its
+    /// identity on the request from birth).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Generates the next request and advances the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival process yields a non-finite or negative gap
+    /// (see [`ArrivalProcess::checked_gap`]) — a NaN arrival would
+    /// silently break the multiplex merge's total order downstream.
+    pub fn next_request(&mut self) -> GeneratedRequest {
+        self.clock_s += self.arrivals.checked_gap(&mut self.rng);
+        let resolution = self.mix.sample(&mut self.rng);
+        let budget = self.slo.budget(resolution).as_secs_f64();
+        let id = self.next_id;
+        self.next_id += 1;
+        GeneratedRequest {
+            id,
+            tenant: self.tenant,
+            arrival_s: self.clock_s,
+            resolution,
+            deadline_s: self.clock_s + budget,
+            prompt: self.prompts.next_prompt(),
         }
-        out
+    }
+
+    /// Generates the next `n` requests.
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedRequest> {
+        (0..n).map(|_| self.next_request()).collect()
     }
 
     /// The mean arrival rate, for reports.

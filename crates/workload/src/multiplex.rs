@@ -1,57 +1,123 @@
 //! Multiplexing independent tenant arrival streams into one fleet stream.
 //!
 //! A fleet serves many tenants at once — each with its own arrival
-//! process, resolution mix and SLO policy. [`multiplex`] merges per-tenant
-//! streams into a single globally-ordered stream with fresh sequential
-//! ids, which is what the fleet router consumes: routing decisions are
-//! made per *arrival*, blind to which tenant produced it.
+//! process, resolution mix and SLO policy. [`LazyMerge`] merges per-tenant
+//! streams into a single globally-ordered stream with fresh sequential ids
+//! and the originating stream index stamped as the request's tenant; the
+//! fleet router consumes that stream and makes routing decisions per
+//! *arrival*, blind to which tenant produced it. [`multiplex`] is the
+//! eager form (whole `Vec`s in, one `Vec` out); the live traffic frontend
+//! drives the same merge lazily over generators, so both paths share one
+//! ordering contract: (arrival time, stream index, intra-stream position).
+
+use tetriserve_simulator::trace::TenantId;
 
 use crate::gen::GeneratedRequest;
+
+/// One per-stream cursor inside [`LazyMerge`].
+#[derive(Debug)]
+struct StreamHead<I> {
+    iter: I,
+    /// The stream's next undelivered request, if any.
+    head: Option<GeneratedRequest>,
+    /// Arrival time of the last delivered request (sortedness check).
+    last_arrival: f64,
+}
+
+/// A lazy k-way merge of per-tenant request streams, ordered by
+/// `(arrival time, stream index, intra-stream position)` — the same fully
+/// deterministic key the eager [`multiplex`] has always used. Ids are
+/// re-assigned sequentially in merged order and each request's `tenant` is
+/// stamped with its originating stream index, so tenant attribution
+/// survives the merge.
+///
+/// Laziness is the point: the live traffic frontend wraps unbounded
+/// per-tenant generators and pulls one merged arrival at a time as the
+/// simulation advances, holding only one buffered request per stream.
+#[derive(Debug)]
+pub struct LazyMerge<I: Iterator<Item = GeneratedRequest>> {
+    streams: Vec<StreamHead<I>>,
+    next_id: u64,
+}
+
+/// Builds a [`LazyMerge`] over per-tenant streams; stream `i` becomes
+/// `TenantId(i)` on every request it contributes.
+///
+/// Each stream must yield requests in non-decreasing arrival order; the
+/// merge panics when it observes a violation (lazily, at the offending
+/// pull).
+pub fn merge_streams<I>(streams: Vec<I>) -> LazyMerge<I>
+where
+    I: Iterator<Item = GeneratedRequest>,
+{
+    let streams = streams
+        .into_iter()
+        .map(|mut iter| {
+            let head = iter.next();
+            StreamHead {
+                iter,
+                head,
+                last_arrival: f64::NEG_INFINITY,
+            }
+        })
+        .collect();
+    LazyMerge {
+        streams,
+        next_id: 0,
+    }
+}
+
+impl<I: Iterator<Item = GeneratedRequest>> Iterator for LazyMerge<I> {
+    type Item = GeneratedRequest;
+
+    fn next(&mut self) -> Option<GeneratedRequest> {
+        // Argmin over the stream heads by (arrival, stream index). The
+        // intra-stream position tie-break is implicit: a stream only ever
+        // exposes its earliest undelivered request, so equal-time requests
+        // from one stream leave in generation order.
+        let winner = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.head.as_ref().map(|r| (i, r.arrival_s)))
+            .min_by(|(ai, at), (bi, bt)| at.total_cmp(bt).then(ai.cmp(bi)))
+            .map(|(i, _)| i)?;
+        let slot = &mut self.streams[winner];
+        let mut req = slot.head.take().expect("winner has a head");
+        slot.head = slot.iter.next();
+        // NaN fails every `>=`, so a poisoned arrival trips this too.
+        assert!(
+            req.arrival_s >= slot.last_arrival,
+            "tenant stream {winner} is not sorted by arrival time \
+             ({} after {})",
+            req.arrival_s,
+            slot.last_arrival
+        );
+        slot.last_arrival = req.arrival_s;
+        req.id = self.next_id;
+        self.next_id += 1;
+        req.tenant = TenantId(u32::try_from(winner).expect("stream count fits u32"));
+        Some(req)
+    }
+}
 
 /// Merges per-tenant request streams into one stream ordered by arrival
 /// time (ties break by stream index, then by position within the stream —
 /// fully deterministic). Ids are re-assigned sequentially in the merged
-/// order, so the output is indistinguishable from a single generated
-/// trace.
+/// order and each request's `tenant` records its originating stream
+/// index, so the output is indistinguishable from a single generated
+/// trace except that tenant attribution is preserved.
 ///
 /// Each input stream must already be sorted by arrival time, which is what
-/// [`crate::gen::TraceGen::generate`] produces.
+/// [`crate::gen::TraceGen::generate`] produces. This is the eager shell
+/// around [`merge_streams`] — the one merge contract both the offline
+/// pipeline and the live traffic frontend share.
 ///
 /// # Panics
 ///
 /// Panics if a stream is not sorted by arrival time.
 pub fn multiplex(streams: Vec<Vec<GeneratedRequest>>) -> Vec<GeneratedRequest> {
-    for (i, s) in streams.iter().enumerate() {
-        assert!(
-            s.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-            "tenant stream {i} is not sorted by arrival time"
-        );
-    }
-    let mut tagged: Vec<(usize, usize, GeneratedRequest)> = streams
-        .into_iter()
-        .enumerate()
-        .flat_map(|(tenant, s)| {
-            s.into_iter()
-                .enumerate()
-                .map(move |(pos, r)| (tenant, pos, r))
-        })
-        .collect();
-    // Stable key: arrival first (total order over the floats — generated
-    // arrivals are finite), then tenant, then intra-stream position.
-    tagged.sort_by(|a, b| {
-        a.2.arrival_s
-            .total_cmp(&b.2.arrival_s)
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
-    tagged
-        .into_iter()
-        .enumerate()
-        .map(|(id, (_, _, mut r))| {
-            r.id = id as u64;
-            r
-        })
-        .collect()
+    merge_streams(streams.into_iter().map(Vec::into_iter).collect()).collect()
 }
 
 #[cfg(test)]
@@ -67,6 +133,7 @@ mod tests {
     fn req(arrival_s: f64, res: Resolution) -> GeneratedRequest {
         GeneratedRequest {
             id: 0,
+            tenant: TenantId::UNTAGGED,
             arrival_s,
             resolution: res,
             deadline_s: arrival_s + 5.0,
@@ -142,5 +209,45 @@ mod tests {
             req(2.0, Resolution::R256),
             req(1.0, Resolution::R256),
         ]]);
+    }
+
+    #[test]
+    fn merge_preserves_tenant_attribution() {
+        let a = vec![req(0.1, Resolution::R256), req(2.0, Resolution::R512)];
+        let b = vec![req(0.5, Resolution::R1024)];
+        let merged = multiplex(vec![a, b]);
+        let tenants: Vec<u32> = merged.iter().map(|r| r.tenant.0).collect();
+        assert_eq!(tenants, vec![0, 1, 0]);
+        assert!(merged.iter().all(|r| !r.tenant.is_untagged()));
+    }
+
+    #[test]
+    fn lazy_merge_matches_eager_multiplex() {
+        let mk = |seed: u64, rate: f64, n: usize| {
+            TraceGen::new(
+                PoissonProcess::new(rate),
+                ResolutionMix::uniform(),
+                SloPolicy::paper_targets(),
+                PromptLibrary::diffusiondb_like(seed),
+                seed,
+            )
+            .generate(n)
+        };
+        let streams = || vec![mk(10, 12.0, 30), mk(11, 8.0, 20), mk(12, 18.0, 45)];
+        let eager = multiplex(streams());
+        let lazy: Vec<GeneratedRequest> =
+            merge_streams(streams().into_iter().map(Vec::into_iter).collect()).collect();
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn lazy_merge_buffers_one_request_per_stream() {
+        // An infinite (cycling) stream would hang an eager merge; the lazy
+        // merge pulls exactly as many requests as the consumer asks for.
+        let unbounded = (0..).map(|i| req(i as f64, Resolution::R256));
+        let first3: Vec<GeneratedRequest> = merge_streams(vec![unbounded]).take(3).collect();
+        assert_eq!(first3.len(), 3);
+        assert_eq!(first3[2].arrival_s, 2.0);
+        assert!(first3.iter().all(|r| r.tenant == TenantId(0)));
     }
 }

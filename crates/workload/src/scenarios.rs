@@ -6,6 +6,7 @@
 //! them.
 
 use tetriserve_costmodel::Resolution;
+use tetriserve_simulator::trace::TenantId;
 
 use crate::arrival::{BurstyProcess, PoissonProcess};
 use crate::gen::{GeneratedRequest, TraceGen};
@@ -76,6 +77,7 @@ pub fn deadline_cliff(
             let arrival_s = rng.uniform() * window_s;
             GeneratedRequest {
                 id,
+                tenant: TenantId::UNTAGGED,
                 arrival_s,
                 resolution: res,
                 deadline_s: deadline,
@@ -97,6 +99,7 @@ pub fn elephants_and_mice(pairs: usize, seed: u64) -> Vec<GeneratedRequest> {
         let mut push = |arrival_s: f64, res: Resolution| {
             out.push(GeneratedRequest {
                 id,
+                tenant: TenantId::UNTAGGED,
                 arrival_s,
                 resolution: res,
                 deadline_s: arrival_s + slo.budget(res).as_secs_f64(),

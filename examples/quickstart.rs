@@ -6,7 +6,7 @@
 use tetriserve_core::{RequestSpec, Server, TetriServePolicy};
 use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
 use tetriserve_simulator::time::SimTime;
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 
 fn main() {
     // 1. Profile the cost model offline (§4.2.1 of the paper): per-step
@@ -29,6 +29,7 @@ fn main() {
     //    degree adaptation meets all three).
     let scale = 1.3;
     let request = |id: u64, res: Resolution, arrival: f64, slo: f64| RequestSpec {
+        tenant: TenantId::UNTAGGED,
         id: RequestId(id),
         resolution: res,
         arrival: SimTime::from_secs_f64(arrival),

@@ -15,6 +15,8 @@
 //! * [`metrics`] — SAR, latency CDFs and time series;
 //! * [`fleet`] — deterministic multi-cluster co-simulation with
 //!   cross-cluster routing;
+//! * [`traffic`] — the open-loop multi-tenant traffic frontend: live
+//!   arrival streams, tenant SLO classes, correlated burst coupling;
 //! * [`nirvana`] — approximate-caching acceleration;
 //! * [`exact`] — exhaustive / ILP exact schedulers (complexity results);
 //! * `bench` — the experiment harness regenerating the paper's artefacts.
@@ -44,4 +46,5 @@ pub use tetriserve_fleet as fleet;
 pub use tetriserve_metrics as metrics;
 pub use tetriserve_nirvana as nirvana;
 pub use tetriserve_simulator as simulator;
+pub use tetriserve_traffic as traffic;
 pub use tetriserve_workload as workload;

@@ -10,7 +10,7 @@ use tetriserve::simulator::failure::{FailurePlan, GpuFault, Straggler};
 use tetriserve::simulator::gpuset::GpuId;
 use tetriserve::simulator::time::SimTime;
 use tetriserve::workload::{PoissonProcess, PromptLibrary, ResolutionMix, SloPolicy, TraceGen};
-use tetriserve_simulator::trace::RequestId;
+use tetriserve_simulator::trace::{RequestId, TenantId};
 
 fn costs() -> CostTable {
     Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -27,6 +27,7 @@ fn workload(n: usize, slo_scale: f64) -> Vec<RequestSpec> {
     gen.generate(n)
         .into_iter()
         .map(|r| RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(r.id),
             resolution: r.resolution,
             arrival: SimTime::from_secs_f64(r.arrival_s),

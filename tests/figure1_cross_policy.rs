@@ -6,7 +6,7 @@ use tetriserve::baselines::{FixedSpPolicy, RsspPolicy};
 use tetriserve::core::{Policy, RequestSpec, ServeReport, Server, TetriServePolicy};
 use tetriserve::costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
 use tetriserve::simulator::time::SimTime;
-use tetriserve::simulator::trace::RequestId;
+use tetriserve::simulator::trace::{RequestId, TenantId};
 use tetriserve::workload::SloPolicy;
 
 fn costs() -> CostTable {
@@ -16,6 +16,7 @@ fn costs() -> CostTable {
 /// The Figure-1 toy workload at SLO scale 1.3×.
 fn workload() -> Vec<RequestSpec> {
     let mk = |id: u64, res: Resolution, arrival: f64, slo: f64| RequestSpec {
+        tenant: TenantId::UNTAGGED,
         id: RequestId(id),
         resolution: res,
         arrival: SimTime::from_secs_f64(arrival),

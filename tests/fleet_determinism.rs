@@ -15,7 +15,7 @@ use tetriserve::fleet::{
 };
 use tetriserve::simulator::failure::ClusterOutage;
 use tetriserve::simulator::time::SimTime;
-use tetriserve::simulator::trace::RequestId;
+use tetriserve::simulator::trace::{RequestId, TenantId};
 
 fn h100_cluster(name: &str) -> FleetCluster {
     let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
@@ -26,6 +26,7 @@ fn h100_cluster(name: &str) -> FleetCluster {
 
 fn spec(id: u64, arrival_s: f64, slo_s: f64) -> RequestSpec {
     RequestSpec {
+        tenant: TenantId::UNTAGGED,
         id: RequestId(id),
         resolution: Resolution::R1024,
         arrival: SimTime::from_secs_f64(arrival_s),

@@ -14,7 +14,7 @@ use tetriserve::fleet::{
 use tetriserve::metrics::FleetReport;
 use tetriserve::simulator::failure::ClusterOutage;
 use tetriserve::simulator::time::{SimDuration, SimTime};
-use tetriserve::simulator::trace::RequestId;
+use tetriserve::simulator::trace::{RequestId, TenantId};
 
 fn h100_cluster(name: &str) -> FleetCluster {
     let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
@@ -25,6 +25,7 @@ fn h100_cluster(name: &str) -> FleetCluster {
 
 fn spec(id: u64, arrival_s: f64, slo_s: f64) -> RequestSpec {
     RequestSpec {
+        tenant: TenantId::UNTAGGED,
         id: RequestId(id),
         resolution: Resolution::R1024,
         arrival: SimTime::from_secs_f64(arrival_s),
@@ -251,6 +252,7 @@ fn conservation_strategy() -> impl Strategy<Value = (Vec<RequestSpec>, u64, u64)
                 .into_iter()
                 .enumerate()
                 .map(|(i, (arrival_ms, budget_ms))| RequestSpec {
+                    tenant: TenantId::UNTAGGED,
                     id: RequestId(i as u64),
                     resolution: Resolution::R1024,
                     arrival: SimTime::from_millis(arrival_ms),

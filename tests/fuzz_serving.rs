@@ -11,7 +11,7 @@ use tetriserve::core::audit::audit;
 use tetriserve::core::{Policy, RequestSpec, ServeReport, Server, TetriServePolicy};
 use tetriserve::costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
 use tetriserve::simulator::time::SimTime;
-use tetriserve::simulator::trace::RequestId;
+use tetriserve::simulator::trace::{RequestId, TenantId};
 use tetriserve::workload::SloPolicy;
 
 fn costs() -> CostTable {
@@ -27,6 +27,7 @@ fn workload_strategy() -> impl Strategy<Value = Vec<RequestSpec>> {
             raw.into_iter()
                 .enumerate()
                 .map(|(i, (arrival_ms, res_idx, budget_ms, steps))| RequestSpec {
+                    tenant: TenantId::UNTAGGED,
                     id: RequestId(i as u64),
                     resolution: Resolution::PRODUCTION[res_idx],
                     arrival: SimTime::from_millis(arrival_ms),

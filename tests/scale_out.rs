@@ -5,7 +5,7 @@
 use tetriserve::core::{RequestSpec, Server, TetriServePolicy};
 use tetriserve::costmodel::{ClusterSpec, DitModel, GpuKind, Profiler, Resolution};
 use tetriserve::simulator::time::SimTime;
-use tetriserve::simulator::trace::RequestId;
+use tetriserve::simulator::trace::{RequestId, TenantId};
 
 fn h100x16() -> ClusterSpec {
     ClusterSpec {
@@ -38,6 +38,7 @@ fn tetriserve_serves_on_sixteen_gpus() {
     let config = tetriserve::core::TetriServeConfig::default().granularity(10);
     let policy = TetriServePolicy::new(config, &costs);
     let mk = |id: u64, res, arrival: f64, slo: f64| RequestSpec {
+        tenant: TenantId::UNTAGGED,
         id: RequestId(id),
         resolution: res,
         arrival: SimTime::from_secs_f64(arrival),
@@ -62,6 +63,7 @@ fn audit_passes_on_the_wide_node() {
     let policy = TetriServePolicy::new(config, &costs);
     let specs: Vec<RequestSpec> = (0..12)
         .map(|i| RequestSpec {
+            tenant: TenantId::UNTAGGED,
             id: RequestId(i),
             resolution: Resolution::PRODUCTION[(i % 4) as usize],
             arrival: SimTime::from_secs_f64(i as f64 * 0.4),
