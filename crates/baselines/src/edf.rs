@@ -125,6 +125,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(arrival),
             deadline: SimTime::from_secs_f64(arrival + slo),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 

@@ -107,6 +107,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(arrival_s),
             deadline: SimTime::from_secs_f64(arrival_s + slo_s),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 

@@ -185,6 +185,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(id as f64 * 40.0), // well spaced
             deadline: SimTime::from_secs_f64(id as f64 * 40.0 + slo),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         })
         .collect();
         let report = Server::new(c, p).run(specs);
@@ -205,6 +206,7 @@ mod tests {
             arrival: SimTime::ZERO,
             deadline: SimTime::from_secs_f64(slo),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         };
         let report = Server::new(c, p).run(vec![mk(0, 5.0), mk(1, 5.0)]);
         let met = report.outcomes.iter().filter(|o| o.met_slo()).count();

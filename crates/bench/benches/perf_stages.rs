@@ -1,0 +1,78 @@
+//! Stage-pipeline harness — produces `BENCH_stages.json` at the
+//! repository root (schema `tetriserve-bench-stages/v1`, documented in
+//! DESIGN.md): the 8×H100 node serving a mixed video + image workload
+//! — two video tenants whose requests denoise and decode `frames`
+//! small-resolution frames behind a conditioning-encode stage, plus a
+//! flat image tenant — under the unified pool layout (every stage on
+//! the shared GPU set, fused serial tail decode) and the disaggregated
+//! layout (dedicated encode/decode pools, denoise gangs released at the
+//! last step).
+//!
+//! Run modes:
+//!
+//! * `cargo bench --bench perf_stages` — full run (3 × 120 requests);
+//! * `... -- --smoke` (or env `PERF_SMOKE=1`) — the CI-sized smoke run.
+//!
+//! The process exits non-zero if the disaggregated layout fails to
+//! strictly beat unified on SAR under the encode/decode-heavy mix, or
+//! if two in-process runs disagree on any digest or metric — the stage
+//! pipeline's headline and determinism claims.
+
+use std::path::PathBuf;
+
+use tetriserve_bench::stages::{run_stages_perf, StagesPerfConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PERF_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let (config, mode) = if smoke {
+        (StagesPerfConfig::smoke(), "smoke")
+    } else {
+        (StagesPerfConfig::full(), "full")
+    };
+
+    let report = run_stages_perf(&config, mode);
+
+    println!(
+        "stage pipeline harness ({mode}, seed {:#x}): {} requests, {} frames per video clip",
+        report.seed, report.requests, report.frames
+    );
+    for r in &report.layouts {
+        println!(
+            "{:>14}: sar {:.4}, completed {}, stage means e/d/v {:.3}/{:.3}/{:.3} s, \
+             pool util enc {:.3} dec {:.3}",
+            r.layout,
+            r.sar,
+            r.completed,
+            r.encode_s,
+            r.denoise_s,
+            r.decode_s,
+            r.encode_util,
+            r.decode_util
+        );
+    }
+
+    // Repo root: crates/bench/ -> crates/ -> root.
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_stages.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_stages.json");
+    println!("wrote {}", out.display());
+
+    if report.disaggregated().sar <= report.unified().sar {
+        eprintln!(
+            "FAIL: disaggregated sar {} does not beat unified {}",
+            report.disaggregated().sar,
+            report.unified().sar
+        );
+        std::process::exit(1);
+    }
+
+    let again = run_stages_perf(&config, mode);
+    if report != again {
+        eprintln!("FAIL: stage harness disagrees with itself — digests or metrics drifted");
+        std::process::exit(1);
+    }
+}

@@ -375,6 +375,7 @@ fn run_gate(costs: &CostTable, debt_budget: u64) -> GateResult {
             arrival: SimTime::ZERO,
             deadline: SimTime::from_secs_f64(15.0),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         })
         .collect();
     let mut plan = FailurePlan::none();

@@ -187,6 +187,7 @@ impl Experiment {
                 arrival: SimTime::from_secs_f64(r.arrival_s),
                 deadline: SimTime::from_secs_f64(r.deadline_s),
                 total_steps,
+                stages: r.stages,
             })
             .collect()
     }
@@ -239,6 +240,7 @@ impl Experiment {
                 arrival: SimTime::from_secs_f64(r.arrival_s),
                 deadline: SimTime::from_secs_f64(r.deadline_s),
                 total_steps,
+                stages: tetriserve_costmodel::StageProfile::FLAT,
             })
             .collect()
     }

@@ -204,6 +204,7 @@ pub fn fleet_workload(config: &FleetPerfConfig) -> Vec<RequestSpec> {
             arrival: SimTime::from_secs_f64(r.arrival_s),
             deadline: SimTime::from_secs_f64(r.deadline_s),
             total_steps: steps,
+            stages: r.stages,
         })
         .collect()
 }

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod fleet;
 pub mod perf;
 pub mod sim;
+pub mod stages;
 pub mod traffic;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
@@ -25,3 +26,4 @@ pub use experiment::{ArrivalKind, Experiment, PolicyKind, SLO_SCALES};
 pub use fleet::{run_fleet_perf, FleetPerfConfig, FleetPerfReport};
 pub use perf::{run_perf, PerfConfig, PerfReport};
 pub use sim::{run_sim_perf, SimPerfConfig, SimPerfReport};
+pub use stages::{run_stages_perf, StagesPerfConfig, StagesPerfReport};

@@ -153,6 +153,7 @@ pub fn synthetic_workload(config: &SimPerfConfig) -> Vec<RequestSpec> {
             arrival,
             deadline: arrival + slo.budget(res),
             total_steps: steps,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         });
     }
     out

@@ -1,0 +1,329 @@
+//! Stage-pipeline harness (`BENCH_stages.json`): unified vs
+//! disaggregated pool layouts on a mixed video + image workload.
+//!
+//! The video-DiT workload family multiplies denoise *and* decode cost by
+//! the frame count and pays a conditioning-encode stage up front. Under
+//! the unified layout every stage shares the GPU set and finished
+//! requests serialise through the engine's single fused VAE decoder —
+//! with multi-frame decodes that serial tail becomes the bottleneck:
+//! each finishing gang is held through its own decode *and* the queue of
+//! everyone else's. The disaggregated layout carves dedicated
+//! encode/decode pools out of the cluster: denoise gangs are released
+//! the instant their last step completes and frame-scaled decodes drain
+//! in parallel across the decode slots.
+//!
+//! The artefact compares the two layouts on the identical request
+//! stream. CI fails unless disaggregated strictly beats unified on SAR,
+//! and unless two in-process runs agree bit-for-bit on every digest.
+
+use tetriserve_core::{
+    PoolLayout, RequestSpec, Server, ServerConfig, TetriServeConfig, TetriServePolicy,
+};
+use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler};
+use tetriserve_metrics::{pool_utilization, stage_latency_breakdown, stage_slo_share};
+use tetriserve_simulator::digest::{fnv1a, FNV_OFFSET};
+use tetriserve_traffic::{to_spec, PriorityTier, TenantSpec, TrafficModel};
+use tetriserve_workload::mix::ResolutionMix;
+use tetriserve_workload::slo::SloPolicy;
+
+use tetriserve_core::ServeReport;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct StagesPerfConfig {
+    /// Seed for the tenant sub-seeds.
+    pub seed: u64,
+    /// Requests generated per tenant (three tenants).
+    pub per_tenant: usize,
+    /// Frames per video request (denoise and decode cost multiplier).
+    pub frames: u32,
+    /// Denoising steps every request runs.
+    pub steps: u32,
+    /// SLO scale for the image tenant; video tenants get `frames`× this.
+    pub slo_scale: f64,
+}
+
+impl StagesPerfConfig {
+    /// The full measurement: 3 × 120 requests.
+    pub fn full() -> StagesPerfConfig {
+        StagesPerfConfig {
+            seed: 0x57a9e5,
+            per_tenant: 120,
+            frames: 12,
+            steps: 20,
+            slo_scale: 0.85,
+        }
+    }
+
+    /// CI-sized smoke run: same shape, 3 × 40 requests.
+    pub fn smoke() -> StagesPerfConfig {
+        StagesPerfConfig {
+            per_tenant: 40,
+            ..StagesPerfConfig::full()
+        }
+    }
+}
+
+/// The encode/decode-heavy mix: two video tenants (small frames, many of
+/// them) and one flat image tenant sharing the node.
+pub fn stages_model(config: &StagesPerfConfig) -> TrafficModel {
+    // Scales are baked into the *base targets* (not SloPolicy::scaled)
+    // because the tier multiplier in `effective_slo` replaces the policy
+    // scale — Interactive would silently reset it to 1.0.
+    let targets = |scale: f64| {
+        SloPolicy::from_targets([
+            (tetriserve_costmodel::Resolution::R256, 1.5 * scale),
+            (tetriserve_costmodel::Resolution::R512, 2.0 * scale),
+            (tetriserve_costmodel::Resolution::R1024, 3.0 * scale),
+            (tetriserve_costmodel::Resolution::R2048, 5.0 * scale),
+        ])
+    };
+    let base = targets(config.slo_scale);
+    // Video budgets scale with the frame count — the per-frame SLO is the
+    // image SLO, which keeps the *slack structure* identical while the
+    // absolute work grows frames×.
+    let video_slo = targets(config.slo_scale * f64::from(config.frames));
+    // Clips are small-resolution: the frame axis supplies the volume.
+    let clip_mix = || {
+        ResolutionMix::weighted(
+            "Clip",
+            [
+                (tetriserve_costmodel::Resolution::R256, 1.0),
+                (tetriserve_costmodel::Resolution::R512, 1.0),
+            ],
+        )
+    };
+    TrafficModel::new(vec![
+        TenantSpec::new("video-a", 8.0, config.seed ^ 1)
+            .with_mix(clip_mix())
+            .with_slo(video_slo.clone())
+            .with_tier(PriorityTier::Interactive)
+            .video(config.frames),
+        TenantSpec::new("video-b", 8.0, config.seed ^ 2)
+            .with_mix(clip_mix())
+            .with_slo(video_slo)
+            .with_tier(PriorityTier::Interactive)
+            .video(config.frames),
+        TenantSpec::new("image", 8.0, config.seed ^ 3)
+            .with_mix(clip_mix())
+            .with_slo(base)
+            .with_tier(PriorityTier::Interactive),
+    ])
+}
+
+/// The request stream both layouts serve, in arrival order.
+pub fn stages_workload(config: &StagesPerfConfig) -> Vec<RequestSpec> {
+    stages_model(config)
+        .offline(config.per_tenant)
+        .iter()
+        .map(|r| to_spec(r, config.steps))
+        .collect()
+}
+
+/// One layout's results on the shared workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLayoutResult {
+    /// Layout display name (`"unified"` / `"disaggregated"`).
+    pub layout: String,
+    /// SLO attainment over the whole mix.
+    pub sar: f64,
+    /// Completed requests.
+    pub completed: usize,
+    /// Mean seconds per stage over completed requests.
+    pub encode_s: f64,
+    /// Mean denoise seconds (queueing included).
+    pub denoise_s: f64,
+    /// Mean decode seconds.
+    pub decode_s: f64,
+    /// Mean share of the SLO budget spent per stage.
+    pub slo_share: (f64, f64, f64),
+    /// Encode-pool busy fraction over the makespan.
+    pub encode_util: f64,
+    /// Decode-pool busy fraction (0 under unified: decodes run fused).
+    pub decode_util: f64,
+    /// FNV-1a digest over (id, completion, steps, stage timestamps).
+    pub outcome_digest: u64,
+}
+
+/// The full harness output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagesPerfReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Total requests in the stream.
+    pub requests: usize,
+    /// Frames per video request.
+    pub frames: u32,
+    /// Unified then disaggregated, always in that order.
+    pub layouts: Vec<StageLayoutResult>,
+}
+
+impl StagesPerfReport {
+    /// The unified-layout result.
+    pub fn unified(&self) -> &StageLayoutResult {
+        &self.layouts[0]
+    }
+
+    /// The disaggregated-layout result.
+    pub fn disaggregated(&self) -> &StageLayoutResult {
+        &self.layouts[1]
+    }
+}
+
+fn layout_label(layout: PoolLayout) -> &'static str {
+    match layout {
+        PoolLayout::Unified => "unified",
+        PoolLayout::Disaggregated { .. } => "disaggregated",
+    }
+}
+
+/// Digests a run's outcomes including the per-stage timestamps, so a
+/// change anywhere in the stage pipeline shows up.
+fn outcome_digest(report: &ServeReport) -> u64 {
+    let mut d = FNV_OFFSET;
+    for o in &report.outcomes {
+        d = fnv1a(d, o.id.0);
+        d = fnv1a(d, o.completion.map_or(u64::MAX, |t| t.as_micros()));
+        d = fnv1a(d, o.encode_done.map_or(u64::MAX, |t| t.as_micros()));
+        d = fnv1a(d, o.denoise_done.map_or(u64::MAX, |t| t.as_micros()));
+        d = fnv1a(d, u64::from(o.steps_executed));
+    }
+    d
+}
+
+/// Serves the shared workload under one pool layout.
+pub fn run_stages_layout(config: &StagesPerfConfig, layout: PoolLayout) -> StageLayoutResult {
+    let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();
+    let policy = TetriServePolicy::new(TetriServeConfig::default(), &costs);
+    let mut server = Server::with_config(costs, policy, ServerConfig::default());
+    server.config_mut().pool = layout;
+    let report = server.run(stages_workload(config));
+    let breakdown = stage_latency_breakdown(&report.outcomes);
+    let (encode_util, decode_util) = pool_utilization(&report);
+    StageLayoutResult {
+        layout: layout_label(layout).to_owned(),
+        sar: report.sar(),
+        completed: breakdown.completed,
+        encode_s: breakdown.encode_s,
+        denoise_s: breakdown.denoise_s,
+        decode_s: breakdown.decode_s,
+        slo_share: stage_slo_share(&report.outcomes),
+        encode_util,
+        decode_util,
+        outcome_digest: outcome_digest(&report),
+    }
+}
+
+/// Runs both layouts over the identical stream.
+pub fn run_stages_perf(config: &StagesPerfConfig, mode: &str) -> StagesPerfReport {
+    let layouts = [PoolLayout::Unified, PoolLayout::disaggregated_default()];
+    StagesPerfReport {
+        seed: config.seed,
+        mode: mode.to_owned(),
+        requests: config.per_tenant * stages_model(config).tenants().len(),
+        frames: config.frames,
+        layouts: layouts
+            .iter()
+            .map(|&l| run_stages_layout(config, l))
+            .collect(),
+    }
+}
+
+fn layout_json(r: &StageLayoutResult) -> String {
+    format!(
+        "{{\"layout\": \"{}\", \"sar\": {:.6}, \"completed\": {}, \
+         \"encode_s\": {:.6}, \"denoise_s\": {:.6}, \"decode_s\": {:.6}, \
+         \"slo_share\": [{:.6}, {:.6}, {:.6}], \
+         \"encode_util\": {:.6}, \"decode_util\": {:.6}, \
+         \"outcome_digest\": \"{:#018x}\"}}",
+        r.layout,
+        r.sar,
+        r.completed,
+        r.encode_s,
+        r.denoise_s,
+        r.decode_s,
+        r.slo_share.0,
+        r.slo_share.1,
+        r.slo_share.2,
+        r.encode_util,
+        r.decode_util,
+        r.outcome_digest,
+    )
+}
+
+impl StagesPerfReport {
+    /// Renders the `BENCH_stages.json` artefact
+    /// (schema `tetriserve-bench-stages/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"tetriserve-bench-stages/v1\",\n");
+        out.push_str(&format!("  \"seed\": \"{:#x}\",\n", self.seed));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"requests\": {},\n", self.requests));
+        out.push_str(&format!("  \"frames\": {},\n", self.frames));
+        out.push_str("  \"layouts\": [\n");
+        for (i, r) in self.layouts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                layout_json(r),
+                if i + 1 == self.layouts.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let config = StagesPerfConfig::smoke();
+        let a = stages_workload(&config);
+        let b = stages_workload(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3 * config.per_tenant);
+        assert!(a.iter().any(|s| s.stages.encode));
+        assert!(a.iter().any(|s| s.stages.is_flat()));
+    }
+
+    #[test]
+    fn disaggregated_strictly_beats_unified_on_sar() {
+        let report = run_stages_perf(&StagesPerfConfig::smoke(), "smoke");
+        assert!(
+            report.disaggregated().sar > report.unified().sar,
+            "disaggregated SAR {} must strictly beat unified {}",
+            report.disaggregated().sar,
+            report.unified().sar
+        );
+    }
+
+    #[test]
+    fn runs_are_digest_stable() {
+        let config = StagesPerfConfig::smoke();
+        let a = run_stages_perf(&config, "smoke");
+        let b = run_stages_perf(&config, "smoke");
+        assert_eq!(a, b, "two in-process runs must be bit-identical");
+    }
+
+    #[test]
+    fn unified_decode_pool_stays_idle() {
+        let report = run_stages_perf(&StagesPerfConfig::smoke(), "smoke");
+        assert_eq!(report.unified().decode_util, 0.0);
+        assert!(report.disaggregated().decode_util > 0.0);
+    }
+
+    #[test]
+    fn json_schema_is_well_formed() {
+        let json = run_stages_perf(&StagesPerfConfig::smoke(), "smoke").to_json();
+        assert!(json.contains("\"schema\": \"tetriserve-bench-stages/v1\""));
+        assert!(json.contains("\"layout\": \"unified\""));
+        assert!(json.contains("\"layout\": \"disaggregated\""));
+        assert!(json.contains("\"outcome_digest\""));
+    }
+}

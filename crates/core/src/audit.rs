@@ -279,6 +279,8 @@ mod tests {
             retries: 0,
             shed: false,
             steps_shed: 0,
+            encode_done: None,
+            denoise_done: None,
         };
         let v = audit(&trace, &[outcome]);
         assert!(

@@ -10,7 +10,7 @@
 //! boolean form ([`edf_feasible`]) to ask "could this cluster still take
 //! one more request" before committing an arrival to it.
 
-use tetriserve_costmodel::{CostTable, Resolution};
+use tetriserve_costmodel::{CostTable, Resolution, StageProfile};
 use tetriserve_simulator::time::SimTime;
 use tetriserve_simulator::trace::RequestId;
 
@@ -42,22 +42,36 @@ pub struct DemandEntry {
 }
 
 /// The cheapest per-step GPU-second cost among parallelism degrees that
-/// can still finish `remaining` steps (plus the VAE decode) inside
-/// `horizon` seconds with jitter headroom. A tight deadline forces a wide
-/// (less GPU-efficient) degree, so this is *not* the global optimum. When
-/// no degree can make it, falls back to the fastest degree; the caller's
-/// negative slack makes such a request the first shedding victim anyway.
+/// can still finish `remaining` steps — frame-scaled, plus the tail
+/// stages of the chain (per-frame VAE decode and, when the profile
+/// carries one, the condition encode) — inside `horizon` seconds with
+/// jitter headroom. A tight deadline forces a wide (less GPU-efficient)
+/// degree, so this is *not* the global optimum. When no degree can make
+/// it, falls back to the fastest degree; the caller's negative slack
+/// makes such a request the first shedding victim anyway.
+///
+/// For [`StageProfile::FLAT`] every stage term is the exact identity
+/// (`frames = 1`, encode = `0.0`), so verdicts are bit-identical to the
+/// pre-stage formula.
 pub fn cheapest_step_demand(
     costs: &CostTable,
     res: Resolution,
+    stages: StageProfile,
     remaining: u32,
     horizon: f64,
 ) -> f64 {
     let remaining_f = f64::from(remaining);
+    let frames_f = stages.frame_factor();
+    let tflops = costs.cluster().gpu.effective_tflops();
     let decode = costs
         .model()
-        .decode_time(res, costs.cluster().gpu.effective_tflops())
+        .decode_time_frames(res, tflops, stages.frames)
         .as_secs_f64();
+    let encode = if stages.encode {
+        costs.model().encode_time(res, tflops).as_secs_f64()
+    } else {
+        0.0
+    };
     let per_step = costs
         .degrees()
         .iter()
@@ -65,7 +79,9 @@ pub fn cheapest_step_demand(
             // Demand is denominated in nominal GPU-seconds; the capacity
             // side of the EDF scan carries the slowdown derating.
             // tetrilint: allow(nominal-step-time) -- demand side is nominal by convention
-            remaining_f * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM + decode
+            remaining_f * costs.step_time(res, k, 1).as_secs_f64() * ROUND_HEADROOM * frames_f
+                + decode
+                + encode
                 <= horizon
         })
         .map(|&k| costs.gpu_seconds(res, k))
@@ -86,23 +102,28 @@ pub fn cheapest_step_demand(
 }
 
 /// Builds the demand entry for one request's remaining work at `now`.
+/// Frame-scaled throughout: a video request demands `frames ×` the
+/// GPU-seconds of its image twin and burns slack `frames ×` faster.
+#[allow(clippy::too_many_arguments)]
 pub fn demand_entry(
     costs: &CostTable,
     id: RequestId,
     res: Resolution,
+    stages: StageProfile,
     remaining: u32,
     deadline: SimTime,
     now: SimTime,
     fresh: bool,
 ) -> DemandEntry {
     let horizon = deadline.saturating_since(now).as_secs_f64();
-    let per_step = cheapest_step_demand(costs, res, remaining, horizon);
+    let per_step = cheapest_step_demand(costs, res, stages, remaining, horizon);
+    let frames_f = stages.frame_factor();
     DemandEntry {
         id,
         deadline,
-        demand: f64::from(remaining) * per_step,
+        demand: f64::from(remaining) * per_step * frames_f,
         // tetrilint: allow(nominal-step-time) -- slack ranks victims; nominal keeps ranking stable
-        slack: horizon - f64::from(remaining) * costs.t_min(res).as_secs_f64(),
+        slack: horizon - f64::from(remaining) * costs.t_min(res).as_secs_f64() * frames_f,
         fresh,
     }
 }
@@ -135,6 +156,7 @@ pub fn fill_live_entries(
             costs,
             r.spec.id,
             r.spec.resolution,
+            r.spec.stages,
             r.remaining_steps,
             r.spec.deadline,
             now,
@@ -166,6 +188,7 @@ pub fn live_entries_full(
                 costs,
                 r.spec.id,
                 r.spec.resolution,
+                r.spec.stages,
                 r.remaining_steps,
                 r.spec.deadline,
                 now,
@@ -399,6 +422,7 @@ mod tests {
                 arrival: SimTime::ZERO,
                 deadline: SimTime::from_secs_f64(slo),
                 total_steps: 50,
+                stages: StageProfile::FLAT,
             });
         }
         t
@@ -431,9 +455,52 @@ mod tests {
         // With an impossible horizon the fallback charges the fastest
         // degree, which costs at least as many GPU-seconds per step as the
         // relaxed-case optimum.
-        let relaxed = cheapest_step_demand(&c, Resolution::R2048, 50, 1e9);
-        let hopeless = cheapest_step_demand(&c, Resolution::R2048, 50, 0.001);
+        let relaxed = cheapest_step_demand(&c, Resolution::R2048, StageProfile::FLAT, 50, 1e9);
+        let hopeless = cheapest_step_demand(&c, Resolution::R2048, StageProfile::FLAT, 50, 0.001);
         assert!(hopeless >= relaxed);
+    }
+
+    #[test]
+    fn frames_multiply_demand_and_burn_slack() {
+        let c = costs();
+        let entry = |stages| {
+            demand_entry(
+                &c,
+                RequestId(0),
+                Resolution::R512,
+                stages,
+                50,
+                SimTime::from_secs_f64(120.0),
+                SimTime::ZERO,
+                true,
+            )
+        };
+        let flat = entry(StageProfile::FLAT);
+        let one_frame = entry(StageProfile::video(1));
+        let video = entry(StageProfile::video(8));
+        // A single-frame video prices its denoise like the flat request
+        // (the encode only tightens the degree filter, not the demand).
+        assert_eq!(one_frame.demand.to_bits(), flat.demand.to_bits());
+        assert!((video.demand / flat.demand - 8.0).abs() < 1e-9);
+        assert!(video.slack < flat.slack);
+    }
+
+    #[test]
+    fn flat_profile_is_bit_identical_to_one_frame_no_encode() {
+        let c = costs();
+        // The FLAT constant and a literal {encode: false, frames: 1} must
+        // be indistinguishable in every formula.
+        let explicit = StageProfile {
+            encode: false,
+            frames: 1,
+        };
+        for res in [Resolution::R256, Resolution::R1024, Resolution::R2048] {
+            for horizon in [0.5, 5.0, 500.0] {
+                let a = cheapest_step_demand(&c, res, StageProfile::FLAT, 50, horizon);
+                let b = cheapest_step_demand(&c, res, explicit, 50, horizon);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -479,6 +546,7 @@ mod tests {
             &c,
             RequestId(0),
             Resolution::R512,
+            StageProfile::FLAT,
             10,
             SimTime::from_secs_f64(60.0),
             SimTime::ZERO,
@@ -488,6 +556,7 @@ mod tests {
             &c,
             RequestId(0),
             Resolution::R512,
+            StageProfile::FLAT,
             50,
             SimTime::from_secs_f64(60.0),
             SimTime::ZERO,

@@ -21,7 +21,7 @@
 //!
 //! ```
 //! use tetriserve_core::{RequestSpec, Server, TetriServePolicy};
-//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution, StageProfile};
 //! use tetriserve_simulator::time::SimTime;
 //! use tetriserve_simulator::trace::{RequestId, TenantId};
 //!
@@ -34,6 +34,7 @@
 //!     arrival: SimTime::ZERO,
 //!     deadline: SimTime::from_secs_f64(3.0),
 //!     total_steps: 50,
+//!     stages: StageProfile::FLAT,
 //! }]);
 //! assert_eq!(report.sar(), 1.0);
 //! ```
@@ -55,6 +56,7 @@ mod proptests;
 pub mod request;
 pub mod scheduler;
 pub mod server;
+pub mod stage;
 pub mod tracker;
 
 pub use config::{AdmissionPolicy, TetriServeConfig};
@@ -63,4 +65,5 @@ pub use policy::{DispatchPlan, Policy, PolicyEvent, SchedContext};
 pub use request::{RequestOutcome, RequestSpec};
 pub use scheduler::TetriServePolicy;
 pub use server::{ClusterLoad, ClusterSim, ServeReport, Server, ServerConfig};
+pub use stage::{backpropagate_deadlines, plan_stage_dispatch, PoolLayout, StageDeadline};
 pub use tracker::{MigratedRequest, RequestTracker};

@@ -223,7 +223,7 @@ pub fn validate_plans(plans: &[DispatchPlan], ctx: &SchedContext<'_>) -> Result<
 mod tests {
     use super::*;
     use crate::request::RequestSpec;
-    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution, StageProfile};
     use tetriserve_simulator::trace::TenantId;
 
     fn ctx_fixture() -> (RequestTracker, CostTable) {
@@ -240,6 +240,7 @@ mod tests {
                 arrival: SimTime::ZERO,
                 deadline: SimTime::from_secs_f64(5.0),
                 total_steps: 50,
+                stages: StageProfile::FLAT,
             });
         }
         let costs = Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic();

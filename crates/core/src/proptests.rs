@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution};
+use tetriserve_costmodel::{ClusterSpec, CostTable, DitModel, Profiler, Resolution, StageProfile};
 use tetriserve_simulator::gpuset::GpuSet;
 use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::topology::Topology;
@@ -21,7 +21,11 @@ use crate::feasibility;
 use crate::options::build_options;
 use crate::placement::{place, PlacementRequest};
 use crate::request::RequestSpec;
+use crate::scheduler::TetriServePolicy;
+use crate::server::{Server, ServerConfig};
+use crate::stage::{backpropagate_deadlines, PoolLayout};
 use crate::tracker::{Phase, RequestTracker};
+use tetriserve_costmodel::stage::StageKind;
 
 fn costs() -> CostTable {
     Profiler::new(DitModel::flux_dev(), ClusterSpec::h100x8()).analytic()
@@ -202,6 +206,7 @@ proptest! {
                         arrival: now,
                         deadline: now + SimDuration::from_millis(100 + u64::from(r % 9000)),
                         total_steps: 1 + r % 50,
+                        stages: StageProfile::FLAT,
                     });
                     next_id += 1;
                 }
@@ -305,6 +310,113 @@ proptest! {
             // sv_i(o) = [t_next + (remaining - q)·T_min <= D_i]
             let lb = t_min * u64::from(steps - o.steps);
             prop_assert_eq!(o.survives, t_next + lb <= deadline);
+        }
+    }
+}
+
+fn stage_profile_strategy(max_frames: u32) -> impl Strategy<Value = StageProfile> {
+    (any::<bool>(), 1u32..max_frames).prop_map(|(encode, frames)| StageProfile { encode, frames })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// EDF backward propagation never places a stage deadline after the
+    /// request deadline, keeps deadlines non-decreasing in execution
+    /// order, and hands the final stage exactly the request deadline.
+    #[test]
+    fn prop_stage_deadlines_bounded_by_request_deadline(
+        deadline_ms in 0u64..600_000,
+        profile in stage_profile_strategy(32),
+        steps in 1u32..80,
+        unit_ms in 1u64..2_000,
+    ) {
+        let deadline = SimTime::from_micros(deadline_ms * 1_000);
+        let chain: Vec<(StageKind, SimDuration)> = profile
+            .chain(steps)
+            .into_iter()
+            .map(|(kind, units)| (kind, SimDuration::from_millis(unit_ms) * u64::from(units)))
+            .collect();
+        let out = backpropagate_deadlines(deadline, &chain);
+        prop_assert_eq!(out.len(), chain.len());
+        let mut prev = SimTime::from_micros(0);
+        for (s, &(kind, duration)) in out.iter().zip(&chain) {
+            prop_assert_eq!(s.kind, kind);
+            prop_assert_eq!(s.duration, duration);
+            prop_assert!(s.deadline <= deadline, "stage deadline after request deadline");
+            prop_assert!(s.deadline >= prev, "stage deadlines must be non-decreasing");
+            prev = s.deadline;
+        }
+        prop_assert_eq!(out.last().unwrap().deadline, deadline);
+    }
+
+    /// Frame-count scaling of decode demand is monotone and exactly
+    /// integer (`frames == 1` is the flat identity, bit-for-bit).
+    #[test]
+    fn prop_frame_scaling_is_monotone(
+        res in resolution_strategy(),
+        frames in 1u32..64,
+    ) {
+        let c = costs();
+        let tflops = c.cluster().gpu.effective_tflops();
+        let m = c.model();
+        let base = m.decode_time_frames(res, tflops, 1);
+        let lo = m.decode_time_frames(res, tflops, frames);
+        let hi = m.decode_time_frames(res, tflops, frames + 1);
+        prop_assert!(lo <= hi, "decode demand must not shrink with more frames");
+        prop_assert_eq!(lo, base * u64::from(frames));
+        let p_lo = StageProfile { encode: false, frames };
+        let p_hi = StageProfile { encode: false, frames: frames + 1 };
+        prop_assert!(p_lo.frame_factor() <= p_hi.frame_factor());
+        prop_assert_eq!(StageProfile::FLAT.frame_factor().to_bits(), 1.0f64.to_bits());
+    }
+}
+
+proptest! {
+    // Each case runs a full serving simulation; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Stage-chain conservation end to end: for every *served* request,
+    /// the encode + denoise + decode durations reported by
+    /// `stage_breakdown` sum exactly (integer microseconds) to the
+    /// request's end-to-end latency — under both pool layouts, arbitrary
+    /// stage profiles, and whatever queueing/retries the run produced.
+    #[test]
+    fn prop_stage_breakdown_conserves_served_latency(
+        n in 1usize..8,
+        offset_ms in 0u64..500,
+        slo_s in 2.0f64..30.0,
+        profile in stage_profile_strategy(5),
+        disagg in any::<bool>(),
+    ) {
+        let c = costs();
+        let policy = TetriServePolicy::with_defaults(&c);
+        let mut server = Server::with_config(c, policy, ServerConfig::default());
+        if disagg {
+            server.config_mut().pool = PoolLayout::disaggregated_default();
+        }
+        let specs: Vec<RequestSpec> = (0..n)
+            .map(|i| {
+                let arrival = SimTime::from_micros((offset_ms + 137 * i as u64) * 1_000);
+                RequestSpec {
+                    tenant: TenantId::UNTAGGED,
+                    id: RequestId(i as u64),
+                    resolution: Resolution::PRODUCTION[i % 4],
+                    arrival,
+                    deadline: arrival + SimDuration::from_secs_f64(slo_s),
+                    total_steps: 30,
+                    stages: profile,
+                }
+            })
+            .collect();
+        let report = server.run(specs);
+        prop_assert_eq!(report.outcomes.len(), n);
+        for o in &report.outcomes {
+            if let Some(done) = o.completion {
+                let (e, dn, dc) = o.stage_breakdown().unwrap();
+                let latency = done.saturating_since(o.arrival);
+                prop_assert_eq!(e + dn + dc, latency, "breakdown must conserve latency: {:?}", o);
+            }
         }
     }
 }

@@ -1,10 +1,13 @@
 //! Serving requests and their outcomes.
 
-use tetriserve_costmodel::Resolution;
+use tetriserve_costmodel::stage::StageKind;
+use tetriserve_costmodel::{Resolution, StageProfile};
 use tetriserve_simulator::time::{SimDuration, SimTime};
 use tetriserve_simulator::trace::{RequestId, TenantId};
 
-/// An inbound image-generation request.
+/// An inbound generation request: a typed stage chain
+/// `CondEncode? → Denoise{total_steps} → VaeDecode{frames}` over one
+/// resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpec {
     /// Unique identifier.
@@ -21,12 +24,21 @@ pub struct RequestSpec {
     /// Denoising steps to run (the model default, minus any steps skipped
     /// by cache-based acceleration such as Nirvana).
     pub total_steps: u32,
+    /// The stage shape: whether the request carries an explicit
+    /// condition-encode stage, and its output frame count (video DiT).
+    /// [`StageProfile::FLAT`] for classic single-image requests.
+    pub stages: StageProfile,
 }
 
 impl RequestSpec {
     /// The SLO budget `deadline − arrival`.
     pub fn slo_budget(&self) -> SimDuration {
         self.deadline.saturating_since(self.arrival)
+    }
+
+    /// The typed stage chain this spec induces, in execution order.
+    pub fn stage_chain(&self) -> Vec<(StageKind, u32)> {
+        self.stages.chain(self.total_steps)
     }
 }
 
@@ -63,6 +75,13 @@ pub struct RequestOutcome {
     /// degraded completion still counts toward SLO attainment; the shed
     /// steps are its *quality debt*.
     pub steps_shed: u32,
+    /// When the condition-encode stage finished; `None` for flat
+    /// requests (no explicit encode stage) and for requests shed or cut
+    /// off before encoding.
+    pub encode_done: Option<SimTime>,
+    /// When the last denoise step finished (the VAE-decode stage begins
+    /// here); `None` if the denoise never completed.
+    pub denoise_done: Option<SimTime>,
 }
 
 impl RequestOutcome {
@@ -89,6 +108,22 @@ impl RequestOutcome {
     pub fn was_degraded(&self) -> bool {
         self.steps_shed > 0
     }
+
+    /// The per-stage latency breakdown `(encode, denoise, decode)` for a
+    /// completed request: encode spans arrival → `encode_done` (zero
+    /// without an explicit encode stage), denoise spans the encode
+    /// hand-off → `denoise_done`, and decode spans `denoise_done` →
+    /// completion. The three always sum to [`latency`](Self::latency),
+    /// stage queueing included in the stage that waited.
+    pub fn stage_breakdown(&self) -> Option<(SimDuration, SimDuration, SimDuration)> {
+        let completion = self.completion?;
+        let denoise_done = self.denoise_done.unwrap_or(completion);
+        let denoise_start = self.encode_done.unwrap_or(self.arrival);
+        let encode = denoise_start.saturating_since(self.arrival);
+        let denoise = denoise_done.saturating_since(denoise_start);
+        let decode = completion.saturating_since(denoise_done);
+        Some((encode, denoise, decode))
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +138,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(10.0),
             deadline: SimTime::from_secs_f64(12.0),
             total_steps: 50,
+            stages: StageProfile::FLAT,
         }
     }
 
@@ -127,6 +163,8 @@ mod tests {
             retries: 0,
             shed: false,
             steps_shed: 0,
+            encode_done: None,
+            denoise_done: Some(SimTime::from_secs_f64(11.4)),
         };
         assert!(on_time.met_slo());
         assert_eq!(on_time.latency(), Some(SimDuration::from_secs_f64(1.5)));
@@ -167,7 +205,68 @@ mod tests {
             retries: 0,
             shed: false,
             steps_shed: 0,
+            encode_done: None,
+            denoise_done: None,
         };
         assert!(exactly.met_slo());
+    }
+
+    #[test]
+    fn stage_chain_follows_profile() {
+        assert_eq!(
+            spec().stage_chain(),
+            vec![(StageKind::Denoise, 50), (StageKind::VaeDecode, 1)]
+        );
+        let video = RequestSpec {
+            stages: StageProfile::video(8),
+            ..spec()
+        };
+        assert_eq!(video.stage_chain().len(), 3);
+        assert_eq!(video.stage_chain()[0], (StageKind::CondEncode, 1));
+    }
+
+    #[test]
+    fn stage_breakdown_conserves_latency() {
+        let s = spec();
+        let outcome = RequestOutcome {
+            id: s.id,
+            tenant: s.tenant,
+            resolution: s.resolution,
+            arrival: s.arrival,
+            deadline: s.deadline,
+            completion: Some(SimTime::from_secs_f64(11.8)),
+            gpu_seconds: 1.0,
+            steps_executed: 50,
+            sp_degree_step_sum: 50,
+            retries: 0,
+            shed: false,
+            steps_shed: 0,
+            encode_done: Some(SimTime::from_secs_f64(10.2)),
+            denoise_done: Some(SimTime::from_secs_f64(11.5)),
+        };
+        let (encode, denoise, decode) = outcome.stage_breakdown().expect("completed");
+        assert_eq!(encode, SimDuration::from_secs_f64(0.2));
+        assert_eq!(denoise, SimDuration::from_secs_f64(1.3));
+        assert_eq!(decode, SimDuration::from_secs_f64(0.3));
+        assert_eq!(
+            encode + denoise + decode,
+            outcome.latency().expect("latency")
+        );
+
+        // Flat requests report everything before decode as denoise.
+        let flat = RequestOutcome {
+            encode_done: None,
+            denoise_done: Some(SimTime::from_secs_f64(11.5)),
+            ..outcome
+        };
+        let (e, d, v) = flat.stage_breakdown().expect("completed");
+        assert_eq!(e, SimDuration::ZERO);
+        assert_eq!(e + d + v, flat.latency().expect("latency"));
+
+        let unfinished = RequestOutcome {
+            completion: None,
+            ..outcome
+        };
+        assert!(unfinished.stage_breakdown().is_none());
     }
 }

@@ -149,10 +149,17 @@ impl Policy for TetriServePolicy {
             // even though it is off the GPUs' critical path), and inflate
             // step times by the round headroom so the plan retains exactly
             // the margin round quantisation will consume.
-            let decode = costs
-                .model()
-                .decode_time(r.spec.resolution, costs.cluster().gpu.effective_tflops());
-            let slack = r.spec.deadline.saturating_since(now).saturating_sub(decode);
+            let frames = r.spec.stages.frames;
+            let decode = costs.model().decode_time_frames(
+                r.spec.resolution,
+                costs.cluster().gpu.effective_tflops(),
+                frames,
+            );
+            // Planning works in single-frame step times; a video request's
+            // dispatches run `frames`× longer, so shrink the slack budget by
+            // the same factor (exact identity at frames = 1).
+            let slack =
+                r.spec.deadline.saturating_since(now).saturating_sub(decode) / u64::from(frames);
             let mut plan = min_gpu_hour_plan_capped(
                 r.spec.resolution,
                 r.remaining_steps,
@@ -341,7 +348,7 @@ mod tests {
     use super::*;
     use crate::request::RequestSpec;
     use crate::tracker::RequestTracker;
-    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution, StageProfile};
     use tetriserve_simulator::failure::FailurePlan;
     use tetriserve_simulator::time::SimDuration;
     use tetriserve_simulator::trace::TenantId;
@@ -358,6 +365,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(arrival_s),
             deadline: SimTime::from_secs_f64(arrival_s + slo_s),
             total_steps: 50,
+            stages: StageProfile::FLAT,
         }
     }
 
@@ -576,6 +584,7 @@ mod tests {
             arrival: mid,
             deadline: mid + SimDuration::from_secs_f64(5.0),
             total_steps: 50,
+            stages: StageProfile::FLAT,
         });
         let failures = FailurePlan::none();
         let ctx = SchedContext {
@@ -618,6 +627,7 @@ mod tests {
             arrival: sliver,
             deadline: sliver + SimDuration::from_secs_f64(5.0),
             total_steps: 50,
+            stages: StageProfile::FLAT,
         });
         let failures = FailurePlan::none();
         let ctx = SchedContext {

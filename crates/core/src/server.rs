@@ -29,6 +29,7 @@ use crate::degrade::DegradePolicy;
 use crate::feasibility::{self, DemandEntry};
 use crate::policy::{validate_plans, Policy, PolicyEvent, SchedContext};
 use crate::request::{RequestOutcome, RequestSpec};
+use crate::stage::{plan_stage_dispatch, PoolLayout};
 use crate::tracker::{MigratedRequest, Phase, RequestTracker};
 
 /// Server behaviour knobs.
@@ -53,6 +54,14 @@ pub struct ServerConfig {
     /// when even the floor cannot make the deadline. `None` (the default)
     /// preserves the exact shed-only behaviour.
     pub degrade: Option<DegradePolicy>,
+    /// How GPUs are assigned to pipeline stages. [`PoolLayout::Unified`]
+    /// (the default) runs every stage on the shared GPU set with the
+    /// engine's fused tail decode — the pre-stage behaviour bit-for-bit.
+    /// [`PoolLayout::Disaggregated`] carves dedicated encode/decode pools
+    /// out of the cluster; the denoise packer plans over the remainder
+    /// and finished requests hand off to a decode slot instead of
+    /// serializing on the engine's single fused decoder.
+    pub pool: PoolLayout,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +73,7 @@ impl Default for ServerConfig {
             admission: AdmissionPolicy::AdmitAll,
             max_retries: 3,
             degrade: None,
+            pool: PoolLayout::Unified,
         }
     }
 }
@@ -103,6 +113,14 @@ pub struct ServeReport {
     pub feas_grow_events: u64,
     /// Heap allocations the scratch reuse avoided vs allocate-per-scan.
     pub feas_allocations_avoided: u64,
+    /// The pool layout the run served under.
+    pub pool: PoolLayout,
+    /// Busy-seconds accumulated on the condition-encode pool (zero when
+    /// the workload has no explicit encode stages).
+    pub encode_busy_seconds: f64,
+    /// Busy-seconds accumulated on the dedicated decode pool (zero under
+    /// the unified layout, whose decodes run fused in the engine).
+    pub decode_busy_seconds: f64,
 }
 
 impl ServeReport {
@@ -202,6 +220,12 @@ pub struct ClusterLoad {
     /// Cheapest deadline-respecting GPU-second demand of the live backlog
     /// (the EDF admission currency; see [`crate::feasibility`]).
     pub backlog_gpu_seconds: f64,
+    /// Live requests still gated on their condition-encode stage (their
+    /// `encode_ready` lies after the snapshot instant).
+    pub encode_backlog: usize,
+    /// Requests past their final queued denoise step: final dispatch in
+    /// flight or awaiting the VAE decode's `Complete`.
+    pub decode_backlog: usize,
 }
 
 impl ClusterLoad {
@@ -232,6 +256,9 @@ enum Event {
         lost_steps: u32,
     },
     Complete(RequestId),
+    /// A condition-encode stage finished: the request is now eligible for
+    /// denoise scheduling, so event-driven policies re-plan.
+    StageReady(RequestId),
     Tick,
     GpuDown,
     GpuUp,
@@ -258,6 +285,19 @@ pub struct ClusterSim<P: Policy> {
     config: ServerConfig,
     topology: Topology,
     n_gpus: usize,
+    /// GPUs the denoise packer plans over: all of them under
+    /// [`PoolLayout::Unified`], the carve-out remainder under
+    /// [`PoolLayout::Disaggregated`].
+    denoise_gpus: usize,
+    /// Per-slot `free_at` times of the condition-encode pool. The unified
+    /// layout models one shared encode unit (encodes serialize on it),
+    /// mirroring the engine's single fused decoder.
+    encode_pool: Vec<SimTime>,
+    /// Per-slot `free_at` times of the dedicated decode pool (empty under
+    /// the unified layout, whose decodes run fused in the engine).
+    decode_pool: Vec<SimTime>,
+    encode_busy: SimDuration,
+    decode_busy: SimDuration,
     engine: Engine,
     tracker: RequestTracker,
     events: EventQueue<Event>,
@@ -298,16 +338,25 @@ impl<P: Policy> ClusterSim<P> {
                 events.push(up, Event::GpuUp);
             }
         }
+        let denoise_gpus = config.pool.denoise_gpus(n_gpus);
+        let (encode_slots, decode_slots) = config.pool.pool_sizes();
         ClusterSim {
             costs,
             policy,
             config,
             topology,
             n_gpus,
+            denoise_gpus,
+            // Even the unified layout owns one encode unit: encode-staged
+            // requests serialize on it, mirroring the fused decoder.
+            encode_pool: vec![SimTime::ZERO; encode_slots.max(1)],
+            decode_pool: vec![SimTime::ZERO; decode_slots],
+            encode_busy: SimDuration::ZERO,
+            decode_busy: SimDuration::ZERO,
             engine,
             tracker: RequestTracker::new(),
             events,
-            free: GpuSet::first_n(n_gpus),
+            free: GpuSet::first_n(denoise_gpus),
             down: GpuSet::EMPTY,
             arrivals_pending: 0,
             processed: 0,
@@ -477,21 +526,22 @@ impl<P: Policy> ClusterSim<P> {
         self.n_gpus
     }
 
-    /// GPUs not hard-faulted at `at` per the static failure plan — the
-    /// capacity the EDF feasibility scans run against.
+    /// Denoise-pool GPUs not hard-faulted at `at` per the static failure
+    /// plan — the capacity the EDF feasibility scans run against. Under
+    /// the unified layout the denoise pool is the whole cluster.
     pub fn healthy_count_at(&self, at: SimTime) -> usize {
         let down = self.config.engine.failures.down_gpus(at);
-        GpuSet::first_n(self.n_gpus).difference(down).len()
+        GpuSet::first_n(self.denoise_gpus).difference(down).len()
     }
 
     /// Effective serving capacity at `at` in nominal-GPU units: the
-    /// healthy set derated by active slowdown faults. Exactly
+    /// healthy denoise set derated by active slowdown faults. Exactly
     /// `healthy_count_at(at) as f64` when no slowdown is active, so the
     /// capacity-form EDF scans it feeds are bit-identical to the integer
     /// forms on slowdown-free runs.
     pub fn effective_capacity_at(&self, at: SimTime) -> f64 {
         let failures = &self.config.engine.failures;
-        let healthy = GpuSet::first_n(self.n_gpus).difference(failures.down_gpus(at));
+        let healthy = GpuSet::first_n(self.denoise_gpus).difference(failures.down_gpus(at));
         failures.effective_capacity(healthy, at)
     }
 
@@ -551,6 +601,11 @@ impl<P: Policy> ClusterSim<P> {
             .live()
             .filter(|r| r.phase == Phase::Queued)
             .count();
+        let encode_backlog = self
+            .tracker
+            .live()
+            .filter(|r| r.phase == Phase::Queued && r.encode_ready > at)
+            .count();
         let running = self.tracker.running_count();
         let backlog_steps = self.tracker.live_backlog_steps();
         let backlog_gpu_seconds = feasibility::live_entries(&self.tracker, at, &self.costs)
@@ -567,6 +622,10 @@ impl<P: Policy> ClusterSim<P> {
             running,
             backlog_steps,
             backlog_gpu_seconds,
+            encode_backlog,
+            // Active but no longer live: past the final queued denoise
+            // step, i.e. in or awaiting the decode tail.
+            decode_backlog: self.tracker.active_count() - self.tracker.live_len(),
         }
     }
 
@@ -580,6 +639,7 @@ impl<P: Policy> ClusterSim<P> {
             &self.costs,
             spec.id,
             spec.resolution,
+            spec.stages,
             spec.total_steps,
             spec.deadline,
             at,
@@ -638,7 +698,7 @@ impl<P: Policy> ClusterSim<P> {
         if self.config.degrade.is_none() && !shed {
             return;
         }
-        let healthy = GpuSet::first_n(self.n_gpus).difference(self.down);
+        let healthy = GpuSet::first_n(self.denoise_gpus).difference(self.down);
         let capacity = self.config.engine.failures.effective_capacity(healthy, now);
         match &self.config.degrade {
             Some(policy) => {
@@ -660,6 +720,45 @@ impl<P: Policy> ClusterSim<P> {
                 &mut self.feas,
             ),
         }
+    }
+
+    /// Schedules an arriving request's condition-encode stage on the
+    /// encode pool: earliest-free slot, gate the denoise on its
+    /// completion, and wake the policy when the gate opens.
+    fn dispatch_encode(&mut self, spec: RequestSpec, now: SimTime) {
+        let duration = self
+            .costs
+            .model()
+            .encode_time(spec.resolution, self.costs.cluster().gpu.effective_tflops());
+        let (slot, _start, done) = plan_stage_dispatch(&self.encode_pool, now, duration);
+        // tetrilint: allow(taint-panic) -- slot was computed from this very pool one line up
+        self.encode_pool[slot] = done;
+        self.encode_busy += duration;
+        self.tracker.set_encode_ready(spec.id, done);
+        self.events.push(done, Event::StageReady(spec.id));
+    }
+
+    /// Hands a denoise-complete request to the dedicated decode pool
+    /// (disaggregated layouts only): earliest-free slot runs its
+    /// frame-scaled VAE decode, and the request completes when the slot
+    /// finishes — the denoise gang was already freed by `DispatchDone`.
+    fn dispatch_decode(&mut self, id: RequestId, now: SimTime) {
+        // tetrilint: allow(taint-panic) -- caller just observed the id in the tracker
+        let r = self.tracker.get(id).expect("decoding an unknown request");
+        let duration = self.costs.model().decode_time_frames(
+            r.spec.resolution,
+            self.costs.cluster().gpu.effective_tflops(),
+            r.spec.stages.frames,
+        );
+        let (slot, _start, done) = plan_stage_dispatch(&self.decode_pool, now, duration);
+        // tetrilint: allow(taint-panic) -- slot was computed from this very pool one line up
+        self.decode_pool[slot] = done;
+        self.decode_busy += duration;
+        self.engine.record(TraceEvent::RequestDone {
+            time: done,
+            request: id,
+        });
+        self.events.push(done, Event::Complete(id));
     }
 
     /// Processes one event. Returns `false` when the queue is empty.
@@ -699,7 +798,19 @@ impl<P: Policy> ClusterSim<P> {
                     "arrivals_pending underflow processing an Arrival"
                 );
                 self.arrivals_pending -= 1;
+                if spec.stages.encode {
+                    self.dispatch_encode(spec, now);
+                }
                 self.rescue_pass(now);
+                Some(PolicyEvent::Arrival)
+            }
+            Event::StageReady(id) => {
+                // The request's encode gate just opened (set at dispatch
+                // time); wake event-driven policies so it gets planned.
+                debug_assert!(
+                    self.tracker.get(id).is_none_or(|r| r.encode_ready <= now),
+                    "stage-ready event fired before its encode gate opened"
+                );
                 Some(PolicyEvent::Arrival)
             }
             Event::DispatchDone { gpus, requests } => {
@@ -709,6 +820,16 @@ impl<P: Policy> ClusterSim<P> {
                 self.free = self.free.union(gpus).difference(self.down);
                 for id in requests {
                     self.tracker.finish_dispatch(id);
+                    if self.tracker.get(id).is_some_and(|r| r.remaining_steps == 0) {
+                        // Uniform stage transition: the denoise stage is
+                        // over. Unified layouts already priced the fused
+                        // decode into the dispatch timeline; disaggregated
+                        // ones hand off to a decode-pool slot here.
+                        self.tracker.note_denoise_done(id, now);
+                        if !self.decode_pool.is_empty() {
+                            self.dispatch_decode(id, now);
+                        }
+                    }
                 }
                 Some(PolicyEvent::DispatchDone)
             }
@@ -801,8 +922,8 @@ impl<P: Policy> ClusterSim<P> {
             let ctx = SchedContext {
                 now,
                 free: self.free,
-                healthy: GpuSet::first_n(self.n_gpus).difference(self.down),
-                n_gpus: self.n_gpus,
+                healthy: GpuSet::first_n(self.denoise_gpus).difference(self.down),
+                n_gpus: self.denoise_gpus,
                 tracker: &self.tracker,
                 costs: &self.costs,
                 failures: &self.config.engine.failures,
@@ -845,6 +966,16 @@ impl<P: Policy> ClusterSim<P> {
                 continue;
             };
             let batch = plan.batch();
+            // Video requests denoise every frame: the dispatch's wall
+            // clock scales by the widest frame count in the batch.
+            // Integer-exact, so single-frame batches are untouched.
+            let frames = plan
+                .requests
+                .iter()
+                .filter_map(|&id| self.tracker.get(id))
+                .map(|r| r.spec.stages.frames)
+                .max()
+                .unwrap_or(1);
             let per_step = step_time_on(
                 model,
                 resolution,
@@ -853,7 +984,7 @@ impl<P: Policy> ClusterSim<P> {
                 cluster,
                 &self.topology,
                 self.costs.scheme(),
-            );
+            ) * u64::from(frames);
             let finishing: Vec<RequestId> = plan
                 .requests
                 .iter()
@@ -864,10 +995,14 @@ impl<P: Policy> ClusterSim<P> {
                         .is_some_and(|r| r.remaining_steps == plan.steps)
                 })
                 .collect();
-            let decode_after = if finishing.is_empty() {
+            // Unified layouts fuse the frame-scaled VAE decode onto the
+            // finishing gang (the engine serializes them on its decoder);
+            // disaggregated layouts hand finishers to the decode pool at
+            // `DispatchDone`, freeing the denoise gang immediately.
+            let decode_after = if finishing.is_empty() || !self.decode_pool.is_empty() {
                 None
             } else {
-                Some(model.decode_time(resolution, cluster.gpu.effective_tflops()))
+                Some(model.decode_time_frames(resolution, cluster.gpu.effective_tflops(), frames))
             };
             let dispatch = StepDispatch {
                 requests: plan.requests.clone(),
@@ -947,6 +1082,9 @@ impl<P: Policy> ClusterSim<P> {
             feas_calls: self.feas.calls(),
             feas_grow_events: self.feas.grow_events(),
             feas_allocations_avoided: self.feas.allocations_avoided(),
+            pool: self.config.pool,
+            encode_busy_seconds: self.encode_busy.as_secs_f64(),
+            decode_busy_seconds: self.decode_busy.as_secs_f64(),
         }
     }
 }
@@ -1153,7 +1291,7 @@ mod tests {
     use super::*;
     use crate::config::TetriServeConfig;
     use crate::scheduler::TetriServePolicy;
-    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+    use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution, StageProfile};
     use tetriserve_simulator::trace::TenantId;
 
     fn costs() -> CostTable {
@@ -1168,6 +1306,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(arrival_s),
             deadline: SimTime::from_secs_f64(arrival_s + slo_s),
             total_steps: 50,
+            stages: StageProfile::FLAT,
         }
     }
 

@@ -51,12 +51,25 @@ pub struct TrackedRequest {
     /// rescue); the request completes after
     /// `total_steps − steps_shed` executed steps.
     pub steps_shed: u32,
+    /// When the request becomes eligible for denoise scheduling. Equal to
+    /// the arrival for flat requests; pushed later by the
+    /// condition-encode stage's completion for stage-gated requests.
+    pub encode_ready: SimTime,
+    /// When the condition-encode stage finished (`None` for flat
+    /// requests, which carry no explicit encode stage).
+    pub encode_done: Option<SimTime>,
+    /// When the final denoise step finished and the request handed off to
+    /// the VAE-decode stage.
+    pub denoise_done: Option<SimTime>,
 }
 
 impl TrackedRequest {
     /// Whether the request still has steps to run and is not mid-dispatch.
+    /// Stage-gated requests only become schedulable once their
+    /// condition-encode stage completes (`encode_ready`, which equals the
+    /// arrival for flat requests).
     pub fn is_schedulable(&self, now: SimTime) -> bool {
-        self.phase == Phase::Queued && self.remaining_steps > 0 && self.spec.arrival <= now
+        self.phase == Phase::Queued && self.remaining_steps > 0 && self.encode_ready <= now
     }
 
     /// Steps executed so far (total minus shed minus still-remaining).
@@ -155,12 +168,44 @@ impl RequestTracker {
                 sp_degree_step_sum: 0,
                 retries: 0,
                 steps_shed: 0,
+                encode_ready: spec.arrival,
+                encode_done: None,
+                denoise_done: None,
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", spec.id);
         self.live.insert((spec.deadline, spec.id));
         self.active += 1;
         self.live_steps += u64::from(spec.total_steps);
+    }
+
+    /// Records the condition-encode stage's completion: the request
+    /// becomes schedulable for denoise at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown.
+    pub fn set_encode_ready(&mut self, id: RequestId, at: SimTime) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        r.encode_ready = at;
+        r.encode_done = Some(at);
+    }
+
+    /// Records the final denoise step's completion — the hand-off into
+    /// the VAE-decode stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown.
+    pub fn note_denoise_done(&mut self, id: RequestId, at: SimTime) {
+        let r = self
+            .requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown request {id}"));
+        r.denoise_done = Some(at);
     }
 
     /// Immutable view of a request.
@@ -440,6 +485,12 @@ impl RequestTracker {
                 sp_degree_step_sum: m.sp_degree_step_sum,
                 retries: m.retries,
                 steps_shed: m.steps_shed,
+                // A migrated request is immediately denoise-eligible: its
+                // encode (if any) ran on the source cluster, and the
+                // latent hand-off already priced the transfer.
+                encode_ready: m.spec.arrival,
+                encode_done: None,
+                denoise_done: None,
             },
         );
         assert!(prev.is_none(), "request {} admitted twice", m.spec.id);
@@ -581,6 +632,8 @@ impl RequestTracker {
                 retries: r.retries,
                 shed: r.phase == Phase::Shed,
                 steps_shed: r.steps_shed,
+                encode_done: r.encode_done,
+                denoise_done: r.denoise_done,
             })
             .collect()
     }
@@ -589,7 +642,7 @@ impl RequestTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tetriserve_costmodel::Resolution;
+    use tetriserve_costmodel::{Resolution, StageProfile};
     use tetriserve_simulator::trace::TenantId;
 
     fn spec(id: u64) -> RequestSpec {
@@ -600,6 +653,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(1.0),
             deadline: SimTime::from_secs_f64(2.5),
             total_steps: 10,
+            stages: StageProfile::FLAT,
         }
     }
 
@@ -630,6 +684,44 @@ mod tests {
         assert_eq!(out[0].steps_executed, 10);
         assert!((out[0].mean_sp_degree() - 3.2).abs() < 1e-12);
         assert!((out[0].gpu_seconds - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_gate_delays_schedulability() {
+        let mut t = RequestTracker::new();
+        t.admit(RequestSpec {
+            stages: StageProfile::video(4),
+            ..spec(1)
+        });
+        let arrival = SimTime::from_secs_f64(1.0);
+        // Until the encode completes, the gate sits at the arrival.
+        assert_eq!(t.schedulable_ids(arrival), vec![RequestId(1)]);
+        let encoded = SimTime::from_secs_f64(1.2);
+        t.set_encode_ready(RequestId(1), encoded);
+        assert!(t.schedulable_ids(arrival).is_empty(), "gated on encode");
+        assert_eq!(t.schedulable_ids(encoded), vec![RequestId(1)]);
+
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 2), 10, 1.0);
+        t.finish_dispatch(RequestId(1));
+        let denoised = SimTime::from_secs_f64(2.0);
+        t.note_denoise_done(RequestId(1), denoised);
+        t.complete(RequestId(1), SimTime::from_secs_f64(2.3));
+        let out = t.outcomes();
+        assert_eq!(out[0].encode_done, Some(encoded));
+        assert_eq!(out[0].denoise_done, Some(denoised));
+        let (e, d, v) = out[0].stage_breakdown().unwrap();
+        assert_eq!(e + d + v, out[0].latency().unwrap());
+    }
+
+    #[test]
+    fn flat_requests_carry_no_stage_timestamps() {
+        let mut t = RequestTracker::new();
+        t.admit(spec(1));
+        t.start_dispatch(RequestId(1), GpuSet::contiguous(0, 1), 10, 1.0);
+        t.finish_dispatch(RequestId(1));
+        t.complete(RequestId(1), SimTime::from_secs_f64(2.0));
+        let out = t.outcomes();
+        assert_eq!(out[0].encode_done, None);
     }
 
     #[test]

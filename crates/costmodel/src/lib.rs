@@ -20,6 +20,8 @@
 //!   fleet rebalancer (α + volume over the datacenter link);
 //! * [`efficiency`] — the occupancy curve behind sublinear scaling
 //!   (Figure 3's shape);
+//! * [`stage`] — the typed request stage chain (condition encode →
+//!   denoise → VAE decode) and the video-DiT frame axis;
 //! * [`steptime`] — the combined `T(resolution, k, batch, placement)`;
 //! * [`profiler`] — the offline profiling pass and the [`CostTable`] lookup
 //!   structure schedulers consult at runtime;
@@ -50,6 +52,7 @@ pub mod interconnect;
 pub mod model;
 pub mod profiler;
 pub mod resolution;
+pub mod stage;
 pub mod steptime;
 
 pub use calibration::{verify_flux_h100, verify_sd3_a40, CalibrationReport};
@@ -60,3 +63,4 @@ pub use interconnect::{handoff_time, InterClusterLink};
 pub use model::DitModel;
 pub use profiler::{measure_step_cv, CostRow, CostTable, Profiler};
 pub use resolution::Resolution;
+pub use stage::{StageKind, StageProfile};

@@ -111,6 +111,26 @@ impl DitModel {
         let us = (5_000.0 + res.tokens() as f64 * 2.5) * scale;
         SimDuration::from_micros(us.round() as u64)
     }
+
+    /// VAE decode latency for `frames` output frames: one
+    /// [`decode_time`](Self::decode_time) per frame, serialized on the
+    /// decoder. Integer scaling on the microsecond grid, so `frames == 1`
+    /// is bit-identical to the single-image decode.
+    pub fn decode_time_frames(
+        &self,
+        res: Resolution,
+        hw_effective_tflops: f64,
+        frames: u32,
+    ) -> SimDuration {
+        crate::stage::frame_scaled(self.decode_time(res, hw_effective_tflops), frames)
+    }
+
+    /// Condition-encode latency for one request at a resolution — the
+    /// text encoder plus latent preparation, run once per request
+    /// regardless of frame count.
+    pub fn encode_time(&self, res: Resolution, hw_effective_tflops: f64) -> SimDuration {
+        crate::stage::encode_time(res, hw_effective_tflops)
+    }
 }
 
 /// Incremental builder for a custom [`DitModel`].
@@ -222,6 +242,15 @@ mod tests {
         // well under 5% of it even at SP=8.
         let a40_decode = m.decode_time(Resolution::R1024, 149.7 * 0.6);
         assert!(a40_decode > decode);
+    }
+
+    #[test]
+    fn frame_decode_is_exact_integer_scaling() {
+        let m = DitModel::flux_dev();
+        let h100 = 989.0 * 0.80;
+        let one = m.decode_time(Resolution::R1024, h100);
+        assert_eq!(m.decode_time_frames(Resolution::R1024, h100, 1), one);
+        assert_eq!(m.decode_time_frames(Resolution::R1024, h100, 8), one * 8);
     }
 
     #[test]

@@ -117,6 +117,7 @@ mod tests {
             arrival: SimTime::ZERO,
             deadline: SimTime::from_secs_f64(30.0),
             total_steps: steps,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 

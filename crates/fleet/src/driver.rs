@@ -280,6 +280,7 @@ impl FleetOracle for DriverOracle<'_> {
             sim.costs(),
             c.spec.id,
             c.spec.resolution,
+            c.spec.stages,
             c.remaining_steps,
             c.spec.deadline - delay,
             at,
@@ -302,6 +303,7 @@ impl FleetOracle for DriverOracle<'_> {
             sim.costs(),
             c.spec.id,
             c.spec.resolution,
+            c.spec.stages,
             c.remaining_steps,
             c.spec.deadline - delay,
             at,
@@ -322,6 +324,7 @@ impl FleetOracle for DriverOracle<'_> {
             sim.costs(),
             spec.id,
             spec.resolution,
+            spec.stages,
             spec.total_steps,
             spec.deadline,
             at,
@@ -796,6 +799,8 @@ impl<R: Router> FleetSim<R> {
                     retries: 0,
                     shed: true,
                     steps_shed: 0,
+                    encode_done: None,
+                    denoise_done: None,
                 });
             }
         }
@@ -941,6 +946,7 @@ mod tests {
             arrival: SimTime::from_secs_f64(arrival_s),
             deadline: SimTime::from_secs_f64(arrival_s + deadline_s),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 

@@ -36,7 +36,7 @@
 //!
 //! ```
 //! use tetriserve_core::{Policy, RequestSpec, TetriServePolicy};
-//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution};
+//! use tetriserve_costmodel::{ClusterSpec, DitModel, Profiler, Resolution, StageProfile};
 //! use tetriserve_fleet::{run_fleet, FleetCluster, RoundRobinRouter};
 //! use tetriserve_simulator::time::SimTime;
 //! use tetriserve_simulator::trace::{RequestId, TenantId};
@@ -53,6 +53,7 @@
 //!     arrival: SimTime::ZERO,
 //!     deadline: SimTime::from_secs_f64(30.0),
 //!     total_steps: 50,
+//!     stages: StageProfile::FLAT,
 //! }];
 //! let report = run_fleet(
 //!     vec![cluster("a"), cluster("b")],

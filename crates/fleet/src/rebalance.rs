@@ -269,6 +269,7 @@ pub(crate) mod tests {
                 arrival: SimTime::ZERO,
                 deadline: SimTime::from_secs_f64(deadline_s),
                 total_steps: remaining, // fresh unless stated otherwise
+                stages: tetriserve_costmodel::StageProfile::FLAT,
             },
             from,
             remaining_steps: remaining,

@@ -228,6 +228,7 @@ mod tests {
             arrival: SimTime::ZERO,
             deadline: SimTime::from_secs_f64(3.0),
             total_steps: 50,
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 
@@ -246,6 +247,8 @@ mod tests {
                 running: 0,
                 backlog_steps: depth as u64 * 50,
                 backlog_gpu_seconds: pressure * 8.0,
+                encode_backlog: 0,
+                decode_backlog: 0,
             },
         }
     }

@@ -112,7 +112,8 @@ impl<'a> WorkspaceGraph<'a> {
                 || (f.name == "route" && in_trait("Router"))
                 || (f.name == "plan" && in_trait("Rebalancer"))
                 || (f.name == "coordinate" && f.owner.is_none() && basename == "admission.rs")
-                || (f.name == "next_spec" && in_trait("ArrivalSource"));
+                || (f.name == "next_spec" && in_trait("ArrivalSource"))
+                || (f.name == "plan_stage_dispatch" && f.owner.is_none() && basename == "stage.rs");
             if deterministic_root {
                 ep.determinism.push(n);
             }
@@ -393,13 +394,17 @@ mod tests {
             ),
             ("crates/fleet/src/admission.rs", "pub fn coordinate() {}"),
             (
+                "crates/core/src/stage.rs",
+                "pub fn plan_stage_dispatch() {}",
+            ),
+            (
                 "crates/fleet/src/driver.rs",
                 "impl FleetSim {\n    fn drain_internal(&mut self) { std::thread::scope(|s| { s.spawn(|| {}); }); }\n}",
             ),
         ]);
         let g = build(&items);
         let ep = g.entry_points();
-        assert_eq!(ep.determinism.len(), 4); // schedule, route, plan, coordinate
+        assert_eq!(ep.determinism.len(), 5); // schedule, route, plan, coordinate, plan_stage_dispatch
         assert_eq!(ep.parallel.len(), 1);
         // Hot file (scheduler.rs) fn + the parallel root.
         assert_eq!(ep.panic.len(), 2);

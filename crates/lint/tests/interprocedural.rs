@@ -10,8 +10,9 @@
 //!    the linter scans, and every structural entry-point class must be
 //!    discovered in the real workspace. Discovery is by name (`Policy::
 //!    schedule`, `Router::route`, `Rebalancer::plan`, the admission
-//!    coordinator, the lockstep spawners), so a rename that orphans an
-//!    entry point fails here instead of silently hollowing the analysis.
+//!    coordinator, the stage dispatcher `plan_stage_dispatch`, the
+//!    lockstep spawners), so a rename that orphans an entry point fails
+//!    here instead of silently hollowing the analysis.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -133,6 +134,7 @@ fn workspace_graph_covers_every_file_and_all_entry_classes() {
         "crates/core/src/dp.rs",
         "crates/core/src/batching.rs",
         "crates/core/src/server.rs",
+        "crates/core/src/stage.rs",
         "crates/simulator/src/engine.rs",
         "crates/fleet/src/driver.rs",
         "crates/fleet/src/router.rs",
@@ -174,6 +176,10 @@ fn workspace_graph_covers_every_file_and_all_entry_classes() {
     assert!(
         det.contains("ReplaySource::next_spec") && det.contains("StreamingArrivals::next_spec"),
         "ArrivalSource::next_spec streaming-pull roots missing: {det:?}"
+    );
+    assert!(
+        det.contains("plan_stage_dispatch"),
+        "stage dispatcher root missing: {det:?}"
     );
 
     // Every hot-path basename present in the workspace roots the panic

@@ -18,6 +18,9 @@
 //!   counts and cross-cluster load imbalance;
 //! * [`tenancy`] — per-tenant SAR/goodput slices plus fleet fairness
 //!   (Jain's index over per-tenant SAR, worst-tenant SAR);
+//! * [`stages`] — per-stage latency breakdown
+//!   (encode/denoise/decode), stage share of the SLO budget, and
+//!   stage-pool utilisation under disaggregated layouts;
 //! * [`report`] — plain-text tables and ASCII charts used by the benchmark
 //!   harness to print paper-style artefacts.
 //!
@@ -38,6 +41,7 @@ pub mod latency;
 pub mod quality;
 pub mod report;
 pub mod sar;
+pub mod stages;
 pub mod tenancy;
 pub mod timeseries;
 pub mod utilization;
@@ -51,6 +55,7 @@ pub use quality::{
 };
 pub use report::{bar_chart, fmt_sar, series, TextTable};
 pub use sar::{mean_gpu_seconds, sar, sar_by_resolution};
+pub use stages::{pool_utilization, stage_latency_breakdown, stage_slo_share, StageBreakdown};
 pub use tenancy::{jains_index, sar_fairness, tenant_summaries, worst_tenant_sar, TenantSummary};
 pub use timeseries::{inflight_series, mean_sp_degree_series, windowed_sar};
 pub use utilization::{busy_gpu_series, gpu_utilization, UtilizationReport};

@@ -130,6 +130,8 @@ mod tests {
             retries: 0,
             shed: false,
             steps_shed: shed_steps,
+            encode_done: None,
+            denoise_done: None,
         }
     }
 

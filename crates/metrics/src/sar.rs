@@ -30,6 +30,8 @@ use tetriserve_costmodel::Resolution;
 ///     retries: 0,
 ///     shed: false,
 ///     steps_shed: 0,
+///     encode_done: None,
+///     denoise_done: None,
 /// };
 /// assert_eq!(sar(&[outcome(true), outcome(false)]), 0.5);
 /// ```
@@ -86,6 +88,8 @@ mod tests {
             retries: 0,
             shed: false,
             steps_shed: 0,
+            encode_done: None,
+            denoise_done: None,
         }
     }
 

@@ -1,0 +1,187 @@
+//! Per-stage latency breakdown and stage-pool utilisation.
+//!
+//! The stage pipeline (`CondEncode → Denoise → VaeDecode`) makes "where
+//! did the SLO budget go?" a first-class question: a request that misses
+//! its deadline may have lost the time queueing for a saturated encode
+//! pool rather than denoising. This module aggregates the per-request
+//! stage timestamps ([`RequestOutcome::stage_breakdown`]) into run-level
+//! views:
+//!
+//! * [`stage_latency_breakdown`] — mean seconds spent per stage across
+//!   completed requests (stage queueing included in the stage that
+//!   waited), which by construction sum to the mean end-to-end latency;
+//! * [`stage_slo_share`] — the mean *fraction of each request's SLO
+//!   budget* consumed per stage, the normalised view that compares
+//!   across resolutions with very different budgets;
+//! * [`pool_utilization`] — busy fractions of the encode/decode pools
+//!   from a [`ServeReport`]'s accumulated busy-seconds.
+
+use tetriserve_core::{PoolLayout, RequestOutcome, ServeReport};
+
+/// Mean seconds per stage over completed requests, plus the count they
+/// were averaged over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBreakdown {
+    /// Completed requests contributing to the means.
+    pub completed: usize,
+    /// Mean seconds in the condition-encode stage (0 for flat requests).
+    pub encode_s: f64,
+    /// Mean seconds in the denoise stage (queueing included).
+    pub denoise_s: f64,
+    /// Mean seconds in the VAE-decode stage.
+    pub decode_s: f64,
+}
+
+impl StageBreakdown {
+    /// Mean end-to-end latency — always the exact sum of the three
+    /// stage means (conservation is per request, so it survives the
+    /// average).
+    pub fn total_s(&self) -> f64 {
+        self.encode_s + self.denoise_s + self.decode_s
+    }
+}
+
+/// Aggregates [`RequestOutcome::stage_breakdown`] over all completed
+/// requests. With no completions, all means are zero.
+pub fn stage_latency_breakdown(outcomes: &[RequestOutcome]) -> StageBreakdown {
+    let mut n = 0usize;
+    let (mut e, mut d, mut v) = (0.0f64, 0.0f64, 0.0f64);
+    for o in outcomes {
+        if let Some((encode, denoise, decode)) = o.stage_breakdown() {
+            n += 1;
+            e += encode.as_secs_f64();
+            d += denoise.as_secs_f64();
+            v += decode.as_secs_f64();
+        }
+    }
+    if n == 0 {
+        return StageBreakdown {
+            completed: 0,
+            encode_s: 0.0,
+            denoise_s: 0.0,
+            decode_s: 0.0,
+        };
+    }
+    let nf = n as f64;
+    StageBreakdown {
+        completed: n,
+        encode_s: e / nf,
+        denoise_s: d / nf,
+        decode_s: v / nf,
+    }
+}
+
+/// Mean fraction of each completed request's SLO budget spent per stage
+/// `(encode, denoise, decode)`. A sum above 1.0 means the average
+/// completed request blew its budget. Requests with a zero budget are
+/// skipped; with no eligible requests the shares are all zero.
+pub fn stage_slo_share(outcomes: &[RequestOutcome]) -> (f64, f64, f64) {
+    let mut n = 0usize;
+    let (mut e, mut d, mut v) = (0.0f64, 0.0f64, 0.0f64);
+    for o in outcomes {
+        let budget = o.deadline.saturating_since(o.arrival).as_secs_f64();
+        if budget <= 0.0 {
+            continue;
+        }
+        if let Some((encode, denoise, decode)) = o.stage_breakdown() {
+            n += 1;
+            e += encode.as_secs_f64() / budget;
+            d += denoise.as_secs_f64() / budget;
+            v += decode.as_secs_f64() / budget;
+        }
+    }
+    if n == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let nf = n as f64;
+    (e / nf, d / nf, v / nf)
+}
+
+/// Busy fractions of the stage pools over the run's makespan:
+/// `(encode_util, decode_util)`, each normalised by the pool's slot
+/// count so 1.0 means every slot was busy for the whole run. Pools that
+/// do not exist (unified decode) or a zero makespan report 0.0.
+pub fn pool_utilization(report: &ServeReport) -> (f64, f64) {
+    let span = report.makespan.as_secs_f64();
+    if span <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let (encode_slots, decode_slots) = report.pool.pool_sizes();
+    // The unified layout still serialises encodes through one implicit
+    // slot (mirroring the fused decoder), so normalise by ≥ 1.
+    let encode = report.encode_busy_seconds / (encode_slots.max(1) as f64 * span);
+    let decode = if decode_slots == 0 {
+        debug_assert!(matches!(report.pool, PoolLayout::Unified));
+        0.0
+    } else {
+        report.decode_busy_seconds / (decode_slots as f64 * span)
+    };
+    (encode, decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetriserve_costmodel::Resolution;
+    use tetriserve_simulator::time::SimTime;
+    use tetriserve_simulator::trace::{RequestId, TenantId};
+
+    fn outcome(
+        id: u64,
+        arrival_s: f64,
+        budget_s: f64,
+        encode_done_s: Option<f64>,
+        denoise_done_s: Option<f64>,
+        completion_s: Option<f64>,
+    ) -> RequestOutcome {
+        RequestOutcome {
+            tenant: TenantId::UNTAGGED,
+            id: RequestId(id),
+            resolution: Resolution::R512,
+            arrival: SimTime::from_secs_f64(arrival_s),
+            deadline: SimTime::from_secs_f64(arrival_s + budget_s),
+            completion: completion_s.map(SimTime::from_secs_f64),
+            gpu_seconds: 1.0,
+            steps_executed: 50,
+            sp_degree_step_sum: 50,
+            retries: 0,
+            shed: false,
+            steps_shed: 0,
+            encode_done: encode_done_s.map(SimTime::from_secs_f64),
+            denoise_done: denoise_done_s.map(SimTime::from_secs_f64),
+        }
+    }
+
+    #[test]
+    fn breakdown_means_conserve_mean_latency() {
+        let outcomes = vec![
+            outcome(0, 0.0, 4.0, Some(0.5), Some(2.5), Some(3.0)),
+            outcome(1, 1.0, 4.0, None, Some(3.0), Some(3.2)),
+            outcome(2, 2.0, 4.0, None, None, None), // unserved: excluded
+        ];
+        let b = stage_latency_breakdown(&outcomes);
+        assert_eq!(b.completed, 2);
+        // Request 0: encode 0.5, denoise 2.0, decode 0.5 (latency 3.0).
+        // Request 1: encode 0.0, denoise 2.0, decode 0.2 (latency 2.2).
+        assert!((b.encode_s - 0.25).abs() < 1e-9);
+        assert!((b.denoise_s - 2.0).abs() < 1e-9);
+        assert!((b.decode_s - 0.35).abs() < 1e-9);
+        assert!((b.total_s() - 2.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_unserved_runs_are_all_zero() {
+        assert_eq!(stage_latency_breakdown(&[]).completed, 0);
+        assert_eq!(stage_latency_breakdown(&[]).total_s(), 0.0);
+        assert_eq!(stage_slo_share(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn slo_share_normalises_by_each_budget() {
+        let outcomes = vec![outcome(0, 0.0, 4.0, Some(1.0), Some(3.0), Some(4.0))];
+        let (e, d, v) = stage_slo_share(&outcomes);
+        assert!((e - 0.25).abs() < 1e-9);
+        assert!((d - 0.5).abs() < 1e-9);
+        assert!((v - 0.25).abs() < 1e-9);
+    }
+}

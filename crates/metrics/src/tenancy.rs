@@ -112,6 +112,8 @@ mod tests {
             retries: 0,
             shed,
             steps_shed: 0,
+            encode_done: None,
+            denoise_done: None,
         }
     }
 

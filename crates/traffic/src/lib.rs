@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod coupler;
+pub mod replay;
 pub mod shapes;
 pub mod source;
 pub mod tenant;
 
 pub use coupler::{BurstCoupler, CoupledProcess, CouplingSpec};
+pub use replay::{merge_replays, ReplayTenant};
 pub use shapes::{DiurnalEnvelope, DiurnalModulated};
 pub use source::{to_spec, StreamingArrivals, TrafficModel, TrafficSource};
 pub use tenant::{ArrivalShape, PriorityTier, TenantSpec};

@@ -99,6 +99,7 @@ impl TrafficModel {
                     t.seed,
                 )
                 .with_tenant(TenantId(i as u32))
+                .with_stages(t.stages)
             })
             .collect()
     }
@@ -172,6 +173,7 @@ pub fn to_spec(r: &GeneratedRequest, total_steps: u32) -> RequestSpec {
         arrival: SimTime::from_secs_f64(r.arrival_s),
         deadline: SimTime::from_secs_f64(r.deadline_s),
         total_steps,
+        stages: r.stages,
     }
 }
 

@@ -10,6 +10,7 @@
 //! the actual generators so that online and offline generation share one
 //! construction path (and therefore one RNG draw sequence).
 
+use tetriserve_costmodel::StageProfile;
 use tetriserve_workload::arrival::{ArrivalProcess, BurstyProcess, PoissonProcess, UniformProcess};
 use tetriserve_workload::mix::ResolutionMix;
 use tetriserve_workload::slo::SloPolicy;
@@ -114,6 +115,10 @@ pub struct TenantSpec {
     /// Whether this tenant's stream is warped by the model's shared
     /// burst coupler (correlated flash crowds across tenants).
     pub coupled: bool,
+    /// Stage profile every request in this tenant's stream carries:
+    /// [`StageProfile::FLAT`] for classic image tenants, a multi-frame
+    /// profile with a conditioning encode for video tenants.
+    pub stages: StageProfile,
 }
 
 impl TenantSpec {
@@ -129,6 +134,7 @@ impl TenantSpec {
             seed,
             envelope: None,
             coupled: false,
+            stages: StageProfile::FLAT,
         }
     }
 
@@ -165,6 +171,23 @@ impl TenantSpec {
     /// Opts this tenant into the model's shared burst coupler.
     pub fn coupled(mut self) -> Self {
         self.coupled = true;
+        self
+    }
+
+    /// Replaces the stage profile.
+    pub fn with_stages(mut self, stages: StageProfile) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Marks this as a video tenant: every request denoises and decodes
+    /// `frames` frames and pays a conditioning-encode stage up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn video(mut self, frames: u32) -> Self {
+        self.stages = StageProfile::video(frames);
         self
     }
 

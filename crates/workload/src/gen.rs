@@ -4,7 +4,7 @@
 //! prompt library into the request stream an experiment serves. The paper's
 //! default workload (§6.1) is 300 prompts arriving Poisson at 12 req/min.
 
-use tetriserve_costmodel::Resolution;
+use tetriserve_costmodel::{Resolution, StageProfile};
 use tetriserve_simulator::rng::SimRng;
 use tetriserve_simulator::trace::TenantId;
 
@@ -31,6 +31,10 @@ pub struct GeneratedRequest {
     pub deadline_s: f64,
     /// The prompt (embedding used by cache-based acceleration).
     pub prompt: Prompt,
+    /// Stage profile (conditioning encode / frame count) for the
+    /// request's pipeline. [`StageProfile::FLAT`] for classic image
+    /// requests.
+    pub stages: StageProfile,
 }
 
 /// A serialisable summary of a generated request (embedding elided).
@@ -65,6 +69,7 @@ pub struct TraceGen<A: ArrivalProcess> {
     clock_s: f64,
     next_id: u64,
     tenant: TenantId,
+    stages: StageProfile,
 }
 
 impl<A: ArrivalProcess> TraceGen<A> {
@@ -86,6 +91,7 @@ impl<A: ArrivalProcess> TraceGen<A> {
             clock_s: 0.0,
             next_id: 0,
             tenant: TenantId::UNTAGGED,
+            stages: StageProfile::FLAT,
         }
     }
 
@@ -94,6 +100,14 @@ impl<A: ArrivalProcess> TraceGen<A> {
     /// identity on the request from birth).
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Stamps every emitted request with `stages` (e.g. a video tenant's
+    /// frame count + conditioning encode). Defaults to
+    /// [`StageProfile::FLAT`].
+    pub fn with_stages(mut self, stages: StageProfile) -> Self {
+        self.stages = stages;
         self
     }
 
@@ -117,6 +131,7 @@ impl<A: ArrivalProcess> TraceGen<A> {
             resolution,
             deadline_s: self.clock_s + budget,
             prompt: self.prompts.next_prompt(),
+            stages: self.stages,
         }
     }
 

@@ -142,6 +142,7 @@ mod tests {
                 cluster: 0,
                 embedding: Embedding::new(vec![1.0]),
             },
+            stages: tetriserve_costmodel::StageProfile::FLAT,
         }
     }
 

@@ -5,7 +5,7 @@
 //! adds. Each returns plain [`GeneratedRequest`]s so any harness can serve
 //! them.
 
-use tetriserve_costmodel::Resolution;
+use tetriserve_costmodel::{Resolution, StageProfile};
 use tetriserve_simulator::trace::TenantId;
 
 use crate::arrival::{BurstyProcess, PoissonProcess};
@@ -82,6 +82,7 @@ pub fn deadline_cliff(
                 resolution: res,
                 deadline_s: deadline,
                 prompt: prompts.next_prompt(),
+                stages: StageProfile::FLAT,
             }
         })
         .collect()
@@ -104,6 +105,7 @@ pub fn elephants_and_mice(pairs: usize, seed: u64) -> Vec<GeneratedRequest> {
                 resolution: res,
                 deadline_s: arrival_s + slo.budget(res).as_secs_f64(),
                 prompt: prompts.next_prompt(),
+                stages: StageProfile::FLAT,
             });
             id += 1;
         };

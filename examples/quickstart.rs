@@ -35,6 +35,7 @@ fn main() {
         arrival: SimTime::from_secs_f64(arrival),
         deadline: SimTime::from_secs_f64(arrival + slo * scale),
         total_steps: 50,
+        stages: tetriserve::costmodel::StageProfile::FLAT,
     };
     let report = server.run(vec![
         request(0, Resolution::R512, 0.0, 2.0),

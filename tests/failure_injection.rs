@@ -33,6 +33,7 @@ fn workload(n: usize, slo_scale: f64) -> Vec<RequestSpec> {
             arrival: SimTime::from_secs_f64(r.arrival_s),
             deadline: SimTime::from_secs_f64(r.deadline_s),
             total_steps: 50,
+            stages: tetriserve::costmodel::StageProfile::FLAT,
         })
         .collect()
 }

@@ -22,6 +22,7 @@ fn workload() -> Vec<RequestSpec> {
         arrival: SimTime::from_secs_f64(arrival),
         deadline: SimTime::from_secs_f64(arrival + slo * 1.3),
         total_steps: 50,
+        stages: tetriserve::costmodel::StageProfile::FLAT,
     };
     vec![
         mk(0, Resolution::R512, 0.0, 2.0),

@@ -32,6 +32,7 @@ fn spec(id: u64, arrival_s: f64, slo_s: f64) -> RequestSpec {
         arrival: SimTime::from_secs_f64(arrival_s),
         deadline: SimTime::from_secs_f64(arrival_s + slo_s),
         total_steps: 50,
+        stages: tetriserve::costmodel::StageProfile::FLAT,
     }
 }
 

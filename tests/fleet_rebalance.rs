@@ -31,6 +31,7 @@ fn spec(id: u64, arrival_s: f64, slo_s: f64) -> RequestSpec {
         arrival: SimTime::from_secs_f64(arrival_s),
         deadline: SimTime::from_secs_f64(arrival_s + slo_s),
         total_steps: 50,
+        stages: tetriserve::costmodel::StageProfile::FLAT,
     }
 }
 
@@ -258,6 +259,7 @@ fn conservation_strategy() -> impl Strategy<Value = (Vec<RequestSpec>, u64, u64)
                     arrival: SimTime::from_millis(arrival_ms),
                     deadline: SimTime::from_millis(arrival_ms + budget_ms),
                     total_steps: 50,
+                    stages: tetriserve::costmodel::StageProfile::FLAT,
                 })
                 .collect();
             (specs, down_ms, window_ms)

@@ -33,6 +33,7 @@ fn workload_strategy() -> impl Strategy<Value = Vec<RequestSpec>> {
                     arrival: SimTime::from_millis(arrival_ms),
                     deadline: SimTime::from_millis(arrival_ms + budget_ms),
                     total_steps: steps,
+                    stages: tetriserve::costmodel::StageProfile::FLAT,
                 })
                 .collect()
         })

@@ -44,6 +44,7 @@ fn tetriserve_serves_on_sixteen_gpus() {
         arrival: SimTime::from_secs_f64(arrival),
         deadline: SimTime::from_secs_f64(arrival + slo),
         total_steps: 50,
+        stages: tetriserve::costmodel::StageProfile::FLAT,
     };
     // Two simultaneous tight 2048² requests at a 1.1× scale: impossible on
     // 8 GPUs (the second would serialise to ~9 s), comfortable on 16
@@ -69,6 +70,7 @@ fn audit_passes_on_the_wide_node() {
             arrival: SimTime::from_secs_f64(i as f64 * 0.4),
             deadline: SimTime::from_secs_f64(i as f64 * 0.4 + 6.0),
             total_steps: 50,
+            stages: tetriserve::costmodel::StageProfile::FLAT,
         })
         .collect();
     let report = Server::new(costs, policy).run(specs);
